@@ -1,0 +1,64 @@
+//! Micro-benchmarks of the balancement kernel: per-creation cost as the
+//! DHT grows (global O(V) record vs local O(V_g) group), and removal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domus_core::{DhtConfig, DhtEngine, GlobalDht, LocalDht, SnodeId};
+use domus_hashspace::HashSpace;
+use std::hint::black_box;
+
+fn bench_creation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("create_vnode_at_v");
+    for v in [64usize, 512, 2048] {
+        // Global: the whole record participates.
+        let gcfg = DhtConfig::new(HashSpace::full(), 32, 1).expect("config");
+        let mut global = GlobalDht::with_seed(gcfg, 1);
+        for i in 0..v {
+            global.create_vnode(SnodeId(i as u32)).expect("growth");
+        }
+        g.bench_with_input(BenchmarkId::new("global", v), &v, |b, _| {
+            b.iter_batched(
+                || global.clone(),
+                |mut dht| black_box(dht.create_vnode(SnodeId(0)).expect("create")),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        // Local: only the container group participates.
+        let lcfg = DhtConfig::new(HashSpace::full(), 32, 32).expect("config");
+        let mut local = LocalDht::with_seed(lcfg, 1);
+        for i in 0..v {
+            local.create_vnode(SnodeId(i as u32)).expect("growth");
+        }
+        g.bench_with_input(BenchmarkId::new("local", v), &v, |b, _| {
+            b.iter_batched(
+                || local.clone(),
+                |mut dht| black_box(dht.create_vnode(SnodeId(0)).expect("create")),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_removal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("remove_vnode_at_v");
+    g.sample_size(20);
+    for v in [64usize, 512] {
+        let cfg = DhtConfig::new(HashSpace::full(), 32, 32).expect("config");
+        let mut local = LocalDht::with_seed(cfg, 1);
+        for i in 0..v {
+            local.create_vnode(SnodeId(i as u32)).expect("growth");
+        }
+        let victim = local.vnodes()[v / 2];
+        g.bench_with_input(BenchmarkId::new("local", v), &v, |b, _| {
+            b.iter_batched(
+                || local.clone(),
+                |mut dht| black_box(dht.remove_vnode(victim).expect("remove")),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_creation, bench_removal);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! FIG4 kernel benchmark: how fast one figure-4 simulation run is — a
+//! full 1024-creation local-approach growth with per-step σ̄ sampling —
+//! across the paper's diagonal `(Pmin, Vmin)` parameterizations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domus_core::{DhtConfig, DhtEngine, LocalDht, SnodeId};
+use domus_hashspace::HashSpace;
+use std::hint::black_box;
+
+fn grow_and_sample(cfg: DhtConfig, n: usize, seed: u64) -> f64 {
+    let mut dht = LocalDht::with_seed(cfg, seed);
+    let mut acc = 0.0;
+    for i in 0..n {
+        dht.create_vnode(SnodeId(i as u32)).expect("growth");
+        acc += dht.vnode_quota_relstd_pct();
+    }
+    acc
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_run");
+    g.sample_size(10);
+    for pv in [8u64, 32, 128] {
+        let cfg = DhtConfig::new(HashSpace::full(), pv, pv).expect("config");
+        g.bench_with_input(BenchmarkId::new("pmin_vmin", pv), &pv, |b, _| {
+            b.iter(|| black_box(grow_and_sample(cfg, 1024, 42)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

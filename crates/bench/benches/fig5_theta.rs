@@ -1,0 +1,38 @@
+//! FIG5 benchmark: the θ parameter-choice sweep — three diagonal growths
+//! plus the θ functional itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use domus_core::{DhtConfig, DhtEngine, LocalDht, SnodeId};
+use domus_experiments::fig5::theta;
+use domus_hashspace::HashSpace;
+use std::hint::black_box;
+
+fn end_sigma(pv: u64, n: usize) -> f64 {
+    let cfg = DhtConfig::new(HashSpace::full(), pv, pv).expect("config");
+    let mut dht = LocalDht::with_seed(cfg, 7);
+    for i in 0..n {
+        dht.create_vnode(SnodeId(i as u32)).expect("growth");
+    }
+    dht.vnode_quota_relstd_pct()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("diagonal_sweep_256", |b| {
+        b.iter(|| {
+            let values = [8u64, 16, 32];
+            let sigmas: Vec<f64> = values.iter().map(|&v| end_sigma(v, 256)).collect();
+            black_box(theta(&values, &sigmas, 0.5, 0.5))
+        });
+    });
+    g.bench_function("theta_functional_only", |b| {
+        let values = [8u64, 16, 32, 64, 128];
+        let sigmas = [22.0, 15.4, 10.8, 7.5, 5.3];
+        b.iter(|| black_box(theta(&values, &sigmas, 0.5, 0.5)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! FIG6 kernel benchmark: fixed `Pmin = 32`, sweeping `Vmin` — including
+//! the degenerate single-group case and the global-approach reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domus_core::{DhtConfig, DhtEngine, GlobalDht, LocalDht, SnodeId};
+use domus_hashspace::HashSpace;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 512;
+    let mut g = c.benchmark_group("fig6_run");
+    g.sample_size(10);
+    for vmin in [8u64, 64, 256] {
+        let cfg = DhtConfig::new(HashSpace::full(), 32, vmin).expect("config");
+        g.bench_with_input(BenchmarkId::new("local_vmin", vmin), &vmin, |b, _| {
+            b.iter(|| {
+                let mut dht = LocalDht::with_seed(cfg, 3);
+                let mut acc = 0.0;
+                for i in 0..n {
+                    dht.create_vnode(SnodeId(i as u32)).expect("growth");
+                    acc += dht.vnode_quota_relstd_pct();
+                }
+                black_box(acc)
+            });
+        });
+    }
+    let gcfg = DhtConfig::new(HashSpace::full(), 32, 1).expect("config");
+    g.bench_function("global_reference", |b| {
+        b.iter(|| {
+            let mut dht = GlobalDht::with_seed(gcfg, 3);
+            let mut acc = 0.0;
+            for i in 0..n {
+                dht.create_vnode(SnodeId(i as u32)).expect("growth");
+                acc += dht.vnode_quota_relstd_pct();
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

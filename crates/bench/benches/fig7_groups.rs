@@ -1,0 +1,55 @@
+//! FIG7 kernel benchmark: group-count tracking during growth, and the
+//! group-split event in isolation (the event the figure counts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use domus_core::{ideal_group_count, DhtConfig, DhtEngine, LocalDht, SnodeId};
+use domus_hashspace::HashSpace;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    let cfg = DhtConfig::new(HashSpace::full(), 32, 32).expect("config");
+    g.bench_function("growth_with_group_tracking_512", |b| {
+        b.iter(|| {
+            let mut dht = LocalDht::with_seed(cfg, 11);
+            let mut acc = 0u64;
+            for i in 0..512 {
+                dht.create_vnode(SnodeId(i as u32)).expect("growth");
+                acc += dht.group_count() as u64;
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("ideal_group_count_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in 1..=8192u64 {
+                acc += ideal_group_count(v, 64);
+            }
+            black_box(acc)
+        });
+    });
+    // Isolate the split event: grow a Vmin=4 DHT to the brink, then time
+    // the creation that forces the split (fresh clone per iteration).
+    let small = DhtConfig::new(HashSpace::full(), 4, 4).expect("config");
+    let mut brink = LocalDht::with_seed(small, 13);
+    for i in 0..8 {
+        brink.create_vnode(SnodeId(i)).expect("growth");
+    }
+    g.bench_function("creation_that_splits_a_group", |b| {
+        b.iter_batched(
+            || brink.clone(),
+            |mut dht| {
+                let (_, rep) = dht.create_vnode(SnodeId(99)).expect("split");
+                debug_assert!(rep.group_split.is_some());
+                black_box(rep.transfers.len())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! FIG8 kernel benchmark: the σ̄(Qg) between-groups metric — the O(G)
+//! per-sample computation figure 8 performs after every creation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domus_core::{DhtConfig, DhtEngine, LocalDht, SnodeId};
+use domus_hashspace::HashSpace;
+use std::hint::black_box;
+
+fn grown(vmin: u64, n: usize) -> LocalDht {
+    let cfg = DhtConfig::new(HashSpace::full(), 8, vmin).expect("config");
+    let mut dht = LocalDht::with_seed(cfg, 5);
+    for i in 0..n {
+        dht.create_vnode(SnodeId(i as u32)).expect("growth");
+    }
+    dht
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_metric");
+    for vmin in [4u64, 16, 64] {
+        let dht = grown(vmin, 512);
+        let groups = dht.group_count();
+        g.bench_with_input(
+            BenchmarkId::new("sigma_qg_groups", groups),
+            &dht,
+            |b, dht| b.iter(|| black_box(dht.group_quota_relstd_pct())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("sigma_qv_groups", groups),
+            &dht,
+            |b, dht| b.iter(|| black_box(dht.vnode_quota_relstd_pct())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! FIG9 kernel benchmark: consistent-hashing ring growth (with exact
+//! incremental quota tracking) vs the model's growth — the two systems
+//! figure 9 compares.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domus_ch::ChRing;
+use domus_core::{DhtConfig, DhtEngine, LocalDht, SnodeId};
+use domus_hashspace::HashSpace;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 512;
+    let mut g = c.benchmark_group("fig9_run");
+    g.sample_size(10);
+    for k in [32u32, 64] {
+        g.bench_with_input(BenchmarkId::new("ch_join_sweep_k", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut ring = ChRing::with_seed(HashSpace::full(), k, 9);
+                let mut acc = 0.0;
+                for _ in 0..n {
+                    ring.join();
+                    acc += ring.node_quota_relstd_pct();
+                }
+                black_box(acc)
+            });
+        });
+    }
+    for vmin in [32u64, 256] {
+        let cfg = DhtConfig::new(HashSpace::full(), 32, vmin).expect("config");
+        g.bench_with_input(BenchmarkId::new("local_join_sweep_vmin", vmin), &vmin, |b, _| {
+            b.iter(|| {
+                let mut dht = LocalDht::with_seed(cfg, 9);
+                let mut acc = 0.0;
+                for i in 0..n {
+                    dht.create_vnode(SnodeId(i as u32)).expect("growth");
+                    acc += dht.vnode_quota_relstd_pct();
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

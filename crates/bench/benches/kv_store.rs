@@ -1,0 +1,63 @@
+//! KV-layer benchmarks: put/get throughput through DHT routing, and the
+//! cost of a data-migrating join (KV-MIGRATE's kernel).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use domus_core::{DhtConfig, LocalDht, SnodeId};
+use domus_hashspace::HashSpace;
+use domus_kv::{KvStore, UniformKeys};
+use domus_util::Xoshiro256pp;
+use std::hint::black_box;
+
+fn loaded(entries: u64, vnodes: u32) -> KvStore<LocalDht> {
+    let cfg = DhtConfig::new(HashSpace::full(), 16, 8).expect("config");
+    let mut kv = KvStore::new(LocalDht::with_seed(cfg, 21));
+    for s in 0..vnodes {
+        kv.join(SnodeId(s)).expect("join");
+    }
+    let keys = UniformKeys::new(entries);
+    for i in 0..entries {
+        kv.put(keys.key_at(i), domus_kv::workload::value_of(24, i));
+    }
+    kv
+}
+
+fn bench(c: &mut Criterion) {
+    let kv = loaded(50_000, 16);
+    let keys = UniformKeys::new(50_000);
+
+    let mut g = c.benchmark_group("kv");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("get_hit", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        b.iter(|| {
+            let k = keys.draw(&mut rng);
+            black_box(kv.get(k.as_bytes()))
+        });
+    });
+    g.bench_function("put_overwrite", |b| {
+        let mut kv = kv.clone();
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        b.iter(|| {
+            let k = keys.draw(&mut rng);
+            black_box(kv.put(k, "new-value"))
+        });
+    });
+    g.finish();
+
+    let mut m = c.benchmark_group("kv_migration");
+    m.sample_size(10);
+    m.bench_function("join_migrating_50k_entries", |b| {
+        b.iter_batched(
+            || (kv.clone(), 100u32),
+            |(mut kv, s)| {
+                let (_, rep) = kv.join(SnodeId(s)).expect("join");
+                black_box(rep.bytes)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    m.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

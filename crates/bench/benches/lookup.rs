@@ -1,0 +1,45 @@
+//! Routing benchmarks: point → vnode lookups through the heterogeneous-
+//! level owner map, at several DHT sizes, plus the quota metric sampling
+//! cost (the per-creation measurement of every figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use domus_core::{DhtConfig, DhtEngine, LocalDht, SnodeId};
+use domus_hashspace::HashSpace;
+use domus_util::{DomusRng, Xoshiro256pp};
+use std::hint::black_box;
+
+fn grown(v: usize) -> LocalDht {
+    let cfg = DhtConfig::new(HashSpace::full(), 32, 32).expect("config");
+    let mut dht = LocalDht::with_seed(cfg, 3);
+    for i in 0..v {
+        dht.create_vnode(SnodeId(i as u32)).expect("growth");
+    }
+    dht
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lookup");
+    for v in [64usize, 512, 2048] {
+        let dht = grown(v);
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        let points: Vec<u64> = (0..1024).map(|_| rng.next_u64()).collect();
+        g.throughput(Throughput::Elements(points.len() as u64));
+        g.bench_with_input(BenchmarkId::new("points_1k_at_v", v), &dht, |b, dht| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &p in &points {
+                    let (_, vn) = dht.lookup(p).expect("covered");
+                    acc ^= vn.0 as u64;
+                }
+                black_box(acc)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("sigma_qv_sample_at_v", v), &dht, |b, dht| {
+            b.iter(|| black_box(dht.vnode_quota_relstd_pct()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

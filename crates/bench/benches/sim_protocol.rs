@@ -1,0 +1,36 @@
+//! Simulator benchmarks: pricing + scheduling a growth workload under the
+//! one-hop cluster model, global vs local (SIM-MAKESPAN's kernel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domus_core::{DhtConfig, GlobalDht, LocalDht};
+use domus_hashspace::HashSpace;
+use domus_sim::SimDriver;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 256;
+    let mut g = c.benchmark_group("sim_grow");
+    g.sample_size(10);
+    g.bench_function("global_256", |b| {
+        let cfg = DhtConfig::new(HashSpace::full(), 32, 1).expect("config");
+        b.iter(|| {
+            let mut sim = SimDriver::new(GlobalDht::with_seed(cfg, 7));
+            sim.grow(n, 32).expect("growth");
+            black_box((sim.trace().makespan(), sim.trace().messages()))
+        });
+    });
+    for vmin in [8u64, 32] {
+        let cfg = DhtConfig::new(HashSpace::full(), 32, vmin).expect("config");
+        g.bench_with_input(BenchmarkId::new("local_256_vmin", vmin), &vmin, |b, _| {
+            b.iter(|| {
+                let mut sim = SimDriver::new(LocalDht::with_seed(cfg, 7));
+                sim.grow(n, 32).expect("growth");
+                black_box((sim.trace().makespan(), sim.trace().parallelism()))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

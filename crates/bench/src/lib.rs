@@ -1,0 +1,1 @@
+//! Criterion benchmark crate (bench targets live in `benches/`).

@@ -1,0 +1,49 @@
+//! # domus-ch
+//!
+//! The paper's reference model (§4.3): **Consistent Hashing** with virtual
+//! servers — Karger et al., *"Consistent Hashing and random trees"*,
+//! STOC '97, as deployed by CFS (Dabek et al., SOSP '01) for node
+//! heterogeneity.
+//!
+//! "In CH, the hash table is divided in partitions, with random size, and
+//! each partition is bound to a virtual server. Each physical node may host
+//! more than one virtual server. To ensure a fair distribution of the hash
+//! table among a set of N homogeneous physical nodes, CH requires that each
+//! node receives at least k·log2 N partitions/virtual servers."
+//!
+//! The implementation is a classic hash ring: each node throws `k` random
+//! points onto `R_h`; a point owns the arc from its predecessor (exclusive)
+//! to itself (inclusive). Quotas are tracked *incrementally* and *exactly*
+//! (u128 arc lengths), so the figure-9 sweep — measure `σ̄(Qn)` after every
+//! one of 1024 joins, 100 runs — costs O(k·log P) per join instead of a
+//! full O(P) rescan.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ring;
+
+pub use ring::{ChNodeId, ChRing};
+
+/// CFS-style guidance: virtual servers per node for an `n`-node ring with
+/// base factor `k` — `max(k, k·log2(n))`.
+pub fn recommended_virtual_servers(k: u32, n: u64) -> u32 {
+    if n <= 1 {
+        return k.max(1);
+    }
+    let log = domus_util::bits::ceil_log2(n);
+    (k * log).max(k).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommendation_scales_logarithmically() {
+        assert_eq!(recommended_virtual_servers(4, 1), 4);
+        assert_eq!(recommended_virtual_servers(4, 2), 4);
+        assert_eq!(recommended_virtual_servers(4, 1024), 40);
+        assert_eq!(recommended_virtual_servers(1, 0), 1);
+    }
+}

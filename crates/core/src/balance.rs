@@ -1,0 +1,592 @@
+//! The balancement kernel shared by both approaches.
+//!
+//! This module implements the paper's creation algorithm (§2.5) and its
+//! supporting cascades over one *region* (= the whole DHT for the global
+//! approach, one group for the local approach):
+//!
+//! * [`seed_first`] — the first vnode of a DHT receives all `Pmin`
+//!   partitions of the initial splitlevel `log2(Pmin)` (invariant G5 with
+//!   `V = 1`).
+//! * [`split_all`] — the split cascade: "all the older vnodes binary split
+//!   their own partitions, doubling its number to `Pv = Pmax`" (§2.5). Runs
+//!   when every member holds exactly `Pmin` partitions — which, by G5/G5',
+//!   is exactly when the member count is a power of two.
+//! * [`greedy_add`] — steps 1–4 of the printed algorithm: repeatedly take
+//!   one partition from the most-loaded vnode and give it to the new vnode
+//!   while that strictly decreases `σ(Pv)`.
+//! * [`greedy_remove`] / [`merge_all`] / [`rebalance_spread`] — the inverse
+//!   operations used by the deletion extension (not in the paper; see
+//!   DESIGN.md §2 item 7).
+//!
+//! ## The O(1) σ-decrease test
+//!
+//! Step 4 of the paper's algorithm re-evaluates `σ(Pv, P̄v)` after a
+//! hypothetical move. Moving one partition from a donor with count `m` to
+//! the new vnode with count `c` changes `Σ(Pv − P̄)²` by
+//! `((m−1)−P̄)² − (m−P̄)² + ((c+1)−P̄)² − (c−P̄)² = 2(c − m + 1)`
+//! (the mean `P̄` is unchanged). The move strictly decreases σ iff this is
+//! negative, i.e. **iff `c + 1 < m`**. `greedy_add` uses that test; the
+//! equivalence is cross-checked against a literal σ recomputation in the
+//! tests (and the ablation ABL-VICTIM exercises both phrasings).
+//!
+//! ## Why the greedy respects G4
+//!
+//! The donor is always a current maximum. The mean count during an addition
+//! is `P_g/(V_g+1) ≥ Pmin`: if the cascade ran, `P_g = 2·V_g·Pmin` and
+//! `2·V_g ≥ V_g + 1`; if it did not, some member held `> Pmin`, and since
+//! every member held `≥ Pmin` with `P_g` a power of two, `P_g ≥ (V_g+1)·Pmin`
+//! already. A maximum can only be drained to `⌈mean⌉ − 1 ≥ Pmin` before the
+//! stop test fires, so no donor ever drops below `Pmin`, and the new vnode
+//! stops at `≤ ⌈mean⌉ ≤ Pmax`. Debug assertions enforce both bounds.
+
+use crate::config::{DhtConfig, VictimPartitionPolicy};
+use crate::engine::Transfer;
+use crate::errors::DhtError;
+use crate::ids::VnodeId;
+use crate::state::{GroupState, VnodeStore};
+use domus_hashspace::{OwnerMap, Partition};
+use domus_util::DomusRng;
+use std::collections::BTreeMap;
+
+/// Picks the index of the donor partition to hand over, per policy.
+fn pick_partition<R: DomusRng>(len: usize, policy: VictimPartitionPolicy, rng: &mut R) -> usize {
+    debug_assert!(len > 0);
+    match policy {
+        VictimPartitionPolicy::Random => rng.index(len),
+        VictimPartitionPolicy::Last => len - 1,
+        VictimPartitionPolicy::First => 0,
+    }
+}
+
+/// Removes one partition from `donor` per policy and hands it to `recv`.
+fn move_one<R: DomusRng>(
+    vs: &mut VnodeStore,
+    routing: &mut OwnerMap<VnodeId>,
+    donor: VnodeId,
+    recv: VnodeId,
+    policy: VictimPartitionPolicy,
+    rng: &mut R,
+) -> Transfer {
+    let donor_parts = &mut vs.get_mut(donor).partitions;
+    let idx = pick_partition(donor_parts.len(), policy, rng);
+    // `swap_remove` is O(1); `First` keeps FIFO semantics with `remove`.
+    let p = if policy == VictimPartitionPolicy::First {
+        donor_parts.remove(idx)
+    } else {
+        donor_parts.swap_remove(idx)
+    };
+    routing.transfer(p, recv).expect("donor's partition must be routed to it");
+    vs.get_mut(recv).partitions.push(p);
+    Transfer { partition: p, from: donor, to: recv }
+}
+
+/// Seeds the first vnode of a DHT: all `Pmin` partitions of splitlevel
+/// `log2(Pmin)`, covering `R_h` exactly.
+///
+/// # Panics
+/// Panics if the region already has members or the routing map is not empty.
+pub fn seed_first(
+    vs: &mut VnodeStore,
+    routing: &mut OwnerMap<VnodeId>,
+    region: &mut GroupState,
+    v: VnodeId,
+    cfg: &DhtConfig,
+) {
+    assert!(region.is_empty(), "seed_first on a non-empty region");
+    assert!(routing.is_empty(), "seed_first on a non-empty routing map");
+    let level = cfg.initial_level();
+    region.level = level;
+    region.birth_level = level;
+    let mut parts = Vec::with_capacity(cfg.pmin as usize);
+    for p in Partition::all_at_level(level) {
+        routing.insert(p, v).expect("tiling a fresh map cannot overlap");
+        parts.push(p);
+    }
+    vs.get_mut(v).partitions = parts;
+    region.admit(v, cfg.pmin);
+}
+
+/// `true` iff every member of the region holds exactly `Pmin` partitions —
+/// the split-cascade trigger (equivalently, by G5/G5': the member count is
+/// a power of two).
+pub fn all_at_pmin(_vs: &VnodeStore, region: &GroupState, cfg: &DhtConfig) -> bool {
+    // O(1) via the accumulators: all counts equal Pmin ⟺ Σ = V·Pmin and
+    // Σ² = V·Pmin² (equal-sum with equal-sum-of-squares forces equality).
+    let v = region.members.len() as u64;
+    v > 0 && region.sum == v * cfg.pmin && region.sumsq == v * cfg.pmin * cfg.pmin
+}
+
+/// The split cascade: binary-splits every partition of the region, doubling
+/// every member's count from `Pmin` to `Pmax` (§2.5). Returns the number of
+/// partitions split.
+pub fn split_all(
+    vs: &mut VnodeStore,
+    routing: &mut OwnerMap<VnodeId>,
+    region: &mut GroupState,
+) -> Result<u64, DhtError> {
+    let space = routing.space();
+    if region.level >= space.bits() {
+        return Err(DhtError::LevelOverflow { level: region.level, bits: space.bits() });
+    }
+    let mut split_count = 0u64;
+    for &m in &region.members {
+        let old = std::mem::take(&mut vs.get_mut(m).partitions);
+        let mut fresh = Vec::with_capacity(old.len() * 2);
+        for p in old {
+            let (a, b) = routing.split(p).expect("member partition must be routed");
+            fresh.push(a);
+            fresh.push(b);
+            split_count += 1;
+        }
+        vs.get_mut(m).partitions = fresh;
+    }
+    region.account_split_all();
+    Ok(split_count)
+}
+
+/// Steps 1–4 of the paper's creation algorithm: `new` (already admitted to
+/// the region with zero partitions) receives partitions one at a time from
+/// the most-loaded member while `σ(Pv)` strictly decreases.
+///
+/// Ties among equally-loaded donors are broken LIFO over admission order
+/// (the paper's step-3 sort leaves ties unspecified).
+pub fn greedy_add<R: DomusRng>(
+    vs: &mut VnodeStore,
+    routing: &mut OwnerMap<VnodeId>,
+    region: &mut GroupState,
+    new: VnodeId,
+    cfg: &DhtConfig,
+    rng: &mut R,
+) -> Vec<Transfer> {
+    debug_assert_eq!(vs.get(new).count(), 0, "greedy_add expects a fresh vnode");
+    debug_assert!(region.members.contains(&new), "new vnode must be admitted first");
+
+    // Bucket queue over partition counts: donors only ever step down one
+    // bucket, so a single downward cursor visits each maximum in O(1).
+    let max_count = region.members.iter().map(|&m| vs.get(m).count()).max().unwrap_or(0) as usize;
+    let mut buckets: Vec<Vec<VnodeId>> = vec![Vec::new(); max_count + 1];
+    for &m in &region.members {
+        if m != new {
+            buckets[vs.get(m).count() as usize].push(m);
+        }
+    }
+    let mut cur = max_count;
+    let mut new_count = 0u64;
+    let mut transfers = Vec::new();
+    loop {
+        while cur > 0 && buckets[cur].is_empty() {
+            cur -= 1;
+        }
+        if cur == 0 {
+            break; // no donor holds a partition (single-member region)
+        }
+        // The σ-decrease test: move helps iff new_count + 1 < donor count.
+        if new_count + 1 >= cur as u64 {
+            break;
+        }
+        let donor = buckets[cur].pop().expect("cursor sits on a non-empty bucket");
+        debug_assert!(
+            cur as u64 > cfg.pmin,
+            "greedy would drag a donor below Pmin: donor at {cur}, Pmin {}",
+            cfg.pmin
+        );
+        transfers.push(move_one(vs, routing, donor, new, cfg.victim_partition, rng));
+        region.account_move(cur as u64, new_count);
+        buckets[cur - 1].push(donor);
+        new_count += 1;
+    }
+    debug_assert!(
+        new_count <= cfg.pmax(),
+        "new vnode overfilled: {new_count} > Pmax {}",
+        cfg.pmax()
+    );
+    transfers
+}
+
+/// Inverse of [`greedy_add`]: drains every partition of `victim` to the
+/// least-loaded remaining members (each move is the σ-minimising choice),
+/// then expels the victim from the region.
+///
+/// The caller guarantees at least one other member exists and — by the
+/// power-of-two capacity argument in DESIGN.md §3 — the remaining members
+/// can absorb everything within `Pmax`.
+pub fn greedy_remove<R: DomusRng>(
+    vs: &mut VnodeStore,
+    routing: &mut OwnerMap<VnodeId>,
+    region: &mut GroupState,
+    victim: VnodeId,
+    cfg: &DhtConfig,
+    rng: &mut R,
+) -> Vec<Transfer> {
+    debug_assert!(region.members.len() >= 2, "greedy_remove needs a surviving member");
+    let victim_count = vs.get(victim).count();
+    region.expel(victim, victim_count);
+
+    let max_possible = cfg.pmax() as usize + 1;
+    let mut buckets: Vec<Vec<VnodeId>> = vec![Vec::new(); max_possible + 1];
+    let mut cur = usize::MAX;
+    for &m in &region.members {
+        let c = vs.get(m).count() as usize;
+        debug_assert!(c <= max_possible);
+        buckets[c].push(m);
+        cur = cur.min(c);
+    }
+    let mut transfers = Vec::with_capacity(victim_count as usize);
+    for _ in 0..victim_count {
+        while buckets[cur].is_empty() {
+            cur += 1;
+        }
+        let recv = buckets[cur].pop().expect("cursor sits on a non-empty bucket");
+        transfers.push(move_one(vs, routing, victim, recv, cfg.victim_partition, rng));
+        region.account_gain(cur as u64);
+        debug_assert!(
+            (cur as u64) < cfg.pmax(),
+            "redistribution overflowed Pmax — capacity argument violated"
+        );
+        buckets[cur + 1].push(recv);
+    }
+    debug_assert!(vs.get(victim).partitions.is_empty());
+    transfers
+}
+
+/// Error from [`merge_all`]: the region's partition set is not closed under
+/// siblings at the current level, so a binary merge is impossible. By the
+/// birth-level argument (DESIGN.md §3) this is unreachable from any legal
+/// operation sequence; it exists to fail loudly instead of corrupting state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotSiblingClosed {
+    /// A parent index with only one present child.
+    pub parent_index: u64,
+}
+
+/// The merge cascade (inverse of [`split_all`]): re-pairs sibling
+/// partitions onto common owners with the fewest possible transfers, then
+/// binary-merges every pair, halving every member's count.
+///
+/// Precondition: every member's count is even (callers invoke this at the
+/// all-`Pmax` state) and the region sits above its birth level.
+pub fn merge_all<R: DomusRng>(
+    vs: &mut VnodeStore,
+    routing: &mut OwnerMap<VnodeId>,
+    region: &mut GroupState,
+    _cfg: &DhtConfig,
+    _rng: &mut R,
+) -> Result<(u64, Vec<Transfer>), NotSiblingClosed> {
+    // Note on the closure floor: a region created by a membership split is
+    // only guaranteed sibling-closed above the level it was born at
+    // (`birth_level`). The capacity arithmetic in the module docs shows
+    // every *required* merge happens above that floor; the structural
+    // validation below is the authoritative guard.
+    // Gather sibling pairs: parent index → the two child (partition, owner).
+    let mut pairs: BTreeMap<u64, Vec<(Partition, VnodeId)>> = BTreeMap::new();
+    for &m in &region.members {
+        for &p in &vs.get(m).partitions {
+            pairs.entry(p.index() >> 1).or_default().push((p, m));
+        }
+    }
+    for (&parent_index, children) in &pairs {
+        if children.len() != 2 {
+            return Err(NotSiblingClosed { parent_index });
+        }
+    }
+
+    // Capacity: each member keeps count/2 parents.
+    let mut capacity: BTreeMap<VnodeId, u64> = BTreeMap::new();
+    for &m in &region.members {
+        let c = vs.get(m).count();
+        debug_assert!(c % 2 == 0, "merge_all requires even counts, {m} has {c}");
+        capacity.insert(m, c / 2);
+    }
+
+    // Assignment passes: (1) both children same owner → free;
+    // (2) one child's owner has capacity → one transfer;
+    // (3) any member with capacity → two transfers.
+    let mut assignment: BTreeMap<u64, VnodeId> = BTreeMap::new();
+    let mut deferred: Vec<u64> = Vec::new();
+    for (&parent, children) in &pairs {
+        let (a, b) = (children[0].1, children[1].1);
+        if a == b {
+            assignment.insert(parent, a);
+            *capacity.get_mut(&a).expect("member") -= 1;
+        } else {
+            deferred.push(parent);
+        }
+    }
+    let mut second: Vec<u64> = Vec::new();
+    for parent in deferred {
+        let children = &pairs[&parent];
+        let (a, b) = (children[0].1, children[1].1);
+        if capacity[&a] > 0 {
+            assignment.insert(parent, a);
+            *capacity.get_mut(&a).expect("member") -= 1;
+        } else if capacity[&b] > 0 {
+            assignment.insert(parent, b);
+            *capacity.get_mut(&b).expect("member") -= 1;
+        } else {
+            second.push(parent);
+        }
+    }
+    for parent in second {
+        let any = *capacity
+            .iter()
+            .find(|(_, &cap)| cap > 0)
+            .expect("total capacity equals total parents")
+            .0;
+        assignment.insert(parent, any);
+        *capacity.get_mut(&any).expect("member") -= 1;
+    }
+
+    // Apply: route both children to the assignee, record the moves, merge.
+    let mut transfers = Vec::new();
+    let mut merges = 0u64;
+    for &m in &region.members {
+        vs.get_mut(m).partitions.clear();
+    }
+    for (&parent_idx, children) in &pairs {
+        let owner = assignment[&parent_idx];
+        for &(p, old_owner) in children {
+            if old_owner != owner {
+                routing.transfer(p, owner).expect("child partition is routed");
+                transfers.push(Transfer { partition: p, from: old_owner, to: owner });
+            }
+        }
+        let merged = routing
+            .merge(children[0].0, children[1].0)
+            .expect("siblings with a common owner merge");
+        vs.get_mut(owner).partitions.push(merged);
+        merges += 1;
+    }
+    region.account_merge_all();
+    Ok((merges, transfers))
+}
+
+/// Moves partitions from maxima to minima until the region's counts differ
+/// by at most one (each move strictly decreases σ). Used after a group
+/// merge (deletion extension) to re-legalise counts.
+pub fn rebalance_spread<R: DomusRng>(
+    vs: &mut VnodeStore,
+    routing: &mut OwnerMap<VnodeId>,
+    region: &mut GroupState,
+    cfg: &DhtConfig,
+    rng: &mut R,
+) -> Vec<Transfer> {
+    let mut transfers = Vec::new();
+    // Each move from a current maximum to a current minimum strictly
+    // reduces Σ(Pv)², so this terminates; the group-merge path that calls
+    // this is rare enough that the O(V_g) scan per move is irrelevant.
+    loop {
+        let (mut cmin, mut vmin, mut cmax, mut vmax) = (u64::MAX, None, 0u64, None);
+        for &m in &region.members {
+            let c = vs.get(m).count();
+            if c < cmin {
+                cmin = c;
+                vmin = Some(m);
+            }
+            if c > cmax {
+                cmax = c;
+                vmax = Some(m);
+            }
+        }
+        if cmax.saturating_sub(cmin) <= 1 {
+            break;
+        }
+        let (vmin, vmax) = (vmin.expect("non-empty"), vmax.expect("non-empty"));
+        transfers.push(move_one(vs, routing, vmax, vmin, cfg.victim_partition, rng));
+        region.account_move(cmax, cmin);
+    }
+    transfers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group_id::GroupId;
+    use domus_hashspace::HashSpace;
+    use domus_util::Xoshiro256pp;
+
+    fn setup(pmin: u64) -> (VnodeStore, OwnerMap<VnodeId>, GroupState, DhtConfig, Xoshiro256pp) {
+        let cfg = DhtConfig::new(HashSpace::new(16), pmin, 1).unwrap();
+        let vs = VnodeStore::new();
+        let routing = OwnerMap::new(cfg.hash_space());
+        let region = GroupState::new(GroupId::FIRST, cfg.initial_level());
+        (vs, routing, region, cfg, Xoshiro256pp::seed_from_u64(1))
+    }
+
+    #[test]
+    fn seed_first_tiles_the_space_with_pmin_partitions() {
+        let (mut vs, mut routing, mut region, cfg, _) = setup(8);
+        let v = vs.create(crate::ids::SnodeId(0), 0);
+        seed_first(&mut vs, &mut routing, &mut region, v, &cfg);
+        assert_eq!(vs.get(v).count(), 8);
+        assert_eq!(region.level, 3);
+        assert_eq!(region.sum, 8);
+        routing.verify_coverage().unwrap();
+    }
+
+    #[test]
+    fn split_all_doubles_counts_and_advances_level() {
+        let (mut vs, mut routing, mut region, cfg, _) = setup(4);
+        let v = vs.create(crate::ids::SnodeId(0), 0);
+        seed_first(&mut vs, &mut routing, &mut region, v, &cfg);
+        let splits = split_all(&mut vs, &mut routing, &mut region).unwrap();
+        assert_eq!(splits, 4);
+        assert_eq!(vs.get(v).count(), 8);
+        assert_eq!(region.level, 3);
+        routing.verify_coverage().unwrap();
+        // Partition lists agree with routing after the cascade.
+        for &p in &vs.get(v).partitions {
+            assert_eq!(routing.owner_of(p), Some(&v));
+        }
+    }
+
+    #[test]
+    fn split_all_errors_at_space_resolution() {
+        let cfg = DhtConfig::new(HashSpace::new(4), 16, 1).unwrap();
+        let mut vs = VnodeStore::new();
+        let mut routing = OwnerMap::new(cfg.hash_space());
+        let mut region = GroupState::new(GroupId::FIRST, cfg.initial_level());
+        let v = vs.create(crate::ids::SnodeId(0), 0);
+        seed_first(&mut vs, &mut routing, &mut region, v, &cfg);
+        // Level 4 on a 4-bit space: no further splits possible.
+        assert!(matches!(
+            split_all(&mut vs, &mut routing, &mut region),
+            Err(DhtError::LevelOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn greedy_add_stops_at_spread_one() {
+        let (mut vs, mut routing, mut region, cfg, mut rng) = setup(4);
+        let a = vs.create(crate::ids::SnodeId(0), 0);
+        seed_first(&mut vs, &mut routing, &mut region, a, &cfg);
+        split_all(&mut vs, &mut routing, &mut region).unwrap();
+        let b = vs.create(crate::ids::SnodeId(1), 0);
+        region.admit(b, 0);
+        let transfers = greedy_add(&mut vs, &mut routing, &mut region, b, &cfg, &mut rng);
+        assert_eq!(transfers.len(), 4, "[8,0] → [4,4]");
+        assert_eq!(vs.get(a).count(), 4);
+        assert_eq!(vs.get(b).count(), 4);
+        assert!(transfers.iter().all(|t| t.from == a && t.to == b));
+        routing.verify_coverage().unwrap();
+    }
+
+    #[test]
+    fn all_at_pmin_uses_accumulators_correctly() {
+        let (mut vs, mut routing, mut region, cfg, mut rng) = setup(4);
+        let a = vs.create(crate::ids::SnodeId(0), 0);
+        seed_first(&mut vs, &mut routing, &mut region, a, &cfg);
+        assert!(all_at_pmin(&vs, &region, &cfg));
+        split_all(&mut vs, &mut routing, &mut region).unwrap();
+        assert!(!all_at_pmin(&vs, &region, &cfg), "counts are at Pmax now");
+        let b = vs.create(crate::ids::SnodeId(1), 0);
+        region.admit(b, 0);
+        greedy_add(&mut vs, &mut routing, &mut region, b, &cfg, &mut rng);
+        assert!(all_at_pmin(&vs, &region, &cfg), "[4,4] is all-at-Pmin again");
+    }
+
+    #[test]
+    fn greedy_remove_then_merge_all_restores_seed_state() {
+        let (mut vs, mut routing, mut region, cfg, mut rng) = setup(4);
+        let a = vs.create(crate::ids::SnodeId(0), 0);
+        seed_first(&mut vs, &mut routing, &mut region, a, &cfg);
+        split_all(&mut vs, &mut routing, &mut region).unwrap();
+        let b = vs.create(crate::ids::SnodeId(1), 0);
+        region.admit(b, 0);
+        greedy_add(&mut vs, &mut routing, &mut region, b, &cfg, &mut rng);
+        // Remove b: a absorbs everything → all at Pmax → merge cascade.
+        let t = greedy_remove(&mut vs, &mut routing, &mut region, b, &cfg, &mut rng);
+        assert_eq!(t.len(), 4);
+        vs.kill(b);
+        assert_eq!(vs.get(a).count(), 8);
+        let (merges, moves) = merge_all(&mut vs, &mut routing, &mut region, &cfg, &mut rng).unwrap();
+        assert_eq!(merges, 4);
+        assert!(moves.is_empty(), "single owner ⇒ all pairs co-located");
+        assert_eq!(vs.get(a).count(), 4);
+        assert_eq!(region.level, cfg.initial_level());
+        routing.verify_coverage().unwrap();
+    }
+
+    #[test]
+    fn merge_all_colocates_scattered_siblings() {
+        // Hand-build a region where sibling partitions live on different
+        // vnodes: merge_all must transfer to pair them up.
+        let cfg = DhtConfig::new(HashSpace::new(8), 2, 1).unwrap();
+        let mut vs = VnodeStore::new();
+        let mut routing = OwnerMap::new(cfg.hash_space());
+        let mut region = GroupState::new(GroupId::FIRST, 2);
+        region.birth_level = 1;
+        let a = vs.create(crate::ids::SnodeId(0), 0);
+        let b = vs.create(crate::ids::SnodeId(1), 0);
+        // Level-2 partitions 0..4: a gets {0, 2}, b gets {1, 3} — fully
+        // interleaved, no co-located pair.
+        for (i, owner) in [(0u64, a), (1, b), (2, a), (3, b)] {
+            let p = Partition::new(2, i);
+            routing.insert(p, owner).unwrap();
+            vs.get_mut(owner).partitions.push(p);
+        }
+        region.admit(a, 2);
+        region.admit(b, 2);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let (merges, moves) = merge_all(&mut vs, &mut routing, &mut region, &cfg, &mut rng).unwrap();
+        assert_eq!(merges, 2);
+        assert_eq!(moves.len(), 2, "each pair needs one co-location transfer");
+        assert_eq!(vs.get(a).count(), 1);
+        assert_eq!(vs.get(b).count(), 1);
+        assert_eq!(region.level, 1);
+        routing.verify_coverage().unwrap();
+    }
+
+    #[test]
+    fn merge_all_detects_unclosed_regions() {
+        // A region holding only ONE child of a sibling pair cannot merge.
+        let cfg = DhtConfig::new(HashSpace::new(8), 2, 1).unwrap();
+        let mut vs = VnodeStore::new();
+        let mut routing = OwnerMap::new(cfg.hash_space());
+        let mut region = GroupState::new(GroupId::FIRST, 2);
+        region.birth_level = 1;
+        let a = vs.create(crate::ids::SnodeId(0), 0);
+        // Partitions {0, 2}: siblings 1 and 3 are missing (owned by a
+        // different region in a real structure). Pad coverage with a
+        // stand-alone vnode outside the region so the map stays total.
+        let outside = vs.create(crate::ids::SnodeId(9), 1);
+        for (i, owner) in [(0u64, a), (1, outside), (2, a), (3, outside)] {
+            let p = Partition::new(2, i);
+            routing.insert(p, owner).unwrap();
+            vs.get_mut(owner).partitions.push(p);
+        }
+        region.admit(a, 2);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let err = merge_all(&mut vs, &mut routing, &mut region, &cfg, &mut rng).unwrap_err();
+        assert!(matches!(err, NotSiblingClosed { .. }));
+    }
+
+    #[test]
+    fn rebalance_spread_levels_any_distribution() {
+        let cfg = DhtConfig::new(HashSpace::new(10), 2, 1).unwrap();
+        let mut vs = VnodeStore::new();
+        let mut routing = OwnerMap::new(cfg.hash_space());
+        let mut region = GroupState::new(GroupId::FIRST, 4);
+        // Three vnodes with counts 10 / 4 / 2 at level 4 (16 partitions).
+        let vels = [
+            (vs.create(crate::ids::SnodeId(0), 0), 0u64..10),
+            (vs.create(crate::ids::SnodeId(1), 0), 10..14),
+            (vs.create(crate::ids::SnodeId(2), 0), 14..16),
+        ];
+        for (v, range) in vels {
+            for i in range.clone() {
+                let p = Partition::new(4, i);
+                routing.insert(p, v).unwrap();
+                vs.get_mut(v).partitions.push(p);
+            }
+            region.admit(v, range.end - range.start);
+        }
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        rebalance_spread(&mut vs, &mut routing, &mut region, &cfg, &mut rng);
+        let counts: Vec<u64> = region.members.iter().map(|&m| vs.get(m).count()).collect();
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max - min <= 1, "counts {counts:?}");
+        assert_eq!(counts.iter().sum::<u64>(), 16);
+        routing.verify_coverage().unwrap();
+    }
+}

@@ -1,0 +1,376 @@
+//! vnode deletion for the local approach (extension).
+//!
+//! The paper's base model admits deletion ("cluster nodes may dynamically
+//! join *or leave* the DHT", §1; partition counts fluctuate "during the
+//! creation *or deletion* of vnodes", §2.1.3) but this paper only details
+//! creation. This module implements the inverse operations such that every
+//! invariant of §2.2/§3.3 — including the derived spread-≤-1 theorem —
+//! still holds after every removal. Policy, in order of preference:
+//!
+//! 1. **Intra-group removal** (`V_g > Vmin`, or the single-group case):
+//!    drain the victim's partitions to the least-loaded members; if that
+//!    saturates everyone at `Pmax` (which the power-of-two arithmetic shows
+//!    happens exactly when the surviving count is a power of two), run the
+//!    merge cascade back to `Pmin` — the exact inverse of §2.5's split
+//!    cascade.
+//! 2. **Sibling group merge** (`V_g = Vmin` and the trie sibling is a live
+//!    leaf with `Vmin` members): re-fuse the two halves into their parent
+//!    identifier. Trie siblings always carry equal quotas (`2^-depth`), so
+//!    the merged partition total stays a power of two (G2'); levels are
+//!    harmonised upward and counts re-levelled.
+//! 3. **Internal vnode migration** (`V_g = Vmin`, sibling unavailable, but
+//!    some group exceeds `Vmin`): move one vnode from the largest group
+//!    into the victim's group (remove there + re-create here), restoring
+//!    headroom; then case 1 applies.
+//! 4. **Deepest-pair merge** (every group sits at exactly `Vmin`): merge
+//!    the deepest leaf with its sibling — which the trie structure
+//!    guarantees is also a leaf — producing a `Vmax` group that either
+//!    contains the victim (case 1) or can donate a vnode (case 3).
+
+use crate::balance;
+use crate::engine::{CreateReport, RemoveReport};
+use crate::errors::DhtError;
+use crate::group_id::GroupId;
+use crate::ids::VnodeId;
+use crate::local::LocalDht;
+use domus_util::DomusRng;
+
+/// Entry point used by [`LocalDht::remove_vnode`].
+pub(crate) fn remove_local<R: DomusRng>(
+    dht: &mut LocalDht<R>,
+    v: VnodeId,
+) -> Result<RemoveReport, DhtError> {
+    dht.ensure_alive(v)?;
+    if dht.vs.alive_count() == 1 {
+        return Err(DhtError::LastVnode);
+    }
+    let mut report = RemoveReport::default();
+    let slot = dht.vs.get(v).group;
+    report.group = Some(dht.groups[slot as usize].gid);
+
+    let vg = dht.groups[slot as usize].len() as u64;
+    if dht.live_groups == 1 || vg > dht.cfg.vmin {
+        intra_group_remove(dht, slot, v, &mut report);
+        dht.debug_check();
+        return Ok(report);
+    }
+
+    // V_g == Vmin with other groups around: make room first.
+    let gid = dht.groups[slot as usize].gid;
+    let sibling_slot = gid.sibling().and_then(|sib| find_live_group(dht, sib));
+    if let Some(sib) = sibling_slot {
+        if dht.groups[sib as usize].len() as u64 == dht.cfg.vmin {
+            let merged = merge_groups(dht, slot, sib, &mut report)?;
+            intra_group_remove(dht, merged, v, &mut report);
+            dht.debug_check();
+            return Ok(report);
+        }
+    }
+    if let Some(donor) = find_donor_group(dht, slot) {
+        migrate_one(dht, donor, slot, &mut report)?;
+        intra_group_remove(dht, dht.vs.get(v).group, v, &mut report);
+        dht.debug_check();
+        return Ok(report);
+    }
+
+    // Every live group is at Vmin: merge the deepest sibling pair.
+    let (a, b) = deepest_sibling_pair(dht);
+    let merged = merge_groups(dht, a, b, &mut report)?;
+    let v_slot = dht.vs.get(v).group;
+    if v_slot == merged {
+        intra_group_remove(dht, merged, v, &mut report);
+    } else {
+        migrate_one(dht, merged, v_slot, &mut report)?;
+        intra_group_remove(dht, dht.vs.get(v).group, v, &mut report);
+    }
+    dht.debug_check();
+    Ok(report)
+}
+
+/// Case 1: drain, kill, and run the merge cascade if it saturated `Pmax`.
+fn intra_group_remove<R: DomusRng>(
+    dht: &mut LocalDht<R>,
+    slot: u32,
+    v: VnodeId,
+    report: &mut RemoveReport,
+) {
+    let transfers = balance::greedy_remove(
+        &mut dht.vs,
+        &mut dht.routing,
+        &mut dht.groups[slot as usize],
+        v,
+        &dht.cfg,
+        &mut dht.rng,
+    );
+    report.transfers.extend(transfers);
+    dht.vs.kill(v);
+    let saturated = dht.groups[slot as usize]
+        .members
+        .iter()
+        .all(|&m| dht.vs.get(m).count() == dht.cfg.pmax());
+    if saturated && !dht.groups[slot as usize].members.is_empty() {
+        let (merges, extra) = balance::merge_all(
+            &mut dht.vs,
+            &mut dht.routing,
+            &mut dht.groups[slot as usize],
+            &dht.cfg,
+            &mut dht.rng,
+        )
+        .expect("saturation only occurs above the region's closure floor (DESIGN.md §3)");
+        report.partition_merges += merges;
+        report.transfers.extend(extra);
+    }
+}
+
+/// Finds the live-group slot with identifier `gid`, if any.
+fn find_live_group<R: DomusRng>(dht: &LocalDht<R>, gid: GroupId) -> Option<u32> {
+    dht.groups
+        .iter()
+        .enumerate()
+        .find(|(_, g)| g.alive && g.gid == gid)
+        .map(|(i, _)| i as u32)
+}
+
+/// Picks the largest group (ties: smallest identifier value, then slot)
+/// that can legally lose a member — excluding `except`.
+fn find_donor_group<R: DomusRng>(dht: &LocalDht<R>, except: u32) -> Option<u32> {
+    let mut best: Option<(usize, u64, u32)> = None; // (len, gid value, slot)
+    for (i, g) in dht.groups.iter().enumerate() {
+        if !g.alive || i as u32 == except || g.len() as u64 <= dht.cfg.vmin {
+            continue;
+        }
+        let cand = (g.len(), g.gid.value(), i as u32);
+        best = match best {
+            None => Some(cand),
+            Some(b) if cand.0 > b.0 || (cand.0 == b.0 && cand.1 < b.1) => Some(cand),
+            keep => keep,
+        };
+    }
+    best.map(|(_, _, slot)| slot)
+}
+
+/// When every group sits at `Vmin`, the deepest leaf's sibling must itself
+/// be a live leaf (a deeper descendant would contradict depth maximality).
+fn deepest_sibling_pair<R: DomusRng>(dht: &LocalDht<R>) -> (u32, u32) {
+    let deepest = dht
+        .groups
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.alive)
+        .max_by_key(|(i, g)| (g.gid.len(), usize::MAX - i))
+        .map(|(i, _)| i as u32)
+        .expect("at least one live group");
+    let gid = dht.groups[deepest as usize].gid;
+    let sib = gid.sibling().expect("a deepest group below the root has a sibling");
+    let sib_slot = find_live_group(dht, sib)
+        .expect("the sibling of a deepest leaf is a leaf (prefix-freeness)");
+    (deepest, sib_slot)
+}
+
+/// Case 2/4: fuse two sibling groups back into their parent identifier.
+///
+/// Returns the merged group's slot. Levels are harmonised to the higher of
+/// the two (splitting the lower side's partitions), members are pooled, and
+/// counts are re-levelled to spread ≤ 1 — which the equal-quota law places
+/// inside `[Pmin, Pmax]`.
+fn merge_groups<R: DomusRng>(
+    dht: &mut LocalDht<R>,
+    a: u32,
+    b: u32,
+    report: &mut RemoveReport,
+) -> Result<u32, DhtError> {
+    let gid_a = dht.groups[a as usize].gid;
+    let gid_b = dht.groups[b as usize].gid;
+    debug_assert_eq!(gid_a.sibling(), Some(gid_b), "only trie siblings merge");
+    let parent_gid = gid_a.parent().expect("sibling implies a parent");
+
+    let target = dht.groups[a as usize].level.max(dht.groups[b as usize].level);
+    for slot in [a, b] {
+        while dht.groups[slot as usize].level < target {
+            balance::split_all(&mut dht.vs, &mut dht.routing, &mut dht.groups[slot as usize])?;
+        }
+    }
+
+    let merged_slot = dht.groups.len() as u32;
+    let birth = dht.groups[a as usize].birth_level.min(dht.groups[b as usize].birth_level);
+    let mut merged = crate::state::GroupState::new(parent_gid, target);
+    merged.birth_level = birth;
+    for slot in [a, b] {
+        let members = std::mem::take(&mut dht.groups[slot as usize].members);
+        dht.groups[slot as usize].alive = false;
+        dht.groups[slot as usize].sum = 0;
+        dht.groups[slot as usize].sumsq = 0;
+        for m in members {
+            dht.vs.get_mut(m).group = merged_slot;
+            let count = dht.vs.get(m).count();
+            merged.admit(m, count);
+        }
+    }
+    dht.groups.push(merged);
+    dht.live_groups -= 1; // two died, one was born
+    report.group_merge = Some((gid_a, gid_b, parent_gid));
+
+    // Harmonisation may have pushed the raised side past Pmax; re-level.
+    let extra = balance::rebalance_spread(
+        &mut dht.vs,
+        &mut dht.routing,
+        &mut dht.groups[merged_slot as usize],
+        &dht.cfg,
+        &mut dht.rng,
+    );
+    report.transfers.extend(extra);
+    Ok(merged_slot)
+}
+
+/// Case 3: migrate one vnode from `donor` into `dest` (remove + re-create
+/// under the same snode), recording the handle change.
+fn migrate_one<R: DomusRng>(
+    dht: &mut LocalDht<R>,
+    donor: u32,
+    dest: u32,
+    report: &mut RemoveReport,
+) -> Result<(), DhtError> {
+    let w = *dht.groups[donor as usize].members.last().expect("donor group is non-empty");
+    let snode = dht.vs.get(w).name.snode;
+    intra_group_remove(dht, donor, w, report);
+    let mut sub = CreateReport::default();
+    let w2 = dht.admit_into_group(snode, dest, &mut sub)?;
+    report.transfers.extend(sub.transfers);
+    report.migrated = Some((w, w2));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DhtConfig;
+    use crate::engine::DhtEngine;
+    use crate::ids::SnodeId;
+    use domus_hashspace::HashSpace;
+
+    fn cfg(pmin: u64, vmin: u64) -> DhtConfig {
+        DhtConfig::new(HashSpace::new(32), pmin, vmin).unwrap()
+    }
+
+    fn grow(c: DhtConfig, n: usize, seed: u64) -> LocalDht {
+        let mut dht = LocalDht::with_seed(c, seed);
+        for i in 0..n {
+            dht.create_vnode(SnodeId(i as u32)).unwrap();
+        }
+        dht
+    }
+
+    #[test]
+    fn grow_then_shrink_to_one() {
+        let mut dht = grow(cfg(4, 2), 40, 3);
+        while dht.vnode_count() > 1 {
+            let victims = dht.vnodes();
+            let v = victims[victims.len() / 2];
+            dht.remove_vnode(v).unwrap_or_else(|e| panic!("removing {v}: {e}"));
+            dht.check_invariants()
+                .unwrap_or_else(|e| panic!("V={} : {e}", dht.vnode_count()));
+        }
+        assert_eq!(dht.vnode_count(), 1);
+        assert_eq!(dht.group_count(), 1);
+        let survivor = dht.vnodes()[0];
+        assert_eq!(dht.quota_of(survivor).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn removal_reports_group_merge_when_forced() {
+        // Vmin = 2: groups split early; shrinking forces sibling merges.
+        let mut dht = grow(cfg(4, 2), 30, 5);
+        assert!(dht.group_count() >= 4);
+        let mut merges_seen = 0;
+        while dht.vnode_count() > 2 {
+            let v = dht.vnodes()[0];
+            let rep = dht.remove_vnode(v).unwrap();
+            if rep.group_merge.is_some() {
+                merges_seen += 1;
+            }
+        }
+        assert!(merges_seen > 0, "shrinking this far must merge groups");
+    }
+
+    #[test]
+    fn churn_preserves_invariants() {
+        let mut dht = LocalDht::with_seed(cfg(4, 2), 11);
+        let mut step = 0u32;
+        for round in 0..6 {
+            for i in 0..20u32 {
+                dht.create_vnode(SnodeId(i % 7)).unwrap();
+                step += 1;
+                dht.check_invariants().unwrap_or_else(|e| panic!("create step {step}: {e}"));
+            }
+            for _ in 0..15 {
+                let vnodes = dht.vnodes();
+                let v = vnodes[(step as usize * 13) % vnodes.len()];
+                dht.remove_vnode(v).unwrap();
+                step += 1;
+                dht.check_invariants().unwrap_or_else(|e| panic!("remove step {step}: {e}"));
+            }
+            let _ = round;
+        }
+        assert!(dht.vnode_count() >= 30);
+    }
+
+    #[test]
+    fn migration_is_reported_when_it_happens() {
+        // Drive a configuration into the migration path: many equal groups,
+        // then delete from one group repeatedly so its sibling disappears.
+        let mut dht = grow(cfg(4, 2), 64, 17);
+        let mut migrations = 0;
+        let mut merges = 0;
+        while dht.vnode_count() > 4 {
+            let v = *dht.vnodes().last().unwrap();
+            let rep = dht.remove_vnode(v).unwrap();
+            if rep.migrated.is_some() {
+                migrations += 1;
+            }
+            if rep.group_merge.is_some() {
+                merges += 1;
+            }
+        }
+        // Both mechanisms exist; at least merges must fire on a shrink this
+        // deep, and the combined machinery must keep the structure legal.
+        assert!(merges > 0);
+        let _ = migrations;
+        dht.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn partition_merges_reverse_split_cascades() {
+        let mut dht = grow(cfg(8, 1), 8, 23);
+        let mut merge_events = 0;
+        while dht.vnode_count() > 1 {
+            let v = dht.vnodes()[0];
+            let rep = dht.remove_vnode(v).unwrap();
+            merge_events += (rep.partition_merges > 0) as u32;
+        }
+        assert!(merge_events > 0, "shrinking to 1 vnode must merge partitions back");
+        // Survivor ends at the initial level with Pmin partitions.
+        let v = dht.vnodes()[0];
+        assert_eq!(dht.partitions_of(v).unwrap().len() as u64, 8);
+    }
+
+    #[test]
+    fn remove_unknown_and_last_errors() {
+        let mut dht = grow(cfg(4, 2), 1, 29);
+        let v = dht.vnodes()[0];
+        assert_eq!(dht.remove_vnode(v), Err(DhtError::LastVnode));
+        assert!(matches!(dht.remove_vnode(VnodeId(404)), Err(DhtError::UnknownVnode(_))));
+    }
+
+    #[test]
+    fn deterministic_shrink() {
+        let shrink = |seed| {
+            let mut dht = grow(cfg(4, 2), 50, seed);
+            for _ in 0..30 {
+                let v = dht.vnodes()[0];
+                dht.remove_vnode(v).unwrap();
+            }
+            dht.quotas()
+        };
+        assert_eq!(shrink(41), shrink(41));
+    }
+}

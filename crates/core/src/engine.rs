@@ -1,0 +1,126 @@
+//! The engine abstraction shared by the global and local approaches, plus
+//! the operation reports consumed by the simulator and the KV layer.
+
+use crate::config::DhtConfig;
+use crate::errors::DhtError;
+use crate::group_id::GroupId;
+use crate::ids::{CanonicalName, SnodeId, VnodeId};
+use crate::invariants::InvariantViolation;
+use crate::record::Pdr;
+use domus_hashspace::Partition;
+
+/// One partition changing hands during a rebalancement event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// The partition moved (at the region's splitlevel at transfer time).
+    pub partition: Partition,
+    /// Donor vnode.
+    pub from: VnodeId,
+    /// Receiving vnode.
+    pub to: VnodeId,
+}
+
+/// A group split performed during a creation (§3.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupSplit {
+    /// The full group that split.
+    pub parent: GroupId,
+    /// The 0-prefixed child.
+    pub child0: GroupId,
+    /// The 1-prefixed child.
+    pub child1: GroupId,
+}
+
+/// Everything that happened while creating one vnode.
+///
+/// The distribution-quality experiments ignore this; the simulator prices
+/// it (messages, makespan) and the KV layer replays `transfers` as data
+/// migration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CreateReport {
+    /// The group that received the vnode (root id for the global approach).
+    pub group: Option<GroupId>,
+    /// The random point `r ∈ R_h` drawn for victim selection (local only).
+    pub lookup_point: Option<u64>,
+    /// The victim vnode owning `r` (local only).
+    pub victim: Option<VnodeId>,
+    /// A group split, if the victim group was full.
+    pub group_split: Option<GroupSplit>,
+    /// Number of partitions binary-split by the split cascade (pre-split
+    /// count; 0 when no cascade ran).
+    pub partition_splits: u64,
+    /// The partition transfers of the greedy reassignment, in order.
+    pub transfers: Vec<Transfer>,
+    /// Member count of the container group after the creation.
+    pub group_size_after: usize,
+}
+
+/// Everything that happened while removing one vnode (deletion extension).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RemoveReport {
+    /// Group the vnode was removed from.
+    pub group: Option<GroupId>,
+    /// Partition transfers (redistribution + any merge co-location moves).
+    pub transfers: Vec<Transfer>,
+    /// Number of partition pairs binary-merged (0 when no merge cascade).
+    pub partition_merges: u64,
+    /// A group merge `(a, b) → parent`, if one was required.
+    pub group_merge: Option<(GroupId, GroupId, GroupId)>,
+    /// A vnode internally migrated between groups to make the removal
+    /// legal (old handle, new handle), if any.
+    pub migrated: Option<(VnodeId, VnodeId)>,
+}
+
+/// Common interface of [`crate::GlobalDht`] and [`crate::LocalDht`].
+///
+/// Downstream layers (simulator, KV store, experiments) are generic over
+/// this trait, so every experiment can run against either approach.
+pub trait DhtEngine {
+    /// The immutable configuration.
+    fn config(&self) -> &DhtConfig;
+
+    /// Number of live vnodes `V`.
+    fn vnode_count(&self) -> usize;
+
+    /// Number of live groups `G` (always 1 for the global approach).
+    fn group_count(&self) -> usize;
+
+    /// Creates a vnode hosted by `snode` and rebalances per the model.
+    fn create_vnode(&mut self, snode: SnodeId) -> Result<(VnodeId, CreateReport), DhtError>;
+
+    /// Removes a vnode and rebalances (deletion extension; see
+    /// `DESIGN.md` §2 item 7).
+    fn remove_vnode(&mut self, v: VnodeId) -> Result<RemoveReport, DhtError>;
+
+    /// The vnode responsible for `point`, with the containing partition.
+    fn lookup(&self, point: u64) -> Option<(Partition, VnodeId)>;
+
+    /// Live vnode handles in creation order.
+    fn vnodes(&self) -> Vec<VnodeId>;
+
+    /// Canonical name of a vnode.
+    fn name_of(&self, v: VnodeId) -> Result<CanonicalName, DhtError>;
+
+    /// Hosting snode of a vnode.
+    fn snode_of(&self, v: VnodeId) -> Result<SnodeId, DhtError>;
+
+    /// The partitions currently bound to a vnode.
+    fn partitions_of(&self, v: VnodeId) -> Result<&[Partition], DhtError>;
+
+    /// The quota `Qv` of one vnode (exact partition-count over size form).
+    fn quota_of(&self, v: VnodeId) -> Result<f64, DhtError>;
+
+    /// All vnode quotas, in creation order (Σ = 1).
+    fn quotas(&self) -> Vec<f64>;
+
+    /// The paper's quality metric `σ̄(Qv, Q̄v)` in percent (§2.3/§3.5).
+    fn vnode_quota_relstd_pct(&self) -> f64;
+
+    /// The partition-distribution record visible to a lookup of `v`'s
+    /// region: the GPDR for the global approach, the LPDR of `v`'s group
+    /// for the local approach.
+    fn pdr_of(&self, v: VnodeId) -> Result<Pdr, DhtError>;
+
+    /// Verifies every model invariant; `Ok` on a healthy structure.
+    fn check_invariants(&self) -> Result<(), InvariantViolation>;
+}

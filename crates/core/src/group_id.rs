@@ -1,0 +1,224 @@
+//! Group identifiers: the decentralized binary-prefix scheme of §3.7.1.
+//!
+//! "The first group is group 0₂; when the first group becomes full, it
+//! splits in groups 0₂ and 1₂. Afterward, each time a group splits, the
+//! resulting groups inherit its binary identifier, prefixed either by the
+//! binary digit 0 or 1. By following this scheme, only the snode that
+//! coordinates the splitting of a group needs to be involved in the
+//! definition of the identifiers for the resulting groups."
+//!
+//! An identifier is therefore a binary string; the set of identifiers of
+//! live groups is *prefix-free* (it is the leaf set of a binary trie), which
+//! is what guarantees global uniqueness with purely local decisions. A side
+//! effect the deletion extension exploits: a group's quota is exactly
+//! `2^-len(gid)` (each split halves the parent's quota — see
+//! `domus_core::local`), so trie *siblings always have equal quotas* and can
+//! be merged back losslessly.
+
+use serde::{Deserialize, Serialize};
+
+/// A group identifier: a binary string of up to 64 digits.
+///
+/// `bits` holds the digit string interpreted MSB-first (the figure-3
+/// convention: the split prepends a digit on the most-significant side), so
+/// the base-10 value shown in the paper's figure is just `bits` itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GroupId {
+    bits: u64,
+    len: u8,
+}
+
+impl GroupId {
+    /// The first group of a DHT: `0₂` (a single binary digit zero).
+    pub const FIRST: GroupId = GroupId { bits: 0, len: 1 };
+
+    /// The identifier with digit string `bits` (MSB-first) of length `len`.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`, `len > 64`, or `bits` has set bits beyond `len`.
+    pub fn new(bits: u64, len: u8) -> Self {
+        assert!((1..=64).contains(&len), "group id length must be 1..=64, got {len}");
+        if len < 64 {
+            assert!(bits < (1u64 << len), "bits {bits:#b} exceed length {len}");
+        }
+        Self { bits, len }
+    }
+
+    /// The digit string as an integer (the paper's base-10 reading).
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.bits
+    }
+
+    /// Number of binary digits — also the group's depth in the split trie,
+    /// minus the root convention: `FIRST` has length 1 and depth 0 splits.
+    #[inline]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// `true` only for the degenerate zero-length id (never constructed).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The two identifiers produced when this group splits: the inherited
+    /// string prefixed by `0` and by `1` (§3.7.1).
+    ///
+    /// # Panics
+    /// Panics if the identifier is already 64 digits long.
+    pub fn split(&self) -> (GroupId, GroupId) {
+        assert!(self.len < 64, "group id cannot grow beyond 64 digits");
+        let len = self.len + 1;
+        (
+            GroupId { bits: self.bits, len },                            // 0-prefixed
+            GroupId { bits: self.bits | 1 << (len - 1), len },           // 1-prefixed
+        )
+    }
+
+    /// The sibling identifier (same parent, other prefix digit), or `None`
+    /// for [`GroupId::FIRST`] (group 0 before any split has no sibling).
+    pub fn sibling(&self) -> Option<GroupId> {
+        if self.len <= 1 {
+            None
+        } else {
+            Some(GroupId { bits: self.bits ^ (1 << (self.len - 1)), len: self.len })
+        }
+    }
+
+    /// The parent identifier (drop the most significant digit), or `None`
+    /// for ids of length 1.
+    pub fn parent(&self) -> Option<GroupId> {
+        if self.len <= 1 {
+            None
+        } else {
+            let len = self.len - 1;
+            Some(GroupId { bits: self.bits & !(1 << (self.len - 1)), len })
+        }
+    }
+
+    /// `true` iff `self` is a strict prefix-ancestor of `other` in the trie
+    /// (i.e. `other`'s digit string ends with `self`'s — splits *prepend*).
+    pub fn is_ancestor_of(&self, other: &GroupId) -> bool {
+        if self.len >= other.len {
+            return false;
+        }
+        let mask = if self.len == 64 { u64::MAX } else { (1u64 << self.len) - 1 };
+        other.bits & mask == self.bits
+    }
+
+    /// The group's quota of the hash range: `2^-len` relative to the first
+    /// group's full range — see the module docs.
+    pub fn depth_quota_log2(&self) -> u32 {
+        (self.len - 1) as u32
+    }
+}
+
+impl std::fmt::Display for GroupId {
+    /// Renders like figure 3: binary digits then the base-10 value,
+    /// e.g. `010(2)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:0>width$b}({})", self.bits, self.bits, width = self.len as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn figure_3_sequence() {
+        // 0 → {0, 1} → {00, 10, 01, 11} → {000, 100, 010, 110, 001, 101, 011, 111}
+        let g0 = GroupId::FIRST;
+        assert_eq!(g0.to_string(), "0(0)");
+        let (a, b) = g0.split();
+        assert_eq!(a.to_string(), "00(0)");
+        assert_eq!(b.to_string(), "10(2)");
+        let (a0, a1) = a.split();
+        let (b0, b1) = b.split();
+        assert_eq!(a0.to_string(), "000(0)");
+        assert_eq!(a1.to_string(), "100(4)");
+        assert_eq!(b0.to_string(), "010(2)");
+        assert_eq!(b1.to_string(), "110(6)");
+        // The figure's base-10 values at depth 3: 0,4,2,6,1,5,3,7.
+        let (c0, c1) = g0.split().1.split().0.split();
+        let _ = (c0, c1);
+        let depth3: Vec<u64> = [a0, a1, b0, b1].iter().map(|g| g.value()).collect();
+        assert_eq!(depth3, vec![0, 4, 2, 6]);
+    }
+
+    #[test]
+    fn split_children_are_siblings_with_common_parent() {
+        let g = GroupId::new(0b10, 2);
+        let (c0, c1) = g.split();
+        assert_eq!(c0.sibling(), Some(c1));
+        assert_eq!(c1.sibling(), Some(c0));
+        assert_eq!(c0.parent(), Some(g));
+        assert_eq!(c1.parent(), Some(g));
+    }
+
+    #[test]
+    fn first_group_has_no_relatives() {
+        assert_eq!(GroupId::FIRST.sibling(), None);
+        assert_eq!(GroupId::FIRST.parent(), None);
+    }
+
+    #[test]
+    fn uniqueness_through_arbitrary_split_cascades() {
+        // Split every leaf repeatedly: all ids at all times must be unique
+        // and prefix-free.
+        let mut leaves = vec![GroupId::FIRST];
+        for round in 0..6 {
+            let mut next = Vec::new();
+            for (i, g) in leaves.iter().enumerate() {
+                if (i + round) % 2 == 0 {
+                    let (a, b) = g.split();
+                    next.push(a);
+                    next.push(b);
+                } else {
+                    next.push(*g);
+                }
+            }
+            leaves = next;
+            let set: HashSet<GroupId> = leaves.iter().copied().collect();
+            assert_eq!(set.len(), leaves.len(), "duplicate gid after round {round}");
+            for a in &leaves {
+                for b in &leaves {
+                    if a != b {
+                        assert!(!a.is_ancestor_of(b), "{a} is an ancestor of {b}: not prefix-free");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_relation() {
+        let g = GroupId::FIRST;
+        let (c0, c1) = g.split();
+        let (gc0, _) = c0.split();
+        assert!(g.is_ancestor_of(&c0));
+        assert!(g.is_ancestor_of(&gc0));
+        assert!(c0.is_ancestor_of(&gc0));
+        assert!(!c1.is_ancestor_of(&gc0));
+        assert!(!c0.is_ancestor_of(&c0), "not a strict ancestor of itself");
+        assert!(!gc0.is_ancestor_of(&c0));
+    }
+
+    #[test]
+    fn depth_quota_halves_per_split() {
+        let g = GroupId::FIRST;
+        assert_eq!(g.depth_quota_log2(), 0); // quota 1
+        let (a, _) = g.split();
+        assert_eq!(a.depth_quota_log2(), 1); // quota 1/2
+        let (aa, _) = a.split();
+        assert_eq!(aa.depth_quota_log2(), 2); // quota 1/4
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed length")]
+    fn overlong_bits_rejected() {
+        let _ = GroupId::new(0b100, 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! Identifiers for the model's entities (§2.1 of the paper).
+//!
+//! *snodes* are the active software entities hosted by cluster nodes;
+//! *vnodes* are the balancement units they manage. In the records (GPDR /
+//! LPDR) "vnodes are identified by their canonical name, which follows the
+//! generic format `snode_id.vnode_id`" (footnote 2) — where `vnode_id` is
+//! local to the snode. Internally the engines address vnodes by a dense
+//! arena handle ([`VnodeId`]) and keep the canonical name alongside.
+
+use serde::{Deserialize, Serialize};
+
+/// Handle of a software node (dense index into the cluster's snode arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SnodeId(pub u32);
+
+/// Handle of a virtual node (dense index into the DHT's vnode arena).
+///
+/// Handles are never reused: a deleted vnode's slot stays tombstoned, so a
+/// stale `VnodeId` can be detected instead of silently aliasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VnodeId(pub u32);
+
+impl SnodeId {
+    /// The arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl VnodeId {
+    /// The arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SnodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl std::fmt::Display for VnodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Canonical vnode name `snode_id.vnode_id` (paper, footnote 2): the snode
+/// handle plus the vnode's index *local to that snode*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CanonicalName {
+    /// Hosting snode.
+    pub snode: SnodeId,
+    /// Index of the vnode within its snode (0-based creation order).
+    pub local: u32,
+}
+
+impl std::fmt::Display for CanonicalName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.snode.0, self.local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SnodeId(3).to_string(), "s3");
+        assert_eq!(VnodeId(17).to_string(), "v17");
+        assert_eq!(CanonicalName { snode: SnodeId(2), local: 5 }.to_string(), "2.5");
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(VnodeId(1) < VnodeId(2));
+        assert!(SnodeId(0) < SnodeId(1));
+        let a = CanonicalName { snode: SnodeId(1), local: 9 };
+        let b = CanonicalName { snode: SnodeId(2), local: 0 };
+        assert!(a < b, "snode dominates the canonical-name order");
+    }
+}

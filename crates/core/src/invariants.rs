@@ -1,0 +1,381 @@
+//! The model's invariant checker.
+//!
+//! Verifies every invariant of §2.2 (G1–G5) and §3.3 (L1, L2, G1'–G5') of
+//! the paper, plus the structural consistency of the engine internals
+//! (routing ↔ partition lists ↔ accumulators ↔ group membership). Used by
+//! unit, integration and property tests, and — behind `debug_assertions` —
+//! after every mutating engine operation.
+//!
+//! The checks are deliberately exhaustive (O(V·P)); production callers
+//! sample them, tests run them after every step.
+
+use crate::config::DhtConfig;
+use crate::group_id::GroupId;
+use crate::ids::VnodeId;
+use crate::state::{GroupState, VnodeStore};
+use domus_hashspace::{OwnerMap, Quota};
+use domus_util::bits::is_power_of_two;
+
+/// A violated invariant, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// G1/G1': the partitions do not tile `R_h` (gap/overlap/size mismatch).
+    Coverage(String),
+    /// A vnode's partition is not routed to it, or vice versa.
+    RoutingMismatch {
+        /// The vnode involved.
+        vnode: VnodeId,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// G2': a region's total partition count is not a power of two.
+    TotalNotPowerOfTwo {
+        /// The group.
+        gid: GroupId,
+        /// The offending total.
+        total: u64,
+    },
+    /// G3': a member holds a partition not at the group's splitlevel.
+    WrongLevel {
+        /// The group.
+        gid: GroupId,
+        /// The vnode holding the partition.
+        vnode: VnodeId,
+        /// Expected splitlevel.
+        expected: u32,
+        /// Found splitlevel.
+        found: u32,
+    },
+    /// G4': a vnode's partition count is outside `[Pmin, Pmax]`.
+    CountOutOfBounds {
+        /// The vnode.
+        vnode: VnodeId,
+        /// Its count.
+        count: u64,
+        /// Allowed bounds.
+        bounds: (u64, u64),
+    },
+    /// G5': member count is a power of two but not every member holds Pmin.
+    PowerOfTwoNotUniform {
+        /// The group.
+        gid: GroupId,
+        /// Its member count.
+        members: usize,
+    },
+    /// L2: a group's member count is outside `[Vmin, Vmax]`.
+    GroupSizeOutOfBounds {
+        /// The group.
+        gid: GroupId,
+        /// Its member count.
+        members: usize,
+        /// Allowed bounds.
+        bounds: (u64, u64),
+    },
+    /// L1 (structural): a vnode is claimed by zero or multiple groups, or
+    /// its back-pointer disagrees.
+    MembershipMismatch {
+        /// The vnode.
+        vnode: VnodeId,
+        /// Detail.
+        detail: String,
+    },
+    /// Group identifiers are not prefix-free (uniqueness scheme broken).
+    GroupIdsNotPrefixFree {
+        /// A group whose id is an ancestor of another live id.
+        ancestor: GroupId,
+        /// The descendant id.
+        descendant: GroupId,
+    },
+    /// A group's quota differs from `2^-depth(gid)` (the split-in-halves
+    /// law the deletion extension relies on).
+    GroupQuotaDrift {
+        /// The group.
+        gid: GroupId,
+        /// Detail.
+        detail: String,
+    },
+    /// The `Σ Pv` / `Σ Pv²` accumulators disagree with recomputation.
+    AccumulatorDrift {
+        /// The group.
+        gid: GroupId,
+        /// Detail.
+        detail: String,
+    },
+    /// The vnode quotas do not sum exactly to 1.
+    QuotaSumNotOne {
+        /// The exact sum found, rendered.
+        found: String,
+    },
+    /// Derived theorem (see `balance` module docs): between operations,
+    /// partition counts within a region differ by at most one. Not a paper
+    /// invariant, but every algorithm in the model preserves it, and the
+    /// G5' argument depends on it.
+    SpreadTooWide {
+        /// The group.
+        gid: GroupId,
+        /// Smallest and largest member counts found.
+        min_max: (u64, u64),
+    },
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Coverage(d) => write!(f, "G1 coverage violated: {d}"),
+            Self::RoutingMismatch { vnode, detail } => {
+                write!(f, "routing mismatch at {vnode}: {detail}")
+            }
+            Self::TotalNotPowerOfTwo { gid, total } => {
+                write!(f, "G2' violated in {gid}: P_g = {total} is not a power of two")
+            }
+            Self::WrongLevel { gid, vnode, expected, found } => write!(
+                f,
+                "G3' violated in {gid}: {vnode} holds a level-{found} partition, expected {expected}"
+            ),
+            Self::CountOutOfBounds { vnode, count, bounds } => write!(
+                f,
+                "G4' violated: {vnode} holds {count} partitions, outside [{}, {}]",
+                bounds.0, bounds.1
+            ),
+            Self::PowerOfTwoNotUniform { gid, members } => write!(
+                f,
+                "G5' violated in {gid}: {members} members (a power of two) but counts not all Pmin"
+            ),
+            Self::GroupSizeOutOfBounds { gid, members, bounds } => write!(
+                f,
+                "L2 violated: {gid} has {members} members, outside [{}, {}]",
+                bounds.0, bounds.1
+            ),
+            Self::MembershipMismatch { vnode, detail } => {
+                write!(f, "L1 violated at {vnode}: {detail}")
+            }
+            Self::GroupIdsNotPrefixFree { ancestor, descendant } => {
+                write!(f, "group ids not prefix-free: {ancestor} is an ancestor of {descendant}")
+            }
+            Self::GroupQuotaDrift { gid, detail } => {
+                write!(f, "group quota law violated in {gid}: {detail}")
+            }
+            Self::AccumulatorDrift { gid, detail } => {
+                write!(f, "accumulator drift in {gid}: {detail}")
+            }
+            Self::QuotaSumNotOne { found } => write!(f, "vnode quotas sum to {found}, not 1"),
+            Self::SpreadTooWide { gid, min_max } => write!(
+                f,
+                "count spread in {gid} exceeds 1: min {} max {}",
+                min_max.0, min_max.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Runs the full invariant suite over engine internals.
+///
+/// `groups` is the group arena (dead slots included — they are skipped);
+/// `single_region` relaxes L2 and the quota law for the global approach
+/// (whose one region is not a paper "group").
+pub fn check(
+    cfg: &DhtConfig,
+    vs: &VnodeStore,
+    groups: &[GroupState],
+    routing: &OwnerMap<VnodeId>,
+    single_region: bool,
+) -> Result<(), InvariantViolation> {
+    let live: Vec<&GroupState> = groups.iter().filter(|g| g.alive).collect();
+
+    // An empty DHT (no vnodes ever created) is trivially healthy; the
+    // coverage invariant only binds once R_h has an owner.
+    if vs.alive_count() == 0 {
+        return if routing.is_empty() {
+            Ok(())
+        } else {
+            Err(InvariantViolation::Coverage("routing entries without live vnodes".into()))
+        };
+    }
+
+    // --- G1/G1': exact tiling of R_h.
+    routing.verify_coverage().map_err(|e| InvariantViolation::Coverage(e.to_string()))?;
+
+    // --- Routing ↔ partition-list agreement, in both directions.
+    let mut total_listed = 0usize;
+    for v in vs.iter_alive() {
+        for &p in &vs.get(v).partitions {
+            total_listed += 1;
+            match routing.owner_of(p) {
+                Some(&owner) if owner == v => {}
+                other => {
+                    return Err(InvariantViolation::RoutingMismatch {
+                        vnode: v,
+                        detail: format!("partition {p} routed to {other:?}"),
+                    });
+                }
+            }
+        }
+    }
+    if total_listed != routing.len() {
+        return Err(InvariantViolation::RoutingMismatch {
+            vnode: VnodeId(u32::MAX),
+            detail: format!("{} partitions listed, {} routed", total_listed, routing.len()),
+        });
+    }
+
+    // --- L1 structural: each live vnode in exactly one live group, with a
+    //     consistent back-pointer.
+    let mut seen = vec![0u32; vs.capacity()];
+    for (slot, g) in groups.iter().enumerate() {
+        if !g.alive {
+            continue;
+        }
+        for &m in &g.members {
+            if !vs.is_alive(m) {
+                return Err(InvariantViolation::MembershipMismatch {
+                    vnode: m,
+                    detail: format!("dead vnode listed in {}", g.gid),
+                });
+            }
+            seen[m.index()] += 1;
+            if vs.get(m).group != slot as u32 {
+                return Err(InvariantViolation::MembershipMismatch {
+                    vnode: m,
+                    detail: format!(
+                        "back-pointer {} but listed in slot {slot}",
+                        vs.get(m).group
+                    ),
+                });
+            }
+        }
+    }
+    for v in vs.iter_alive() {
+        if seen[v.index()] != 1 {
+            return Err(InvariantViolation::MembershipMismatch {
+                vnode: v,
+                detail: format!("member of {} groups", seen[v.index()]),
+            });
+        }
+    }
+
+    // --- Per-group invariants.
+    for g in &live {
+        // G3': every partition at the group's level.
+        for &m in &g.members {
+            for &p in &vs.get(m).partitions {
+                if p.level() != g.level {
+                    return Err(InvariantViolation::WrongLevel {
+                        gid: g.gid,
+                        vnode: m,
+                        expected: g.level,
+                        found: p.level(),
+                    });
+                }
+            }
+        }
+        // G4': counts within [Pmin, Pmax] (trivially relaxed for a
+        // single-vnode DHT, where V = 1 forces Pv = Pmin anyway).
+        for &m in &g.members {
+            let c = vs.get(m).count();
+            if c < cfg.pmin || c > cfg.pmax() {
+                return Err(InvariantViolation::CountOutOfBounds {
+                    vnode: m,
+                    count: c,
+                    bounds: (cfg.pmin, cfg.pmax()),
+                });
+            }
+        }
+        // G2': P_g a power of two.
+        let total: u64 = g.members.iter().map(|&m| vs.get(m).count()).sum();
+        if !is_power_of_two(total) {
+            return Err(InvariantViolation::TotalNotPowerOfTwo { gid: g.gid, total });
+        }
+        // G5': power-of-two member count ⇒ all counts = Pmin.
+        if is_power_of_two(g.members.len() as u64)
+            && g.members.iter().any(|&m| vs.get(m).count() != cfg.pmin)
+        {
+            return Err(InvariantViolation::PowerOfTwoNotUniform {
+                gid: g.gid,
+                members: g.members.len(),
+            });
+        }
+        // Spread theorem: counts within the region differ by at most 1.
+        let min = g.members.iter().map(|&m| vs.get(m).count()).min().unwrap_or(0);
+        let max = g.members.iter().map(|&m| vs.get(m).count()).max().unwrap_or(0);
+        if max - min > 1 {
+            return Err(InvariantViolation::SpreadTooWide { gid: g.gid, min_max: (min, max) });
+        }
+        // Accumulators.
+        let sum: u64 = total;
+        let sumsq: u64 = g.members.iter().map(|&m| vs.get(m).count().pow(2)).sum();
+        if g.sum != sum || g.sumsq != sumsq {
+            return Err(InvariantViolation::AccumulatorDrift {
+                gid: g.gid,
+                detail: format!(
+                    "stored (Σ={}, Σ²={}) recomputed (Σ={sum}, Σ²={sumsq})",
+                    g.sum, g.sumsq
+                ),
+            });
+        }
+        // L2 and the quota law are local-approach specific.
+        if !single_region {
+            let (vmin, vmax) = (cfg.vmin, cfg.vmax());
+            let n = g.members.len() as u64;
+            let exempt_first_group = live.len() == 1 && g.gid == GroupId::FIRST;
+            if exempt_first_group {
+                // §3.7: "1 ≤ V0 ≤ Vmax … the sole exception to invariant L2".
+                if n == 0 || n > vmax {
+                    return Err(InvariantViolation::GroupSizeOutOfBounds {
+                        gid: g.gid,
+                        members: g.members.len(),
+                        bounds: (1, vmax),
+                    });
+                }
+            } else if n < vmin || n > vmax {
+                return Err(InvariantViolation::GroupSizeOutOfBounds {
+                    gid: g.gid,
+                    members: g.members.len(),
+                    bounds: (vmin, vmax),
+                });
+            }
+            // Quota law: Q_g = 2^-(len(gid)-1), i.e. P_g · 2^depth = 2^level.
+            let depth = g.gid.depth_quota_log2();
+            let lhs = (total as u128) << depth;
+            if g.level > 127 || lhs != (1u128 << g.level) {
+                return Err(InvariantViolation::GroupQuotaDrift {
+                    gid: g.gid,
+                    detail: format!(
+                        "P_g = {total}, depth = {depth}, level = {} (expected P_g·2^depth = 2^level)",
+                        g.level
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- Prefix-freeness of live group ids.
+    if !single_region {
+        for a in &live {
+            for b in &live {
+                if a.gid != b.gid && a.gid.is_ancestor_of(&b.gid) {
+                    return Err(InvariantViolation::GroupIdsNotPrefixFree {
+                        ancestor: a.gid,
+                        descendant: b.gid,
+                    });
+                }
+            }
+        }
+    }
+
+    // --- Exact quota sum: Σ_v Qv = 1.
+    if vs.alive_count() > 0 {
+        let mut sum = Quota::ZERO;
+        for g in &live {
+            // Members' quotas: count / 2^level each.
+            let counts: u64 = g.members.iter().map(|&m| vs.get(m).count()).sum();
+            sum = sum + Quota::of_partitions(counts, g.level);
+        }
+        if !sum.is_one() {
+            return Err(InvariantViolation::QuotaSumNotOne { found: sum.to_string() });
+        }
+    }
+
+    Ok(())
+}

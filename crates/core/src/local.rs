@@ -1,0 +1,524 @@
+//! The **local approach** (§3 of the paper — its primary contribution).
+//!
+//! The vnode set is fully divided into *groups* (invariant L1) whose sizes
+//! are bounded by `Vmin ≤ V_g ≤ Vmax = 2·Vmin` (L2). Each group balances
+//! independently with the same greedy algorithm as the global approach,
+//! over its own LPDR; balancement events in different groups may run
+//! simultaneously (the simulator in `domus-sim` prices exactly that).
+//!
+//! Creation of a vnode (§3.6): draw a random point `r ∈ R_h`, look up the
+//! vnode owning the partition containing `r` (the *victim vnode*), and use
+//! its group (the *victim group*) as the container. A full victim group
+//! (`V_g = Vmax`) first splits into two groups of `Vmin` randomly-selected
+//! members (§3.7); the split assigns identifiers by the binary-prefix
+//! scheme of §3.7.1 and one of the two halves is chosen at random as the
+//! container.
+//!
+//! A law this implementation leans on (checked by the invariant suite): a
+//! group's quota of `R_h` is exactly `2^-depth(gid)`. It holds because a
+//! full group is perfectly balanced internally (G5' at `Vmax`, a power of
+//! two), so splitting its membership in equal halves also splits its quota
+//! in equal halves, and nothing else ever moves quota across group borders.
+
+use crate::balance;
+use crate::config::{ContainerChoice, DhtConfig};
+use crate::engine::{CreateReport, DhtEngine, GroupSplit, RemoveReport};
+use crate::errors::DhtError;
+use crate::group_id::GroupId;
+use crate::ids::{CanonicalName, SnodeId, VnodeId};
+use crate::invariants::{self, InvariantViolation};
+use crate::record::{Pdr, PdrEntry};
+use crate::state::{GroupState, VnodeStore};
+use domus_hashspace::{OwnerMap, Partition};
+use domus_util::{DomusRng, Xoshiro256pp};
+
+/// A DHT balanced with the local approach.
+///
+/// ```
+/// use domus_core::{DhtConfig, LocalDht, DhtEngine, SnodeId};
+/// use domus_hashspace::HashSpace;
+///
+/// // Pmin = Vmin = 4 on a 32-bit space.
+/// let cfg = DhtConfig::new(HashSpace::new(32), 4, 4).unwrap();
+/// let mut dht = LocalDht::with_seed(cfg, 7);
+/// for s in 0..32 {
+///     dht.create_vnode(SnodeId(s)).unwrap();
+/// }
+/// assert!(dht.group_count() >= 2, "32 vnodes exceed one group's Vmax = 8");
+/// assert!(dht.vnode_quota_relstd_pct() < 50.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocalDht<R: DomusRng = Xoshiro256pp> {
+    pub(crate) cfg: DhtConfig,
+    pub(crate) vs: VnodeStore,
+    pub(crate) groups: Vec<GroupState>,
+    pub(crate) routing: OwnerMap<VnodeId>,
+    pub(crate) rng: R,
+    pub(crate) live_groups: usize,
+}
+
+/// The ideal number of groups for `v` vnodes (figure 7's `G_ideal`):
+/// doubles every time `V` crosses a power-of-two multiple of `Vmax` —
+/// `2^⌈log2(V/Vmax)⌉`, and 1 while a single group suffices.
+pub fn ideal_group_count(v: u64, vmax: u64) -> u64 {
+    if v <= vmax {
+        1
+    } else {
+        let groups = v.div_ceil(vmax);
+        domus_util::bits::next_power_of_two(groups)
+    }
+}
+
+impl LocalDht<Xoshiro256pp> {
+    /// A DHT seeded from a single `u64` (deterministic).
+    pub fn with_seed(cfg: DhtConfig, seed: u64) -> Self {
+        Self::with_rng(cfg, Xoshiro256pp::seed_from_u64(seed))
+    }
+}
+
+impl<R: DomusRng> LocalDht<R> {
+    /// A DHT using the supplied RNG stream.
+    pub fn with_rng(cfg: DhtConfig, rng: R) -> Self {
+        let space = cfg.hash_space();
+        Self { cfg, vs: VnodeStore::new(), groups: Vec::new(), routing: OwnerMap::new(space), rng, live_groups: 0 }
+    }
+
+    /// Live groups as `(identifier, member count, splitlevel)` in slot
+    /// order.
+    pub fn group_table(&self) -> Vec<(GroupId, usize, u32)> {
+        self.groups.iter().filter(|g| g.alive).map(|g| (g.gid, g.len(), g.level)).collect()
+    }
+
+    /// The LPDR (§3.2) of the group identified by `gid`.
+    pub fn lpdr(&self, gid: GroupId) -> Option<Pdr> {
+        let g = self.groups.iter().find(|g| g.alive && g.gid == gid)?;
+        Some(Pdr::new(
+            g.members
+                .iter()
+                .map(|&m| PdrEntry { vnode: self.vs.get(m).name, partitions: self.vs.get(m).count() })
+                .collect(),
+        ))
+    }
+
+    /// The group a vnode currently belongs to.
+    pub fn group_of(&self, v: VnodeId) -> Result<GroupId, DhtError> {
+        if !self.vs.is_alive(v) {
+            return Err(DhtError::UnknownVnode(v));
+        }
+        Ok(self.groups[self.vs.get(v).group as usize].gid)
+    }
+
+    /// `σ̄(Qg, Q̄g)` in percent — figure 8's quality of balancement *between
+    /// groups*, measured against the ideal average quota `Q̄g = 1/G`.
+    pub fn group_quota_relstd_pct(&self) -> f64 {
+        let g = self.live_groups as f64;
+        if g == 0.0 {
+            return 0.0;
+        }
+        let ideal = 1.0 / g;
+        let sum_sq_dev: f64 = self
+            .groups
+            .iter()
+            .filter(|gr| gr.alive)
+            .map(|gr| {
+                let d = gr.quota_f64() - ideal;
+                d * d
+            })
+            .sum();
+        // σ̄ = σ/Q̄g = G·sqrt(Σd²/G) = sqrt(G·Σd²).
+        100.0 * (g * sum_sq_dev).sqrt()
+    }
+
+    /// Quotas of the live groups, in slot order (Σ = 1).
+    pub fn group_quotas(&self) -> Vec<f64> {
+        self.groups.iter().filter(|g| g.alive).map(|g| g.quota_f64()).collect()
+    }
+
+    /// Splits the full group in `slot` into two `Vmin`-member halves with
+    /// identifiers inherited per §3.7.1. Returns the two child slots.
+    fn split_group(&mut self, slot: u32) -> (u32, u32) {
+        let parent = &mut self.groups[slot as usize];
+        debug_assert_eq!(parent.len() as u64, self.cfg.vmax(), "only full groups split");
+        parent.alive = false;
+        let level = parent.level;
+        let (gid0, gid1) = parent.gid.split();
+        let mut members = std::mem::take(&mut parent.members);
+        parent.sum = 0;
+        parent.sumsq = 0;
+
+        // "two groups, each one with Vmin vnodes, randomly selected from the
+        // original victim group" (§3.7) — or admission-order halves under
+        // the ABL-SPLITSEL ablation policy.
+        if self.cfg.split_selection == crate::config::SplitSelection::RandomHalves {
+            self.rng.shuffle(&mut members);
+        }
+        let half = self.cfg.vmin as usize;
+
+        let slot0 = self.groups.len() as u32;
+        let slot1 = slot0 + 1;
+        let mut child0 = GroupState::new(gid0, level);
+        let mut child1 = GroupState::new(gid1, level);
+        for (i, &m) in members.iter().enumerate() {
+            let count = self.vs.get(m).count();
+            if i < half {
+                self.vs.get_mut(m).group = slot0;
+                child0.admit(m, count);
+            } else {
+                self.vs.get_mut(m).group = slot1;
+                child1.admit(m, count);
+            }
+        }
+        self.groups.push(child0);
+        self.groups.push(child1);
+        self.live_groups += 1; // one died, two were born
+        (slot0, slot1)
+    }
+
+    pub(crate) fn ensure_alive(&self, v: VnodeId) -> Result<(), DhtError> {
+        if self.vs.is_alive(v) {
+            Ok(())
+        } else {
+            Err(DhtError::UnknownVnode(v))
+        }
+    }
+
+    /// Admits a brand-new vnode into group `slot` and runs the paper's
+    /// balancement (split cascade + greedy handover). Shared by creation
+    /// and by the deletion extension's internal migration.
+    pub(crate) fn admit_into_group(
+        &mut self,
+        snode: SnodeId,
+        slot: u32,
+        report: &mut CreateReport,
+    ) -> Result<VnodeId, DhtError> {
+        if balance::all_at_pmin(&self.vs, &self.groups[slot as usize], &self.cfg) {
+            report.partition_splits =
+                balance::split_all(&mut self.vs, &mut self.routing, &mut self.groups[slot as usize])?;
+        }
+        let v = self.vs.create(snode, slot);
+        self.groups[slot as usize].admit(v, 0);
+        report.transfers.extend(balance::greedy_add(
+            &mut self.vs,
+            &mut self.routing,
+            &mut self.groups[slot as usize],
+            v,
+            &self.cfg,
+            &mut self.rng,
+        ));
+        report.group = Some(self.groups[slot as usize].gid);
+        report.group_size_after = self.groups[slot as usize].len();
+        Ok(v)
+    }
+
+    #[cfg(debug_assertions)]
+    pub(crate) fn debug_check(&self) {
+        if let Err(e) = self.check_invariants() {
+            panic!("invariant violated after LocalDht operation: {e}");
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    pub(crate) fn debug_check(&self) {}
+}
+
+impl<R: DomusRng> DhtEngine for LocalDht<R> {
+    fn config(&self) -> &DhtConfig {
+        &self.cfg
+    }
+
+    fn vnode_count(&self) -> usize {
+        self.vs.alive_count()
+    }
+
+    fn group_count(&self) -> usize {
+        self.live_groups
+    }
+
+    fn create_vnode(&mut self, snode: SnodeId) -> Result<(VnodeId, CreateReport), DhtError> {
+        let mut report = CreateReport::default();
+
+        // First vnode: create group 0 and seed it (§3.7 case a).
+        if self.vs.alive_count() == 0 {
+            let slot = self.groups.len() as u32;
+            self.groups.push(GroupState::new(GroupId::FIRST, self.cfg.initial_level()));
+            self.live_groups += 1;
+            let v = self.vs.create(snode, slot);
+            balance::seed_first(
+                &mut self.vs,
+                &mut self.routing,
+                &mut self.groups[slot as usize],
+                v,
+                &self.cfg,
+            );
+            report.group = Some(GroupId::FIRST);
+            report.group_size_after = 1;
+            self.debug_check();
+            return Ok((v, report));
+        }
+
+        // §3.6: random point → victim vnode → victim group.
+        let r = self.cfg.hash_space().random_point(&mut self.rng);
+        let (_, &victim) = self.routing.lookup(r).expect("R_h is fully covered");
+        let victim_slot = self.vs.get(victim).group;
+        report.lookup_point = Some(r);
+        report.victim = Some(victim);
+
+        // §3.7 case b: a full victim group splits before admitting.
+        let container_slot = if self.groups[victim_slot as usize].len() as u64 == self.cfg.vmax() {
+            let parent_gid = self.groups[victim_slot as usize].gid;
+            let (slot0, slot1) = self.split_group(victim_slot);
+            report.group_split = Some(GroupSplit {
+                parent: parent_gid,
+                child0: self.groups[slot0 as usize].gid,
+                child1: self.groups[slot1 as usize].gid,
+            });
+            match self.cfg.container_choice {
+                // "One of these two groups will then be randomly chosen to
+                // be the container of the new vnode."
+                ContainerChoice::RandomHalf => {
+                    if self.rng.coin() {
+                        slot1
+                    } else {
+                        slot0
+                    }
+                }
+                // Ablation: the half that kept the victim vnode.
+                ContainerChoice::OwningHalf => self.vs.get(victim).group,
+            }
+        } else {
+            victim_slot
+        };
+
+        let v = self.admit_into_group(snode, container_slot, &mut report)?;
+        self.debug_check();
+        Ok((v, report))
+    }
+
+    fn remove_vnode(&mut self, v: VnodeId) -> Result<RemoveReport, DhtError> {
+        crate::deletion::remove_local(self, v)
+    }
+
+    fn lookup(&self, point: u64) -> Option<(Partition, VnodeId)> {
+        self.routing.lookup(point).map(|(p, &v)| (p, v))
+    }
+
+    fn vnodes(&self) -> Vec<VnodeId> {
+        self.vs.iter_alive().collect()
+    }
+
+    fn name_of(&self, v: VnodeId) -> Result<CanonicalName, DhtError> {
+        self.ensure_alive(v)?;
+        Ok(self.vs.get(v).name)
+    }
+
+    fn snode_of(&self, v: VnodeId) -> Result<SnodeId, DhtError> {
+        self.ensure_alive(v)?;
+        Ok(self.vs.get(v).name.snode)
+    }
+
+    fn partitions_of(&self, v: VnodeId) -> Result<&[Partition], DhtError> {
+        self.ensure_alive(v)?;
+        Ok(&self.vs.get(v).partitions)
+    }
+
+    fn quota_of(&self, v: VnodeId) -> Result<f64, DhtError> {
+        self.ensure_alive(v)?;
+        let level = self.groups[self.vs.get(v).group as usize].level;
+        Ok(self.vs.get(v).count() as f64 / (level as f64).exp2())
+    }
+
+    fn quotas(&self) -> Vec<f64> {
+        self.vs
+            .iter_alive()
+            .map(|v| {
+                let level = self.groups[self.vs.get(v).group as usize].level;
+                self.vs.get(v).count() as f64 / (level as f64).exp2()
+            })
+            .collect()
+    }
+
+    fn vnode_quota_relstd_pct(&self) -> f64 {
+        let v = self.vs.alive_count() as f64;
+        if v == 0.0 {
+            return 0.0;
+        }
+        let sum_sq_q: f64 = self.groups.iter().filter(|g| g.alive).map(GroupState::sumsq_quota_f64).sum();
+        100.0 * (v * sum_sq_q - 1.0).max(0.0).sqrt()
+    }
+
+    fn pdr_of(&self, v: VnodeId) -> Result<Pdr, DhtError> {
+        self.ensure_alive(v)?;
+        let gid = self.groups[self.vs.get(v).group as usize].gid;
+        Ok(self.lpdr(gid).expect("vnode's group is alive"))
+    }
+
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        invariants::check(&self.cfg, &self.vs, &self.groups, &self.routing, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domus_hashspace::HashSpace;
+    use domus_metrics::rel_std_dev_pct;
+
+    fn cfg(pmin: u64, vmin: u64) -> DhtConfig {
+        DhtConfig::new(HashSpace::new(32), pmin, vmin).unwrap()
+    }
+
+    fn grow(c: DhtConfig, n: usize, seed: u64) -> LocalDht {
+        let mut dht = LocalDht::with_seed(c, seed);
+        for i in 0..n {
+            dht.create_vnode(SnodeId(i as u32)).unwrap();
+        }
+        dht
+    }
+
+    #[test]
+    fn single_group_until_vmax() {
+        let mut dht = LocalDht::with_seed(cfg(4, 4), 1);
+        for i in 0..8u32 {
+            dht.create_vnode(SnodeId(i)).unwrap();
+            assert_eq!(dht.group_count(), 1, "one group while V ≤ Vmax");
+        }
+        // The 9th vnode forces the first split (victim group full).
+        let (_, report) = dht.create_vnode(SnodeId(8)).unwrap();
+        assert_eq!(dht.group_count(), 2);
+        let split = report.group_split.expect("split must be reported");
+        assert_eq!(split.parent, GroupId::FIRST);
+    }
+
+    #[test]
+    fn group_sizes_respect_l2() {
+        let dht = grow(cfg(4, 4), 100, 3);
+        for (gid, size, _) in dht.group_table() {
+            assert!((4..=8).contains(&size), "{gid} has {size} members");
+        }
+    }
+
+    #[test]
+    fn group_quota_law() {
+        // Q_g = 2^-depth — the invariant checker verifies it, but assert
+        // the observable too.
+        let dht = grow(cfg(4, 4), 64, 5);
+        for (i, (gid, _, _)) in dht.group_table().iter().enumerate() {
+            let q = dht.group_quotas()[i];
+            let expected = 0.5f64.powi(gid.depth_quota_log2() as i32);
+            assert!((q - expected).abs() < 1e-12, "{gid}: quota {q} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn invariants_hold_through_growth() {
+        let mut dht = LocalDht::with_seed(cfg(4, 2), 7);
+        for i in 0..120u32 {
+            dht.create_vnode(SnodeId(i)).unwrap();
+            dht.check_invariants().unwrap_or_else(|e| panic!("after vnode {i}: {e}"));
+        }
+        assert!(dht.group_count() > 1);
+    }
+
+    #[test]
+    fn incremental_metric_matches_direct() {
+        let dht = grow(cfg(8, 4), 75, 11);
+        let direct = rel_std_dev_pct(dht.quotas());
+        let inc = dht.vnode_quota_relstd_pct();
+        assert!((direct - inc).abs() < 1e-9, "direct {direct} incremental {inc}");
+    }
+
+    #[test]
+    fn lookup_routes_every_point() {
+        let dht = grow(cfg(4, 4), 30, 13);
+        let space = dht.config().hash_space();
+        for point in (0..space.max_point()).step_by((space.size() / 128) as usize) {
+            let (p, v) = dht.lookup(point).expect("full coverage");
+            assert!(p.contains(point, space));
+            assert!(dht.partitions_of(v).unwrap().contains(&p));
+        }
+    }
+
+    #[test]
+    fn lpdr_covers_only_the_group() {
+        let dht = grow(cfg(4, 4), 40, 17);
+        for (gid, size, level) in dht.group_table() {
+            let lpdr = dht.lpdr(gid).unwrap();
+            assert_eq!(lpdr.len(), size);
+            // G2': the group's partition total is a power of two, and it
+            // matches quota·2^level.
+            let total = lpdr.total_partitions();
+            assert!(total.is_power_of_two());
+            let _ = level;
+        }
+    }
+
+    #[test]
+    fn vmin_512_behaves_like_global_until_huge() {
+        // With Vmin = 512 and 100 vnodes there is exactly one group, so the
+        // quality must match the global approach step for step (§4.2).
+        use crate::global::GlobalDht;
+        let c_local = cfg(32, 512);
+        let c_global = cfg(32, 1);
+        let mut local = LocalDht::with_seed(c_local, 23);
+        let mut global = GlobalDht::with_seed(c_global, 23);
+        for i in 0..100u32 {
+            local.create_vnode(SnodeId(i)).unwrap();
+            global.create_vnode(SnodeId(i)).unwrap();
+            let a = local.vnode_quota_relstd_pct();
+            let b = global.vnode_quota_relstd_pct();
+            assert!((a - b).abs() < 1e-9, "V={}: local {a} vs global {b}", i + 1);
+        }
+        assert_eq!(local.group_count(), 1);
+    }
+
+    #[test]
+    fn ideal_group_count_doubles_at_power_boundaries() {
+        let vmax = 64;
+        assert_eq!(ideal_group_count(1, vmax), 1);
+        assert_eq!(ideal_group_count(64, vmax), 1);
+        assert_eq!(ideal_group_count(65, vmax), 2);
+        assert_eq!(ideal_group_count(128, vmax), 2);
+        assert_eq!(ideal_group_count(129, vmax), 4);
+        assert_eq!(ideal_group_count(1024, vmax), 16);
+        assert_eq!(ideal_group_count(1025, vmax), 32);
+    }
+
+    #[test]
+    fn report_carries_victim_and_point() {
+        let mut dht = grow(cfg(4, 4), 5, 29);
+        let (_, report) = dht.create_vnode(SnodeId(99)).unwrap();
+        let r = report.lookup_point.expect("victim point drawn");
+        let victim = report.victim.expect("victim vnode identified");
+        // The victim owned the point at selection time; it may have handed
+        // that very partition over since, but it must still exist.
+        assert!(dht.config().hash_space().contains(r));
+        assert!(dht.vnodes().contains(&victim) || !dht.vnodes().is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = grow(cfg(4, 4), 60, 77);
+        let b = grow(cfg(4, 4), 60, 77);
+        assert_eq!(a.quotas(), b.quotas());
+        assert_eq!(
+            a.group_table().iter().map(|t| t.0).collect::<Vec<_>>(),
+            b.group_table().iter().map(|t| t.0).collect::<Vec<_>>()
+        );
+        let c = grow(cfg(4, 4), 60, 78);
+        // A different seed virtually surely yields a different trajectory.
+        assert_ne!(a.group_quotas(), c.group_quotas());
+    }
+
+    #[test]
+    fn owning_half_policy_keeps_victims_group() {
+        let c = cfg(4, 2).with_container_choice(ContainerChoice::OwningHalf);
+        let mut dht = LocalDht::with_seed(c, 31);
+        for i in 0..50u32 {
+            dht.create_vnode(SnodeId(i)).unwrap();
+        }
+        dht.check_invariants().unwrap();
+        // Behavioural check happens in the ablation experiment; here we
+        // assert the policy runs and preserves the invariants.
+        assert!(dht.group_count() > 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Partition Distribution Records: the GPDR (§2.1.4) and LPDR (§3.2).
+//!
+//! "The GPDR is a table that registers the number of partitions per each
+//! vnode of the DHT"; an LPDR "may be viewed as a downsized version of the
+//! GPDR, having its same basic structure". [`Pdr`] is that table — a
+//! snapshot of `(canonical name, partition count)` rows. The engines keep
+//! richer internal state; `Pdr` is the *protocol-visible* record: it is
+//! what the simulator prices when it synchronises records across snodes
+//! (SIM-MSGS, SIM-MEM) and what the paper's algorithm sorts in step 3.
+
+use crate::ids::CanonicalName;
+use serde::{Deserialize, Serialize};
+
+/// One row of a PDR: a vnode and its partition count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PdrEntry {
+    /// The vnode's canonical name (`snode_id.vnode_id`).
+    pub vnode: CanonicalName,
+    /// Its partition count `Pv`.
+    pub partitions: u64,
+}
+
+/// A Partition Distribution Record (global or local).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Pdr {
+    entries: Vec<PdrEntry>,
+}
+
+impl Pdr {
+    /// Builds a record from rows.
+    pub fn new(entries: Vec<PdrEntry>) -> Self {
+        Self { entries }
+    }
+
+    /// The rows, in the engine's member order.
+    pub fn entries(&self) -> &[PdrEntry] {
+        &self.entries
+    }
+
+    /// Number of rows (vnodes covered by the record).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the record is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total partitions registered (`P` / `P_g`).
+    pub fn total_partitions(&self) -> u64 {
+        self.entries.iter().map(|e| e.partitions).sum()
+    }
+
+    /// Rows sorted by partition count (descending), ties by canonical name —
+    /// the paper's step 3 ("sort the entrances … and find the vnode with
+    /// more partitions").
+    pub fn sorted_by_load(&self) -> Vec<PdrEntry> {
+        let mut rows = self.entries.clone();
+        rows.sort_by(|a, b| b.partitions.cmp(&a.partitions).then(a.vnode.cmp(&b.vnode)));
+        rows
+    }
+
+    /// The most-loaded vnode (the paper's "victim vnode" in step 3).
+    pub fn victim(&self) -> Option<PdrEntry> {
+        self.sorted_by_load().into_iter().next()
+    }
+
+    /// Serialized wire size in bytes under the simulator's encoding model:
+    /// each row is a fixed 12-byte record (4-byte snode, 4-byte local id,
+    /// 4-byte count) — used by SIM-MSGS/SIM-MEM cost accounting.
+    pub fn wire_size_bytes(&self) -> u64 {
+        12 * self.entries.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SnodeId;
+
+    fn name(s: u32, l: u32) -> CanonicalName {
+        CanonicalName { snode: SnodeId(s), local: l }
+    }
+
+    #[test]
+    fn totals_and_sizes() {
+        let pdr = Pdr::new(vec![
+            PdrEntry { vnode: name(0, 0), partitions: 5 },
+            PdrEntry { vnode: name(1, 0), partitions: 6 },
+            PdrEntry { vnode: name(0, 1), partitions: 5 },
+        ]);
+        assert_eq!(pdr.len(), 3);
+        assert_eq!(pdr.total_partitions(), 16);
+        assert_eq!(pdr.wire_size_bytes(), 36);
+    }
+
+    #[test]
+    fn sorting_matches_paper_step_3() {
+        let pdr = Pdr::new(vec![
+            PdrEntry { vnode: name(1, 0), partitions: 5 },
+            PdrEntry { vnode: name(0, 0), partitions: 6 },
+            PdrEntry { vnode: name(0, 1), partitions: 6 },
+        ]);
+        let sorted = pdr.sorted_by_load();
+        // Most-loaded first; ties broken by canonical name.
+        assert_eq!(sorted[0].vnode, name(0, 0));
+        assert_eq!(sorted[1].vnode, name(0, 1));
+        assert_eq!(sorted[2].vnode, name(1, 0));
+        assert_eq!(pdr.victim().unwrap().vnode, name(0, 0));
+    }
+
+    #[test]
+    fn empty_record() {
+        let pdr = Pdr::default();
+        assert!(pdr.is_empty());
+        assert_eq!(pdr.victim(), None);
+        assert_eq!(pdr.total_partitions(), 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Engine-independent statistics helpers.
+
+use crate::engine::DhtEngine;
+use crate::ids::SnodeId;
+use domus_metrics::rel_std_dev_pct;
+use std::collections::BTreeMap;
+
+/// Per-snode quotas: the sum of each snode's vnode quotas, keyed by snode.
+pub fn snode_quotas<E: DhtEngine>(dht: &E) -> BTreeMap<SnodeId, f64> {
+    let mut out: BTreeMap<SnodeId, f64> = BTreeMap::new();
+    for v in dht.vnodes() {
+        let s = dht.snode_of(v).expect("live vnode has an snode");
+        *out.entry(s).or_insert(0.0) += dht.quota_of(v).expect("live vnode has a quota");
+    }
+    out
+}
+
+/// `σ̄(Qn, Q̄n)` in percent over physical nodes — the figure-9 comparison
+/// metric ("we define Qn as the quota of R_h handled by each physical node").
+pub fn snode_quota_relstd_pct<E: DhtEngine>(dht: &E) -> f64 {
+    rel_std_dev_pct(snode_quotas(dht).into_values())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DhtConfig;
+    use crate::global::GlobalDht;
+    use crate::local::LocalDht;
+    use domus_hashspace::HashSpace;
+
+    #[test]
+    fn snode_quotas_sum_to_one() {
+        let cfg = DhtConfig::new(HashSpace::new(32), 4, 4).unwrap();
+        let mut dht = LocalDht::with_seed(cfg, 3);
+        for i in 0..20u32 {
+            dht.create_vnode(SnodeId(i % 5)).unwrap();
+        }
+        let q = snode_quotas(&dht);
+        assert_eq!(q.len(), 5);
+        let total: f64 = q.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_vnode_per_snode_matches_vnode_metric() {
+        // The figure-9 setup: homogeneous nodes, one vnode per snode —
+        // σ̄(Qn) coincides with σ̄(Qv).
+        let cfg = DhtConfig::new(HashSpace::new(32), 8, 1).unwrap();
+        let mut dht = GlobalDht::with_seed(cfg, 5);
+        for i in 0..17u32 {
+            dht.create_vnode(SnodeId(i)).unwrap();
+        }
+        let a = snode_quota_relstd_pct(&dht);
+        let b = dht.vnode_quota_relstd_pct();
+        assert!((a - b).abs() < 1e-9, "σ̄(Qn)={a} σ̄(Qv)={b}");
+    }
+}

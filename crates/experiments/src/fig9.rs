@@ -1,0 +1,117 @@
+//! **FIG9** — Figure 9 of the paper: comparison with Consistent Hashing.
+//!
+//! Homogeneous physical nodes join one at a time (1 → 1024); the metric is
+//! `σ̄(Qn)` over node quotas. For the local approach there is one vnode per
+//! snode, so `σ̄(Qn) = σ̄(Qv)`. CH is run with 32 and 64 virtual servers per
+//! node (the model's `Pv` fluctuates in `[32, 64]`, so both ends are
+//! shown); the local approach with `Pmin = 32` sweeps
+//! `Vmin ∈ {32, 64, 128, 256, 512}`.
+//!
+//! Expected shape: CH sits near `100/√k`% (≈17.7% for k = 32, ≈12.5% for
+//! k = 64); the local approach beats both for every swept `Vmin`, more so
+//! for larger `Vmin` — while small `Vmin` narrows the margin, which is the
+//! paper's "choose Vmin carefully" conclusion.
+
+use crate::output::{canonical_samples, print_plot, sample_points, write_csv};
+use crate::runner::{average_runs, ch_growth, local_growth};
+use crate::{Ctx, ExpReport};
+use domus_core::DhtConfig;
+use domus_hashspace::HashSpace;
+use domus_metrics::table::{num, Table};
+
+/// Fixed fine-grain parameter for the local curves.
+pub const PMIN: u64 = 32;
+
+/// Runs the comparison.
+pub fn run(ctx: &Ctx) -> ExpReport {
+    let mut rep = ExpReport::new("FIG9");
+    let space = HashSpace::full();
+    let mut curves = Vec::new();
+
+    for k in [32u32, 64] {
+        let label = format!("fig9-ch-{k}");
+        curves.push(
+            average_runs(&format!("CH, {k} partitions/node"), &label, &ctx.seeds, ctx.runs, ctx.n, move |seed| {
+                ch_growth(space, k, ctx.n, seed)
+            })
+            .mean_series(),
+        );
+    }
+
+    let vmins: Vec<u64> =
+        [32u64, 64, 128, 256, 512].into_iter().filter(|&v| v * 2 <= ctx.n as u64).collect();
+    for &vmin in &vmins {
+        let cfg = DhtConfig::new(space, PMIN, vmin).expect("powers of two");
+        let label = format!("fig9-local-{vmin}");
+        curves.push(
+            average_runs(&format!("local approach, Vmin={vmin}"), &label, &ctx.seeds, ctx.runs, ctx.n, move |seed| {
+                // One vnode per snode: each growth step IS a node join.
+                local_growth(cfg, ctx.n, seed).iter().map(|g| g.vnode_relstd).collect()
+            })
+            .mean_series(),
+        );
+    }
+
+    let path = write_csv(ctx, "fig9_ch_comparison", "nodes", &curves);
+    rep.note(format!("csv: {}", path.display()));
+
+    print_plot(
+        "Figure 9 — σ̄(Qn): local approach vs Consistent Hashing",
+        &curves,
+        "quality of the balancement (%)",
+        "overall number of cluster nodes",
+        Some(20.0),
+    );
+
+    let samples = canonical_samples(ctx.n);
+    let headers: Vec<String> =
+        std::iter::once("N".to_string()).chain(curves.iter().map(|c| c.name.clone())).collect();
+    let mut t = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+    for &x in &samples {
+        let mut row = vec![format!("{x:.0}")];
+        for c in &curves {
+            row.push(num(sample_points(c, &[x]).first().map(|&(_, y)| y).unwrap_or(f64::NAN), 2));
+        }
+        t.row(&row);
+    }
+    println!("{}", t.render());
+
+    // Who wins at the end state?
+    let ch32 = curves[0].last_y().unwrap_or(f64::NAN);
+    let ch64 = curves[1].last_y().unwrap_or(f64::NAN);
+    rep.note(format!(
+        "CH end-state σ̄(Qn): k=32 → {ch32:.2}% (theory 100/√32 = 17.68), k=64 → {ch64:.2}% (theory 12.50)"
+    ));
+    for (i, &vmin) in vmins.iter().enumerate() {
+        let local = curves[2 + i].last_y().unwrap_or(f64::NAN);
+        let verdict = if local < ch64 { "beats both CH curves" } else if local < ch32 { "beats CH-32 only" } else { "loses to CH" };
+        rep.note(format!("local Vmin={vmin}: {local:.2}% — {verdict}"));
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_with_large_vmin_beats_ch_at_smoke_scale() {
+        let space = HashSpace::full();
+        let n = 128;
+        let runs = 8;
+        let seeds = domus_util::SeedSequence::new(5);
+        let ch = average_runs("ch", "t-ch", &seeds, runs, n, move |seed| ch_growth(space, 32, n, seed))
+            .mean_series();
+        let cfg = DhtConfig::new(space, 32, 64).unwrap();
+        let local = average_runs("local", "t-local", &seeds, runs, n, move |seed| {
+            local_growth(cfg, n, seed).iter().map(|g| g.vnode_relstd).collect()
+        })
+        .mean_series();
+        let ch_end = ch.last_y().unwrap();
+        let local_end = local.last_y().unwrap();
+        assert!(
+            local_end < ch_end,
+            "local (Vmin=64) {local_end:.2}% must beat CH-32 {ch_end:.2}%"
+        );
+    }
+}

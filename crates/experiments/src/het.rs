@@ -1,0 +1,76 @@
+//! **HET** — the motivating feature (§1): heterogeneous enrollment. Quota
+//! per node must track enrollment weight, and dynamic re-enrollment
+//! (§2.1.2) must re-balance on-line.
+
+use crate::{Ctx, ExpReport};
+use crate::runner::derive_seed;
+use domus_core::{Cluster, DhtConfig, DhtEngine, EnrollmentPolicy, LocalDht};
+use domus_hashspace::HashSpace;
+use domus_metrics::rel_std_dev_pct;
+use domus_metrics::table::{num, Table};
+
+/// Runs the heterogeneity experiment.
+pub fn run(ctx: &Ctx) -> ExpReport {
+    let mut rep = ExpReport::new("HET");
+    let cfg = DhtConfig::new(HashSpace::full(), 8, 8).expect("powers of two");
+    let seed = derive_seed(&ctx.seeds, "het", 0);
+    let mut cluster =
+        Cluster::with_policy(LocalDht::with_seed(cfg, seed), EnrollmentPolicy { unit: 8 });
+
+    // A three-generation cluster: old (w=1), mid (w=2), new (w=4) machines.
+    let weights = [1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 4.0, 4.0, 1.0, 2.0, 4.0];
+    for &w in &weights {
+        cluster.join(w).expect("join");
+    }
+
+    println!("\n── HET — heterogeneous enrollment ──");
+    let mut t = Table::new(&["snode", "weight", "vnodes", "quota %", "quota/weight %"]);
+    for (s, q) in cluster.node_quotas() {
+        let w = cluster.weight_of(s).expect("known node");
+        let v = cluster.vnodes_of(s).expect("known node").len();
+        t.row(&[s.to_string(), num(w, 1), v.to_string(), num(100.0 * q, 2), num(100.0 * q / w, 2)]);
+    }
+    println!("{}", t.render());
+
+    let qpw: Vec<f64> = cluster.quota_per_weight().into_iter().map(|(_, q)| q).collect();
+    let flatness = rel_std_dev_pct(qpw.iter().copied());
+    rep.note(format!(
+        "quota-per-weight relative spread across {} heterogeneous nodes: {flatness:.2}%",
+        weights.len()
+    ));
+
+    // Dynamic re-enrollment: quadruple one node's weight and verify its
+    // quota share follows.
+    let target = cluster.nodes()[0];
+    let before = cluster.node_quotas().iter().find(|(s, _)| *s == target).expect("node").1;
+    cluster.set_weight(target, 4.0).expect("re-enroll");
+    let after = cluster.node_quotas().iter().find(|(s, _)| *s == target).expect("node").1;
+    rep.note(format!(
+        "dynamic re-enrollment 1.0 → 4.0: quota {:.2}% → {:.2}% (×{:.1})",
+        100.0 * before,
+        100.0 * after,
+        after / before
+    ));
+    cluster.engine().check_invariants().expect("invariants after re-enrollment");
+
+    // Withdrawal: the heaviest node leaves; quotas repartition to 100%.
+    let heavy = cluster.nodes()[7];
+    cluster.leave(heavy).expect("leave");
+    let total: f64 = cluster.node_quotas().iter().map(|(_, q)| q).sum();
+    rep.note(format!("after the heaviest node leaves, quota total = {total:.6} (must be 1.0)"));
+    cluster.engine().check_invariants().expect("invariants after leave");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn het_experiment_is_self_consistent() {
+        let ctx = Ctx::quick(std::env::temp_dir().join("domus-het-test"));
+        let rep = run(&ctx);
+        assert_eq!(rep.id, "HET");
+        assert!(rep.summary.iter().any(|l| l.contains("re-enrollment")));
+    }
+}

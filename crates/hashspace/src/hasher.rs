@@ -1,0 +1,109 @@
+//! Key hashing onto the hash space.
+//!
+//! The model is agnostic to the hash function `h` — it only requires a fixed
+//! range `R_h` (§2.2). The KV layer and the examples need a concrete `h`;
+//! this module provides FNV-1a (64-bit) for byte strings with a SplitMix64
+//! avalanche finalizer (plain FNV has weak high bits, and the partition
+//! algebra routes on the *high* bits of the index).
+
+use crate::space::HashSpace;
+use domus_util::SplitMix64;
+
+/// Hashes keys onto a [`HashSpace`].
+pub trait KeyHasher {
+    /// Maps a byte-string key to a point of `space`.
+    fn point(&self, key: &[u8], space: HashSpace) -> u64;
+}
+
+/// FNV-1a 64-bit with a SplitMix64 finalizer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fnv1aHasher;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+impl Fnv1aHasher {
+    /// Raw FNV-1a over `bytes` (no finalizer).
+    #[inline]
+    pub fn raw(bytes: &[u8]) -> u64 {
+        let mut h = FNV_OFFSET;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
+    /// Finalized 64-bit hash of `bytes`.
+    #[inline]
+    pub fn hash(bytes: &[u8]) -> u64 {
+        SplitMix64::mix(Self::raw(bytes))
+    }
+}
+
+impl KeyHasher for Fnv1aHasher {
+    #[inline]
+    fn point(&self, key: &[u8], space: HashSpace) -> u64 {
+        space.fold(Fnv1aHasher::hash(key))
+    }
+}
+
+/// Hashes a `u64` identifier onto the space (SplitMix64 finalizer only).
+#[inline]
+pub fn point_for_u64(id: u64, space: HashSpace) -> u64 {
+    space.fold(SplitMix64::mix(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(Fnv1aHasher::raw(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(Fnv1aHasher::raw(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(Fnv1aHasher::raw(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_spreads() {
+        let space = HashSpace::new(16);
+        let h = Fnv1aHasher;
+        let a = h.point(b"key-1", space);
+        let b = h.point(b"key-2", space);
+        assert_eq!(a, h.point(b"key-1", space));
+        assert_ne!(a, b);
+        assert!(space.contains(a) && space.contains(b));
+    }
+
+    #[test]
+    fn points_distribute_roughly_uniformly() {
+        // 4 buckets over the top bits of an 8-bit space; 4000 sequential
+        // keys must not pile into one bucket (the finalizer's job).
+        let space = HashSpace::new(8);
+        let h = Fnv1aHasher;
+        let mut buckets = [0u32; 4];
+        for i in 0..4000u32 {
+            let p = h.point(format!("user:{i}").as_bytes(), space);
+            buckets[(p >> 6) as usize] += 1;
+        }
+        for &c in &buckets {
+            assert!((700..=1300).contains(&c), "bucket counts skewed: {buckets:?}");
+        }
+    }
+
+    #[test]
+    fn u64_points_spread() {
+        let space = HashSpace::new(8);
+        let mut buckets = [0u32; 4];
+        for i in 0..4000u64 {
+            buckets[(point_for_u64(i, space) >> 6) as usize] += 1;
+        }
+        for &c in &buckets {
+            assert!((700..=1300).contains(&c), "bucket counts skewed: {buckets:?}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # domus-hashspace
+//!
+//! The hash-space algebra beneath the DHT model of Rufino et al.
+//! (IPDPS 2004): a hash function range `R_h = [0, 2^Bh)` that is *fully
+//! divided into non-overlapping partitions* (invariant G1), where every
+//! partition results from binary splits of `R_h` and therefore has size
+//! `2^(Bh − l)` for its *splitlevel* `l` (§3.4 of the paper).
+//!
+//! Modules:
+//!
+//! * [`space`] — the range `R_h` itself ([`HashSpace`], `Bh` configurable up
+//!   to 64 bits; small spaces make exhaustive property tests cheap).
+//! * [`partition`] — [`Partition`] as `(level, index)` with split / merge /
+//!   sibling / ancestor algebra. A partition never stores its bounds; they
+//!   are derived, so invariants G1/G3 cannot be violated by construction.
+//! * [`quota`] — exact dyadic-rational quota arithmetic ([`Quota`]); quota
+//!   sums are exact (`Σ = 1` is an equality test, not an ε-comparison).
+//! * [`range_map`] — [`OwnerMap`]: the partition → owner routing structure
+//!   (lookup of the vnode that owns a point, as needed by the local
+//!   approach's random-victim selection, §3.6).
+//! * [`hasher`] — byte-string and integer hashing onto the space (FNV-1a
+//!   plus a SplitMix finalizer), for the KV layer and examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hasher;
+pub mod partition;
+pub mod quota;
+pub mod range_map;
+pub mod space;
+
+pub use hasher::KeyHasher;
+pub use partition::Partition;
+pub use quota::Quota;
+pub use range_map::OwnerMap;
+pub use space::HashSpace;

@@ -1,0 +1,237 @@
+//! Exact dyadic-rational quota arithmetic.
+//!
+//! A *quota* `Qv` is "the fraction of `R_h` specific to the vnode v …
+//! calculated by summing up the size of all partitions bound to v, and then
+//! dividing the result by the size of the range of h" (§2.3). Because every
+//! partition size is `2^(Bh−l)`, every quota is a dyadic rational
+//! `num / 2^log2_den`. Representing quotas exactly lets invariant checks be
+//! equality tests (`ΣQv = 1`) instead of ε-comparisons, at every scale.
+
+/// An exact non-negative dyadic rational `num / 2^log2_den`, kept in lowest
+/// terms (odd numerator or zero).
+///
+/// Supports the handful of operations the model needs: add, subtract,
+/// compare, convert to `f64` for metric computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Quota {
+    num: u128,
+    log2_den: u32,
+}
+
+impl Quota {
+    /// The zero quota.
+    pub const ZERO: Quota = Quota { num: 0, log2_den: 0 };
+
+    /// The full range (quota 1).
+    pub const ONE: Quota = Quota { num: 1, log2_den: 0 };
+
+    /// `num / 2^log2_den`, normalised to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `log2_den > 127` (beyond any sensible `Bh`).
+    pub fn new(num: u128, log2_den: u32) -> Self {
+        assert!(log2_den <= 127, "quota denominator 2^{log2_den} too large");
+        let mut q = Quota { num, log2_den };
+        q.normalise();
+        q
+    }
+
+    /// `count` partitions at splitlevel `level`: `count / 2^level`.
+    pub fn of_partitions(count: u64, level: u32) -> Self {
+        Quota::new(count as u128, level)
+    }
+
+    fn normalise(&mut self) {
+        if self.num == 0 {
+            self.log2_den = 0;
+            return;
+        }
+        let tz = self.num.trailing_zeros().min(self.log2_den);
+        self.num >>= tz;
+        self.log2_den -= tz;
+    }
+
+    /// Numerator in lowest terms.
+    pub fn numerator(&self) -> u128 {
+        self.num
+    }
+
+    /// `log2` of the denominator in lowest terms.
+    pub fn log2_denominator(&self) -> u32 {
+        self.log2_den
+    }
+
+    /// Exact equality with 1 (`R_h` fully covered).
+    pub fn is_one(&self) -> bool {
+        *self == Quota::ONE
+    }
+
+    /// Exact equality with 0.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Checked addition (None on overflow — practically unreachable for
+    /// quotas bounded by 1, but the type does not enforce that bound).
+    pub fn checked_add(self, other: Quota) -> Option<Quota> {
+        let den = self.log2_den.max(other.log2_den);
+        let a = self.num.checked_shl(den - self.log2_den)?;
+        let b = other.num.checked_shl(den - other.log2_den)?;
+        Some(Quota::new(a.checked_add(b)?, den))
+    }
+
+    /// Checked subtraction (None if the result would be negative or on
+    /// overflow during scaling).
+    pub fn checked_sub(self, other: Quota) -> Option<Quota> {
+        let den = self.log2_den.max(other.log2_den);
+        let a = self.num.checked_shl(den - self.log2_den)?;
+        let b = other.num.checked_shl(den - other.log2_den)?;
+        Some(Quota::new(a.checked_sub(b)?, den))
+    }
+
+    /// Lossy conversion for metric computation.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / (self.log2_den as f64).exp2()
+    }
+}
+
+impl Default for Quota {
+    fn default() -> Self {
+        Quota::ZERO
+    }
+}
+
+impl std::ops::Add for Quota {
+    type Output = Quota;
+    fn add(self, rhs: Quota) -> Quota {
+        self.checked_add(rhs).expect("quota addition overflow")
+    }
+}
+
+impl std::ops::Sub for Quota {
+    type Output = Quota;
+    fn sub(self, rhs: Quota) -> Quota {
+        self.checked_sub(rhs).expect("quota subtraction underflow")
+    }
+}
+
+impl std::iter::Sum for Quota {
+    fn sum<I: Iterator<Item = Quota>>(iter: I) -> Quota {
+        iter.fold(Quota::ZERO, |a, b| a + b)
+    }
+}
+
+impl PartialOrd for Quota {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Quota {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Compare a/2^x vs b/2^y by scaling to the common denominator.
+        // Numerators are < 2^127 in practice (quotas ≤ 1, Bh ≤ 64), so the
+        // shifted comparison cannot overflow u128 after normalisation; fall
+        // back to cross-scaling halves if it would.
+        let den = self.log2_den.max(other.log2_den);
+        let sa = den - self.log2_den;
+        let sb = den - other.log2_den;
+        match (self.num.checked_shl(sa), other.num.checked_shl(sb)) {
+            (Some(a), Some(b)) => a.cmp(&b),
+            // Overflow on one side means that side is astronomically larger.
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, None) => self.to_f64().partial_cmp(&other.to_f64()).expect("finite"),
+        }
+    }
+}
+
+impl std::fmt::Display for Quota {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.log2_den == 0 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/2^{}", self.num, self.log2_den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation_reduces_to_lowest_terms() {
+        let q = Quota::new(4, 3); // 4/8 = 1/2
+        assert_eq!(q.numerator(), 1);
+        assert_eq!(q.log2_denominator(), 1);
+        assert_eq!(q, Quota::new(1, 1));
+    }
+
+    #[test]
+    fn zero_normalises_fully() {
+        let q = Quota::new(0, 57);
+        assert!(q.is_zero());
+        assert_eq!(q, Quota::ZERO);
+        assert_eq!(q.log2_denominator(), 0);
+    }
+
+    #[test]
+    fn partition_quotas_sum_to_one() {
+        // 2^k partitions at level k tile the space exactly.
+        for level in 0..20u32 {
+            let total: Quota = (0..(1u64 << level)).map(|_| Quota::of_partitions(1, level)).sum();
+            assert!(total.is_one(), "level {level}: got {total}");
+        }
+    }
+
+    #[test]
+    fn mixed_level_sum_is_exact() {
+        // 1/2 + 1/4 + 1/8 + 1/8 = 1
+        let q = Quota::new(1, 1) + Quota::new(1, 2) + Quota::new(1, 3) + Quota::new(1, 3);
+        assert!(q.is_one());
+    }
+
+    #[test]
+    fn subtraction_and_underflow() {
+        let half = Quota::new(1, 1);
+        let quarter = Quota::new(1, 2);
+        assert_eq!(half - quarter, quarter);
+        assert_eq!(quarter.checked_sub(half), None);
+    }
+
+    #[test]
+    fn ordering_across_denominators() {
+        let a = Quota::new(3, 3); // 3/8
+        let b = Quota::new(1, 1); // 1/2
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+        let list = [Quota::new(5, 4), Quota::new(1, 3), Quota::new(7, 3)];
+        let max = list.iter().max().unwrap();
+        assert_eq!(*max, Quota::new(7, 3));
+    }
+
+    #[test]
+    fn to_f64_matches_expectation() {
+        assert_eq!(Quota::new(3, 2).to_f64(), 0.75);
+        assert_eq!(Quota::ONE.to_f64(), 1.0);
+        assert_eq!(Quota::ZERO.to_f64(), 0.0);
+        // Deep denominators stay finite and accurate.
+        let tiny = Quota::new(1, 64);
+        assert!((tiny.to_f64() - 2f64.powi(-64)).abs() < 1e-30);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Quota::ONE.to_string(), "1");
+        assert_eq!(Quota::new(3, 5).to_string(), "3/2^5");
+    }
+
+    #[test]
+    fn sum_iterator_impl() {
+        let qs = vec![Quota::new(1, 2); 4];
+        let total: Quota = qs.into_iter().sum();
+        assert!(total.is_one());
+    }
+}

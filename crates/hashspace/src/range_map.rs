@@ -1,0 +1,338 @@
+//! `OwnerMap`: the partition → owner routing structure.
+//!
+//! The local approach needs one global lookup primitive: given a point
+//! `r ∈ R_h`, find the partition containing `r` and its owner (§3.6 — the
+//! victim-vnode selection; also the data path of any DHT lookup). Because
+//! partition sizes differ *across* groups, the map cannot assume one global
+//! splitlevel; it stores heterogeneous-level partitions keyed by start
+//! point and relies on the split-tree structure for non-overlap.
+//!
+//! Complexity: `lookup`, `insert`, `remove`, `transfer`, `split` are all
+//! `O(log P)` in the number of partitions `P` (BTreeMap operations).
+
+use crate::partition::Partition;
+use crate::quota::Quota;
+use crate::space::HashSpace;
+use std::collections::BTreeMap;
+
+/// Errors from [`OwnerMap`] mutation and verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The partition (or an overlapping one) is already present.
+    Overlap(Partition),
+    /// The partition is not present.
+    Missing(Partition),
+    /// Coverage verification failed: a gap starts at this point.
+    Gap(u64),
+    /// Coverage verification failed: total covered size is wrong.
+    BadTotal {
+        /// Sum of partition sizes found.
+        covered: u128,
+        /// Expected `2^Bh`.
+        expected: u128,
+    },
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::Overlap(p) => write!(f, "partition {p} overlaps an existing entry"),
+            MapError::Missing(p) => write!(f, "partition {p} not present"),
+            MapError::Gap(at) => write!(f, "coverage gap starting at {at}"),
+            MapError::BadTotal { covered, expected } => {
+                write!(f, "covered {covered} of {expected} points")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Maps every point of a [`HashSpace`] to an owner `T` through a set of
+/// non-overlapping [`Partition`]s.
+#[derive(Debug, Clone)]
+pub struct OwnerMap<T> {
+    space: HashSpace,
+    // start point → (partition, owner). Starts are unique because entries
+    // never overlap; the partition carries its level (and thus its end).
+    entries: BTreeMap<u64, (Partition, T)>,
+}
+
+impl<T: Clone + Eq + std::fmt::Debug> OwnerMap<T> {
+    /// An empty map over `space`.
+    pub fn new(space: HashSpace) -> Self {
+        Self { space, entries: BTreeMap::new() }
+    }
+
+    /// A map with the whole space owned by `owner` (the first-vnode state).
+    pub fn whole(space: HashSpace, owner: T) -> Self {
+        let mut m = Self::new(space);
+        m.insert(Partition::ROOT, owner).expect("empty map accepts the root");
+        m
+    }
+
+    /// The space this map routes.
+    pub fn space(&self) -> HashSpace {
+        self.space
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no partitions are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a partition with its owner.
+    ///
+    /// Rejects any insertion that would overlap an existing entry.
+    pub fn insert(&mut self, p: Partition, owner: T) -> Result<(), MapError> {
+        let start = p.start(self.space);
+        // Any overlapping entry either starts within [start, end) or starts
+        // before `start` and extends past it; check both neighbours.
+        if let Some((&s, (q, _))) = self.entries.range(..=start).next_back() {
+            if (s as u128) + q.size(self.space) > start as u128 {
+                return Err(MapError::Overlap(p));
+            }
+        }
+        if let Some((&s, _)) = self.entries.range(start..).next() {
+            if (s as u128) < p.end(self.space) {
+                return Err(MapError::Overlap(p));
+            }
+        }
+        self.entries.insert(start, (p, owner));
+        Ok(())
+    }
+
+    /// Removes a partition, returning its owner.
+    pub fn remove(&mut self, p: Partition) -> Result<T, MapError> {
+        let start = p.start(self.space);
+        match self.entries.get(&start) {
+            Some((q, _)) if *q == p => Ok(self.entries.remove(&start).expect("checked").1),
+            _ => Err(MapError::Missing(p)),
+        }
+    }
+
+    /// Reassigns an existing partition to a new owner, returning the old one.
+    pub fn transfer(&mut self, p: Partition, new_owner: T) -> Result<T, MapError> {
+        let start = p.start(self.space);
+        match self.entries.get_mut(&start) {
+            Some((q, owner)) if *q == p => Ok(std::mem::replace(owner, new_owner)),
+            _ => Err(MapError::Missing(p)),
+        }
+    }
+
+    /// Splits an existing partition in place; both halves keep the owner.
+    pub fn split(&mut self, p: Partition) -> Result<(Partition, Partition), MapError> {
+        let owner = self.remove(p)?;
+        let (a, b) = p.split();
+        self.insert(a, owner.clone()).expect("left half fits where the parent was");
+        self.insert(b, owner).expect("right half fits where the parent was");
+        Ok((a, b))
+    }
+
+    /// Merges two sibling partitions owned by the same owner into their
+    /// parent. Returns the parent.
+    pub fn merge(&mut self, a: Partition, b: Partition) -> Result<Partition, MapError> {
+        let parent = Partition::merge(a, b).ok_or(MapError::Missing(b))?;
+        let oa = self.owner_of(a).ok_or(MapError::Missing(a))?.clone();
+        let ob = self.owner_of(b).ok_or(MapError::Missing(b))?.clone();
+        if oa != ob {
+            return Err(MapError::Overlap(parent)); // owners differ: refuse
+        }
+        self.remove(a)?;
+        self.remove(b)?;
+        self.insert(parent, oa).expect("children freed the parent's slot");
+        Ok(parent)
+    }
+
+    /// The partition containing `point` and its owner, if any entry covers
+    /// the point.
+    pub fn lookup(&self, point: u64) -> Option<(Partition, &T)> {
+        debug_assert!(self.space.contains(point));
+        let (_, (p, owner)) = self.entries.range(..=point).next_back()?;
+        if p.contains(point, self.space) {
+            Some((*p, owner))
+        } else {
+            None
+        }
+    }
+
+    /// The owner of exactly this partition, if present.
+    pub fn owner_of(&self, p: Partition) -> Option<&T> {
+        match self.entries.get(&p.start(self.space)) {
+            Some((q, owner)) if *q == p => Some(owner),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(partition, owner)` in hash-space order.
+    pub fn iter(&self) -> impl Iterator<Item = (Partition, &T)> {
+        self.entries.values().map(|(p, o)| (*p, o))
+    }
+
+    /// All partitions of `owner`, in hash-space order (O(P) scan; the model
+    /// keeps per-vnode partition lists for the hot paths, this is the
+    /// verification-oriented accessor).
+    pub fn partitions_of(&self, owner: &T) -> Vec<Partition> {
+        self.iter().filter(|(_, o)| *o == owner).map(|(p, _)| p).collect()
+    }
+
+    /// Exact total quota covered by `owner`'s partitions.
+    pub fn quota_of(&self, owner: &T) -> Quota {
+        self.iter().filter(|(_, o)| *o == owner).map(|(p, _)| p.quota()).sum()
+    }
+
+    /// Verifies invariant G1: the entries tile `R_h` exactly — no gaps, no
+    /// overlaps, total size `2^Bh`.
+    pub fn verify_coverage(&self) -> Result<(), MapError> {
+        let mut cursor: u128 = 0;
+        for (&start, (p, _)) in &self.entries {
+            if (start as u128) != cursor {
+                return Err(MapError::Gap(cursor as u64));
+            }
+            cursor = start as u128 + p.size(self.space);
+        }
+        if cursor != self.space.size() {
+            return Err(MapError::BadTotal { covered: cursor, expected: self.space.size() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> HashSpace {
+        HashSpace::new(8)
+    }
+
+    #[test]
+    fn whole_map_routes_everything_to_one_owner() {
+        let m = OwnerMap::whole(space(), "v0");
+        for point in 0..=255u64 {
+            let (p, owner) = m.lookup(point).expect("covered");
+            assert_eq!(p, Partition::ROOT);
+            assert_eq!(*owner, "v0");
+        }
+        m.verify_coverage().unwrap();
+    }
+
+    #[test]
+    fn split_preserves_coverage_and_owner() {
+        let mut m = OwnerMap::whole(space(), 0u32);
+        let (a, b) = m.split(Partition::ROOT).unwrap();
+        m.verify_coverage().unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.owner_of(a), Some(&0));
+        assert_eq!(m.owner_of(b), Some(&0));
+    }
+
+    #[test]
+    fn transfer_changes_routing() {
+        let mut m = OwnerMap::whole(space(), 0u32);
+        let (a, b) = m.split(Partition::ROOT).unwrap();
+        let old = m.transfer(b, 1).unwrap();
+        assert_eq!(old, 0);
+        assert_eq!(m.lookup(0).unwrap().1, &0);
+        assert_eq!(m.lookup(255).unwrap().1, &1);
+        assert_eq!(m.partitions_of(&0), vec![a]);
+        assert_eq!(m.partitions_of(&1), vec![b]);
+    }
+
+    #[test]
+    fn overlapping_insert_rejected() {
+        let mut m = OwnerMap::whole(space(), 0u32);
+        let (l, _r) = Partition::ROOT.split();
+        assert_eq!(m.insert(l, 1), Err(MapError::Overlap(l)));
+        // Also a *smaller* partition inside an existing one:
+        let (ll, _) = l.split();
+        assert_eq!(m.insert(ll, 1), Err(MapError::Overlap(ll)));
+    }
+
+    #[test]
+    fn insert_overlap_detected_from_the_right() {
+        // Existing entry starts *after* the candidate but inside it.
+        let mut m = OwnerMap::new(space());
+        let (l, r) = Partition::ROOT.split();
+        let (_rl, rr) = r.split();
+        m.insert(rr, 7u32).unwrap();
+        assert_eq!(m.insert(r, 8), Err(MapError::Overlap(r)));
+        m.insert(l, 9).unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn remove_missing_is_an_error() {
+        let mut m: OwnerMap<u32> = OwnerMap::new(space());
+        let p = Partition::new(1, 0);
+        assert_eq!(m.remove(p), Err(MapError::Missing(p)));
+        // Present start but different level also counts as missing:
+        m.insert(Partition::new(2, 0), 1).unwrap();
+        assert_eq!(m.remove(p), Err(MapError::Missing(p)));
+    }
+
+    #[test]
+    fn merge_requires_same_owner() {
+        let mut m = OwnerMap::new(space());
+        let (l, r) = Partition::ROOT.split();
+        m.insert(l, 1u32).unwrap();
+        m.insert(r, 2u32).unwrap();
+        assert!(m.merge(l, r).is_err());
+        m.transfer(r, 1).unwrap();
+        let parent = m.merge(l, r).unwrap();
+        assert_eq!(parent, Partition::ROOT);
+        assert_eq!(m.len(), 1);
+        m.verify_coverage().unwrap();
+    }
+
+    #[test]
+    fn coverage_detects_gap() {
+        let mut m = OwnerMap::new(space());
+        let (l, r) = Partition::ROOT.split();
+        m.insert(r, 1u32).unwrap();
+        assert_eq!(m.verify_coverage(), Err(MapError::Gap(0)));
+        m.insert(l, 1).unwrap();
+        m.verify_coverage().unwrap();
+    }
+
+    #[test]
+    fn quota_of_sums_partitions_exactly() {
+        let mut m = OwnerMap::whole(space(), 0u32);
+        let (a, b) = m.split(Partition::ROOT).unwrap();
+        let (_a1, a2) = m.split(a).unwrap();
+        m.transfer(a2, 1).unwrap();
+        m.transfer(b, 1).unwrap();
+        assert_eq!(m.quota_of(&0), Quota::new(1, 2));
+        assert_eq!(m.quota_of(&1), Quota::new(3, 2));
+        assert!((m.quota_of(&0) + m.quota_of(&1)).is_one());
+    }
+
+    #[test]
+    fn heterogeneous_levels_route_correctly() {
+        // Simulates two groups at different splitlevels sharing the space:
+        // left half at level 3, right half at level 1.
+        let mut m = OwnerMap::new(space());
+        for i in 0..4u64 {
+            m.insert(Partition::new(3, i), i as u32).unwrap();
+        }
+        m.insert(Partition::new(1, 1), 99u32).unwrap();
+        m.verify_coverage().unwrap();
+        assert_eq!(*m.lookup(0).unwrap().1, 0);
+        assert_eq!(*m.lookup(32).unwrap().1, 1);
+        assert_eq!(*m.lookup(127).unwrap().1, 3);
+        assert_eq!(*m.lookup(128).unwrap().1, 99);
+        assert_eq!(*m.lookup(255).unwrap().1, 99);
+    }
+
+    #[test]
+    fn lookup_on_empty_is_none() {
+        let m: OwnerMap<u32> = OwnerMap::new(space());
+        assert!(m.lookup(10).is_none());
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! The hash range `R_h = [0, 2^Bh)`.
+
+use domus_util::DomusRng;
+
+/// The range of the hash function: `R_h = {i ∈ N0 : 0 ≤ i < 2^Bh}` (§2.2).
+///
+/// `Bh` (the number of bits) is fixed for the lifetime of a DHT. The paper
+/// leaves `Bh` abstract; this implementation supports `1 ..= 64` bits —
+/// 64 for production-grade key spreading, small values for exhaustive tests.
+///
+/// Points in the space are `u64` with only the low `Bh` bits significant.
+/// Sizes are `u128` because the full range `2^64` overflows `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HashSpace {
+    bits: u32,
+}
+
+impl HashSpace {
+    /// A hash space of `bits` bits.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= bits <= 64`.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=64).contains(&bits), "Bh must be in 1..=64, got {bits}");
+        Self { bits }
+    }
+
+    /// The conventional production space: `Bh = 64`.
+    pub fn full() -> Self {
+        Self::new(64)
+    }
+
+    /// `Bh`, the number of bits of any hash index.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// `2^Bh`, the size of the range.
+    #[inline]
+    pub fn size(&self) -> u128 {
+        1u128 << self.bits
+    }
+
+    /// Largest valid point (`2^Bh − 1`).
+    #[inline]
+    pub fn max_point(&self) -> u64 {
+        if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        }
+    }
+
+    /// `true` iff `point` lies inside the range.
+    #[inline]
+    pub fn contains(&self, point: u64) -> bool {
+        point <= self.max_point()
+    }
+
+    /// A uniformly random point `r ∈ R_h` — the local approach's victim
+    /// selector draws exactly this (§3.6).
+    #[inline]
+    pub fn random_point<R: DomusRng>(&self, rng: &mut R) -> u64 {
+        if self.bits == 64 {
+            rng.next_u64()
+        } else {
+            rng.next_u64() & self.max_point()
+        }
+    }
+
+    /// Folds an arbitrary `u64` hash value onto this space (keeps the low
+    /// `Bh` bits after xor-folding the high ones in, so small spaces still
+    /// see all input entropy).
+    #[inline]
+    pub fn fold(&self, h: u64) -> u64 {
+        if self.bits == 64 {
+            h
+        } else {
+            (h ^ (h >> self.bits)) & self.max_point()
+        }
+    }
+}
+
+impl Default for HashSpace {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domus_util::Xoshiro256pp;
+
+    #[test]
+    fn size_and_max_point() {
+        let s = HashSpace::new(8);
+        assert_eq!(s.size(), 256);
+        assert_eq!(s.max_point(), 255);
+        assert!(s.contains(255));
+        assert!(!s.contains(256));
+        let f = HashSpace::full();
+        assert_eq!(f.size(), 1u128 << 64);
+        assert_eq!(f.max_point(), u64::MAX);
+        assert!(f.contains(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "Bh must be in 1..=64")]
+    fn zero_bits_rejected() {
+        let _ = HashSpace::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Bh must be in 1..=64")]
+    fn too_many_bits_rejected() {
+        let _ = HashSpace::new(65);
+    }
+
+    #[test]
+    fn random_points_in_range_and_spread() {
+        let s = HashSpace::new(10);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let mut seen_hi = false;
+        let mut seen_lo = false;
+        for _ in 0..10_000 {
+            let p = s.random_point(&mut rng);
+            assert!(s.contains(p));
+            if p >= 768 {
+                seen_hi = true;
+            }
+            if p < 256 {
+                seen_lo = true;
+            }
+        }
+        assert!(seen_hi && seen_lo, "draws should cover the space");
+    }
+
+    #[test]
+    fn fold_stays_in_space_and_uses_high_bits() {
+        let s = HashSpace::new(8);
+        for h in [0u64, 1, 0xFF, 0x100, 0xDEAD_BEEF_CAFE_F00D] {
+            assert!(s.contains(s.fold(h)));
+        }
+        // Two values differing only above bit 8 must (generically) fold
+        // differently thanks to xor-folding.
+        assert_ne!(s.fold(0x0100), s.fold(0x0000));
+    }
+
+    #[test]
+    fn default_is_full() {
+        assert_eq!(HashSpace::default(), HashSpace::full());
+    }
+}

@@ -1,0 +1,24 @@
+//! # domus-kv
+//!
+//! An in-memory key-value store layered on the DHT model — the downstream
+//! application the paper's DHT exists to serve. Keys hash onto `R_h`
+//! (FNV-1a + finalizer); entries live at the vnode owning the point;
+//! every rebalancement event's partition transfers are replayed as data
+//! migration, so placement stays consistent with routing through
+//! arbitrary join/leave churn.
+//!
+//! * [`store`] — the single-threaded store + migration engine.
+//! * [`service`] — a `RwLock` façade: concurrent reads, exclusive
+//!   maintenance.
+//! * [`workload`] — uniform and Zipf key generators for experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod service;
+pub mod store;
+pub mod workload;
+
+pub use service::KvService;
+pub use store::{KvStore, MigrationReport};
+pub use workload::{UniformKeys, ZipfKeys};

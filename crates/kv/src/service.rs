@@ -1,0 +1,129 @@
+//! A thread-safe service façade over the store.
+//!
+//! The data plane of a cluster DHT is read-dominated: lookups proceed
+//! concurrently while maintenance (join/leave and the implied migration)
+//! is an exclusive event — precisely a reader/writer discipline.
+//! [`KvService`] wraps [`KvStore`] in a `parking_lot::RwLock`, giving the
+//! downstream user a `Clone + Send + Sync` handle.
+
+use crate::store::{KvStore, MigrationReport};
+use bytes::Bytes;
+use domus_core::{DhtEngine, DhtError, SnodeId, VnodeId};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A shareable, thread-safe KV service.
+pub struct KvService<E: DhtEngine> {
+    inner: Arc<RwLock<KvStore<E>>>,
+}
+
+impl<E: DhtEngine> Clone for KvService<E> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<E: DhtEngine> KvService<E> {
+    /// Wraps a store.
+    pub fn new(store: KvStore<E>) -> Self {
+        Self { inner: Arc::new(RwLock::new(store)) }
+    }
+
+    /// Concurrent read.
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        self.inner.read().get(key)
+    }
+
+    /// Exclusive write.
+    pub fn put(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> Option<Bytes> {
+        self.inner.write().put(key, value)
+    }
+
+    /// Exclusive removal.
+    pub fn remove(&self, key: &[u8]) -> Option<Bytes> {
+        self.inner.write().remove(key)
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> u64 {
+        self.inner.read().len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Maintenance: a new vnode joins (exclusive).
+    pub fn join(&self, snode: SnodeId) -> Result<(VnodeId, MigrationReport), DhtError> {
+        self.inner.write().join(snode)
+    }
+
+    /// Maintenance: a vnode leaves (exclusive).
+    pub fn leave(&self, v: VnodeId) -> Result<MigrationReport, DhtError> {
+        self.inner.write().leave(v)
+    }
+
+    /// Runs `f` under the read lock (bulk inspection).
+    pub fn with_read<T>(&self, f: impl FnOnce(&KvStore<E>) -> T) -> T {
+        f(&self.inner.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domus_core::{DhtConfig, LocalDht};
+    use domus_hashspace::HashSpace;
+
+    fn service() -> KvService<LocalDht> {
+        let cfg = DhtConfig::new(HashSpace::new(32), 4, 2).unwrap();
+        let mut store = KvStore::new(LocalDht::with_seed(cfg, 5));
+        store.join(SnodeId(0)).unwrap();
+        KvService::new(store)
+    }
+
+    #[test]
+    fn concurrent_readers_with_maintenance() {
+        let svc = service();
+        for i in 0..400u32 {
+            svc.put(format!("k{i}"), format!("v{i}"));
+        }
+        let readers: Vec<_> = (0..4)
+            .map(|t| {
+                let svc = svc.clone();
+                std::thread::spawn(move || {
+                    let mut hits = 0u32;
+                    for round in 0..200u32 {
+                        let i = (t * 37 + round * 13) % 400;
+                        if svc.get(format!("k{i}").as_bytes()).is_some() {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                })
+            })
+            .collect();
+        // Maintenance interleaves with the readers.
+        for s in 1..6u32 {
+            svc.join(SnodeId(s)).unwrap();
+        }
+        for r in readers {
+            // Every key stays readable throughout migration.
+            assert_eq!(r.join().unwrap(), 200);
+        }
+        svc.with_read(|s| s.verify_placement()).unwrap();
+        assert_eq!(svc.len(), 400);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let a = service();
+        let b = a.clone();
+        a.put("shared", "yes");
+        assert_eq!(b.get(b"shared").unwrap().as_ref(), b"yes");
+        assert!(!b.is_empty());
+        b.remove(b"shared");
+        assert_eq!(a.get(b"shared"), None);
+    }
+}

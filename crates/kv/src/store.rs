@@ -1,0 +1,358 @@
+//! The key-value store over a DHT engine.
+//!
+//! Entries live at the vnode owning the key's hash point. Rebalancement
+//! events (vnode creation/removal, group splits/merges) report partition
+//! [`Transfer`]s; the store replays them as data migration, so the routing
+//! invariant — *a key is always stored exactly where `lookup` points* —
+//! survives arbitrary elasticity. Migration volume is surfaced per
+//! operation (the KV-MIGRATE experiment prices it).
+
+use bytes::Bytes;
+use domus_core::{DhtEngine, DhtError, SnodeId, Transfer, VnodeId};
+use domus_hashspace::hasher::Fnv1aHasher;
+use domus_hashspace::KeyHasher;
+use std::collections::BTreeMap;
+
+/// Per-point bucket: distinct keys hashing to the same point (rare but
+/// legal) are chained.
+type Bucket = Vec<(Bytes, Bytes)>;
+
+/// What a rebalancement event moved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Entries moved between vnodes.
+    pub entries: u64,
+    /// Payload bytes moved (keys + values).
+    pub bytes: u64,
+    /// Partition transfers that carried them.
+    pub transfers: u64,
+}
+
+/// A replicated-nothing, in-memory KV store routed by a DHT engine.
+///
+/// ```
+/// use domus_core::{DhtConfig, LocalDht, SnodeId};
+/// use domus_hashspace::HashSpace;
+/// use domus_kv::KvStore;
+///
+/// let cfg = DhtConfig::new(HashSpace::new(32), 4, 4).unwrap();
+/// let mut kv = KvStore::new(LocalDht::with_seed(cfg, 1));
+/// kv.join(SnodeId(0)).unwrap();
+/// kv.put("user:42", "alice");
+/// assert_eq!(kv.get(b"user:42").unwrap().as_ref(), b"alice");
+/// ```
+#[derive(Debug, Clone)]
+pub struct KvStore<E: DhtEngine> {
+    engine: E,
+    hasher: Fnv1aHasher,
+    /// Entry maps indexed by vnode arena slot.
+    data: Vec<BTreeMap<u64, Bucket>>,
+    entries: u64,
+}
+
+impl<E: DhtEngine> KvStore<E> {
+    /// Wraps an engine (which may already contain vnodes — empty stores
+    /// are attached to them).
+    pub fn new(engine: E) -> Self {
+        let slots = engine.vnodes().iter().map(|v| v.index() + 1).max().unwrap_or(0);
+        Self { engine, hasher: Fnv1aHasher, data: vec![BTreeMap::new(); slots], entries: 0 }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    fn slot(&mut self, v: VnodeId) -> &mut BTreeMap<u64, Bucket> {
+        if self.data.len() <= v.index() {
+            self.data.resize_with(v.index() + 1, BTreeMap::new);
+        }
+        &mut self.data[v.index()]
+    }
+
+    /// The vnode responsible for a key.
+    pub fn route(&self, key: &[u8]) -> Option<VnodeId> {
+        let point = self.hasher.point(key, self.engine.config().hash_space());
+        self.engine.lookup(point).map(|(_, v)| v)
+    }
+
+    /// Inserts or replaces an entry. Returns the previous value.
+    ///
+    /// # Panics
+    /// Panics if the DHT has no vnodes yet (nothing can own the key).
+    pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> Option<Bytes> {
+        let key = key.into();
+        let value = value.into();
+        let point = self.hasher.point(&key, self.engine.config().hash_space());
+        let (_, v) = self.engine.lookup(point).expect("put on an empty DHT");
+        let bucket = self.slot(v).entry(point).or_default();
+        if let Some(pair) = bucket.iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(&mut pair.1, value));
+        }
+        bucket.push((key, value));
+        self.entries += 1;
+        None
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        let point = self.hasher.point(key, self.engine.config().hash_space());
+        let (_, v) = self.engine.lookup(point)?;
+        self.data
+            .get(v.index())?
+            .get(&point)?
+            .iter()
+            .find(|(k, _)| k.as_ref() == key)
+            .map(|(_, val)| val.clone())
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: &[u8]) -> Option<Bytes> {
+        let point = self.hasher.point(key, self.engine.config().hash_space());
+        let (_, v) = self.engine.lookup(point)?;
+        let map = self.data.get_mut(v.index())?;
+        let bucket = map.get_mut(&point)?;
+        let idx = bucket.iter().position(|(k, _)| k.as_ref() == key)?;
+        let (_, value) = bucket.swap_remove(idx);
+        if bucket.is_empty() {
+            map.remove(&point);
+        }
+        self.entries -= 1;
+        Some(value)
+    }
+
+    /// Applies one partition transfer: every entry whose point falls in
+    /// the partition moves from `t.from` to `t.to`.
+    fn apply_transfer(&mut self, t: &Transfer) -> (u64, u64) {
+        let space = self.engine.config().hash_space();
+        let start = t.partition.start(space);
+        let end = t.partition.end(space); // u128: may be 2^Bh
+        // Detach [start, end) from the donor.
+        let donor = self.slot(t.from);
+        let mut moved = donor.split_off(&start);
+        if end <= u64::MAX as u128 {
+            let keep = moved.split_off(&(end as u64));
+            donor.extend(keep);
+        }
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        for bucket in moved.values() {
+            for (k, v) in bucket {
+                entries += 1;
+                bytes += (k.len() + v.len()) as u64;
+            }
+        }
+        self.slot(t.to).extend(moved);
+        (entries, bytes)
+    }
+
+    fn apply_transfers(&mut self, transfers: &[Transfer]) -> MigrationReport {
+        let mut rep = MigrationReport { transfers: transfers.len() as u64, ..Default::default() };
+        for t in transfers {
+            let (e, b) = self.apply_transfer(t);
+            rep.entries += e;
+            rep.bytes += b;
+        }
+        rep
+    }
+
+    /// Creates a vnode on `snode` and migrates the data its arrival pulls
+    /// in.
+    pub fn join(&mut self, snode: SnodeId) -> Result<(VnodeId, MigrationReport), DhtError> {
+        let (v, report) = self.engine.create_vnode(snode)?;
+        let _ = self.slot(v); // ensure backing map exists
+        Ok((v, self.apply_transfers(&report.transfers)))
+    }
+
+    /// Removes a vnode and migrates its data out.
+    pub fn leave(&mut self, v: VnodeId) -> Result<MigrationReport, DhtError> {
+        let report = self.engine.remove_vnode(v)?;
+        let rep = self.apply_transfers(&report.transfers);
+        debug_assert!(
+            self.data.get(v.index()).map(BTreeMap::is_empty).unwrap_or(true),
+            "transfers must drain the departing vnode"
+        );
+        Ok(rep)
+    }
+
+    /// Verifies that every stored entry sits exactly where routing points
+    /// (test/debug oracle, O(entries)).
+    pub fn verify_placement(&self) -> Result<(), String> {
+        let space = self.engine.config().hash_space();
+        let mut count = 0u64;
+        for (slot, map) in self.data.iter().enumerate() {
+            for (&point, bucket) in map {
+                for (key, _) in bucket {
+                    count += 1;
+                    let expect = self.hasher.point(key, space);
+                    if expect != point {
+                        return Err(format!("key stored under wrong point {point}"));
+                    }
+                    match self.engine.lookup(point) {
+                        Some((_, v)) if v.index() == slot => {}
+                        other => {
+                            return Err(format!(
+                                "entry at slot {slot} point {point} routed to {other:?}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if count != self.entries {
+            return Err(format!("entry counter {} != stored {count}", self.entries));
+        }
+        Ok(())
+    }
+
+    /// Entries per vnode, in creation order (storage-balance view).
+    pub fn entries_per_vnode(&self) -> Vec<(VnodeId, u64)> {
+        self.engine
+            .vnodes()
+            .into_iter()
+            .map(|v| {
+                let n = self
+                    .data
+                    .get(v.index())
+                    .map(|m| m.values().map(|b| b.len() as u64).sum())
+                    .unwrap_or(0);
+                (v, n)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domus_core::{DhtConfig, LocalDht};
+    use domus_hashspace::HashSpace;
+
+    fn store() -> KvStore<LocalDht> {
+        let cfg = DhtConfig::new(HashSpace::new(32), 4, 2).unwrap();
+        let mut kv = KvStore::new(LocalDht::with_seed(cfg, 3));
+        kv.join(SnodeId(0)).unwrap();
+        kv
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let mut kv = store();
+        assert_eq!(kv.put("k1", "v1"), None);
+        assert_eq!(kv.put("k2", "v2"), None);
+        assert_eq!(kv.get(b"k1").unwrap().as_ref(), b"v1");
+        assert_eq!(kv.put("k1", "v1b").unwrap().as_ref(), b"v1");
+        assert_eq!(kv.get(b"k1").unwrap().as_ref(), b"v1b");
+        assert_eq!(kv.len(), 2);
+        assert_eq!(kv.remove(b"k1").unwrap().as_ref(), b"v1b");
+        assert_eq!(kv.get(b"k1"), None);
+        assert_eq!(kv.len(), 1);
+        assert_eq!(kv.remove(b"missing"), None);
+        kv.verify_placement().unwrap();
+    }
+
+    #[test]
+    fn data_follows_rebalancing_on_join() {
+        let mut kv = store();
+        for i in 0..500u32 {
+            kv.put(format!("key:{i}"), format!("value-{i}"));
+        }
+        let mut migrated_total = 0;
+        for s in 1..12u32 {
+            let (_, rep) = kv.join(SnodeId(s)).unwrap();
+            migrated_total += rep.entries;
+            kv.verify_placement().unwrap_or_else(|e| panic!("after join {s}: {e}"));
+        }
+        assert!(migrated_total > 0, "joins must pull data over");
+        assert_eq!(kv.len(), 500);
+        for i in 0..500u32 {
+            assert_eq!(
+                kv.get(format!("key:{i}").as_bytes()).unwrap().as_ref(),
+                format!("value-{i}").as_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn data_survives_leaves() {
+        let mut kv = store();
+        for s in 1..10u32 {
+            kv.join(SnodeId(s)).unwrap();
+        }
+        for i in 0..300u32 {
+            kv.put(format!("key:{i}"), format!("value-{i}"));
+        }
+        // Remove half the vnodes.
+        let vnodes = kv.engine().vnodes();
+        for v in vnodes.into_iter().take(5) {
+            kv.leave(v).unwrap();
+            kv.verify_placement().unwrap_or_else(|e| panic!("after leaving {v}: {e}"));
+        }
+        assert_eq!(kv.len(), 300);
+        for i in 0..300u32 {
+            assert!(kv.get(format!("key:{i}").as_bytes()).is_some(), "key:{i} lost");
+        }
+    }
+
+    #[test]
+    fn storage_roughly_tracks_quota() {
+        let mut kv = store();
+        for s in 1..8u32 {
+            kv.join(SnodeId(s)).unwrap();
+        }
+        for i in 0..4000u32 {
+            kv.put(format!("key:{i}"), "x");
+        }
+        // Each vnode's entry share should be within a loose band of its
+        // quota (hashing noise at 4000 keys is a few percent).
+        let total = kv.len() as f64;
+        for (v, n) in kv.entries_per_vnode() {
+            let quota = kv.engine().quota_of(v).unwrap();
+            let share = n as f64 / total;
+            assert!(
+                (share - quota).abs() < 0.05,
+                "{v}: share {share:.3} vs quota {quota:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_dht_routes_nothing() {
+        let cfg = DhtConfig::new(HashSpace::new(32), 4, 2).unwrap();
+        let kv = KvStore::new(LocalDht::with_seed(cfg, 3));
+        assert_eq!(kv.get(b"nope"), None);
+        assert!(kv.is_empty());
+        assert_eq!(kv.route(b"nope"), None);
+    }
+
+    #[test]
+    fn churn_preserves_every_entry() {
+        let mut kv = store();
+        let mut next_snode = 1u32;
+        for i in 0..200u32 {
+            kv.put(format!("k{i}"), format!("v{i}"));
+        }
+        for round in 0..6 {
+            for _ in 0..3 {
+                kv.join(SnodeId(next_snode)).unwrap();
+                next_snode += 1;
+            }
+            let vnodes = kv.engine().vnodes();
+            kv.leave(vnodes[round % vnodes.len()]).unwrap();
+            kv.verify_placement().unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+        for i in 0..200u32 {
+            assert_eq!(kv.get(format!("k{i}").as_bytes()).unwrap().as_ref(), format!("v{i}").as_bytes());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Workload generators for KV experiments and benches.
+//!
+//! The paper assumes "uniform data distributions in the DHT, and no
+//! hotspots in the access to data" (§5) — [`UniformKeys`] is that
+//! workload. [`ZipfKeys`] generates the skewed access patterns the paper
+//! defers to future work ("the mechanisms of the model for fine-grain
+//! balancement should also evolve, to deal with situations where access to
+//! data … is non-uniform"), so the repository can already measure what
+//! skew does to a quota-balanced DHT.
+
+use domus_util::DomusRng;
+
+/// Uniform random keys `key:<id>` over a dense id space.
+#[derive(Debug, Clone)]
+pub struct UniformKeys {
+    universe: u64,
+}
+
+impl UniformKeys {
+    /// Keys drawn uniformly from `universe` distinct ids.
+    pub fn new(universe: u64) -> Self {
+        assert!(universe > 0);
+        Self { universe }
+    }
+
+    /// The `i`-th distinct key (for loading).
+    pub fn key_at(&self, i: u64) -> String {
+        format!("key:{i:012}")
+    }
+
+    /// A random key draw (for lookups).
+    pub fn draw<R: DomusRng>(&self, rng: &mut R) -> String {
+        self.key_at(rng.next_below(self.universe))
+    }
+}
+
+/// Zipf-distributed keys over ranks `1..=universe` with exponent `s`,
+/// sampled by inverting a precomputed CDF (exact, O(log n) per draw).
+#[derive(Debug, Clone)]
+pub struct ZipfKeys {
+    cdf: Vec<f64>,
+}
+
+impl ZipfKeys {
+    /// A Zipf(`s`) distribution over `universe` ranks.
+    ///
+    /// # Panics
+    /// Panics if `universe == 0` or `s < 0`.
+    pub fn new(universe: u64, s: f64) -> Self {
+        assert!(universe > 0 && s >= 0.0);
+        let mut cdf = Vec::with_capacity(universe as usize);
+        let mut acc = 0.0;
+        for rank in 1..=universe {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// The key for a rank (rank 0 = hottest).
+    pub fn key_at(&self, rank: u64) -> String {
+        format!("key:{rank:012}")
+    }
+
+    /// A Zipf-distributed key draw.
+    pub fn draw<R: DomusRng>(&self, rng: &mut R) -> String {
+        let u = rng.next_f64();
+        let rank = self.cdf.partition_point(|&c| c < u);
+        self.key_at(rank as u64)
+    }
+}
+
+/// Fixed-size synthetic value of `len` bytes.
+pub fn value_of(len: usize, tag: u64) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    for (i, b) in v.iter_mut().enumerate() {
+        *b = ((tag as usize + i) % 251) as u8;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domus_util::Xoshiro256pp;
+
+    #[test]
+    fn uniform_draws_cover_the_universe() {
+        let w = UniformKeys::new(16);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(w.draw(&mut rng));
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let w = ZipfKeys::new(1000, 1.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let mut head = 0u32;
+        let n = 20_000;
+        for _ in 0..n {
+            let k = w.draw(&mut rng);
+            if k < w.key_at(10) {
+                head += 1;
+            }
+        }
+        // Under Zipf(1.0) over 1000 ranks, the top-10 ranks carry ≈ 39% of
+        // the mass; uniform would give 1%.
+        let frac = head as f64 / n as f64;
+        assert!(frac > 0.25, "head mass {frac}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let w = ZipfKeys::new(100, 0.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            let k = w.draw(&mut rng);
+            let rank: u64 = k.trim_start_matches("key:").parse().unwrap();
+            counts[(rank / 25) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..=12_000).contains(&c), "quartiles {counts:?}");
+        }
+    }
+
+    #[test]
+    fn values_are_deterministic() {
+        assert_eq!(value_of(8, 1), value_of(8, 1));
+        assert_ne!(value_of(8, 1), value_of(8, 2));
+        assert_eq!(value_of(16, 0).len(), 16);
+    }
+}

@@ -1,0 +1,100 @@
+//! Minimal CSV emission for experiment results.
+//!
+//! Only what the harness needs: header + numeric rows, RFC-4180 quoting for
+//! the (rare) textual cells. Writing goes through any `io::Write`, so tests
+//! target in-memory buffers and the harness targets `results/*.csv`.
+
+use crate::series::Series;
+use std::io::{self, Write};
+
+/// Quotes a cell per RFC 4180 when needed.
+fn quote(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Writes a header row followed by data rows.
+pub fn write_rows<W: Write>(
+    mut w: W,
+    header: &[&str],
+    rows: impl IntoIterator<Item = Vec<String>>,
+) -> io::Result<()> {
+    writeln!(w, "{}", header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","))?;
+    for row in rows {
+        writeln!(w, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","))?;
+    }
+    Ok(())
+}
+
+/// Writes a family of curves sharing one x grid as columns:
+/// `x, <name-of-series-1>, <name-of-series-2>, ...`.
+///
+/// # Panics
+/// Panics if the series do not share an identical x grid.
+pub fn write_series_columns<W: Write>(w: W, x_name: &str, series: &[Series]) -> io::Result<()> {
+    if series.is_empty() {
+        return write_rows(w, &[x_name], std::iter::empty());
+    }
+    let x = &series[0].x;
+    for s in series {
+        assert_eq!(&s.x, x, "series '{}' has a different x grid", s.name);
+    }
+    let mut header: Vec<&str> = vec![x_name];
+    header.extend(series.iter().map(|s| s.name.as_str()));
+    let rows = (0..x.len()).map(|i| {
+        let mut row = Vec::with_capacity(series.len() + 1);
+        row.push(format!("{}", x[i]));
+        row.extend(series.iter().map(|s| format!("{}", s.y[i])));
+        row
+    });
+    write_rows(w, &header, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_rules() {
+        assert_eq!(quote("plain"), "plain");
+        assert_eq!(quote("a,b"), "\"a,b\"");
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn writes_header_and_rows() {
+        let mut buf = Vec::new();
+        write_rows(&mut buf, &["a", "b"], vec![vec!["1".into(), "2".into()]]).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn series_columns_share_grid() {
+        let a = Series::new("ya", vec![1.0, 2.0], vec![0.5, 0.6]);
+        let b = Series::new("yb", vec![1.0, 2.0], vec![0.7, 0.8]);
+        let mut buf = Vec::new();
+        write_series_columns(&mut buf, "x", &[a, b]).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s, "x,ya,yb\n1,0.5,0.7\n2,0.6,0.8\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "different x grid")]
+    fn mismatched_grids_panic() {
+        let a = Series::new("ya", vec![1.0], vec![0.5]);
+        let b = Series::new("yb", vec![2.0], vec![0.7]);
+        let mut buf = Vec::new();
+        let _ = write_series_columns(&mut buf, "x", &[a, b]);
+    }
+
+    #[test]
+    fn empty_series_list_writes_header_only() {
+        let mut buf = Vec::new();
+        write_series_columns(&mut buf, "x", &[]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "x\n");
+    }
+}

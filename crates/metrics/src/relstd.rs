@@ -1,0 +1,134 @@
+//! The paper's quality metric: relative standard deviation of quotas.
+//!
+//! §2.3 of the paper: for quotas `Qv` with ideal average `Q̄v`, the model
+//! minimises `σ̄(Qv, Q̄v) = σ(Qv, Q̄v) / Q̄v`, "often expressed in percentage".
+//!
+//! Two subtleties, both reproduced here:
+//!
+//! * For vnode quotas the measured mean *equals* the ideal mean (`ΣQv = 1`,
+//!   so `mean = 1/V`), but figure 8's group metric is explicitly defined
+//!   against the **ideal** average `Q̄g = 1/G` — hence
+//!   [`rel_std_dev_about_pct`], which takes the reference mean as an
+//!   argument and measures the root-mean-square deviation *about that
+//!   reference*, not about the empirical mean.
+//! * The deviation is a population measure (the complete set of quotas at an
+//!   instant), not a sample estimate.
+
+use crate::welford::Welford;
+
+/// Relative standard deviation (percent) about the empirical mean.
+///
+/// `100 · σ(xs) / mean(xs)` with population σ. Returns 0.0 for empty input
+/// and for a zero mean (degenerate; avoids NaN in edge cases such as a
+/// single-vnode DHT).
+///
+/// ```
+/// use domus_metrics::rel_std_dev_pct;
+/// // Perfect balance: zero deviation.
+/// assert_eq!(rel_std_dev_pct([0.25, 0.25, 0.25, 0.25]), 0.0);
+/// ```
+pub fn rel_std_dev_pct<I: IntoIterator<Item = f64>>(xs: I) -> f64 {
+    let w: Welford = xs.into_iter().collect();
+    if w.is_empty() || w.mean() == 0.0 {
+        return 0.0;
+    }
+    100.0 * w.std_dev_population() / w.mean()
+}
+
+/// Relative standard deviation (percent) about a caller-supplied *ideal*
+/// mean: `100 · sqrt(mean((x − ideal)²)) / ideal`.
+///
+/// This is the figure-8 definition (`Q̄g = 1/G`). When `ideal` equals the
+/// empirical mean the result coincides with [`rel_std_dev_pct`].
+///
+/// Returns 0.0 for empty input. Panics if `ideal <= 0` (quotas are positive
+/// fractions by construction).
+pub fn rel_std_dev_about_pct<I: IntoIterator<Item = f64>>(xs: I, ideal: f64) -> f64 {
+    assert!(ideal > 0.0, "ideal mean must be positive, got {ideal}");
+    let mut n = 0u64;
+    let mut sum_sq = 0.0f64;
+    for x in xs {
+        let d = x - ideal;
+        sum_sq += d * d;
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    100.0 * (sum_sq / n as f64).sqrt() / ideal
+}
+
+/// Relative standard deviation (percent) of integer counts about their
+/// empirical mean — the global approach's `σ̄(Pv, P̄v)` shortcut (§2.4:
+/// because all partitions share one size, `σ̄(Qv) = σ̄(Pv)`).
+pub fn rel_std_dev_counts_pct(counts: &[u64]) -> f64 {
+    rel_std_dev_pct(counts.iter().map(|&c| c as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_for_uniform_input() {
+        assert_eq!(rel_std_dev_pct(vec![3.0; 17]), 0.0);
+        assert_eq!(rel_std_dev_counts_pct(&[8; 32]), 0.0);
+    }
+
+    #[test]
+    fn known_value() {
+        // xs = [1, 3]: mean 2, population σ = 1, rel = 50%.
+        let v = rel_std_dev_pct([1.0, 3.0]);
+        assert!((v - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(rel_std_dev_pct(std::iter::empty()), 0.0);
+        assert_eq!(rel_std_dev_about_pct(std::iter::empty(), 1.0), 0.0);
+    }
+
+    #[test]
+    fn about_ideal_matches_empirical_when_equal() {
+        let xs = [0.1, 0.2, 0.3, 0.4];
+        let mean = 0.25;
+        let a = rel_std_dev_pct(xs);
+        let b = rel_std_dev_about_pct(xs, mean);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn about_ideal_penalises_systematic_offset() {
+        // All quotas equal but *not* equal to the ideal: empirical σ is 0,
+        // the ideal-referenced deviation is not.
+        let xs = [0.3, 0.3, 0.3];
+        assert_eq!(rel_std_dev_pct(xs), 0.0);
+        let v = rel_std_dev_about_pct(xs, 0.25);
+        assert!((v - 20.0).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // §2.4: if Y = c·X then σ̄(Y) = σ̄(X). This is what lets the global
+        // approach use partition counts in place of quotas.
+        let xs = [2.0, 5.0, 9.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x * 12.5).collect();
+        let a = rel_std_dev_pct(xs);
+        let b = rel_std_dev_pct(ys);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counts_variant_agrees_with_float_variant() {
+        let counts = [4u64, 6, 5, 5, 8, 4];
+        let a = rel_std_dev_counts_pct(&counts);
+        let b = rel_std_dev_pct(counts.iter().map(|&c| c as f64));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "ideal mean must be positive")]
+    fn nonpositive_ideal_panics() {
+        let _ = rel_std_dev_about_pct([1.0], 0.0);
+    }
+}

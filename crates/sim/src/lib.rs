@@ -1,0 +1,33 @@
+//! # domus-sim
+//!
+//! The cluster substrate the paper's system would run on, as a
+//! deterministic cost simulator:
+//!
+//! * [`time`] — integral simulated time.
+//! * [`net`] — the one-hop, high-bandwidth, loss-free cluster network the
+//!   paper assumes (§5).
+//! * [`protocol`] — pricing of the maintenance protocols (GPDR broadcast
+//!   vs LPDR group-restricted synchronisation) and the per-group
+//!   concurrency schedule that quantifies the paper's parallelism claim:
+//!   the global approach serialises every creation on the one GPDR, the
+//!   local approach overlaps creations on disjoint groups.
+//! * [`memory`] — record-replication footprints (the "globally reduce
+//!   memory utilization" claim of §1).
+//!
+//! The simulator never re-implements the balancement logic: it *drives* a
+//! real [`domus_core::DhtEngine`] and prices the operation reports the
+//! engine emits, so the priced workload is exactly the workload the model
+//! produces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod memory;
+pub mod net;
+pub mod protocol;
+pub mod time;
+
+pub use memory::{global_footprint, local_footprint, RecordFootprint};
+pub use net::ClusterNet;
+pub use protocol::{CostModel, EventCost, ScheduledEvent, SimDriver, SimTrace};
+pub use time::SimTime;

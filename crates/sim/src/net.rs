@@ -1,0 +1,103 @@
+//! The cluster network model.
+//!
+//! §5 of the paper justifies the model's synchronisation appetite with
+//! cluster properties: "the short (typically one-hop) communication paths
+//! and high bandwidth (which make bearable events that may require
+//! synchronization between many nodes)". The network model is accordingly
+//! minimal: a single switch hop with fixed latency, shared link bandwidth
+//! per endpoint, fixed per-message framing overhead, and no loss (the
+//! paper explicitly assumes a low failure rate and omits fault tolerance).
+
+use crate::time::SimTime;
+
+/// One-hop cluster network parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterNet {
+    /// One-way wire+switch latency.
+    pub latency: SimTime,
+    /// Endpoint link bandwidth in bytes per microsecond (e.g. Fast
+    /// Ethernet ≈ 12 B/µs ≈ 100 Mbit/s; GigE ≈ 125 B/µs).
+    pub bandwidth_bytes_per_us: u64,
+    /// Fixed framing overhead added to every message, in bytes.
+    pub per_message_overhead: u64,
+}
+
+impl Default for ClusterNet {
+    /// A 2004-vintage cluster: GigE-class (125 B/µs), 50 µs one-way
+    /// latency, 64 B framing.
+    fn default() -> Self {
+        Self { latency: SimTime::micros(50), bandwidth_bytes_per_us: 125, per_message_overhead: 64 }
+    }
+}
+
+impl ClusterNet {
+    /// Serialisation (wire occupancy) time of a message with `payload`
+    /// bytes, excluding propagation.
+    pub fn wire_time(&self, payload: u64) -> SimTime {
+        let bytes = payload + self.per_message_overhead;
+        // Round up to whole nanoseconds: bytes / (B/µs) = µs → ×1000 ns.
+        SimTime((bytes * 1_000).div_ceil(self.bandwidth_bytes_per_us))
+    }
+
+    /// One-way delivery time for a message with `payload` bytes.
+    pub fn one_way(&self, payload: u64) -> SimTime {
+        self.latency + self.wire_time(payload)
+    }
+
+    /// Request/response round trip carrying `req` and `resp` bytes.
+    pub fn round_trip(&self, req: u64, resp: u64) -> SimTime {
+        self.one_way(req) + self.one_way(resp)
+    }
+
+    /// Time for one sender to issue `n` messages of `payload` bytes to
+    /// distinct receivers: the sender's link serialises the sends, the
+    /// last message then propagates.
+    pub fn fan_out(&self, n: u64, payload: u64) -> SimTime {
+        if n == 0 {
+            return SimTime::ZERO;
+        }
+        let mut t = SimTime::ZERO;
+        for _ in 0..n {
+            t += self.wire_time(payload);
+        }
+        t + self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_scales_with_size() {
+        let net = ClusterNet::default();
+        let small = net.wire_time(0);
+        let big = net.wire_time(125_000); // 1000 µs of payload
+        assert!(big > small);
+        assert_eq!(net.wire_time(125_000 - 64).nanos(), 1_000_000);
+    }
+
+    #[test]
+    fn one_way_includes_latency() {
+        let net = ClusterNet::default();
+        assert!(net.one_way(0) >= net.latency);
+        assert_eq!(net.one_way(0), net.latency + net.wire_time(0));
+    }
+
+    #[test]
+    fn fan_out_serialises_at_the_sender() {
+        let net = ClusterNet::default();
+        let one = net.fan_out(1, 100);
+        let ten = net.fan_out(10, 100);
+        // Ten messages occupy the sender's link ten times but share one
+        // final propagation.
+        assert_eq!(ten - net.latency, SimTime((one - net.latency).nanos() * 10));
+        assert_eq!(net.fan_out(0, 100), SimTime::ZERO);
+    }
+
+    #[test]
+    fn round_trip_is_symmetric_sum() {
+        let net = ClusterNet::default();
+        assert_eq!(net.round_trip(10, 20), net.one_way(10) + net.one_way(20));
+    }
+}

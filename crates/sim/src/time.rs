@@ -1,0 +1,110 @@
+//! Simulated time: nanosecond ticks.
+
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point or span of simulated time, in nanoseconds.
+///
+/// Integral ticks keep the simulation exactly reproducible (no float
+/// accumulation) and 2^64 ns ≈ 584 years, comfortably beyond any run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From microseconds.
+    pub const fn micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// From milliseconds.
+    pub const fn millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Nanosecond count.
+    pub const fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// As fractional milliseconds (reporting only).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating max.
+    pub fn max(self, other: Self) -> Self {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Self) -> Self {
+        SimTime(self.0.checked_add(rhs.0).expect("simulated time overflow"))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Self) -> Self {
+        SimTime(self.0.checked_sub(rhs.0).expect("simulated time underflow"))
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.1}µs", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::micros(5).nanos(), 5_000);
+        assert_eq!(SimTime::millis(2).nanos(), 2_000_000);
+        assert_eq!(SimTime::millis(2).as_millis_f64(), 2.0);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::micros(10);
+        let b = SimTime::micros(4);
+        assert_eq!(a + b, SimTime::micros(14));
+        assert_eq!(a - b, SimTime::micros(6));
+        assert!(b < a);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimTime(12).to_string(), "12ns");
+        assert_eq!(SimTime::micros(12).to_string(), "12.0µs");
+        assert_eq!(SimTime::millis(12).to_string(), "12.000ms");
+        assert_eq!(SimTime(1_500_000_000).to_string(), "1.500s");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime(1) - SimTime(2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Power-of-two and bit-twiddling helpers.
+//!
+//! The model of Rufino et al. is built almost entirely out of powers of two:
+//! the hash range is `2^Bh`, partition counts are powers of two (invariant
+//! G2/G2'), `Pmin`/`Vmin` are powers of two (G4/L2), and group identifiers
+//! are binary strings. These helpers centralise the checked arithmetic so
+//! the model code reads like the paper.
+
+/// Returns `true` iff `x` is a power of two (`1, 2, 4, ...`).
+///
+/// Zero is *not* a power of two.
+///
+/// ```
+/// use domus_util::bits::is_power_of_two;
+/// assert!(is_power_of_two(1));
+/// assert!(is_power_of_two(1024));
+/// assert!(!is_power_of_two(0));
+/// assert!(!is_power_of_two(12));
+/// ```
+#[inline]
+pub fn is_power_of_two(x: u64) -> bool {
+    x != 0 && x & (x - 1) == 0
+}
+
+/// `floor(log2(x))` for `x > 0`.
+///
+/// # Panics
+/// Panics if `x == 0`.
+#[inline]
+pub fn floor_log2(x: u64) -> u32 {
+    assert!(x > 0, "floor_log2(0) is undefined");
+    63 - x.leading_zeros()
+}
+
+/// `ceil(log2(x))` for `x > 0`: the smallest `k` with `2^k >= x`.
+///
+/// # Panics
+/// Panics if `x == 0`.
+#[inline]
+pub fn ceil_log2(x: u64) -> u32 {
+    assert!(x > 0, "ceil_log2(0) is undefined");
+    if is_power_of_two(x) {
+        floor_log2(x)
+    } else {
+        floor_log2(x) + 1
+    }
+}
+
+/// Smallest power of two `>= x` (for `x > 0`).
+///
+/// # Panics
+/// Panics if `x == 0` or if the result would overflow `u64`.
+#[inline]
+pub fn next_power_of_two(x: u64) -> u64 {
+    assert!(x > 0, "next_power_of_two(0) is undefined");
+    1u64.checked_shl(ceil_log2(x)).expect("next_power_of_two overflow")
+}
+
+/// Reverses the low `len` bits of `x` (bits above `len` are discarded).
+///
+/// Used by the group-identifier scheme: the paper prefixes split bits on the
+/// most-significant side, which is the bit-reversal of the natural insertion
+/// order (see `domus_core::group_id`).
+#[inline]
+pub fn reverse_low_bits(x: u64, len: u32) -> u64 {
+    debug_assert!(len <= 64);
+    if len == 0 {
+        return 0;
+    }
+    x.reverse_bits() >> (64 - len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_detection() {
+        let powers: Vec<u64> = (0..63).map(|k| 1u64 << k).collect();
+        for &p in &powers {
+            assert!(is_power_of_two(p), "{p} must be a power of two");
+        }
+        for x in [0u64, 3, 5, 6, 7, 9, 12, 100, 1023, 1025] {
+            assert!(!is_power_of_two(x), "{x} must not be a power of two");
+        }
+    }
+
+    #[test]
+    fn floor_log2_matches_float_math() {
+        for x in 1u64..=4096 {
+            assert_eq!(floor_log2(x) as f64, (x as f64).log2().floor());
+        }
+    }
+
+    #[test]
+    fn ceil_log2_matches_float_math() {
+        for x in 1u64..=4096 {
+            assert_eq!(ceil_log2(x) as f64, (x as f64).log2().ceil());
+        }
+    }
+
+    #[test]
+    fn next_power_of_two_basics() {
+        assert_eq!(next_power_of_two(1), 1);
+        assert_eq!(next_power_of_two(2), 2);
+        assert_eq!(next_power_of_two(3), 4);
+        assert_eq!(next_power_of_two(1000), 1024);
+        assert_eq!(next_power_of_two(1024), 1024);
+        assert_eq!(next_power_of_two(1025), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn floor_log2_zero_panics() {
+        let _ = floor_log2(0);
+    }
+
+    #[test]
+    fn reverse_low_bits_roundtrip() {
+        for len in 0..16u32 {
+            for x in 0..(1u64 << len.min(10)) {
+                assert_eq!(reverse_low_bits(reverse_low_bits(x, len), len), x);
+            }
+        }
+        assert_eq!(reverse_low_bits(0b001, 3), 0b100);
+        assert_eq!(reverse_low_bits(0b011, 3), 0b110);
+    }
+}

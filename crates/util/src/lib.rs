@@ -1,0 +1,24 @@
+//! # domus-util
+//!
+//! Foundation utilities shared by every crate in the `domus` workspace:
+//!
+//! * [`rng`] — small, fast, *deterministic* pseudo-random number generators
+//!   ([`rng::SplitMix64`], [`rng::Xoshiro256pp`]) with an explicit seeding
+//!   discipline. The paper's evaluation averages 100 runs of each simulation;
+//!   platform-independent, reproducible streams are therefore part of the
+//!   public contract of this workspace, not an implementation detail.
+//! * [`bits`] — power-of-two arithmetic helpers used by the hash-space
+//!   algebra and the model invariants (G2/G4/L2 all speak in powers of two).
+//!
+//! The generators implement a tiny local [`rng::DomusRng`] trait rather than
+//! `rand::RngCore` so that the hot simulation loops carry no external trait
+//! plumbing; adapters for `rand` live where they are needed (test code).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod rng;
+
+pub use bits::{ceil_log2, floor_log2, is_power_of_two, next_power_of_two};
+pub use rng::{DomusRng, SeedSequence, SplitMix64, Xoshiro256pp};

@@ -1,0 +1,382 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic decision in the paper's evaluation — the random victim
+//! point `r ∈ R_h`, the random halving of a full group, the random choice of
+//! container group, Consistent Hashing's random virtual-server points — is
+//! driven through these generators so that:
+//!
+//! 1. a `(seed, run_index)` pair fully determines a simulation, and
+//! 2. the 100-run averages reported by the experiment harness are
+//!    reproducible bit-for-bit on any platform.
+//!
+//! Two generators are provided:
+//!
+//! * [`SplitMix64`] — tiny, used for seeding and hashing-style mixing.
+//! * [`Xoshiro256pp`] — the workhorse stream (xoshiro256++ by Blackman &
+//!   Vigna), statistically strong and extremely fast; implemented from the
+//!   public-domain reference algorithm.
+
+/// Minimal RNG interface used across the workspace.
+///
+/// This is intentionally smaller than `rand::RngCore`: simulation hot loops
+/// need `u64` draws, bounded draws, floats in `[0,1)`, and in-place
+/// shuffling — nothing else.
+pub trait DomusRng {
+    /// Next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0) is undefined");
+        // Lemire 2018: unbiased bounded generation without division in the
+        // common case.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniformly distributed `usize` index in `[0, len)`.
+    fn index(&mut self, len: usize) -> usize {
+        self.next_below(len as u64) as usize
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits: the standard conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability 1/2.
+    fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Fisher–Yates shuffle of `slice`, in place.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Draws `k` distinct indices from `[0, len)` by shuffling an index
+    /// vector (exact, unbiased; `k <= len`).
+    fn sample_indices(&mut self, len: usize, k: usize) -> Vec<usize> {
+        assert!(k <= len, "cannot sample {k} items from {len}");
+        let mut idx: Vec<usize> = (0..len).collect();
+        // Partial Fisher–Yates: after k swaps the first k entries are a
+        // uniform k-subset in uniform order.
+        for i in 0..k {
+            let j = i + self.index(len - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// SplitMix64 (Steele, Lea & Flood): a 64-bit mixing generator.
+///
+/// Primarily used to expand a single `u64` seed into the 256-bit state of
+/// [`Xoshiro256pp`], and as a cheap avalanche mixer for hashing integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a raw seed (any value, including 0, is fine).
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// One-shot avalanche mix of `x` — the SplitMix64 output function.
+    ///
+    /// Useful as a fast integer hash with good avalanche behaviour.
+    #[inline]
+    pub fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl DomusRng for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna, public domain reference).
+///
+/// The default stream generator of the workspace: 256 bits of state, period
+/// `2^256 − 1`, passes BigCrush, and is a handful of ALU ops per draw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seeds the full 256-bit state from a single `u64` via SplitMix64, as
+    /// recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Self { s }
+    }
+
+    /// Creates a generator from an explicit 256-bit state.
+    ///
+    /// # Panics
+    /// Panics if the state is all zeros (the one forbidden state).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro256++ state must not be all-zero");
+        Self { s }
+    }
+
+    /// Jump function: advances the stream by `2^128` draws, yielding a
+    /// statistically independent substream. Used to derive per-run streams
+    /// from one experiment master seed.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] =
+            [0x180E_C6D3_3CFD_0ABA, 0xD5A6_1266_F0C9_392C, 0xA958_2618_E03F_C9AA, 0x39AB_DC45_29B1_661C];
+        let mut s0 = 0u64;
+        let mut s1 = 0u64;
+        let mut s2 = 0u64;
+        let mut s3 = 0u64;
+        for jump_word in JUMP {
+            for bit in 0..64 {
+                if jump_word & (1u64 << bit) != 0 {
+                    s0 ^= self.s[0];
+                    s1 ^= self.s[1];
+                    s2 ^= self.s[2];
+                    s3 ^= self.s[3];
+                }
+                self.next_u64();
+            }
+        }
+        self.s = [s0, s1, s2, s3];
+    }
+}
+
+impl DomusRng for Xoshiro256pp {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Derives independent, reproducible per-run / per-purpose RNG streams from a
+/// single experiment master seed.
+///
+/// Streams are separated by hashing `(master, label, index)` through
+/// SplitMix64 — different labels or indices give unrelated streams, and the
+/// derivation is order-independent (stream 7 is identical whether or not
+/// stream 6 was ever created).
+#[derive(Debug, Clone)]
+pub struct SeedSequence {
+    master: u64,
+}
+
+impl SeedSequence {
+    /// A seed sequence rooted at `master`.
+    pub fn new(master: u64) -> Self {
+        Self { master }
+    }
+
+    /// The master seed this sequence was created with.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// A generator for run `index` of the purpose `label`.
+    pub fn stream(&self, label: &str, index: u64) -> Xoshiro256pp {
+        let mut h = self.master;
+        for &b in label.as_bytes() {
+            h = SplitMix64::mix(h ^ b as u64);
+        }
+        h = SplitMix64::mix(h ^ index.wrapping_mul(0xA24B_AED4_963E_E407));
+        Xoshiro256pp::seed_from_u64(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vector from the xoshiro256++ authors' C code seeded with
+    /// s = {1, 2, 3, 4}.
+    #[test]
+    fn xoshiro_reference_vector() {
+        let mut rng = Xoshiro256pp::from_state([1, 2, 3, 4]);
+        let expected: [u64; 10] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+            14011001112246962877,
+            12406186145184390807,
+            15849039046786891736,
+            10450023813501588000,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_differs_by_seed() {
+        let mut a = Xoshiro256pp::seed_from_u64(1);
+        let mut b = Xoshiro256pp::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_hits_all_values() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let bound = 10u64;
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let v = rng.next_below(bound);
+            assert!(v < bound);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues below 10 should appear in 10k draws");
+    }
+
+    #[test]
+    fn next_below_is_roughly_uniform() {
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        let bound = 8u64;
+        let n = 80_000;
+        let mut counts = [0u32; 8];
+        for _ in 0..n {
+            counts[rng.next_below(bound) as usize] += 1;
+        }
+        let expect = n as f64 / bound as f64;
+        for c in counts {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "bucket off by {dev:.3} (>5%)");
+        }
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        for _ in 0..100 {
+            let s = rng.sample_indices(20, 8);
+            assert_eq!(s.len(), 8);
+            let mut dedup = s.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 8, "indices must be distinct");
+            assert!(s.iter().all(|&i| i < 20));
+        }
+    }
+
+    #[test]
+    fn sample_indices_full_range_is_permutation() {
+        let mut rng = Xoshiro256pp::seed_from_u64(13);
+        let mut s = rng.sample_indices(10, 10);
+        s.sort_unstable();
+        assert_eq!(s, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seed_sequence_streams_are_label_and_index_separated() {
+        let seq = SeedSequence::new(2024);
+        let mut a = seq.stream("fig4", 0);
+        let mut b = seq.stream("fig4", 1);
+        let mut c = seq.stream("fig6", 0);
+        let va: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
+        assert_ne!(va, vb);
+        assert_ne!(va, vc);
+        // And reproducible:
+        let mut a2 = seq.stream("fig4", 0);
+        let va2: Vec<u64> = (0..4).map(|_| a2.next_u64()).collect();
+        assert_eq!(va, va2);
+    }
+
+    #[test]
+    fn jump_produces_disjoint_prefixes() {
+        let mut a = Xoshiro256pp::seed_from_u64(1);
+        let mut b = a.clone();
+        b.jump();
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn coin_is_roughly_fair() {
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        let n = 100_000;
+        let heads = (0..n).filter(|_| rng.coin()).count();
+        let frac = heads as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "coin frac {frac}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests over the hash-space algebra: the substrate every
+//! invariant of the model ultimately rests on.
+
+use domus::hashspace::{HashSpace, OwnerMap, Partition, Quota};
+use proptest::prelude::*;
+
+/// A valid (level, index) pair for a small space.
+fn partitions(max_level: u32) -> impl Strategy<Value = Partition> {
+    (0..=max_level).prop_flat_map(|l| {
+        let max_index = if l == 0 { 1 } else { 1u64 << l };
+        (Just(l), 0..max_index).prop_map(|(l, i)| Partition::new(l, i))
+    })
+}
+
+proptest! {
+    /// Split then merge is the identity; children never overlap and tile
+    /// the parent exactly.
+    #[test]
+    fn split_merge_roundtrip(p in partitions(20)) {
+        let space = HashSpace::new(32);
+        let (a, b) = p.split();
+        prop_assert_eq!(Partition::merge(a, b), Some(p));
+        prop_assert!(!a.overlaps(&b));
+        prop_assert!(p.is_ancestor_of(&a) && p.is_ancestor_of(&b));
+        prop_assert_eq!(a.size(space) + b.size(space), p.size(space));
+        prop_assert_eq!(a.start(space), p.start(space));
+        prop_assert_eq!(b.end(space), p.end(space));
+    }
+
+    /// Two partitions overlap iff one is an ancestor-or-self of the other —
+    /// and that matches interval intersection exactly.
+    #[test]
+    fn overlap_matches_interval_intersection(a in partitions(10), b in partitions(10)) {
+        let space = HashSpace::new(16);
+        let (sa, ea) = (a.start(space) as u128, a.end(space));
+        let (sb, eb) = (b.start(space) as u128, b.end(space));
+        let intervals_intersect = sa < eb && sb < ea;
+        prop_assert_eq!(a.overlaps(&b), intervals_intersect);
+    }
+
+    /// `containing` always returns a partition of the requested level that
+    /// contains the point.
+    #[test]
+    fn containing_is_correct(level in 0u32..16, point in any::<u64>()) {
+        let space = HashSpace::new(16);
+        let point = point & space.max_point();
+        let p = Partition::containing(level, point, space);
+        prop_assert_eq!(p.level(), level);
+        prop_assert!(p.contains(point, space));
+    }
+
+    /// Quota arithmetic is exact: summing the quotas of any split tree's
+    /// leaves yields exactly 1.
+    #[test]
+    fn quota_sums_are_exact(splits in prop::collection::vec(any::<prop::sample::Index>(), 0..64)) {
+        let mut leaves = vec![Partition::ROOT];
+        for idx in splits {
+            let i = idx.index(leaves.len());
+            if leaves[i].level() < 40 {
+                let (a, b) = leaves.swap_remove(i).split();
+                leaves.push(a);
+                leaves.push(b);
+            }
+        }
+        let total: Quota = leaves.iter().map(Partition::quota).sum();
+        prop_assert!(total.is_one(), "leaves sum to {total}");
+    }
+
+    /// An OwnerMap driven by random split/transfer sequences always
+    /// verifies coverage, and every point lookup agrees with the entry
+    /// set.
+    #[test]
+    fn owner_map_coverage_under_churn(
+        script in prop::collection::vec((any::<prop::sample::Index>(), any::<u32>()), 1..80),
+        probes in prop::collection::vec(any::<u64>(), 8),
+    ) {
+        let space = HashSpace::new(16);
+        let mut map = OwnerMap::whole(space, 0u32);
+        let mut parts = vec![Partition::ROOT];
+        for (idx, owner) in script {
+            let i = idx.index(parts.len());
+            let p = parts[i];
+            if p.level() < space.bits() && (owner & 1 == 0) {
+                let (a, b) = map.split(p).unwrap();
+                parts.swap_remove(i);
+                parts.push(a);
+                parts.push(b);
+            } else {
+                map.transfer(p, owner).unwrap();
+            }
+            map.verify_coverage().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        }
+        for probe in probes {
+            let point = probe & space.max_point();
+            let (p, _) = map.lookup(point).expect("covered");
+            prop_assert!(p.contains(point, space));
+        }
+    }
+
+    /// Quota ordering is total and consistent with f64 conversion.
+    #[test]
+    fn quota_ordering_consistent(an in 0u128..1000, ad in 0u32..30, bn in 0u128..1000, bd in 0u32..30) {
+        let a = Quota::new(an, ad);
+        let b = Quota::new(bn, bd);
+        let cmp = a.cmp(&b);
+        let fcmp = a.to_f64().partial_cmp(&b.to_f64()).unwrap();
+        // f64 is exact for these magnitudes, so orders must agree.
+        prop_assert_eq!(cmp, fcmp);
+        // And addition commutes.
+        prop_assert_eq!(a + b, b + a);
+    }
+}

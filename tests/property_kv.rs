@@ -1,0 +1,97 @@
+//! Property-based tests over the KV layer: no operation sequence may lose
+//! or misplace data.
+
+use domus::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum KvOp {
+    Put(u16, u8),
+    Remove(u16),
+    Join(u8),
+    Leave(u16),
+}
+
+fn kv_ops(max: usize) -> impl Strategy<Value = Vec<KvOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            5 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| KvOp::Put(k, v)),
+            2 => any::<u16>().prop_map(KvOp::Remove),
+            1 => any::<u8>().prop_map(KvOp::Join),
+            1 => any::<u16>().prop_map(KvOp::Leave),
+        ],
+        1..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The store stays equivalent to a plain HashMap model through any
+    /// interleaving of data and maintenance operations, and placement is
+    /// verified after every maintenance event.
+    #[test]
+    fn kv_matches_model_through_churn(seed in any::<u64>(), script in kv_ops(80)) {
+        let cfg = DhtConfig::new(HashSpace::new(32), 4, 2).unwrap();
+        let mut kv = KvStore::new(LocalDht::with_seed(cfg, seed));
+        kv.join(SnodeId(0)).unwrap();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+
+        for op in script {
+            match op {
+                KvOp::Put(k, v) => {
+                    let key = format!("key:{k}");
+                    let value = vec![v; 4];
+                    kv.put(key.clone(), value.clone());
+                    model.insert(key, value);
+                }
+                KvOp::Remove(k) => {
+                    let key = format!("key:{k}");
+                    let a = kv.remove(key.as_bytes()).map(|b| b.to_vec());
+                    let b = model.remove(&key);
+                    prop_assert_eq!(a, b);
+                }
+                KvOp::Join(s) => {
+                    kv.join(SnodeId(s as u32 + 1)).unwrap();
+                    kv.verify_placement().map_err(TestCaseError::fail)?;
+                }
+                KvOp::Leave(pos) => {
+                    let vnodes = kv.engine().vnodes();
+                    if vnodes.len() > 1 {
+                        let v = vnodes[pos as usize % vnodes.len()];
+                        kv.leave(v).unwrap();
+                        kv.verify_placement().map_err(TestCaseError::fail)?;
+                    }
+                }
+            }
+        }
+        // Final audit: every model entry is present with the right value.
+        prop_assert_eq!(kv.len(), model.len() as u64);
+        for (k, v) in &model {
+            let got = kv.get(k.as_bytes());
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()), "key {}", k);
+        }
+    }
+
+    /// The CH ring's incremental quotas never drift from recomputation
+    /// through arbitrary join/leave sequences.
+    #[test]
+    fn ch_ring_incremental_quotas_exact(
+        seed in any::<u64>(),
+        k in 1u32..16,
+        script in prop::collection::vec(any::<bool>(), 1..60),
+    ) {
+        let mut ring = ChRing::with_seed(HashSpace::new(32), k, seed);
+        let mut live: Vec<ChNodeId> = Vec::new();
+        for join in script {
+            if join || live.is_empty() {
+                live.push(ring.join());
+            } else {
+                let n = live.remove(live.len() / 2);
+                ring.leave(n);
+            }
+            ring.verify().map_err(TestCaseError::fail)?;
+        }
+    }
+}
