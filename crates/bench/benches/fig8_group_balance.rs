@@ -20,16 +20,12 @@ fn bench(c: &mut Criterion) {
     for vmin in [4u64, 16, 64] {
         let dht = grown(vmin, 512);
         let groups = dht.group_count();
-        g.bench_with_input(
-            BenchmarkId::new("sigma_qg_groups", groups),
-            &dht,
-            |b, dht| b.iter(|| black_box(dht.group_quota_relstd_pct())),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("sigma_qv_groups", groups),
-            &dht,
-            |b, dht| b.iter(|| black_box(dht.vnode_quota_relstd_pct())),
-        );
+        g.bench_with_input(BenchmarkId::new("sigma_qg_groups", groups), &dht, |b, dht| {
+            b.iter(|| black_box(dht.group_quota_relstd_pct()))
+        });
+        g.bench_with_input(BenchmarkId::new("sigma_qv_groups", groups), &dht, |b, dht| {
+            b.iter(|| black_box(dht.vnode_quota_relstd_pct()))
+        });
     }
     g.finish();
 }

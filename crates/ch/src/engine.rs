@@ -1,0 +1,516 @@
+//! [`ChEngine`]: Consistent Hashing behind the model's [`DhtEngine`]
+//! interface.
+//!
+//! The paper compares its model against CH (§4.3) but the two speak
+//! different languages: the model reasons in split-tree *partitions*,
+//! CH in arbitrary ring *arcs*. This adapter translates — every arc is
+//! expressed exactly as a set of dyadic partitions
+//! ([`Partition::cover_range`]), so the downstream layers that are
+//! generic over `DhtEngine` (`KvStore`'s transfer replay, `SimDriver`'s
+//! event pricing, the experiment harness) drive a CH ring through the
+//! *same* code paths as the global and local approaches:
+//!
+//! * `create_vnode(snode)` joins one physical node with the configured
+//!   number of virtual servers and synthesizes a [`CreateReport`] whose
+//!   transfers are exactly the partition pieces the newcomer pulled from
+//!   their previous owners.
+//! * `remove_vnode` leaves the ring and reports the pieces inherited by
+//!   the surviving successors the same way.
+//! * `lookup`/`partitions_of` expose the current arc set as partitions,
+//!   so the routing invariant ("a key lives exactly where lookup
+//!   points") is checkable — and checked — identically across backends.
+//!
+//! The per-node partition view is maintained *incrementally*: each claim
+//! moves an interval between per-node ordered piece maps, splitting only
+//! the pieces the interval straddles (O(k·Bh·log P) per join/leave, like
+//! the ring's own quota bookkeeping — no O(P) rescans).
+//!
+//! CH has no groups; the whole ring is one region. Reports therefore
+//! carry `GroupId::FIRST` as their container, which also makes the
+//! simulator price CH like the global approach: one record, fully
+//! serial — exactly the comparison the paper draws.
+
+use crate::ring::{ArcClaim, ChNodeId, ChRing};
+use domus_core::{
+    CanonicalName, CreateReport, DhtConfig, DhtEngine, DhtError, GroupId, InvariantViolation, Pdr,
+    PdrEntry, RemoveReport, SnodeId, Transfer, VnodeId,
+};
+use domus_hashspace::{HashSpace, Partition};
+use std::collections::BTreeMap;
+
+/// A node's owned pieces, keyed by start point (tiles the node's arcs).
+type PieceMap = BTreeMap<u64, Partition>;
+
+/// Consistent Hashing as a [`DhtEngine`] backend.
+///
+/// ```
+/// use domus_ch::ChEngine;
+/// use domus_core::{DhtConfig, DhtEngine, SnodeId};
+/// use domus_hashspace::HashSpace;
+///
+/// let cfg = DhtConfig::new(HashSpace::new(32), 32, 1).unwrap();
+/// let mut dht = ChEngine::with_seed(cfg, 8, 7);
+/// for s in 0..4u32 {
+///     dht.create_vnode(SnodeId(s)).unwrap();
+/// }
+/// let (partition, owner) = dht.lookup(0xBEEF).unwrap();
+/// assert!(dht.partitions_of(owner).unwrap().contains(&partition));
+/// assert!(dht.check_invariants().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChEngine {
+    ring: ChRing,
+    cfg: DhtConfig,
+    /// Hosting snode per node slot (slot = `ChNodeId` index = `VnodeId`
+    /// index; slots are never reused, mirroring the engines' tombstones).
+    hosts: Vec<CanonicalName>,
+    /// Vnodes created per snode (for canonical `snode.local` names).
+    per_snode: Vec<u32>,
+    /// Current piece set per node slot.
+    parts: Vec<PieceMap>,
+}
+
+impl ChEngine {
+    /// A CH engine over `cfg`'s hash space with `virtual_servers` points
+    /// per node, deterministically seeded.
+    ///
+    /// `cfg.pmin`/`cfg.vmin` do not constrain a ring; they are carried
+    /// for the downstream layers that read the configuration.
+    pub fn with_seed(cfg: DhtConfig, virtual_servers: u32, seed: u64) -> Self {
+        Self {
+            ring: ChRing::with_seed(cfg.hash_space(), virtual_servers, seed),
+            cfg,
+            hosts: Vec::new(),
+            per_snode: Vec::new(),
+            parts: Vec::new(),
+        }
+    }
+
+    /// The underlying ring (read-only; mutate through the engine so the
+    /// partition view stays consistent).
+    pub fn ring(&self) -> &ChRing {
+        &self.ring
+    }
+
+    fn space(&self) -> HashSpace {
+        self.ring.space()
+    }
+
+    /// The key interval of an arc `(from_excl, to_incl]` as half-open
+    /// integer segments `[start, end)` (two when the arc wraps through 0).
+    fn segments(space: HashSpace, arc: ArcClaim) -> Vec<(u64, u128)> {
+        if arc.from_excl == arc.to_incl {
+            // A point's arc to itself is the whole circle.
+            return vec![(0, space.size())];
+        }
+        let end = arc.to_incl as u128 + 1;
+        if arc.to_incl > arc.from_excl {
+            vec![(arc.from_excl + 1, end)]
+        } else if arc.from_excl == space.max_point() {
+            vec![(0, end)]
+        } else {
+            vec![(arc.from_excl + 1, space.size()), (0, end)]
+        }
+    }
+
+    /// Moves the interval `[s, e)` from one piece map to another,
+    /// splitting the (at most two) pieces that straddle a boundary.
+    /// Returns the pieces that changed hands.
+    fn move_interval(
+        from: &mut PieceMap,
+        to: &mut PieceMap,
+        space: HashSpace,
+        s: u64,
+        e: u128,
+    ) -> Vec<Partition> {
+        let mut moved = Vec::new();
+        // Candidates: the piece covering `s` (it may start before `s`)
+        // plus every piece starting inside the interval.
+        let mut starts: Vec<u64> = Vec::new();
+        if let Some((&p0, piece)) = from.range(..=s).next_back() {
+            if piece.end(space) > s as u128 {
+                starts.push(p0);
+            }
+        }
+        let inside: Vec<u64> = from
+            .range(s..)
+            .take_while(|(&p, _)| (p as u128) < e)
+            .map(|(&p, _)| p)
+            .filter(|p| Some(p) != starts.first())
+            .collect();
+        starts.extend(inside);
+        for p in starts {
+            let piece = from.remove(&p).expect("candidate piece exists");
+            let (ps, pe) = (piece.start(space), piece.end(space));
+            let is = ps.max(s);
+            let ie = pe.min(e);
+            debug_assert!((is as u128) < ie, "candidate must overlap the interval");
+            if ps == is && pe == ie {
+                // Fully inside: changes hands as-is.
+                to.insert(ps, piece);
+                moved.push(piece);
+            } else {
+                // Straddles: retile the inside and outside sub-intervals
+                // (every dyadic cover of a sub-interval nests within the
+                // original piece, so the tiling stays exact).
+                for keep in Partition::cover_range(space, ps, is as u128).into_iter().chain(
+                    ie.try_into()
+                        .ok()
+                        .into_iter()
+                        .flat_map(|ie64: u64| Partition::cover_range(space, ie64, pe)),
+                ) {
+                    from.insert(keep.start(space), keep);
+                }
+                for give in Partition::cover_range(space, is, ie) {
+                    to.insert(give.start(space), give);
+                    moved.push(give);
+                }
+            }
+        }
+        moved
+    }
+
+    /// Applies a batch of claims to the piece maps, synthesizing the
+    /// transfer list. `join` moves peer → target; leave moves target →
+    /// peer.
+    fn apply_claims(&mut self, claims: &[ArcClaim], target: VnodeId, join: bool) -> Vec<Transfer> {
+        let space = self.space();
+        let mut transfers = Vec::new();
+        for claim in claims {
+            let Some(peer_node) = claim.peer else {
+                // No counterparty: the first point of an empty ring claims
+                // the whole circle from nobody (no transfer — exactly like
+                // the first vnode of the other engines).
+                debug_assert!(join, "leaving the last node is rejected upstream");
+                for piece in Partition::cover_range(space, 0, space.size()) {
+                    self.parts[target.index()].insert(piece.start(space), piece);
+                }
+                continue;
+            };
+            let peer = VnodeId(peer_node.0);
+            let (from, to) = if join { (peer, target) } else { (target, peer) };
+            for (s, e) in Self::segments(space, *claim) {
+                let (donor, recipient) = Self::two_slots(&mut self.parts, from.index(), to.index());
+                for partition in Self::move_interval(donor, recipient, space, s, e) {
+                    transfers.push(Transfer { partition, from, to });
+                }
+            }
+        }
+        transfers
+    }
+
+    /// Two distinct mutable slots out of the piece-map arena.
+    fn two_slots(parts: &mut [PieceMap], a: usize, b: usize) -> (&mut PieceMap, &mut PieceMap) {
+        debug_assert_ne!(a, b, "self-claims are filtered by the ring");
+        if a < b {
+            let (lo, hi) = parts.split_at_mut(b);
+            (&mut lo[a], &mut hi[0])
+        } else {
+            let (lo, hi) = parts.split_at_mut(a);
+            (&mut hi[0], &mut lo[b])
+        }
+    }
+
+    fn ensure_live(&self, v: VnodeId) -> Result<ChNodeId, DhtError> {
+        let node = ChNodeId(v.0);
+        if self.ring.is_live(node) {
+            Ok(node)
+        } else {
+            Err(DhtError::UnknownVnode(v))
+        }
+    }
+}
+
+impl DhtEngine for ChEngine {
+    fn config(&self) -> &DhtConfig {
+        &self.cfg
+    }
+
+    fn vnode_count(&self) -> usize {
+        self.ring.node_count()
+    }
+
+    fn group_count(&self) -> usize {
+        1
+    }
+
+    fn create_vnode(&mut self, snode: SnodeId) -> Result<(VnodeId, CreateReport), DhtError> {
+        let k = self.ring.virtual_servers_per_node();
+        let (node, claims) = self.ring.join_with_points_reporting(k);
+        let v = VnodeId(node.0);
+        debug_assert_eq!(v.index(), self.hosts.len(), "ring slots are dense");
+        if self.per_snode.len() <= snode.index() {
+            self.per_snode.resize(snode.index() + 1, 0);
+        }
+        let local = self.per_snode[snode.index()];
+        self.per_snode[snode.index()] += 1;
+        self.hosts.push(CanonicalName { snode, local });
+        self.parts.push(PieceMap::new());
+        let transfers = self.apply_claims(&claims, v, true);
+        let report = CreateReport {
+            group: Some(GroupId::FIRST),
+            lookup_point: None,
+            victim: None,
+            group_split: None,
+            partition_splits: 0,
+            transfers,
+            group_size_after: self.ring.node_count(),
+        };
+        Ok((v, report))
+    }
+
+    fn remove_vnode(&mut self, v: VnodeId) -> Result<RemoveReport, DhtError> {
+        let node = self.ensure_live(v)?;
+        if self.ring.node_count() == 1 {
+            return Err(DhtError::LastVnode);
+        }
+        let claims = self.ring.leave_reporting(node);
+        let transfers = self.apply_claims(&claims, v, false);
+        debug_assert!(self.parts[v.index()].is_empty(), "leave must drain the node");
+        Ok(RemoveReport {
+            group: Some(GroupId::FIRST),
+            transfers,
+            partition_merges: 0,
+            group_merge: None,
+            migrated: None,
+        })
+    }
+
+    fn lookup(&self, point: u64) -> Option<(Partition, VnodeId)> {
+        let owner = self.ring.lookup(point)?;
+        let space = self.space();
+        let (_, &piece) = self.parts[owner.index()].range(..=point).next_back()?;
+        debug_assert!(piece.contains(point, space), "piece map tiles the node's arcs");
+        Some((piece, VnodeId(owner.0)))
+    }
+
+    fn vnodes(&self) -> Vec<VnodeId> {
+        self.ring.nodes().into_iter().map(|n| VnodeId(n.0)).collect()
+    }
+
+    fn name_of(&self, v: VnodeId) -> Result<CanonicalName, DhtError> {
+        self.ensure_live(v)?;
+        Ok(self.hosts[v.index()])
+    }
+
+    fn snode_of(&self, v: VnodeId) -> Result<SnodeId, DhtError> {
+        Ok(self.name_of(v)?.snode)
+    }
+
+    fn partitions_of(&self, v: VnodeId) -> Result<Vec<Partition>, DhtError> {
+        self.ensure_live(v)?;
+        Ok(self.parts[v.index()].values().copied().collect())
+    }
+
+    fn partition_count(&self, v: VnodeId) -> Result<u64, DhtError> {
+        self.ensure_live(v)?;
+        Ok(self.parts[v.index()].len() as u64)
+    }
+
+    fn quota_of(&self, v: VnodeId) -> Result<f64, DhtError> {
+        let node = self.ensure_live(v)?;
+        Ok(self.ring.quota_of(node))
+    }
+
+    fn quotas(&self) -> Vec<f64> {
+        self.ring.quotas()
+    }
+
+    fn vnode_quota_relstd_pct(&self) -> f64 {
+        self.ring.node_quota_relstd_pct()
+    }
+
+    fn pdr_of(&self, v: VnodeId) -> Result<Pdr, DhtError> {
+        self.ensure_live(v)?;
+        // One region: the record visible anywhere covers every node, like
+        // the global approach's GPDR.
+        let entries = self
+            .vnodes()
+            .into_iter()
+            .map(|v| PdrEntry {
+                vnode: self.hosts[v.index()],
+                partitions: self.parts[v.index()].len() as u64,
+            })
+            .collect();
+        Ok(Pdr::new(entries))
+    }
+
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        // Incremental arc bookkeeping vs recomputation, and exact circle
+        // coverage (the ring's own G1 analogue).
+        self.ring.verify().map_err(InvariantViolation::Coverage)?;
+        let space = self.space();
+        if self.ring.node_count() == 0 {
+            return Ok(());
+        }
+        // The partition view must tile R_h exactly…
+        let total: u128 =
+            self.parts.iter().flat_map(|map| map.values().map(|p| p.size(space))).sum();
+        if total != space.size() {
+            return Err(InvariantViolation::Coverage(format!(
+                "partition view covers {total} of {} points",
+                space.size()
+            )));
+        }
+        // …agree with the ring's exact arc quotas, vnode by vnode…
+        for v in self.vnodes() {
+            let from_parts: u128 = self.parts[v.index()].values().map(|p| p.size(space)).sum();
+            let from_arcs = self.ring.arc_of(ChNodeId(v.0));
+            if from_parts != from_arcs {
+                return Err(InvariantViolation::RoutingMismatch {
+                    vnode: v,
+                    detail: format!(
+                        "partition view holds {from_parts} points, arc quota says {from_arcs}"
+                    ),
+                });
+            }
+        }
+        // …and route every piece back to its holder.
+        for v in self.vnodes() {
+            for piece in self.parts[v.index()].values() {
+                match self.ring.lookup(piece.start(space)) {
+                    Some(owner) if owner.0 == v.0 => {}
+                    other => {
+                        return Err(InvariantViolation::RoutingMismatch {
+                            vnode: v,
+                            detail: format!("piece {piece} routed to {other:?}"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(seed: u64) -> ChEngine {
+        let cfg = DhtConfig::new(HashSpace::new(32), 32, 1).unwrap();
+        ChEngine::with_seed(cfg, 8, seed)
+    }
+
+    #[test]
+    fn first_vnode_owns_everything_with_no_transfers() {
+        let mut e = engine(1);
+        let (v, rep) = e.create_vnode(SnodeId(0)).unwrap();
+        assert!(rep.transfers.is_empty(), "nobody to take from");
+        assert_eq!(rep.group, Some(GroupId::FIRST));
+        assert_eq!(e.quota_of(v).unwrap(), 1.0);
+        let total: u128 = e.partitions_of(v).unwrap().iter().map(|p| p.size(e.space())).sum();
+        assert_eq!(total, e.space().size());
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn transfers_move_exactly_the_claimed_quota() {
+        let mut e = engine(2);
+        e.create_vnode(SnodeId(0)).unwrap();
+        let before = e.quotas();
+        let (v, rep) = e.create_vnode(SnodeId(1)).unwrap();
+        assert!(!rep.transfers.is_empty(), "a second node must claim arcs");
+        let space = e.space();
+        let moved: u128 = rep.transfers.iter().map(|t| t.partition.size(space)).sum();
+        assert_eq!(moved, e.ring().arc_of(ChNodeId(v.0)), "transfer volume == quota claimed");
+        assert!(rep.transfers.iter().all(|t| t.to == v));
+        assert_eq!(before.iter().sum::<f64>(), 1.0);
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lookup_agrees_with_partition_lists() {
+        let mut e = engine(3);
+        for s in 0..6u32 {
+            e.create_vnode(SnodeId(s)).unwrap();
+        }
+        let space = e.space();
+        for key in (0..space.max_point()).step_by(1 << 24) {
+            let (p, v) = e.lookup(key).expect("covered");
+            assert!(p.contains(key, space));
+            assert!(e.partitions_of(v).unwrap().contains(&p), "{p} missing from {v}");
+        }
+    }
+
+    #[test]
+    fn removal_reports_draining_transfers() {
+        let mut e = engine(4);
+        let mut vs = Vec::new();
+        for s in 0..5u32 {
+            vs.push(e.create_vnode(SnodeId(s)).unwrap().0);
+        }
+        let victim = vs[2];
+        let arc = e.ring().arc_of(ChNodeId(victim.0));
+        let rep = e.remove_vnode(victim).unwrap();
+        let space = e.space();
+        let moved: u128 = rep.transfers.iter().map(|t| t.partition.size(space)).sum();
+        assert_eq!(moved, arc, "everything the victim held must move out");
+        assert!(rep.transfers.iter().all(|t| t.from == victim && t.to != victim));
+        assert_eq!(e.lookup(0).map(|(_, v)| v == victim), Some(false));
+        assert!(matches!(e.quota_of(victim), Err(DhtError::UnknownVnode(_))));
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn churn_preserves_the_view() {
+        let mut e = engine(12);
+        let mut live = Vec::new();
+        for s in 0..10u32 {
+            live.push(e.create_vnode(SnodeId(s)).unwrap().0);
+        }
+        for round in 0..6usize {
+            let v = live.remove(round % live.len());
+            e.remove_vnode(v).unwrap();
+            e.check_invariants().unwrap_or_else(|err| panic!("round {round}: {err}"));
+            live.push(e.create_vnode(SnodeId(90 + round as u32)).unwrap().0);
+            e.check_invariants().unwrap_or_else(|err| panic!("round {round}: {err}"));
+        }
+    }
+
+    #[test]
+    fn last_vnode_cannot_leave() {
+        let mut e = engine(5);
+        let (v, _) = e.create_vnode(SnodeId(0)).unwrap();
+        assert_eq!(e.remove_vnode(v), Err(DhtError::LastVnode));
+        assert!(matches!(e.remove_vnode(VnodeId(99)), Err(DhtError::UnknownVnode(_))));
+    }
+
+    #[test]
+    fn canonical_names_count_per_snode() {
+        let mut e = engine(6);
+        let (a, _) = e.create_vnode(SnodeId(7)).unwrap();
+        let (b, _) = e.create_vnode(SnodeId(7)).unwrap();
+        let (c, _) = e.create_vnode(SnodeId(2)).unwrap();
+        assert_eq!(e.name_of(a).unwrap().to_string(), "7.0");
+        assert_eq!(e.name_of(b).unwrap().to_string(), "7.1");
+        assert_eq!(e.name_of(c).unwrap().to_string(), "2.0");
+        assert_eq!(e.snode_of(b).unwrap(), SnodeId(7));
+    }
+
+    #[test]
+    fn pdr_covers_every_live_node() {
+        let mut e = engine(7);
+        for s in 0..4u32 {
+            e.create_vnode(SnodeId(s)).unwrap();
+        }
+        let v = e.vnodes()[1];
+        let pdr = e.pdr_of(v).unwrap();
+        assert_eq!(pdr.len(), 4);
+        let total_parts: u64 = pdr.entries().iter().map(|r| r.partitions).sum();
+        let listed: u64 = e.vnodes().iter().map(|&v| e.partition_count(v).unwrap()).sum();
+        assert_eq!(total_parts, listed);
+    }
+
+    #[test]
+    fn full_64bit_space_engine_works() {
+        let cfg = DhtConfig::paper_default();
+        let mut e = ChEngine::with_seed(cfg, 32, 11);
+        for s in 0..8u32 {
+            e.create_vnode(SnodeId(s)).unwrap();
+        }
+        e.check_invariants().unwrap();
+        let sum: f64 = e.quotas().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -17,13 +17,22 @@
 //! (u128 arc lengths), so the figure-9 sweep — measure `σ̄(Qn)` after every
 //! one of 1024 joins, 100 runs — costs O(k·log P) per join instead of a
 //! full O(P) rescan.
+//!
+//! Two views of the same ring:
+//!
+//! * [`ChRing`] — the raw ring, for hot measurement loops (fig9 sweeps).
+//! * [`ChEngine`] — the ring behind [`domus_core::DhtEngine`], so the KV
+//!   store, the simulator and the experiment harness drive CH through the
+//!   exact code paths they use for the paper's global/local approaches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod ring;
 
-pub use ring::{ChNodeId, ChRing};
+pub use engine::ChEngine;
+pub use ring::{ArcClaim, ChNodeId, ChRing};
 
 /// CFS-style guidance: virtual servers per node for an `n`-node ring with
 /// base factor `k` — `max(k, k·log2(n))`.

@@ -22,6 +22,25 @@ impl std::fmt::Display for ChNodeId {
     }
 }
 
+/// One ring arc changing hands during a join or leave: the key interval
+/// `(from_excl, to_incl]`, walking clockwise.
+///
+/// `peer` is the node on the other side of the hand-over — the previous
+/// owner on a join, the inheriting successor on a leave. It is `None`
+/// only for the degenerate hand-overs that have no counterparty: the
+/// first point of an empty ring (a join claims the whole circle from
+/// nobody) and the last point of a ring (a leave returns the circle to
+/// nobody).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArcClaim {
+    /// Exclusive clockwise start of the arc (the predecessor point).
+    pub from_excl: u64,
+    /// Inclusive clockwise end of the arc (the virtual-server point).
+    pub to_incl: u64,
+    /// The counterparty node, if any.
+    pub peer: Option<ChNodeId>,
+}
+
 /// A consistent-hashing ring.
 ///
 /// ```
@@ -101,11 +120,7 @@ impl<R: DomusRng> ChRing<R> {
 
     /// The point owning `key` (its successor on the ring), if any.
     fn successor_point(&self, key: u64) -> Option<(u64, ChNodeId)> {
-        self.points
-            .range(key..)
-            .next()
-            .or_else(|| self.points.iter().next())
-            .map(|(&p, &n)| (p, n))
+        self.points.range(key..).next().or_else(|| self.points.iter().next()).map(|(&p, &n)| (p, n))
     }
 
     /// The node responsible for `key`.
@@ -113,8 +128,20 @@ impl<R: DomusRng> ChRing<R> {
         self.successor_point(key).map(|(_, n)| n)
     }
 
-    /// Inserts one virtual-server point for `node`, maintaining quotas.
-    fn insert_point(&mut self, node: ChNodeId) {
+    /// The predecessor point of `p` walking counter-clockwise (wraps; `p`
+    /// itself when it is the only point).
+    fn predecessor_of(&self, p: u64) -> u64 {
+        self.points
+            .range(..p)
+            .next_back()
+            .or_else(|| self.points.iter().next_back())
+            .map(|(&q, _)| q)
+            .expect("non-empty ring has a predecessor")
+    }
+
+    /// Inserts one virtual-server point for `node`, maintaining quotas and
+    /// reporting the claimed arc.
+    fn insert_point(&mut self, node: ChNodeId) -> ArcClaim {
         // Redraw on (astronomically unlikely) collisions so arcs are never
         // zero-length ambiguous.
         let mut p = self.space.random_point(&mut self.rng);
@@ -124,42 +151,33 @@ impl<R: DomusRng> ChRing<R> {
         if self.points.is_empty() {
             self.points.insert(p, node);
             self.arc[node.index()] += self.space.size();
-            return;
+            return ArcClaim { from_excl: p, to_incl: p, peer: None };
         }
         // The arc (pred, p] currently belongs to p's successor; it moves to
         // the new point.
-        let pred = self
-            .points
-            .range(..p)
-            .next_back()
-            .or_else(|| self.points.iter().next_back())
-            .map(|(&q, _)| q)
-            .expect("non-empty ring has a predecessor");
+        let pred = self.predecessor_of(p);
         let (_, succ_owner) = self.successor_point(p).expect("non-empty ring has a successor");
         let len = self.arc_len(pred, p);
         self.arc[succ_owner.index()] -= len;
         self.arc[node.index()] += len;
         self.points.insert(p, node);
+        ArcClaim { from_excl: pred, to_incl: p, peer: Some(succ_owner) }
     }
 
-    /// Removes one virtual-server point, returning its arc to the successor.
-    fn remove_point(&mut self, p: u64) {
+    /// Removes one virtual-server point, returning its arc to the
+    /// successor and reporting the hand-over.
+    fn remove_point(&mut self, p: u64) -> ArcClaim {
         let node = self.points.remove(&p).expect("point exists");
         if self.points.is_empty() {
             self.arc[node.index()] -= self.space.size();
-            return;
+            return ArcClaim { from_excl: p, to_incl: p, peer: None };
         }
-        let pred = self
-            .points
-            .range(..p)
-            .next_back()
-            .or_else(|| self.points.iter().next_back())
-            .map(|(&q, _)| q)
-            .expect("non-empty ring");
+        let pred = self.predecessor_of(p);
         let (_, succ_owner) = self.successor_point(p).expect("non-empty ring");
         let len = self.arc_len(pred, p);
         self.arc[node.index()] -= len;
         self.arc[succ_owner.index()] += len;
+        ArcClaim { from_excl: pred, to_incl: p, peer: Some(succ_owner) }
     }
 
     /// Joins a homogeneous node (`k` virtual servers).
@@ -171,14 +189,25 @@ impl<R: DomusRng> ChRing<R> {
     /// for heterogeneity ("allocating to each node a different number of
     /// virtual servers").
     pub fn join_with_points(&mut self, points: u32) -> ChNodeId {
+        self.join_with_points_reporting(points).0
+    }
+
+    /// [`Self::join_with_points`], additionally reporting the arcs the
+    /// newcomer claimed from other nodes (self-claims between the
+    /// newcomer's own points are omitted — nothing changes hands).
+    pub fn join_with_points_reporting(&mut self, points: u32) -> (ChNodeId, Vec<ArcClaim>) {
         assert!(points >= 1, "a node needs at least one virtual server");
         let node = ChNodeId(self.arc.len() as u32);
         self.arc.push(0);
         self.live.push(true);
+        let mut claims = Vec::with_capacity(points as usize);
         for _ in 0..points {
-            self.insert_point(node);
+            let claim = self.insert_point(node);
+            if claim.peer != Some(node) {
+                claims.push(claim);
+            }
         }
-        node
+        (node, claims)
     }
 
     /// Joins a node with `weight` × the default virtual servers (≥ 1).
@@ -190,19 +219,56 @@ impl<R: DomusRng> ChRing<R> {
 
     /// Removes a node and all its points.
     pub fn leave(&mut self, node: ChNodeId) {
-        assert!(self.live.get(node.index()).copied().unwrap_or(false), "unknown or dead node");
+        self.leave_impl(node, None);
+    }
+
+    /// [`Self::leave`], additionally reporting the arcs handed to the
+    /// surviving successors. Arcs that cascade through the departing
+    /// node's own remaining points are reported once, against their final
+    /// surviving recipient.
+    pub fn leave_reporting(&mut self, node: ChNodeId) -> Vec<ArcClaim> {
+        let mut claims = Vec::new();
+        self.leave_impl(node, Some(&mut claims));
+        claims
+    }
+
+    fn leave_impl(&mut self, node: ChNodeId, mut claims: Option<&mut Vec<ArcClaim>>) {
+        assert!(self.is_live(node), "unknown or dead node");
         let mine: Vec<u64> =
             self.points.iter().filter(|(_, &n)| n == node).map(|(&p, _)| p).collect();
+        if let Some(claims) = claims.as_deref_mut() {
+            claims.reserve(mine.len());
+        }
         for p in mine {
-            self.remove_point(p);
+            let claim = self.remove_point(p);
+            if claim.peer != Some(node) {
+                if let Some(claims) = claims.as_deref_mut() {
+                    claims.push(claim);
+                }
+            }
         }
         self.live[node.index()] = false;
         debug_assert_eq!(self.arc[node.index()], 0);
     }
 
+    /// `true` iff `node` exists and has not left.
+    pub fn is_live(&self, node: ChNodeId) -> bool {
+        self.live.get(node.index()).copied().unwrap_or(false)
+    }
+
+    /// Live node handles, in join order.
+    pub fn nodes(&self) -> Vec<ChNodeId> {
+        (0..self.live.len()).filter(|&i| self.live[i]).map(|i| ChNodeId(i as u32)).collect()
+    }
+
     /// Exact quota of a node (fraction of `R_h`).
     pub fn quota_of(&self, node: ChNodeId) -> f64 {
         self.arc[node.index()] as f64 / self.space.size() as f64
+    }
+
+    /// Exact arc total of a node, in points of `R_h`.
+    pub fn arc_of(&self, node: ChNodeId) -> u128 {
+        self.arc[node.index()]
     }
 
     /// Quotas of all live nodes, in id order (Σ = 1 once non-empty).
@@ -346,10 +412,7 @@ mod tests {
         };
         let rough = measure(8);
         let fine = measure(64);
-        assert!(
-            fine < rough * 0.7,
-            "k=64 ({fine:.2}%) should clearly beat k=8 ({rough:.2}%)"
-        );
+        assert!(fine < rough * 0.7, "k=64 ({fine:.2}%) should clearly beat k=8 ({rough:.2}%)");
     }
 
     #[test]
@@ -360,8 +423,7 @@ mod tests {
         }
         let heavy = r.join_weighted(4.0);
         let hq = r.quota_of(heavy);
-        let avg: f64 =
-            r.quotas().iter().sum::<f64>() / r.node_count() as f64;
+        let avg: f64 = r.quotas().iter().sum::<f64>() / r.node_count() as f64;
         // The weight-4 node should hold clearly more than average (≈4×; CH
         // is noisy so accept a broad band).
         assert!(hq > 1.8 * avg, "heavy quota {hq}, average {avg}");

@@ -498,7 +498,8 @@ mod tests {
         assert_eq!(t.len(), 4);
         vs.kill(b);
         assert_eq!(vs.get(a).count(), 8);
-        let (merges, moves) = merge_all(&mut vs, &mut routing, &mut region, &cfg, &mut rng).unwrap();
+        let (merges, moves) =
+            merge_all(&mut vs, &mut routing, &mut region, &cfg, &mut rng).unwrap();
         assert_eq!(merges, 4);
         assert!(moves.is_empty(), "single owner ⇒ all pairs co-located");
         assert_eq!(vs.get(a).count(), 4);
@@ -527,7 +528,8 @@ mod tests {
         region.admit(a, 2);
         region.admit(b, 2);
         let mut rng = Xoshiro256pp::seed_from_u64(3);
-        let (merges, moves) = merge_all(&mut vs, &mut routing, &mut region, &cfg, &mut rng).unwrap();
+        let (merges, moves) =
+            merge_all(&mut vs, &mut routing, &mut region, &cfg, &mut rng).unwrap();
         assert_eq!(merges, 2);
         assert_eq!(moves.len(), 2, "each pair needs one co-location transfer");
         assert_eq!(vs.get(a).count(), 1);

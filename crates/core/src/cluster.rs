@@ -199,10 +199,7 @@ impl<E: DhtEngine> Cluster<E> {
     /// Quota per unit of weight, for heterogeneity verification: a
     /// well-balanced heterogeneous cluster has nearly equal values here.
     pub fn quota_per_weight(&self) -> Vec<(SnodeId, f64)> {
-        self.node_quotas()
-            .into_iter()
-            .map(|(s, q)| (s, q / self.nodes[&s].weight))
-            .collect()
+        self.node_quotas().into_iter().map(|(s, q)| (s, q / self.nodes[&s].weight)).collect()
     }
 }
 

@@ -8,7 +8,6 @@
 use crate::errors::DhtError;
 use domus_hashspace::HashSpace;
 use domus_util::bits::is_power_of_two;
-use serde::{Deserialize, Serialize};
 
 /// Which partition a donor vnode hands over in a transfer.
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// (§2.5, step 4a) — the choice does not affect quotas (all partitions of a
 /// group share one size), but it does affect data-migration locality, so it
 /// is exposed as a policy (ablation ABL-VICTIM).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum VictimPartitionPolicy {
     /// A uniformly random partition of the donor (default; matches the
     /// paper's stochastic spirit).
@@ -34,7 +33,7 @@ pub enum VictimPartitionPolicy {
 /// container of the new vnode." The alternative — the half that inherited
 /// the partition containing the random point `r` — is kept for ablation
 /// ABL-CONTAINER.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ContainerChoice {
     /// Uniformly random half (the paper's rule).
     #[default]
@@ -51,7 +50,7 @@ pub enum ContainerChoice {
 /// admission order stay together) is kept for ablation ABL-SPLITSEL — it
 /// concentrates co-resident vnodes and measurably changes how many LPDRs
 /// each snode must replicate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SplitSelection {
     /// Uniformly random halves (the paper's rule).
     #[default]
@@ -61,7 +60,7 @@ pub enum SplitSelection {
 }
 
 /// Immutable parameters of a DHT instance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DhtConfig {
     /// The hash range `R_h` (`Bh` bits).
     pub space: HashSpaceConfig,
@@ -78,8 +77,8 @@ pub struct DhtConfig {
     pub split_selection: SplitSelection,
 }
 
-/// Serializable stand-in for [`HashSpace`] (just the bit width).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Plain-data stand-in for [`HashSpace`] (just the bit width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HashSpaceConfig {
     /// `Bh`.
     pub bits: u32,

@@ -104,10 +104,8 @@ fn intra_group_remove<R: DomusRng>(
     );
     report.transfers.extend(transfers);
     dht.vs.kill(v);
-    let saturated = dht.groups[slot as usize]
-        .members
-        .iter()
-        .all(|&m| dht.vs.get(m).count() == dht.cfg.pmax());
+    let saturated =
+        dht.groups[slot as usize].members.iter().all(|&m| dht.vs.get(m).count() == dht.cfg.pmax());
     if saturated && !dht.groups[slot as usize].members.is_empty() {
         let (merges, extra) = balance::merge_all(
             &mut dht.vs,
@@ -124,11 +122,7 @@ fn intra_group_remove<R: DomusRng>(
 
 /// Finds the live-group slot with identifier `gid`, if any.
 fn find_live_group<R: DomusRng>(dht: &LocalDht<R>, gid: GroupId) -> Option<u32> {
-    dht.groups
-        .iter()
-        .enumerate()
-        .find(|(_, g)| g.alive && g.gid == gid)
-        .map(|(i, _)| i as u32)
+    dht.groups.iter().enumerate().find(|(_, g)| g.alive && g.gid == gid).map(|(i, _)| i as u32)
 }
 
 /// Picks the largest group (ties: smallest identifier value, then slot)
@@ -267,8 +261,7 @@ mod tests {
             let victims = dht.vnodes();
             let v = victims[victims.len() / 2];
             dht.remove_vnode(v).unwrap_or_else(|e| panic!("removing {v}: {e}"));
-            dht.check_invariants()
-                .unwrap_or_else(|e| panic!("V={} : {e}", dht.vnode_count()));
+            dht.check_invariants().unwrap_or_else(|e| panic!("V={} : {e}", dht.vnode_count()));
         }
         assert_eq!(dht.vnode_count(), 1);
         assert_eq!(dht.group_count(), 1);
@@ -350,7 +343,7 @@ mod tests {
         assert!(merge_events > 0, "shrinking to 1 vnode must merge partitions back");
         // Survivor ends at the initial level with Pmin partitions.
         let v = dht.vnodes()[0];
-        assert_eq!(dht.partitions_of(v).unwrap().len() as u64, 8);
+        assert_eq!(dht.partition_count(v).unwrap(), 8);
     }
 
     #[test]

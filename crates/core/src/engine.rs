@@ -104,8 +104,17 @@ pub trait DhtEngine {
     /// Hosting snode of a vnode.
     fn snode_of(&self, v: VnodeId) -> Result<SnodeId, DhtError>;
 
-    /// The partitions currently bound to a vnode.
-    fn partitions_of(&self, v: VnodeId) -> Result<&[Partition], DhtError>;
+    /// The partitions currently bound to a vnode (owned snapshot: engines
+    /// whose internal representation is not a flat list — e.g. the
+    /// consistent-hashing adapter's interval maps — materialise it).
+    fn partitions_of(&self, v: VnodeId) -> Result<Vec<Partition>, DhtError>;
+
+    /// The partition count `Pv` of one vnode. Engines override this to
+    /// avoid materialising the partition list when only the count is
+    /// needed (the per-creation record loops).
+    fn partition_count(&self, v: VnodeId) -> Result<u64, DhtError> {
+        Ok(self.partitions_of(v)?.len() as u64)
+    }
 
     /// The quota `Qv` of one vnode (exact partition-count over size form).
     fn quota_of(&self, v: VnodeId) -> Result<f64, DhtError>;

@@ -68,7 +68,8 @@ impl<R: DomusRng> GlobalDht<R> {
     /// `σ̄(Pv, P̄v)` in percent — the count-based shortcut metric of §2.4,
     /// valid only in the global approach.
     pub fn partition_count_relstd_pct(&self) -> f64 {
-        let counts: Vec<u64> = self.region.members.iter().map(|&m| self.vs.get(m).count()).collect();
+        let counts: Vec<u64> =
+            self.region.members.iter().map(|&m| self.vs.get(m).count()).collect();
         rel_std_dev_counts_pct(&counts)
     }
 
@@ -83,7 +84,10 @@ impl<R: DomusRng> GlobalDht<R> {
             self.region
                 .members
                 .iter()
-                .map(|&m| PdrEntry { vnode: self.vs.get(m).name, partitions: self.vs.get(m).count() })
+                .map(|&m| PdrEntry {
+                    vnode: self.vs.get(m).name,
+                    partitions: self.vs.get(m).count(),
+                })
                 .collect(),
         )
     }
@@ -140,8 +144,14 @@ impl<R: DomusRng> DhtEngine for GlobalDht<R> {
         }
         let v = self.vs.create(snode, 0);
         self.region.admit(v, 0);
-        report.transfers =
-            balance::greedy_add(&mut self.vs, &mut self.routing, &mut self.region, v, &self.cfg, &mut self.rng);
+        report.transfers = balance::greedy_add(
+            &mut self.vs,
+            &mut self.routing,
+            &mut self.region,
+            v,
+            &self.cfg,
+            &mut self.rng,
+        );
         report.group_size_after = self.region.len();
         self.debug_check();
         Ok((v, report))
@@ -165,11 +175,8 @@ impl<R: DomusRng> DhtEngine for GlobalDht<R> {
         // If redistribution saturated everyone at Pmax, the member count is
         // a power of two (capacity arithmetic — DESIGN.md §3) and G5
         // requires the merge cascade back to Pmin.
-        let all_at_pmax = self
-            .region
-            .members
-            .iter()
-            .all(|&m| self.vs.get(m).count() == self.cfg.pmax());
+        let all_at_pmax =
+            self.region.members.iter().all(|&m| self.vs.get(m).count() == self.cfg.pmax());
         if all_at_pmax {
             let (merges, extra) = balance::merge_all(
                 &mut self.vs,
@@ -204,9 +211,14 @@ impl<R: DomusRng> DhtEngine for GlobalDht<R> {
         Ok(self.vs.get(v).name.snode)
     }
 
-    fn partitions_of(&self, v: VnodeId) -> Result<&[Partition], DhtError> {
+    fn partitions_of(&self, v: VnodeId) -> Result<Vec<Partition>, DhtError> {
         self.ensure_alive(v)?;
-        Ok(&self.vs.get(v).partitions)
+        Ok(self.vs.get(v).partitions.clone())
+    }
+
+    fn partition_count(&self, v: VnodeId) -> Result<u64, DhtError> {
+        self.ensure_alive(v)?;
+        Ok(self.vs.get(v).count())
     }
 
     fn quota_of(&self, v: VnodeId) -> Result<f64, DhtError> {
@@ -235,7 +247,13 @@ impl<R: DomusRng> DhtEngine for GlobalDht<R> {
     }
 
     fn check_invariants(&self) -> Result<(), InvariantViolation> {
-        invariants::check(&self.cfg, &self.vs, std::slice::from_ref(&self.region), &self.routing, true)
+        invariants::check(
+            &self.cfg,
+            &self.vs,
+            std::slice::from_ref(&self.region),
+            &self.routing,
+            true,
+        )
     }
 }
 
@@ -263,7 +281,7 @@ mod tests {
         assert_eq!(dht.vnode_count(), 1);
         assert_eq!(dht.splitlevel(), 3);
         let v = dht.vnodes()[0];
-        assert_eq!(dht.partitions_of(v).unwrap().len(), 8);
+        assert_eq!(dht.partition_count(v).unwrap() as usize, 8);
         assert_eq!(dht.quota_of(v).unwrap(), 1.0);
         dht.check_invariants().unwrap();
     }
@@ -278,7 +296,7 @@ mod tests {
             if v.is_power_of_two() {
                 for &m in &dht.vnodes() {
                     assert_eq!(
-                        dht.partitions_of(m).unwrap().len() as u64,
+                        dht.partition_count(m).unwrap(),
                         8,
                         "V={v}: all vnodes must hold Pmin"
                     );
@@ -413,7 +431,10 @@ mod tests {
         // and the new vnode received everything it owns via transfers.
         assert!(report.partition_splits > 0);
         let new = *dht.vnodes().last().unwrap();
-        assert_eq!(report.transfers.iter().filter(|t| t.to == new).count(), dht.partitions_of(new).unwrap().len());
+        assert_eq!(
+            report.transfers.iter().filter(|t| t.to == new).count(),
+            dht.partition_count(new).unwrap() as usize
+        );
         assert!(report.transfers.iter().all(|t| t.to == new));
     }
 }

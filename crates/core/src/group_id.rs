@@ -15,14 +15,12 @@
 //! `domus_core::local`), so trie *siblings always have equal quotas* and can
 //! be merged back losslessly.
 
-use serde::{Deserialize, Serialize};
-
 /// A group identifier: a binary string of up to 64 digits.
 ///
 /// `bits` holds the digit string interpreted MSB-first (the figure-3
 /// convention: the split prepends a digit on the most-significant side), so
 /// the base-10 value shown in the paper's figure is just `bits` itself.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GroupId {
     bits: u64,
     len: u8,
@@ -71,8 +69,8 @@ impl GroupId {
         assert!(self.len < 64, "group id cannot grow beyond 64 digits");
         let len = self.len + 1;
         (
-            GroupId { bits: self.bits, len },                            // 0-prefixed
-            GroupId { bits: self.bits | 1 << (len - 1), len },           // 1-prefixed
+            GroupId { bits: self.bits, len },                  // 0-prefixed
+            GroupId { bits: self.bits | 1 << (len - 1), len }, // 1-prefixed
         )
     }
 

@@ -7,17 +7,15 @@
 //! local to the snode. Internally the engines address vnodes by a dense
 //! arena handle ([`VnodeId`]) and keep the canonical name alongside.
 
-use serde::{Deserialize, Serialize};
-
 /// Handle of a software node (dense index into the cluster's snode arena).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SnodeId(pub u32);
 
 /// Handle of a virtual node (dense index into the DHT's vnode arena).
 ///
 /// Handles are never reused: a deleted vnode's slot stays tombstoned, so a
 /// stale `VnodeId` can be detected instead of silently aliasing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VnodeId(pub u32);
 
 impl SnodeId {
@@ -50,7 +48,7 @@ impl std::fmt::Display for VnodeId {
 
 /// Canonical vnode name `snode_id.vnode_id` (paper, footnote 2): the snode
 /// handle plus the vnode's index *local to that snode*.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CanonicalName {
     /// Hosting snode.
     pub snode: SnodeId,

@@ -238,10 +238,7 @@ pub fn check(
             if vs.get(m).group != slot as u32 {
                 return Err(InvariantViolation::MembershipMismatch {
                     vnode: m,
-                    detail: format!(
-                        "back-pointer {} but listed in slot {slot}",
-                        vs.get(m).group
-                    ),
+                    detail: format!("back-pointer {} but listed in slot {slot}", vs.get(m).group),
                 });
             }
         }

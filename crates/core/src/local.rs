@@ -80,7 +80,14 @@ impl<R: DomusRng> LocalDht<R> {
     /// A DHT using the supplied RNG stream.
     pub fn with_rng(cfg: DhtConfig, rng: R) -> Self {
         let space = cfg.hash_space();
-        Self { cfg, vs: VnodeStore::new(), groups: Vec::new(), routing: OwnerMap::new(space), rng, live_groups: 0 }
+        Self {
+            cfg,
+            vs: VnodeStore::new(),
+            groups: Vec::new(),
+            routing: OwnerMap::new(space),
+            rng,
+            live_groups: 0,
+        }
     }
 
     /// Live groups as `(identifier, member count, splitlevel)` in slot
@@ -95,7 +102,10 @@ impl<R: DomusRng> LocalDht<R> {
         Some(Pdr::new(
             g.members
                 .iter()
-                .map(|&m| PdrEntry { vnode: self.vs.get(m).name, partitions: self.vs.get(m).count() })
+                .map(|&m| PdrEntry {
+                    vnode: self.vs.get(m).name,
+                    partitions: self.vs.get(m).count(),
+                })
                 .collect(),
         ))
     }
@@ -192,8 +202,11 @@ impl<R: DomusRng> LocalDht<R> {
         report: &mut CreateReport,
     ) -> Result<VnodeId, DhtError> {
         if balance::all_at_pmin(&self.vs, &self.groups[slot as usize], &self.cfg) {
-            report.partition_splits =
-                balance::split_all(&mut self.vs, &mut self.routing, &mut self.groups[slot as usize])?;
+            report.partition_splits = balance::split_all(
+                &mut self.vs,
+                &mut self.routing,
+                &mut self.groups[slot as usize],
+            )?;
         }
         let v = self.vs.create(snode, slot);
         self.groups[slot as usize].admit(v, 0);
@@ -316,9 +329,14 @@ impl<R: DomusRng> DhtEngine for LocalDht<R> {
         Ok(self.vs.get(v).name.snode)
     }
 
-    fn partitions_of(&self, v: VnodeId) -> Result<&[Partition], DhtError> {
+    fn partitions_of(&self, v: VnodeId) -> Result<Vec<Partition>, DhtError> {
         self.ensure_alive(v)?;
-        Ok(&self.vs.get(v).partitions)
+        Ok(self.vs.get(v).partitions.clone())
+    }
+
+    fn partition_count(&self, v: VnodeId) -> Result<u64, DhtError> {
+        self.ensure_alive(v)?;
+        Ok(self.vs.get(v).count())
     }
 
     fn quota_of(&self, v: VnodeId) -> Result<f64, DhtError> {
@@ -342,7 +360,8 @@ impl<R: DomusRng> DhtEngine for LocalDht<R> {
         if v == 0.0 {
             return 0.0;
         }
-        let sum_sq_q: f64 = self.groups.iter().filter(|g| g.alive).map(GroupState::sumsq_quota_f64).sum();
+        let sum_sq_q: f64 =
+            self.groups.iter().filter(|g| g.alive).map(GroupState::sumsq_quota_f64).sum();
         100.0 * (v * sum_sq_q - 1.0).max(0.0).sqrt()
     }
 

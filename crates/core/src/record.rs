@@ -9,10 +9,9 @@
 //! (SIM-MSGS, SIM-MEM) and what the paper's algorithm sorts in step 3.
 
 use crate::ids::CanonicalName;
-use serde::{Deserialize, Serialize};
 
 /// One row of a PDR: a vnode and its partition count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PdrEntry {
     /// The vnode's canonical name (`snode_id.vnode_id`).
     pub vnode: CanonicalName,
@@ -21,7 +20,7 @@ pub struct PdrEntry {
 }
 
 /// A Partition Distribution Record (global or local).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Pdr {
     entries: Vec<PdrEntry>,
 }

@@ -66,15 +66,17 @@ pub fn abl_victim(ctx: &Ctx) -> ExpReport {
     let mut ends = Vec::new();
     for &(name, p) in &policies {
         let cfg = base.with_victim_partition(p);
-        let end = average_runs(name, &format!("abl-victim-{name}"), &ctx.seeds, runs, ctx.n, move |s| {
-            growth_with(cfg, ctx.n, s).0
-        })
-        .mean_series()
-        .last_y()
-        .unwrap_or(f64::NAN);
+        let end =
+            average_runs(name, &format!("abl-victim-{name}"), &ctx.seeds, runs, ctx.n, move |s| {
+                growth_with(cfg, ctx.n, s).0
+            })
+            .mean_series()
+            .last_y()
+            .unwrap_or(f64::NAN);
         let mut transfers = 0u64;
         for r in 0..runs {
-            transfers += growth_with(cfg, ctx.n.min(256), derive_seed(&ctx.seeds, "abl-victim-tr", r)).2;
+            transfers +=
+                growth_with(cfg, ctx.n.min(256), derive_seed(&ctx.seeds, "abl-victim-tr", r)).2;
         }
         t.row(&[name.to_string(), num(end, 2), format!("{}", transfers / runs)]);
         ends.push(end);
@@ -83,8 +85,11 @@ pub fn abl_victim(ctx: &Ctx) -> ExpReport {
     rep.note(format!(
         "single-group traces bit-identical across policies: {single_group_identical} (quotas are count-determined per event)"
     ));
-    let spread = ends.iter().cloned().fold(f64::MIN, f64::max) - ends.iter().cloned().fold(f64::MAX, f64::min);
-    rep.note(format!("run-averaged end σ̄ spread across policies: {spread:.2} pp (statistical noise)"));
+    let spread = ends.iter().cloned().fold(f64::MIN, f64::max)
+        - ends.iter().cloned().fold(f64::MAX, f64::min);
+    rep.note(format!(
+        "run-averaged end σ̄ spread across policies: {spread:.2} pp (statistical noise)"
+    ));
     rep
 }
 
@@ -99,9 +104,10 @@ pub fn abl_container(ctx: &Ctx) -> ExpReport {
 
     let mut curves = Vec::new();
     let mut ends = Vec::new();
-    for (name, choice) in
-        [("RandomHalf (paper)", ContainerChoice::RandomHalf), ("OwningHalf", ContainerChoice::OwningHalf)]
-    {
+    for (name, choice) in [
+        ("RandomHalf (paper)", ContainerChoice::RandomHalf),
+        ("OwningHalf", ContainerChoice::OwningHalf),
+    ] {
         let cfg = base.with_container_choice(choice);
         let label = format!("abl-container-{name}");
         let curve = average_runs(name, &label, &ctx.seeds, runs, ctx.n, move |seed| {
@@ -118,10 +124,7 @@ pub fn abl_container(ctx: &Ctx) -> ExpReport {
     t.row(&["OwningHalf".into(), num(ends[1], 2)]);
     println!("{}", t.render());
     rep.note(format!("csv: {}", path.display()));
-    rep.note(format!(
-        "end-state σ̄(Qv): RandomHalf {:.2}% vs OwningHalf {:.2}%",
-        ends[0], ends[1]
-    ));
+    rep.note(format!("end-state σ̄(Qv): RandomHalf {:.2}% vs OwningHalf {:.2}%", ends[0], ends[1]));
     rep
 }
 
@@ -144,15 +147,22 @@ pub fn abl_splitsel(ctx: &Ctx) -> ExpReport {
         ("AdmissionOrder", SplitSelection::AdmissionOrder),
     ] {
         let cfg = base.with_split_selection(sel);
-        let end = average_runs(name, &format!("abl-splitsel-{name}"), &ctx.seeds, runs, ctx.n, move |seed| {
-            let mut dht = LocalDht::with_seed(cfg, seed);
-            let mut out = Vec::with_capacity(ctx.n);
-            for i in 0..ctx.n {
-                dht.create_vnode(SnodeId(i as u32 % snodes)).expect("growth");
-                out.push(dht.vnode_quota_relstd_pct());
-            }
-            out
-        })
+        let end = average_runs(
+            name,
+            &format!("abl-splitsel-{name}"),
+            &ctx.seeds,
+            runs,
+            ctx.n,
+            move |seed| {
+                let mut dht = LocalDht::with_seed(cfg, seed);
+                let mut out = Vec::with_capacity(ctx.n);
+                for i in 0..ctx.n {
+                    dht.create_vnode(SnodeId(i as u32 % snodes)).expect("growth");
+                    out.push(dht.vnode_quota_relstd_pct());
+                }
+                out
+            },
+        )
         .mean_series()
         .last_y()
         .unwrap_or(f64::NAN);
@@ -191,7 +201,8 @@ mod tests {
         let n = 16; // Vmax
         let (a, _, ta) = growth_with(cfg.with_victim_partition(VictimPartitionPolicy::Last), n, 7);
         let (b, _, tb) = growth_with(cfg.with_victim_partition(VictimPartitionPolicy::First), n, 7);
-        let (c, _, tc) = growth_with(cfg.with_victim_partition(VictimPartitionPolicy::Random), n, 7);
+        let (c, _, tc) =
+            growth_with(cfg.with_victim_partition(VictimPartitionPolicy::Random), n, 7);
         assert_eq!(a, b, "quota traces are count-determined");
         assert_eq!(a, c);
         assert_eq!(ta, tb);
@@ -201,7 +212,8 @@ mod tests {
     #[test]
     fn container_policies_both_preserve_invariants() {
         for choice in [ContainerChoice::RandomHalf, ContainerChoice::OwningHalf] {
-            let cfg = DhtConfig::new(HashSpace::full(), 4, 4).unwrap().with_container_choice(choice);
+            let cfg =
+                DhtConfig::new(HashSpace::full(), 4, 4).unwrap().with_container_choice(choice);
             let mut dht = LocalDht::with_seed(cfg, 3);
             for i in 0..60u32 {
                 dht.create_vnode(SnodeId(i)).unwrap();

@@ -72,7 +72,11 @@ pub fn claim_pv(ctx: &Ctx) -> ExpReport {
         .iter()
         .enumerate()
         .map(|(i, &p)| {
-            Series::new(format!("Pmin={p}"), values.iter().map(|&v| v as f64).collect(), grid[i].clone())
+            Series::new(
+                format!("Pmin={p}"),
+                values.iter().map(|&v| v as f64).collect(),
+                grid[i].clone(),
+            )
         })
         .collect();
     let path = write_csv(ctx, "claim_pv_grid", "vmin", &rows);
@@ -173,14 +177,18 @@ pub fn claim_zone1(ctx: &Ctx) -> ExpReport {
     for run in 0..ctx.runs.min(20) {
         let seed_l = derive_seed(&ctx.seeds, "claim-z1-l", run);
         let seed_g = derive_seed(&ctx.seeds, "claim-z1-g", run);
-        let l: Vec<f64> = local_growth(local_cfg, n, seed_l).iter().map(|g| g.vnode_relstd).collect();
+        let l: Vec<f64> =
+            local_growth(local_cfg, n, seed_l).iter().map(|g| g.vnode_relstd).collect();
         let g = global_growth(global_cfg, n, seed_g);
         for (a, b) in l.iter().zip(&g) {
             max_gap = max_gap.max((a - b).abs());
         }
     }
     println!("\n── CLAIM-Z1 — zone 1 equivalence (V ≤ Vmax = {}) ──", 2 * vmin);
-    println!("max |local − global| over {} runs × {n} creations: {max_gap:.3e} pp", ctx.runs.min(20));
+    println!(
+        "max |local − global| over {} runs × {n} creations: {max_gap:.3e} pp",
+        ctx.runs.min(20)
+    );
     rep.note(format!(
         "zone-1 max deviation local vs global (independent seeds): {max_gap:.3e} pp — identical, as §4.1.1 predicts"
     ));
@@ -201,8 +209,7 @@ pub fn claim_g512(ctx: &Ctx) -> ExpReport {
     let seed = derive_seed(&ctx.seeds, "claim-g512", 0);
     let l: Vec<f64> = local_growth(local_cfg, n, seed).iter().map(|g| g.vnode_relstd).collect();
     let g = global_growth(global_cfg, n, seed ^ 0x5555);
-    let max_gap =
-        l.iter().zip(&g).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+    let max_gap = l.iter().zip(&g).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!("\n── CLAIM-G512 — Vmin = {vmin} single-group equivalence over V = 1..{n} ──");
     println!("max |local − global| : {max_gap:.3e} pp");
     rep.note(format!(

@@ -98,7 +98,8 @@ mod tests {
     #[test]
     fn plateau_ordering_matches_paper() {
         // Smoke scale: bigger (Pmin,Vmin) → lower plateau.
-        let ctx = Ctx { runs: 6, n: 160, ..Ctx::quick(std::env::temp_dir().join("domus-fig4-test")) };
+        let ctx =
+            Ctx { runs: 6, n: 160, ..Ctx::quick(std::env::temp_dir().join("domus-fig4-test")) };
         let data = compute(&ctx);
         assert!(data.values.len() >= 2);
         let plateaus: Vec<f64> = data

@@ -55,7 +55,13 @@ pub fn run(ctx: &Ctx, fig4: Option<&Fig4Data>) -> ExpReport {
     let path = write_csv(ctx, "fig5_theta", "vmin", &[s_end.clone(), s_plat.clone()]);
     rep.note(format!("csv: {}", path.display()));
 
-    print_plot("Figure 5 — θ for Vmin sweep (α = β = 0.5)", &[s_end, s_plat], "θ", "Vmin", Some(1.0));
+    print_plot(
+        "Figure 5 — θ for Vmin sweep (α = β = 0.5)",
+        &[s_end, s_plat],
+        "θ",
+        "Vmin",
+        Some(1.0),
+    );
 
     let mut t = Table::new(&["Vmin", "σ̄ end %", "θ(end)", "σ̄ plateau %", "θ(plateau)"]);
     for i in 0..data.values.len() {
@@ -69,12 +75,14 @@ pub fn run(ctx: &Ctx, fig4: Option<&Fig4Data>) -> ExpReport {
     }
     println!("{}", t.render());
 
-    let argmin = |th: &[f64]| data.values[th
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-        .expect("non-empty")
-        .0];
+    let argmin = |th: &[f64]| {
+        data.values[th
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty")
+            .0]
+    };
     let m_end = argmin(&theta_end);
     let m_plat = argmin(&theta_plateau);
     rep.note(format!("θ minimised at Vmin = {m_end} (end-state σ̄); paper: 32"));

@@ -29,18 +29,28 @@ pub fn run(ctx: &Ctx) -> ExpReport {
         let cfg = DhtConfig::new(space, PMIN, vmin).expect("powers of two");
         let label = format!("fig6-{vmin}");
         curves.push(
-            average_runs(&format!("Vmin={vmin}"), &label, &ctx.seeds, ctx.runs, ctx.n, move |seed| {
-                local_growth(cfg, ctx.n, seed).iter().map(|g| g.vnode_relstd).collect()
-            })
+            average_runs(
+                &format!("Vmin={vmin}"),
+                &label,
+                &ctx.seeds,
+                ctx.runs,
+                ctx.n,
+                move |seed| local_growth(cfg, ctx.n, seed).iter().map(|g| g.vnode_relstd).collect(),
+            )
             .mean_series(),
         );
     }
     // Global-approach overlay (same Pmin). Deterministic given counts, so a
     // single run suffices, but averaging keeps the pipeline uniform.
     let gcfg = DhtConfig::new(space, PMIN, 1).expect("powers of two");
-    let global = average_runs("global approach", "fig6-global", &ctx.seeds, ctx.runs.min(4), ctx.n, move |seed| {
-        global_growth(gcfg, ctx.n, seed)
-    })
+    let global = average_runs(
+        "global approach",
+        "fig6-global",
+        &ctx.seeds,
+        ctx.runs.min(4),
+        ctx.n,
+        move |seed| global_growth(gcfg, ctx.n, seed),
+    )
     .mean_series();
     curves.push(global.clone());
 
@@ -56,9 +66,8 @@ pub fn run(ctx: &Ctx) -> ExpReport {
     );
 
     let samples = canonical_samples(ctx.n);
-    let headers: Vec<String> = std::iter::once("V".to_string())
-        .chain(curves.iter().map(|c| c.name.clone()))
-        .collect();
+    let headers: Vec<String> =
+        std::iter::once("V".to_string()).chain(curves.iter().map(|c| c.name.clone())).collect();
     let mut t = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
     for &x in &samples {
         let mut row = vec![format!("{x:.0}")];
@@ -71,16 +80,16 @@ pub fn run(ctx: &Ctx) -> ExpReport {
 
     // Degradation summary + the Vmin=512 ≡ global coincidence.
     for (vmin, c) in vmins.iter().zip(&curves) {
-        rep.note(format!("Vmin={vmin}: σ̄ at V={} is {:.2}%", ctx.n, c.last_y().unwrap_or(f64::NAN)));
+        rep.note(format!(
+            "Vmin={vmin}: σ̄ at V={} is {:.2}%",
+            ctx.n,
+            c.last_y().unwrap_or(f64::NAN)
+        ));
     }
     if vmins.contains(&(ctx.n as u64 / 2)) {
         let big = &curves[vmins.len() - 1];
-        let max_gap = big
-            .y
-            .iter()
-            .zip(&global.y)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let max_gap =
+            big.y.iter().zip(&global.y).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         rep.note(format!(
             "largest |Vmin={} − global| gap over the whole run: {:.3} pp (paper: curves coincide)",
             ctx.n / 2,
@@ -112,7 +121,8 @@ mod tests {
 
     #[test]
     fn smaller_vmin_degrades_quality() {
-        let ctx = Ctx { runs: 6, n: 128, ..Ctx::quick(std::env::temp_dir().join("domus-fig6-test")) };
+        let ctx =
+            Ctx { runs: 6, n: 128, ..Ctx::quick(std::env::temp_dir().join("domus-fig6-test")) };
         let space = HashSpace::full();
         let end = |vmin: u64| {
             let cfg = DhtConfig::new(space, PMIN, vmin).unwrap();

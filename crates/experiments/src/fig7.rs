@@ -35,10 +35,11 @@ pub fn run(ctx: &Ctx) -> ExpReport {
     let (pmin, vmin) = params(ctx);
     let cfg = DhtConfig::new(HashSpace::full(), pmin, vmin).expect("powers of two");
 
-    let avg = average_runs("G_real (mean of runs)", "fig7", &ctx.seeds, ctx.runs, ctx.n, move |seed| {
-        local_growth(cfg, ctx.n, seed).iter().map(|g| g.groups).collect()
-    })
-    .mean_series();
+    let avg =
+        average_runs("G_real (mean of runs)", "fig7", &ctx.seeds, ctx.runs, ctx.n, move |seed| {
+            local_growth(cfg, ctx.n, seed).iter().map(|g| g.groups).collect()
+        })
+        .mean_series();
 
     let single_seed = derive_seed(&ctx.seeds, "fig7", 0);
     let single = Series::new(
@@ -79,10 +80,8 @@ pub fn run(ctx: &Ctx) -> ExpReport {
     println!("{}", t.render());
 
     // Divergence diagnostics: premature and late splits.
-    let max_over: f64 =
-        avg.y.iter().zip(&ideal.y).map(|(r, i)| r - i).fold(f64::MIN, f64::max);
-    let max_under: f64 =
-        avg.y.iter().zip(&ideal.y).map(|(r, i)| i - r).fold(f64::MIN, f64::max);
+    let max_over: f64 = avg.y.iter().zip(&ideal.y).map(|(r, i)| r - i).fold(f64::MIN, f64::max);
+    let max_under: f64 = avg.y.iter().zip(&ideal.y).map(|(r, i)| i - r).fold(f64::MIN, f64::max);
     rep.note(format!(
         "max premature surplus (G_real − G_ideal): {max_over:.2} groups; max late deficit: {max_under:.2}"
     ));
@@ -102,11 +101,11 @@ mod tests {
     #[test]
     fn real_groups_straddle_the_ideal() {
         // At quick scale there must be both premature and late splits.
-        let ctx = Ctx { runs: 6, n: 160, ..Ctx::quick(std::env::temp_dir().join("domus-fig7-test")) };
+        let ctx =
+            Ctx { runs: 6, n: 160, ..Ctx::quick(std::env::temp_dir().join("domus-fig7-test")) };
         let (pmin, vmin) = params(&ctx);
         let cfg = DhtConfig::new(HashSpace::full(), pmin, vmin).unwrap();
-        let run: Vec<f64> =
-            local_growth(cfg, ctx.n, 3).iter().map(|g| g.groups).collect();
+        let run: Vec<f64> = local_growth(cfg, ctx.n, 3).iter().map(|g| g.groups).collect();
         let mut premature = false;
         let mut late = false;
         for (i, &g) in run.iter().enumerate() {

@@ -30,10 +30,11 @@ pub fn run(ctx: &Ctx) -> ExpReport {
     let (pmin, vmin) = params(ctx);
     let cfg = DhtConfig::new(HashSpace::full(), pmin, vmin).expect("powers of two");
 
-    let avg = average_runs("σ̄(Qg) (mean of runs)", "fig7", &ctx.seeds, ctx.runs, ctx.n, move |seed| {
-        local_growth(cfg, ctx.n, seed).iter().map(|g| g.group_relstd).collect()
-    })
-    .mean_series();
+    let avg =
+        average_runs("σ̄(Qg) (mean of runs)", "fig7", &ctx.seeds, ctx.runs, ctx.n, move |seed| {
+            local_growth(cfg, ctx.n, seed).iter().map(|g| g.group_relstd).collect()
+        })
+        .mean_series();
     let single_seed = derive_seed(&ctx.seeds, "fig7", 0);
     let single_run = local_growth(cfg, ctx.n, single_seed);
     let single = Series::new(
@@ -81,7 +82,8 @@ pub fn run(ctx: &Ctx) -> ExpReport {
             diverged.push(g.group_relstd);
         }
     }
-    let mean = |v: &[f64]| if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let mean =
+        |v: &[f64]| if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 };
     rep.note(format!(
         "single run: mean σ̄(Qg) while G_real = G_ideal: {:.2}% | while diverged: {:.2}% (spikes follow divergence)",
         mean(&aligned),

@@ -31,9 +31,14 @@ pub fn run(ctx: &Ctx) -> ExpReport {
     for k in [32u32, 64] {
         let label = format!("fig9-ch-{k}");
         curves.push(
-            average_runs(&format!("CH, {k} partitions/node"), &label, &ctx.seeds, ctx.runs, ctx.n, move |seed| {
-                ch_growth(space, k, ctx.n, seed)
-            })
+            average_runs(
+                &format!("CH, {k} partitions/node"),
+                &label,
+                &ctx.seeds,
+                ctx.runs,
+                ctx.n,
+                move |seed| ch_growth(space, k, ctx.n, seed),
+            )
             .mean_series(),
         );
     }
@@ -44,10 +49,17 @@ pub fn run(ctx: &Ctx) -> ExpReport {
         let cfg = DhtConfig::new(space, PMIN, vmin).expect("powers of two");
         let label = format!("fig9-local-{vmin}");
         curves.push(
-            average_runs(&format!("local approach, Vmin={vmin}"), &label, &ctx.seeds, ctx.runs, ctx.n, move |seed| {
-                // One vnode per snode: each growth step IS a node join.
-                local_growth(cfg, ctx.n, seed).iter().map(|g| g.vnode_relstd).collect()
-            })
+            average_runs(
+                &format!("local approach, Vmin={vmin}"),
+                &label,
+                &ctx.seeds,
+                ctx.runs,
+                ctx.n,
+                move |seed| {
+                    // One vnode per snode: each growth step IS a node join.
+                    local_growth(cfg, ctx.n, seed).iter().map(|g| g.vnode_relstd).collect()
+                },
+            )
             .mean_series(),
         );
     }
@@ -84,7 +96,13 @@ pub fn run(ctx: &Ctx) -> ExpReport {
     ));
     for (i, &vmin) in vmins.iter().enumerate() {
         let local = curves[2 + i].last_y().unwrap_or(f64::NAN);
-        let verdict = if local < ch64 { "beats both CH curves" } else if local < ch32 { "beats CH-32 only" } else { "loses to CH" };
+        let verdict = if local < ch64 {
+            "beats both CH curves"
+        } else if local < ch32 {
+            "beats CH-32 only"
+        } else {
+            "loses to CH"
+        };
         rep.note(format!("local Vmin={vmin}: {local:.2}% — {verdict}"));
     }
     rep
@@ -100,8 +118,9 @@ mod tests {
         let n = 128;
         let runs = 8;
         let seeds = domus_util::SeedSequence::new(5);
-        let ch = average_runs("ch", "t-ch", &seeds, runs, n, move |seed| ch_growth(space, 32, n, seed))
-            .mean_series();
+        let ch =
+            average_runs("ch", "t-ch", &seeds, runs, n, move |seed| ch_growth(space, 32, n, seed))
+                .mean_series();
         let cfg = DhtConfig::new(space, 32, 64).unwrap();
         let local = average_runs("local", "t-local", &seeds, runs, n, move |seed| {
             local_growth(cfg, n, seed).iter().map(|g| g.vnode_relstd).collect()
@@ -109,9 +128,6 @@ mod tests {
         .mean_series();
         let ch_end = ch.last_y().unwrap();
         let local_end = local.last_y().unwrap();
-        assert!(
-            local_end < ch_end,
-            "local (Vmin=64) {local_end:.2}% must beat CH-32 {ch_end:.2}%"
-        );
+        assert!(local_end < ch_end, "local (Vmin=64) {local_end:.2}% must beat CH-32 {ch_end:.2}%");
     }
 }

@@ -2,8 +2,8 @@
 //! per node must track enrollment weight, and dynamic re-enrollment
 //! (§2.1.2) must re-balance on-line.
 
-use crate::{Ctx, ExpReport};
 use crate::runner::derive_seed;
+use crate::{Ctx, ExpReport};
 use domus_core::{Cluster, DhtConfig, DhtEngine, EnrollmentPolicy, LocalDht};
 use domus_hashspace::HashSpace;
 use domus_metrics::rel_std_dev_pct;

@@ -17,7 +17,13 @@ pub fn write_csv(ctx: &Ctx, name: &str, x_name: &str, series: &[Series]) -> std:
 }
 
 /// Prints a titled ASCII plot of the series family.
-pub fn print_plot(title: &str, series: &[Series], y_label: &str, x_label: &str, y_max: Option<f64>) {
+pub fn print_plot(
+    title: &str,
+    series: &[Series],
+    y_label: &str,
+    x_label: &str,
+    y_max: Option<f64>,
+) {
     println!("\n── {title} {}", "─".repeat(60usize.saturating_sub(title.chars().count())));
     let cfg = PlotConfig {
         width: 76,

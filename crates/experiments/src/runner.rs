@@ -78,15 +78,19 @@ pub fn average_runs<F>(
 where
     F: Fn(u64) -> Vec<f64> + Sync,
 {
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(runs as usize).max(1);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(runs as usize)
+        .max(1);
     let next = std::sync::atomic::AtomicU64::new(0);
     let mut partials: Vec<MultiRunSeries> = Vec::with_capacity(workers);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let next = &next;
                 let one_run = &one_run;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut acc = MultiRunSeries::over_counts(name, n);
                     loop {
                         let r = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -103,8 +107,7 @@ where
         for h in handles {
             partials.push(h.join().expect("runner thread panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     let mut total = MultiRunSeries::over_counts(name, n);
     for p in &partials {
         total.merge(p);

@@ -6,6 +6,7 @@
 
 use crate::runner::derive_seed;
 use crate::{Ctx, ExpReport};
+use domus_ch::ChEngine;
 use domus_core::{DhtConfig, DhtEngine, GlobalDht, LocalDht};
 use domus_hashspace::HashSpace;
 use domus_metrics::table::{num, Table};
@@ -26,7 +27,15 @@ pub fn sim_makespan(ctx: &Ctx) -> ExpReport {
     let seed = derive_seed(&ctx.seeds, "sim-makespan", 0);
 
     println!("\n── SIM-MAKESPAN — {n} creations over {SNODES} snodes ──");
-    let mut t = Table::new(&["engine", "makespan", "Σ service", "parallelism", "msgs", "MB", "mean participants"]);
+    let mut t = Table::new(&[
+        "engine",
+        "makespan",
+        "Σ service",
+        "parallelism",
+        "msgs",
+        "MB",
+        "mean participants",
+    ]);
 
     let mut add_row = |name: &str, trace: &domus_sim::SimTrace| {
         t.row(&[
@@ -63,6 +72,18 @@ pub fn sim_makespan(ctx: &Ctx) -> ExpReport {
             sim.trace().parallelism()
         ));
     }
+
+    // The CH reference through the same generic driver: one ring-wide
+    // record, so (like the global approach) every join serialises on it.
+    let ccfg = DhtConfig::new(space, 32, 1).expect("powers of two");
+    let mut csim = SimDriver::new(ChEngine::with_seed(ccfg, 32, seed));
+    csim.grow(n, SNODES).expect("growth");
+    add_row("CH k=32", csim.trace());
+    rep.note(format!(
+        "CH k=32: makespan {}, parallelism {:.2} (serial, like the global approach)",
+        csim.trace().makespan(),
+        csim.trace().parallelism()
+    ));
     println!("{}", t.render());
     rep
 }
@@ -125,7 +146,8 @@ pub fn sim_mem(ctx: &Ctx) -> ExpReport {
     let seed = derive_seed(&ctx.seeds, "sim-mem", 0);
 
     println!("\n── SIM-MEM — record entries replicated at {n} vnodes / {SNODES} snodes ──");
-    let mut t = Table::new(&["engine", "total entries", "mean/snode", "max/snode", "records/snode (max)"]);
+    let mut t =
+        Table::new(&["engine", "total entries", "mean/snode", "max/snode", "records/snode (max)"]);
 
     let gcfg = DhtConfig::new(space, 32, 1).expect("powers of two");
     let mut g = GlobalDht::with_seed(gcfg, seed);

@@ -33,7 +33,10 @@ impl Partition {
     pub fn new(level: u32, index: u64) -> Self {
         assert!(level <= 64, "splitlevel {level} exceeds 64");
         if level < 64 {
-            assert!(index < (1u64 << level), "partition index {index} out of range for level {level}");
+            assert!(
+                index < (1u64 << level),
+                "partition index {index} out of range for level {level}"
+            );
         }
         Self { level, index }
     }
@@ -97,7 +100,10 @@ impl Partition {
     pub fn split(&self) -> (Partition, Partition) {
         assert!(self.level < 64, "cannot split a level-64 partition");
         let l = self.level + 1;
-        (Partition { level: l, index: self.index << 1 }, Partition { level: l, index: (self.index << 1) | 1 })
+        (
+            Partition { level: l, index: self.index << 1 },
+            Partition { level: l, index: (self.index << 1) | 1 },
+        )
     }
 
     /// The sibling under the same parent (the other half of the split).
@@ -152,6 +158,36 @@ impl Partition {
     pub fn all_at_level(level: u32) -> impl Iterator<Item = Partition> {
         assert!(level < 63, "all_at_level is a small-level debug aid");
         (0..(1u64 << level)).map(move |index| Partition { level, index })
+    }
+
+    /// The minimal sequence of non-overlapping partitions tiling the
+    /// half-open interval `[start, end)` exactly, in ascending point order
+    /// (the greedy dyadic decomposition; at most `2·Bh` pieces).
+    ///
+    /// This is how an *arbitrary* interval — e.g. a consistent-hashing arc
+    /// — is expressed in the model's partition algebra: each piece is the
+    /// largest split-tree block that starts at the current offset and fits
+    /// in the remaining span.
+    ///
+    /// # Panics
+    /// Panics if `end` exceeds the space size or `start as u128 > end`.
+    pub fn cover_range(space: HashSpace, start: u64, end: u128) -> Vec<Partition> {
+        assert!(end <= space.size(), "range end beyond the space");
+        assert!((start as u128) <= end, "inverted range");
+        let mut out = Vec::new();
+        let mut at = start as u128;
+        while at < end {
+            // Largest block aligned at `at`…
+            let align =
+                if at == 0 { space.bits() } else { (at.trailing_zeros()).min(space.bits()) };
+            // …capped by the largest power of two fitting the remainder.
+            let fit = 127 - (end - at).leading_zeros();
+            let k = align.min(fit);
+            let level = space.bits() - k;
+            out.push(Partition { level, index: (at >> k) as u64 });
+            at += 1u128 << k;
+        }
+        out
     }
 }
 
@@ -274,5 +310,47 @@ mod tests {
         assert_eq!(p.size(s), 1);
         assert_eq!(p.start(s), u64::MAX);
         assert!(p.contains(u64::MAX, s));
+    }
+
+    #[test]
+    fn cover_range_tiles_exactly() {
+        let s = s8();
+        for (start, end) in
+            [(0u64, 256u128), (0, 0), (3, 3), (0, 1), (255, 256), (3, 200), (64, 192), (1, 255)]
+        {
+            let cover = Partition::cover_range(s, start, end);
+            // Pieces abut, stay inside [start, end), and sum to the span.
+            let mut at = start as u128;
+            for p in &cover {
+                assert_eq!(p.start(s) as u128, at, "[{start}, {end}) piece {p}");
+                at = p.end(s);
+            }
+            assert_eq!(at.max(start as u128), (end).max(start as u128), "[{start}, {end}) covered");
+            let total: u128 = cover.iter().map(|p| p.size(s)).sum();
+            assert_eq!(total, end - start as u128);
+        }
+    }
+
+    #[test]
+    fn cover_range_is_minimal_on_aligned_blocks() {
+        let s = s8();
+        assert_eq!(Partition::cover_range(s, 0, 256), vec![Partition::ROOT]);
+        assert_eq!(Partition::cover_range(s, 128, 256), vec![Partition::new(1, 1)]);
+        assert_eq!(Partition::cover_range(s, 64, 128), vec![Partition::new(2, 1)]);
+        // [1, 255): forced to fine levels at the ragged edges.
+        let c = Partition::cover_range(s, 1, 255);
+        assert!(c.len() <= 2 * 8, "at most 2·Bh pieces, got {}", c.len());
+    }
+
+    #[test]
+    fn cover_range_full_64bit_space() {
+        let s = HashSpace::full();
+        assert_eq!(Partition::cover_range(s, 0, s.size()), vec![Partition::ROOT]);
+        let c = Partition::cover_range(s, u64::MAX, s.size());
+        assert_eq!(c, vec![Partition::new(64, u64::MAX)]);
+        let c = Partition::cover_range(s, 1, s.size() - 1);
+        assert!(c.len() <= 128);
+        let total: u128 = c.iter().map(|p| p.size(s)).sum();
+        assert_eq!(total, s.size() - 2);
     }
 }

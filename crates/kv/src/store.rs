@@ -137,7 +137,7 @@ impl<E: DhtEngine> KvStore<E> {
         let space = self.engine.config().hash_space();
         let start = t.partition.start(space);
         let end = t.partition.end(space); // u128: may be 2^Bh
-        // Detach [start, end) from the donor.
+                                          // Detach [start, end) from the donor.
         let donor = self.slot(t.from);
         let mut moved = donor.split_off(&start);
         if end <= u64::MAX as u128 {
@@ -319,10 +319,7 @@ mod tests {
         for (v, n) in kv.entries_per_vnode() {
             let quota = kv.engine().quota_of(v).unwrap();
             let share = n as f64 / total;
-            assert!(
-                (share - quota).abs() < 0.05,
-                "{v}: share {share:.3} vs quota {quota:.3}"
-            );
+            assert!((share - quota).abs() < 0.05, "{v}: share {share:.3} vs quota {quota:.3}");
         }
     }
 
@@ -352,7 +349,10 @@ mod tests {
             kv.verify_placement().unwrap_or_else(|e| panic!("round {round}: {e}"));
         }
         for i in 0..200u32 {
-            assert_eq!(kv.get(format!("k{i}").as_bytes()).unwrap().as_ref(), format!("v{i}").as_bytes());
+            assert_eq!(
+                kv.get(format!("k{i}").as_bytes()).unwrap().as_ref(),
+                format!("v{i}").as_bytes()
+            );
         }
     }
 }

@@ -30,7 +30,7 @@ pub mod series;
 pub mod table;
 pub mod welford;
 
-pub use relstd::{rel_std_dev_pct, rel_std_dev_about_pct};
+pub use relstd::{rel_std_dev_about_pct, rel_std_dev_pct};
 pub use series::{MultiRunSeries, Series};
 pub use table::Table;
 pub use welford::Welford;

@@ -27,7 +27,13 @@ pub struct PlotConfig {
 
 impl Default for PlotConfig {
     fn default() -> Self {
-        Self { width: 72, height: 20, y_range: None, x_label: String::new(), y_label: String::new() }
+        Self {
+            width: 72,
+            height: 20,
+            y_range: None,
+            x_label: String::new(),
+            y_label: String::new(),
+        }
     }
 }
 
@@ -125,7 +131,8 @@ mod tests {
     #[test]
     fn plot_contains_legend_and_axis() {
         let s = demo_series();
-        let cfg = PlotConfig { x_label: "n".into(), y_label: "sqrt(n)".into(), ..Default::default() };
+        let cfg =
+            PlotConfig { x_label: "n".into(), y_label: "sqrt(n)".into(), ..Default::default() };
         let p = ascii_plot(&[s], &cfg);
         assert!(p.contains("sqrt"));
         assert!(p.contains('*'));

@@ -138,7 +138,8 @@ impl SimTrace {
         if self.events.is_empty() {
             return 0.0;
         }
-        self.events.iter().map(|e| e.cost.participants as f64).sum::<f64>() / self.events.len() as f64
+        self.events.iter().map(|e| e.cost.participants as f64).sum::<f64>()
+            / self.events.len() as f64
     }
 }
 
@@ -325,10 +326,7 @@ mod tests {
         l.grow(128, 16).unwrap();
         let l_last = l.trace().events[127].cost.messages;
         // Group-bounded: participants ≤ Vmax ⇒ messages stay small.
-        assert!(
-            l_last < g_last,
-            "local sync ({l_last} msgs) must undercut global ({g_last} msgs)"
-        );
+        assert!(l_last < g_last, "local sync ({l_last} msgs) must undercut global ({g_last} msgs)");
     }
 
     #[test]

@@ -159,8 +159,12 @@ impl Xoshiro256pp {
     /// statistically independent substream. Used to derive per-run streams
     /// from one experiment master seed.
     pub fn jump(&mut self) {
-        const JUMP: [u64; 4] =
-            [0x180E_C6D3_3CFD_0ABA, 0xD5A6_1266_F0C9_392C, 0xA958_2618_E03F_C9AA, 0x39AB_DC45_29B1_661C];
+        const JUMP: [u64; 4] = [
+            0x180E_C6D3_3CFD_0ABA,
+            0xD5A6_1266_F0C9_392C,
+            0xA958_2618_E03F_C9AA,
+            0x39AB_DC45_29B1_661C,
+        ];
         let mut s0 = 0u64;
         let mut s1 = 0u64;
         let mut s2 = 0u64;

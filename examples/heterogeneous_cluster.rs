@@ -27,11 +27,22 @@ fn main() {
         }
     }
 
-    println!("\n{:<8} {:<5} {:>6} {:>8} {:>9} {:>14}", "snode", "gen", "weight", "vnodes", "quota %", "quota/weight %");
+    println!(
+        "\n{:<8} {:<5} {:>6} {:>8} {:>9} {:>14}",
+        "snode", "gen", "weight", "vnodes", "quota %", "quota/weight %"
+    );
     for &(s, gen, w) in &nodes {
         let q = cluster.node_quotas().iter().find(|(n, _)| *n == s).map(|(_, q)| *q).unwrap();
         let v = cluster.vnodes_of(s).unwrap().len();
-        println!("{:<8} {:<5} {:>6.1} {:>8} {:>9.3} {:>14.3}", s.to_string(), gen, w, v, 100.0 * q, 100.0 * q / w);
+        println!(
+            "{:<8} {:<5} {:>6.1} {:>8} {:>9.3} {:>14.3}",
+            s.to_string(),
+            gen,
+            w,
+            v,
+            100.0 * q,
+            100.0 * q / w
+        );
     }
     println!(
         "\nquota-per-weight spread: {:.2}% relative — flat ⇒ share tracks enrollment",
@@ -40,9 +51,11 @@ fn main() {
 
     // One old machine gets a disk upgrade: on-line re-enrollment.
     let (upgraded, _, _) = nodes[0];
-    let before = cluster.node_quotas().iter().find(|(n, _)| *n == upgraded).map(|(_, q)| *q).unwrap();
+    let before =
+        cluster.node_quotas().iter().find(|(n, _)| *n == upgraded).map(|(_, q)| *q).unwrap();
     cluster.set_weight(upgraded, 3.0).expect("re-enroll");
-    let after = cluster.node_quotas().iter().find(|(n, _)| *n == upgraded).map(|(_, q)| *q).unwrap();
+    let after =
+        cluster.node_quotas().iter().find(|(n, _)| *n == upgraded).map(|(_, q)| *q).unwrap();
     println!(
         "\n{} re-enrolls 1.0 → 3.0: quota {:.3}% → {:.3}% (×{:.2})",
         upgraded,

@@ -33,7 +33,11 @@ fn main() {
         sim.grow(n, snodes).expect("growth");
         let t = sim.trace();
         println!("\nlocal approach, Vmin = {vmin}:");
-        println!("  makespan      = {} ({:.1}× faster)", t.makespan(), gt.makespan().nanos() as f64 / t.makespan().nanos() as f64);
+        println!(
+            "  makespan      = {} ({:.1}× faster)",
+            t.makespan(),
+            gt.makespan().nanos() as f64 / t.makespan().nanos() as f64
+        );
         println!("  parallelism   = {:.2}", t.parallelism());
         println!("  messages      = {}", t.messages());
         println!("  participants  = {:.1} snodes per creation (mean)", t.mean_participants());
@@ -47,7 +51,9 @@ fn main() {
     let cfg = DhtConfig::new(HashSpace::full(), 8, 4).expect("valid config");
     let mut sim = SimDriver::new(LocalDht::with_seed(cfg, 5));
     sim.grow(40, 8).expect("growth");
-    println!("\nevent schedule excerpt (local, Vmin = 4) — overlapping starts on different groups:");
+    println!(
+        "\nevent schedule excerpt (local, Vmin = 4) — overlapping starts on different groups:"
+    );
     println!("  {:<6} {:<12} {:>12} {:>12}", "vnode", "group", "start", "done");
     for e in sim.trace().events.iter().skip(28).take(8) {
         println!(

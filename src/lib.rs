@@ -65,7 +65,7 @@ pub use domus_util as util;
 
 /// The most common imports in one line: `use domus::prelude::*;`.
 pub mod prelude {
-    pub use domus_ch::{ChNodeId, ChRing};
+    pub use domus_ch::{ChEngine, ChNodeId, ChRing};
     pub use domus_core::{
         Cluster, ContainerChoice, DhtConfig, DhtEngine, DhtError, EnrollmentPolicy, GlobalDht,
         GroupId, LocalDht, Pdr, SnodeId, SplitSelection, VictimPartitionPolicy, VnodeId,

@@ -1,0 +1,172 @@
+//! Backend parity: the same join/leave/lookup script must uphold the same
+//! routing invariants on every [`DhtEngine`] — the paper's global approach
+//! (§2), its local approach (§3), and the Consistent-Hashing reference
+//! (§4.3) behind the `ChEngine` adapter. The quality of balancement
+//! *differs* by design (that is the paper's whole point); what must agree
+//! is the contract: total lookup, routing ↔ partition-list consistency,
+//! exact quota conservation, transfer-driven data migration.
+
+use domus::prelude::*;
+use domus_core::DhtEngine;
+
+const BITS: u32 = 32;
+
+fn space() -> HashSpace {
+    HashSpace::new(BITS)
+}
+
+fn global() -> GlobalDht {
+    GlobalDht::with_seed(DhtConfig::new(space(), 4, 1).unwrap(), 0xA1)
+}
+
+fn local() -> LocalDht {
+    LocalDht::with_seed(DhtConfig::new(space(), 4, 2).unwrap(), 0xA2)
+}
+
+fn ch() -> ChEngine {
+    ChEngine::with_seed(DhtConfig::new(space(), 4, 1).unwrap(), 8, 0xA3)
+}
+
+/// Deterministic probe points spread over the space.
+fn probes() -> Vec<u64> {
+    let mut rng = Xoshiro256pp::seed_from_u64(2004);
+    (0..64).map(|_| space().random_point(&mut rng)).collect()
+}
+
+/// The shared script: grow, probe, shrink, probe — asserting the engine
+/// contract after every phase.
+fn run_script<E: DhtEngine>(label: &str, mut dht: E) {
+    // Phase 1: sixteen vnodes round-robin over five snodes.
+    for i in 0..16u32 {
+        let (v, report) = dht.create_vnode(SnodeId(i % 5)).unwrap();
+        // Reports must name the created vnode's container group and only
+        // move partitions *to* somewhere (joins pull, never push).
+        assert!(report.group.is_some(), "{label}: creation must report a group");
+        for t in &report.transfers {
+            assert_ne!(t.from, t.to, "{label}: self-transfer in report");
+        }
+        assert!(dht.vnodes().contains(&v), "{label}: fresh vnode listed");
+    }
+    assert_contract(label, &dht, 16);
+
+    // Phase 2: remove five vnodes (every third), re-assert.
+    let victims: Vec<VnodeId> = dht.vnodes().into_iter().step_by(3).take(5).collect();
+    for v in victims {
+        let report = dht.remove_vnode(v).unwrap();
+        // A removal may also carry merge co-location moves between other
+        // vnodes (local approach), but never hands anything *to* the
+        // departing vnode.
+        for t in &report.transfers {
+            assert_ne!(t.to, v, "{label}: leave transfer back to the departing vnode");
+            assert_ne!(t.from, t.to, "{label}: self-transfer in report");
+        }
+        // The handle is dead immediately.
+        assert!(dht.quota_of(v).is_err(), "{label}: dead vnode still answers");
+    }
+    assert_contract(label, &dht, 11);
+}
+
+/// The DhtEngine contract every backend must satisfy.
+fn assert_contract<E: DhtEngine>(label: &str, dht: &E, expect_vnodes: usize) {
+    assert_eq!(dht.vnode_count(), expect_vnodes, "{label}");
+    assert_eq!(dht.vnodes().len(), expect_vnodes, "{label}");
+    dht.check_invariants().unwrap_or_else(|e| panic!("{label}: {e}"));
+
+    // Exact quota conservation, and agreement between the two quota views.
+    let quotas = dht.quotas();
+    assert_eq!(quotas.len(), expect_vnodes, "{label}");
+    let total: f64 = quotas.iter().sum();
+    assert!((total - 1.0).abs() < 1e-9, "{label}: quotas sum to {total}");
+    for (&v, &q) in dht.vnodes().iter().zip(&quotas) {
+        assert_eq!(dht.quota_of(v).unwrap(), q, "{label}: quota views disagree at {v}");
+    }
+
+    // Every key lands where lookup points.
+    for point in probes() {
+        let (partition, owner) = dht.lookup(point).unwrap_or_else(|| panic!("{label}: lookup gap"));
+        assert!(partition.contains(point, space()), "{label}: wrong partition at {point}");
+        assert!(
+            dht.partitions_of(owner).unwrap().contains(&partition),
+            "{label}: {owner} does not list its routed partition"
+        );
+    }
+
+    // Names resolve and are unique.
+    let mut names: Vec<String> =
+        dht.vnodes().iter().map(|&v| dht.name_of(v).unwrap().to_string()).collect();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), expect_vnodes, "{label}: canonical names must be unique");
+
+    // The PDR view agrees with the partition lists.
+    let v0 = dht.vnodes()[0];
+    let pdr = dht.pdr_of(v0).unwrap();
+    assert!(!pdr.is_empty(), "{label}: empty record");
+    let listed: u64 = pdr.entries().iter().map(|e| e.partitions).sum();
+    assert!(listed > 0, "{label}");
+    assert_eq!(dht.snode_of(v0).unwrap(), dht.name_of(v0).unwrap().snode, "{label}");
+}
+
+#[test]
+fn engine_contract_parity_across_backends() {
+    run_script("global", global());
+    run_script("local", local());
+    run_script("ch", ch());
+}
+
+/// The KV store is generic over the engine: the identical workload loses
+/// no data on any backend, with migration driven purely by the reports.
+fn run_kv<E: DhtEngine>(label: &str, engine: E) {
+    let mut kv = KvStore::new(engine);
+    kv.join(SnodeId(0)).unwrap();
+    for i in 0..400u32 {
+        kv.put(format!("key:{i}"), format!("value-{i}"));
+    }
+    for s in 1..10u32 {
+        kv.join(SnodeId(s)).unwrap();
+        kv.verify_placement().unwrap_or_else(|e| panic!("{label}: after join {s}: {e}"));
+    }
+    let vnodes = kv.engine().vnodes();
+    for v in vnodes.into_iter().take(4) {
+        kv.leave(v).unwrap();
+        kv.verify_placement().unwrap_or_else(|e| panic!("{label}: after leave {v}: {e}"));
+    }
+    assert_eq!(kv.len(), 400, "{label}: entries lost");
+    for i in 0..400u32 {
+        assert_eq!(
+            kv.get(format!("key:{i}").as_bytes()).unwrap().as_ref(),
+            format!("value-{i}").as_bytes(),
+            "{label}: key:{i}"
+        );
+    }
+}
+
+#[test]
+fn kv_store_runs_generically_over_all_backends() {
+    run_kv("global", global());
+    run_kv("local", local());
+    run_kv("ch", ch());
+}
+
+/// The simulator is generic over the engine: it prices whatever reports
+/// the backend emits. CH and the global approach share one record (fully
+/// serial); the local approach must overlap events on disjoint groups.
+#[test]
+fn sim_driver_runs_generically_over_all_backends() {
+    let mut g = SimDriver::new(global());
+    g.grow(48, 6).unwrap();
+    let mut l = SimDriver::new(local());
+    l.grow(48, 6).unwrap();
+    let mut c = SimDriver::new(ch());
+    c.grow(48, 6).unwrap();
+
+    for (label, trace) in [("global", g.trace()), ("local", l.trace()), ("ch", c.trace())] {
+        assert_eq!(trace.events.len(), 48, "{label}");
+        assert!(trace.makespan() > SimTime::ZERO, "{label}");
+        assert!(trace.messages() > 0, "{label}");
+    }
+    // Single-record backends are exactly serial; the local approach is not.
+    assert!((g.trace().parallelism() - 1.0).abs() < 1e-9);
+    assert!((c.trace().parallelism() - 1.0).abs() < 1e-9);
+    assert!(l.trace().parallelism() > 1.0);
+}

@@ -17,9 +17,7 @@ fn paper_greedy_reference(mut counts: Vec<u64>) -> Vec<u64> {
     };
     loop {
         // step 3: sort by count, take the most loaded (the victim vnode).
-        let victim = (0..counts.len() - 1)
-            .max_by_key(|&i| counts[i])
-            .expect("at least one donor");
+        let victim = (0..counts.len() - 1).max_by_key(|&i| counts[i]).expect("at least one donor");
         // step 4: move only if σ strictly decreases.
         let before = sigma(&counts);
         let mut trial = counts.clone();
@@ -47,11 +45,8 @@ fn engine_greedy_matches_literal_paper_algorithm() {
     let mut dht = GlobalDht::with_seed(cfg, 77);
     dht.create_vnode(SnodeId(0)).unwrap();
     for i in 1..80u32 {
-        let mut counts: Vec<u64> = dht
-            .vnodes()
-            .iter()
-            .map(|&v| dht.partitions_of(v).unwrap().len() as u64)
-            .collect();
+        let mut counts: Vec<u64> =
+            dht.vnodes().iter().map(|&v| dht.partition_count(v).unwrap()).collect();
         // The engine's split cascade: all at Pmin ⇒ everything doubles.
         if counts.iter().all(|&c| c == 8) {
             for c in &mut counts {
@@ -60,9 +55,8 @@ fn engine_greedy_matches_literal_paper_algorithm() {
         }
         let expected = sorted(paper_greedy_reference(counts));
         dht.create_vnode(SnodeId(i)).unwrap();
-        let actual: Vec<u64> = sorted(
-            dht.vnodes().iter().map(|&v| dht.partitions_of(v).unwrap().len() as u64).collect(),
-        );
+        let actual: Vec<u64> =
+            sorted(dht.vnodes().iter().map(|&v| dht.partition_count(v).unwrap()).collect());
         assert_eq!(actual, expected, "count multiset diverged at V={}", i + 1);
     }
 }
@@ -148,7 +142,8 @@ fn global_and_local_zone1_equality_is_exact_per_run() {
 #[test]
 fn heterogeneous_cluster_end_to_end() {
     let cfg = DhtConfig::new(HashSpace::full(), 8, 8).unwrap();
-    let mut cluster = Cluster::with_policy(LocalDht::with_seed(cfg, 5), EnrollmentPolicy { unit: 4 });
+    let mut cluster =
+        Cluster::with_policy(LocalDht::with_seed(cfg, 5), EnrollmentPolicy { unit: 4 });
     let mut ids = Vec::new();
     for w in [1.0, 1.0, 2.0, 4.0, 1.0, 2.0] {
         ids.push(cluster.join(w).unwrap().0);

@@ -48,18 +48,15 @@ fn smaller_groups_buy_more_parallelism() {
 #[test]
 fn global_message_cost_scales_with_population() {
     let sim = grow_global(256, 32, 5);
-    let early: u64 =
-        sim.trace().events[8..16].iter().map(|e| e.cost.messages).sum();
-    let late: u64 =
-        sim.trace().events[248..256].iter().map(|e| e.cost.messages).sum();
+    let early: u64 = sim.trace().events[8..16].iter().map(|e| e.cost.messages).sum();
+    let late: u64 = sim.trace().events[248..256].iter().map(|e| e.cost.messages).sum();
     assert!(late > early, "GPDR rounds must grow: early {early}, late {late}");
 }
 
 #[test]
 fn local_message_cost_is_group_bounded() {
     let sim = grow_local(512, 32, 16, 5);
-    let max_msgs =
-        sim.trace().events.iter().map(|e| e.cost.messages).max().unwrap();
+    let max_msgs = sim.trace().events.iter().map(|e| e.cost.messages).max().unwrap();
     // Participants ≤ Vmax(=32) snodes; each contributes a couple of
     // messages plus transfers bounded by Pmax.
     assert!(max_msgs < 300, "local events must stay group-bounded, saw {max_msgs}");

@@ -1,0 +1,329 @@
+//! Minimal in-tree stand-in for the crates.io `criterion` crate.
+//!
+//! Implements the subset the `domus-bench` crate uses: benchmark groups,
+//! `bench_function`/`bench_with_input`, `iter`/`iter_batched`, IDs,
+//! throughput annotation and the `criterion_group!`/`criterion_main!`
+//! entry points. Measurement is a plain wall-clock mean over a fixed
+//! sample count with a short warm-up — no statistics, outlier analysis,
+//! plots or HTML reports. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup (accepted for API compatibility;
+/// the stub always runs setup once per measured invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives the measured routine.
+pub struct Bencher {
+    samples: u64,
+    /// Mean wall-clock time per measured invocation, filled by `iter*`.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, averaging over the configured sample count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one unmeasured invocation.
+        let _ = routine();
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            let _ = routine();
+        }
+        self.elapsed = start.elapsed() / self.samples as u32;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let _ = routine(setup());
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let _ = routine(input);
+            total += start.elapsed();
+        }
+        self.elapsed = total / self.samples as u32;
+    }
+
+    /// `iter_batched` with a by-reference routine.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let _ = routine(&mut setup());
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let start = Instant::now();
+            let _ = routine(&mut input);
+            total += start.elapsed();
+        }
+        self.elapsed = total / self.samples as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub keeps its fixed plan.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher { samples: self.sample_size, elapsed: Duration::ZERO };
+        f(&mut b);
+        self.criterion.report(&full, b.elapsed, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: None, sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (`cargo bench` passes `--bench`;
+    /// a bare positional argument filters benchmark names by substring).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--noplot" | "--quiet" => {}
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
+                        self.sample_size = n;
+                    }
+                }
+                // Swallow `--flag value` pairs the real harness accepts.
+                s if s.starts_with("--") => {
+                    let _ = args.next();
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Default sample count per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size, throughput: None }
+    }
+
+    /// Runs a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("crate").bench_function(id, f);
+        self
+    }
+
+    /// Final sweep after all groups ran (no-op).
+    pub fn final_summary(&mut self) {}
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().map(|f| full_name.contains(f)).unwrap_or(true)
+    }
+
+    fn report(&mut self, name: &str, per_iter: Duration, throughput: Option<Throughput>) {
+        let ns = per_iter.as_nanos().max(1);
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 * 1e9 / ns as f64)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} B/s", n as f64 * 1e9 / ns as f64)
+            }
+            None => String::new(),
+        };
+        println!("{name:<56} {}{rate}", human_time(per_iter));
+    }
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns:>8} ns")
+    } else if ns < 1_000_000 {
+        format!("{:>8.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:>8.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:>8.2} s ", ns as f64 / 1e9)
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's traditional name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        g.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &n| {
+            b.iter_batched(|| vec![0u8; n as usize], |v| v.len(), BatchSize::SmallInput);
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn groups_run_and_measure() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { filter: Some("nomatch".into()), sample_size: 3 };
+        // Would loop forever if run; must be skipped by the filter.
+        c.benchmark_group("g").bench_function("spin", |_b| panic!("must not run"));
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 7).id, "f/7");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}
