@@ -1,0 +1,56 @@
+//! Churn-driver benchmarks: events/sec of the replay hot path
+//! (event dispatch + engine mutation + report pricing + window sampling),
+//! control-plane only — the CHURN experiment's kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use domus_ch::ChEngine;
+use domus_churn::{Capacity, ChurnDriver, DriverConfig, Lifetime, Process, Scenario};
+use domus_core::{DhtConfig, GlobalDht, LocalDht};
+use domus_hashspace::HashSpace;
+use domus_sim::SimTime;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // A sustained interleaved join/leave storm with a mid-run failure —
+    // the exact event shapes the CHURN experiment replays.
+    let stream = Scenario::new(SimTime::millis(600_000))
+        .with(Process::InitialFleet { nodes: 16, capacity: Capacity::Fixed(2) })
+        .with(Process::Poisson {
+            rate_per_s: 2.0,
+            lifetime: Lifetime::Pareto { min: SimTime::millis(30_000), alpha: 1.5 },
+            capacity: Capacity::Uniform { lo: 1, hi: 2 },
+        })
+        .with(Process::GroupFailure { at: SimTime::millis(400_000), fraction: 0.2 })
+        .build(2004);
+    let space = HashSpace::full();
+
+    let mut g = c.benchmark_group("churn_replay");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(stream.len() as u64));
+
+    g.bench_with_input(BenchmarkId::new("events", "local"), &stream, |b, stream| {
+        let cfg = DhtConfig::new(space, 32, 32).expect("config");
+        b.iter(|| {
+            let driver = ChurnDriver::new(LocalDht::with_seed(cfg, 7), DriverConfig::default());
+            black_box(driver.run(stream).totals.messages)
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("events", "global"), &stream, |b, stream| {
+        let cfg = DhtConfig::new(space, 32, 1).expect("config");
+        b.iter(|| {
+            let driver = ChurnDriver::new(GlobalDht::with_seed(cfg, 7), DriverConfig::default());
+            black_box(driver.run(stream).totals.messages)
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("events", "ch"), &stream, |b, stream| {
+        let cfg = DhtConfig::new(space, 32, 1).expect("config");
+        b.iter(|| {
+            let driver = ChurnDriver::new(ChEngine::with_seed(cfg, 32, 7), DriverConfig::default());
+            black_box(driver.run(stream).totals.messages)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

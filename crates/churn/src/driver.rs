@@ -1,0 +1,696 @@
+//! The replay engine: an [`EventStream`] driven into any [`DhtEngine`].
+//!
+//! [`ChurnDriver`] replays membership events, prices every resulting
+//! `CreateReport`/`RemoveReport` through `domus-sim`'s [`CostModel`], and
+//! samples [`BalanceSnapshot`]s at a fixed simulated-time cadence into
+//! per-window rows. With the optional KV overlay the run also measures
+//! data-plane effects: entries migrated per event, lookup correctness of
+//! a probe set, and a per-window *availability* figure — the fraction of
+//! probe keys whose owning vnode did **not** change during the window
+//! (an owner change mid-window is a request that would have hit a node
+//! mid-migration).
+//!
+//! Replay is rank- and tag-based (see [`crate::event`]), so the identical
+//! stream drives the global approach, the local approach and Consistent
+//! Hashing through the same decisions — cross-backend outputs differ only
+//! by what the engines themselves do.
+
+use crate::event::{ChurnEvent, EventKind, EventStream, NodeTag};
+use domus_core::{BalanceSnapshot, DhtEngine, SnodeId, VnodeId};
+use domus_kv::workload::value_of;
+use domus_kv::{KvService, KvStore, UniformKeys};
+use domus_metrics::Series;
+use domus_sim::{ClusterNet, CostModel, EventCost, SimTime};
+use std::collections::BTreeSet;
+use std::io::{self, Write};
+
+/// Replay configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriverConfig {
+    /// Network model used to price protocol traffic.
+    pub net: ClusterNet,
+    /// CPU/transfer cost model.
+    pub cost: CostModel,
+    /// Sampling cadence: one [`WindowSample`] per `window` of simulated
+    /// time.
+    pub window: SimTime,
+    /// Maximum number of probe keys the KV overlay tracks for
+    /// availability/correctness (ignored without the overlay).
+    pub probes: usize,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        Self {
+            net: ClusterNet::default(),
+            cost: CostModel::default(),
+            window: SimTime::millis(30_000),
+            probes: 256,
+        }
+    }
+}
+
+/// Per-window accumulator (reset at every window boundary).
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowAcc {
+    events: u64,
+    joins: u64,
+    leaves: u64,
+    skipped: u64,
+    transfers: u64,
+    messages: u64,
+    bytes: u64,
+    service_ns: u64,
+    entries_migrated: u64,
+}
+
+impl WindowAcc {
+    fn absorb(&mut self, cost: EventCost) {
+        self.messages += cost.messages;
+        self.bytes += cost.bytes;
+        self.service_ns += cost.duration.nanos();
+    }
+}
+
+/// One observation window of a churn run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSample {
+    /// Window index (0-based).
+    pub index: usize,
+    /// Window end, simulated time.
+    pub end: SimTime,
+    /// Membership events replayed in the window.
+    pub events: u64,
+    /// Vnodes created.
+    pub joins: u64,
+    /// Vnodes removed.
+    pub leaves: u64,
+    /// Membership operations that could not be applied: a departure of an
+    /// already-gone node or a failure on an empty roster count one each;
+    /// the keep-one-vnode guard counts one per guarded removal.
+    pub skipped: u64,
+    /// Partition transfers across all events.
+    pub transfers: u64,
+    /// Priced protocol messages.
+    pub messages: u64,
+    /// Priced wire bytes.
+    pub bytes: u64,
+    /// Priced service time (sum of event durations).
+    pub service: SimTime,
+    /// KV entries migrated (0 without the overlay).
+    pub entries_migrated: u64,
+    /// Balance/shape snapshot at the window end.
+    pub balance: BalanceSnapshot,
+    /// Fraction of probe keys whose owner did not change in the window
+    /// (1.0 without the overlay or before data is loaded).
+    pub availability: f64,
+    /// Probe keys that failed to read back at the window end (must stay 0
+    /// — a nonzero value is a routing/migration bug).
+    pub lost_lookups: u64,
+}
+
+/// Whole-run aggregate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunTotals {
+    /// Events replayed.
+    pub events: u64,
+    /// Vnodes created.
+    pub joins: u64,
+    /// Vnodes removed.
+    pub leaves: u64,
+    /// Membership operations that could not be applied (see
+    /// [`WindowSample::skipped`]).
+    pub skipped: u64,
+    /// Total partition transfers.
+    pub transfers: u64,
+    /// Total priced messages.
+    pub messages: u64,
+    /// Total priced bytes.
+    pub bytes: u64,
+    /// Total priced service time.
+    pub service: SimTime,
+    /// Total KV entries migrated.
+    pub entries_migrated: u64,
+    /// Unweighted mean of per-window availability.
+    pub mean_availability: f64,
+    /// Total probe read failures (must be 0).
+    pub lost_lookups: u64,
+}
+
+/// The finished result of one churn run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnOutcome {
+    /// Per-window rows, in time order.
+    pub samples: Vec<WindowSample>,
+    /// Balance snapshot at the horizon.
+    pub final_balance: BalanceSnapshot,
+    /// Whole-run totals.
+    pub totals: RunTotals,
+}
+
+impl ChurnOutcome {
+    /// The CSV header of [`ChurnOutcome::write_csv`].
+    pub const CSV_HEADER: [&'static str; 19] = [
+        "window",
+        "t_ms",
+        "events",
+        "joins",
+        "leaves",
+        "skipped",
+        "vnodes",
+        "groups",
+        "snodes",
+        "balance_vnode_pct",
+        "balance_snode_pct",
+        "peak_over_ideal",
+        "transfers",
+        "messages",
+        "bytes",
+        "service_ns",
+        "entries_migrated",
+        "availability",
+        "lost_lookups",
+    ];
+
+    /// Writes the per-window rows as CSV. The formatting is fixed-point,
+    /// so two identical runs emit byte-identical files — the determinism
+    /// contract the CHURN experiment asserts.
+    pub fn write_csv<W: Write>(&self, w: W) -> io::Result<()> {
+        let rows = self.samples.iter().map(|s| {
+            vec![
+                s.index.to_string(),
+                format!("{:.3}", s.end.as_millis_f64()),
+                s.events.to_string(),
+                s.joins.to_string(),
+                s.leaves.to_string(),
+                s.skipped.to_string(),
+                s.balance.vnodes.to_string(),
+                s.balance.groups.to_string(),
+                s.balance.snodes.to_string(),
+                format!("{:.4}", s.balance.vnode_relstd_pct),
+                format!("{:.4}", s.balance.snode_relstd_pct),
+                format!("{:.4}", s.balance.max_quota_over_ideal),
+                s.transfers.to_string(),
+                s.messages.to_string(),
+                s.bytes.to_string(),
+                s.service.nanos().to_string(),
+                s.entries_migrated.to_string(),
+                format!("{:.4}", s.availability),
+                s.lost_lookups.to_string(),
+            ]
+        });
+        domus_metrics::csv::write_rows(w, &Self::CSV_HEADER, rows)
+    }
+
+    /// The CSV as a string (convenience for tests and comparisons).
+    pub fn csv_string(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_csv(&mut buf).expect("in-memory write");
+        String::from_utf8(buf).expect("CSV is ASCII")
+    }
+
+    /// Extracts a named time series `(t_ms, pick(window))` for plotting.
+    pub fn series(&self, name: impl Into<String>, pick: impl Fn(&WindowSample) -> f64) -> Series {
+        Series::new(
+            name,
+            self.samples.iter().map(|s| s.end.as_millis_f64()).collect(),
+            self.samples.iter().map(pick).collect(),
+        )
+    }
+}
+
+/// What the driver drives: the bare engine, or the engine threaded
+/// through a [`KvService`] so every membership event migrates real data.
+enum Plant<E: DhtEngine> {
+    Bare(E),
+    Kv(KvService<E>),
+}
+
+/// Replays an [`EventStream`] into one engine, pricing and sampling.
+pub struct ChurnDriver<E: DhtEngine> {
+    plant: Plant<E>,
+    cfg: DriverConfig,
+    /// Live vnodes in creation order, tagged by their arrival.
+    roster: Vec<(NodeTag, VnodeId)>,
+    clock: SimTime,
+    next_window_end: SimTime,
+    acc: WindowAcc,
+    samples: Vec<WindowSample>,
+    /// KV overlay: population to load at the first join.
+    pending_load: Option<(u64, usize)>,
+    /// Probe keys and their owner at the last window boundary.
+    probe_keys: Vec<String>,
+    probe_owner: Vec<Option<VnodeId>>,
+}
+
+impl<E: DhtEngine> ChurnDriver<E> {
+    /// A control-plane-only driver (no data moves, pricing + balance
+    /// sampling only) — the bench hot path.
+    pub fn new(engine: E, cfg: DriverConfig) -> Self {
+        Self::build(Plant::Bare(engine), cfg, None)
+    }
+
+    /// A driver with the KV overlay: `entries` uniform keys with
+    /// `value_len`-byte values are loaded at the first join, then every
+    /// event migrates real data and the probe set measures availability.
+    pub fn with_kv(engine: E, cfg: DriverConfig, entries: u64, value_len: usize) -> Self {
+        assert!(entries > 0, "KV overlay needs a key population");
+        Self::build(
+            Plant::Kv(KvService::new(KvStore::new(engine))),
+            cfg,
+            Some((entries, value_len)),
+        )
+    }
+
+    fn build(plant: Plant<E>, cfg: DriverConfig, pending_load: Option<(u64, usize)>) -> Self {
+        assert!(cfg.window > SimTime::ZERO, "sampling window must be positive");
+        Self {
+            plant,
+            cfg,
+            roster: Vec::new(),
+            clock: SimTime::ZERO,
+            next_window_end: cfg.window,
+            acc: WindowAcc::default(),
+            samples: Vec::new(),
+            pending_load,
+            probe_keys: Vec::new(),
+            probe_owner: Vec::new(),
+        }
+    }
+
+    /// Read access to the engine regardless of the overlay.
+    pub fn with_engine<T>(&self, f: impl FnOnce(&E) -> T) -> T {
+        match &self.plant {
+            Plant::Bare(e) => f(e),
+            Plant::Kv(svc) => svc.with_read(|s| f(s.engine())),
+        }
+    }
+
+    /// The KV service handle, when the overlay is active.
+    pub fn kv(&self) -> Option<&KvService<E>> {
+        match &self.plant {
+            Plant::Bare(_) => None,
+            Plant::Kv(svc) => Some(svc),
+        }
+    }
+
+    /// Live vnodes currently tracked by the replay roster.
+    pub fn live(&self) -> usize {
+        self.roster.len()
+    }
+
+    /// Replays one event (time must be nondecreasing across calls).
+    pub fn step(&mut self, event: &ChurnEvent) {
+        self.advance_to(event.at);
+        match event.kind {
+            EventKind::Join { node, vnodes } => {
+                for _ in 0..vnodes.max(1) {
+                    self.create_one(node);
+                }
+            }
+            EventKind::Leave { node } => {
+                let victims: Vec<VnodeId> =
+                    self.roster.iter().filter(|(t, _)| *t == node).map(|&(_, v)| v).collect();
+                if victims.is_empty() {
+                    self.acc.skipped += 1; // already gone (e.g. a failure took it)
+                }
+                self.remove_all(victims);
+            }
+            EventKind::FailSlice { fraction_ppm, draw } => {
+                let live = self.roster.len();
+                if live == 0 {
+                    self.acc.skipped += 1;
+                } else {
+                    let n = ((live as u64 * fraction_ppm as u64) / 1_000_000).max(1) as usize;
+                    let start = (draw % live as u64) as usize;
+                    let victims: Vec<VnodeId> =
+                        (0..n.min(live)).map(|i| self.roster[(start + i) % live].1).collect();
+                    self.remove_all(victims);
+                }
+            }
+        }
+        self.acc.events += 1;
+    }
+
+    /// Replays a whole stream and finishes the run.
+    pub fn run(mut self, stream: &EventStream) -> ChurnOutcome {
+        for e in stream.events() {
+            self.step(e);
+        }
+        self.finish(stream.horizon())
+    }
+
+    /// Closes the remaining windows through `horizon` and aggregates.
+    pub fn finish(mut self, horizon: SimTime) -> ChurnOutcome {
+        let horizon = horizon.max(self.clock);
+        while self.next_window_end < horizon {
+            let b = self.next_window_end;
+            self.close_window(b);
+            self.next_window_end = b + self.cfg.window;
+        }
+        // When the last event sat exactly on a window boundary,
+        // advance_to already closed a window ending at `horizon`; only
+        // emit another (same-timestamp) row if events landed after it.
+        let closed_at_horizon = self.samples.last().map(|s| s.end == horizon).unwrap_or(false);
+        if !closed_at_horizon || self.acc.events > 0 {
+            self.close_window(horizon);
+        }
+
+        let final_balance = self.with_engine(BalanceSnapshot::capture);
+        let mut totals = RunTotals {
+            events: 0,
+            joins: 0,
+            leaves: 0,
+            skipped: 0,
+            transfers: 0,
+            messages: 0,
+            bytes: 0,
+            service: SimTime::ZERO,
+            entries_migrated: 0,
+            mean_availability: 1.0,
+            lost_lookups: 0,
+        };
+        for s in &self.samples {
+            totals.events += s.events;
+            totals.joins += s.joins;
+            totals.leaves += s.leaves;
+            totals.skipped += s.skipped;
+            totals.transfers += s.transfers;
+            totals.messages += s.messages;
+            totals.bytes += s.bytes;
+            totals.service += s.service;
+            totals.entries_migrated += s.entries_migrated;
+            totals.lost_lookups += s.lost_lookups;
+        }
+        if !self.samples.is_empty() {
+            totals.mean_availability = self.samples.iter().map(|s| s.availability).sum::<f64>()
+                / self.samples.len() as f64;
+        }
+        ChurnOutcome { samples: self.samples, final_balance, totals }
+    }
+
+    /// Rolls the clock forward, closing any windows the gap crosses.
+    /// Windows are left-open, right-closed `(prev, end]`: an event landing
+    /// exactly on a boundary belongs to the window ending there, so a
+    /// truncated stream (horizon = last event time) never produces two
+    /// samples with the same timestamp.
+    fn advance_to(&mut self, t: SimTime) {
+        debug_assert!(t >= self.clock, "events must be replayed in time order");
+        while t > self.next_window_end {
+            let b = self.next_window_end;
+            self.close_window(b);
+            self.next_window_end = b + self.cfg.window;
+        }
+        self.clock = t;
+    }
+
+    fn close_window(&mut self, end: SimTime) {
+        let balance = self.with_engine(BalanceSnapshot::capture);
+        let (availability, lost_lookups) = self.probe_window();
+        let acc = std::mem::take(&mut self.acc);
+        self.samples.push(WindowSample {
+            index: self.samples.len(),
+            end,
+            events: acc.events,
+            joins: acc.joins,
+            leaves: acc.leaves,
+            skipped: acc.skipped,
+            transfers: acc.transfers,
+            messages: acc.messages,
+            bytes: acc.bytes,
+            service: SimTime(acc.service_ns),
+            entries_migrated: acc.entries_migrated,
+            balance,
+            availability,
+            lost_lookups,
+        });
+    }
+
+    /// Re-routes the probe set: availability = unchanged-owner fraction;
+    /// every probe must still read back (lookup correctness).
+    fn probe_window(&mut self) -> (f64, u64) {
+        if self.probe_keys.is_empty() {
+            return (1.0, 0);
+        }
+        let Plant::Kv(svc) = &self.plant else { return (1.0, 0) };
+        let mut changed = 0u64;
+        let mut lost = 0u64;
+        let owners = &mut self.probe_owner;
+        let keys = &self.probe_keys;
+        svc.with_read(|store| {
+            for (key, prev) in keys.iter().zip(owners.iter_mut()) {
+                let now = store.route(key.as_bytes());
+                if store.get(key.as_bytes()).is_none() {
+                    lost += 1;
+                }
+                if prev.is_some() && *prev != now {
+                    changed += 1;
+                }
+                *prev = now;
+            }
+        });
+        (1.0 - changed as f64 / self.probe_keys.len() as f64, lost)
+    }
+
+    fn create_one(&mut self, node: NodeTag) {
+        let snode = SnodeId(node.0);
+        let (v, report, migrated) = match &mut self.plant {
+            Plant::Bare(e) => {
+                let (v, r) = e.create_vnode(snode).expect("churn replay: create failed");
+                (v, r, 0)
+            }
+            Plant::Kv(svc) => {
+                let (v, r, m) = svc.join_full(snode).expect("churn replay: create failed");
+                (v, r, m.entries)
+            }
+        };
+        self.load_kv_if_pending();
+        let (record_len, participants) = self.record_shape_of(v);
+        let cost = self.cfg.cost.price_create(&self.cfg.net, record_len, participants, &report);
+        self.acc.absorb(cost);
+        self.acc.transfers += report.transfers.len() as u64;
+        self.acc.entries_migrated += migrated;
+        self.acc.joins += 1;
+        self.roster.push((node, v));
+    }
+
+    /// Removes `victims` in order, patching not-yet-removed handles when a
+    /// removal internally migrates (renames) a surviving vnode.
+    fn remove_all(&mut self, mut victims: Vec<VnodeId>) {
+        while !victims.is_empty() {
+            let v = victims.remove(0);
+            if let Some((old, new)) = self.remove_one(v) {
+                for pending in &mut victims {
+                    if *pending == old {
+                        *pending = new;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes one vnode; returns the rename a group-merge migration
+    /// applied to a *surviving* vnode, if any.
+    fn remove_one(&mut self, v: VnodeId) -> Option<(VnodeId, VnodeId)> {
+        if self.roster.len() <= 1 {
+            // The model has no representation for an empty DHT; a real
+            // deployment would be down. Count it instead of crashing —
+            // the guard is state-parallel, so every engine skips alike.
+            self.acc.skipped += 1;
+            return None;
+        }
+        let (report, migrated) = match &mut self.plant {
+            Plant::Bare(e) => (e.remove_vnode(v).expect("churn replay: remove failed"), 0),
+            Plant::Kv(svc) => {
+                let (r, m) = svc.leave_full(v).expect("churn replay: remove failed");
+                (r, m.entries)
+            }
+        };
+        // The governing record after the event is visible through any
+        // receiver of the redistribution transfers.
+        let (record_len, participants) = match report.transfers.first() {
+            Some(t) => self.record_shape_of(t.to),
+            None => (1, 1),
+        };
+        let cost = self.cfg.cost.price_remove(&self.cfg.net, record_len, participants, &report);
+        self.acc.absorb(cost);
+        self.acc.transfers += report.transfers.len() as u64;
+        self.acc.entries_migrated += migrated;
+        self.acc.leaves += 1;
+        self.roster.retain(|&(_, rv)| rv != v);
+        // A removal may internally migrate a surviving vnode between
+        // groups, retiring its old handle — follow the rename.
+        if let Some((old, new)) = report.migrated {
+            for entry in &mut self.roster {
+                if entry.1 == old {
+                    entry.1 = new;
+                }
+            }
+        }
+        report.migrated
+    }
+
+    /// `(record length, participant snodes)` of the record governing `v`'s
+    /// region — the inputs [`CostModel`] prices synchronisation with.
+    fn record_shape_of(&self, v: VnodeId) -> (u64, u64) {
+        self.with_engine(|e| {
+            let pdr = e.pdr_of(v).expect("live vnode has a record");
+            let snodes: BTreeSet<SnodeId> = pdr.entries().iter().map(|e| e.vnode.snode).collect();
+            (pdr.len() as u64, snodes.len() as u64)
+        })
+    }
+
+    /// Loads the KV population once the DHT can own keys (first join).
+    fn load_kv_if_pending(&mut self) {
+        let Some((entries, value_len)) = self.pending_load.take() else { return };
+        let Plant::Kv(svc) = &self.plant else { return };
+        let keys = UniformKeys::new(entries);
+        for i in 0..entries {
+            svc.put(keys.key_at(i), value_of(value_len, i));
+        }
+        let probes = self.cfg.probes.min(entries as usize).max(1);
+        let stride = (entries / probes as u64).max(1);
+        self.probe_keys = (0..probes as u64).map(|i| keys.key_at((i * stride) % entries)).collect();
+        let owners = &mut self.probe_owner;
+        let probe_keys = &self.probe_keys;
+        svc.with_read(|store| {
+            *owners = probe_keys.iter().map(|k| store.route(k.as_bytes())).collect();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{Capacity, Lifetime, Process};
+    use crate::scenario::Scenario;
+    use domus_core::{DhtConfig, GlobalDht, LocalDht};
+    use domus_hashspace::HashSpace;
+
+    fn local() -> LocalDht {
+        LocalDht::with_seed(DhtConfig::new(HashSpace::full(), 8, 4).unwrap(), 0xC0)
+    }
+
+    fn small_scenario() -> Scenario {
+        Scenario::new(SimTime::millis(120_000))
+            .with(Process::InitialFleet { nodes: 8, capacity: Capacity::Fixed(1) })
+            .with(Process::Poisson {
+                rate_per_s: 1.0,
+                lifetime: Lifetime::Exponential { mean: SimTime::millis(20_000) },
+                capacity: Capacity::Uniform { lo: 1, hi: 2 },
+            })
+            .with(Process::GroupFailure { at: SimTime::millis(80_000), fraction: 0.25 })
+    }
+
+    #[test]
+    fn bare_replay_tracks_engine_population() {
+        let stream = small_scenario().build(1);
+        let driver = ChurnDriver::new(local(), DriverConfig::default());
+        let outcome = driver.run(&stream);
+        assert_eq!(outcome.totals.events, stream.len() as u64);
+        assert!(outcome.totals.joins > 0 && outcome.totals.leaves > 0);
+        // Roster bookkeeping matches the engine's own census.
+        assert_eq!(
+            outcome.final_balance.vnodes as u64,
+            outcome.totals.joins - outcome.totals.leaves
+        );
+        // Windows tile the horizon exactly: 120 s / 30 s = 4 windows.
+        assert_eq!(outcome.samples.len(), 4);
+        assert!(outcome.totals.messages > 0 && outcome.totals.service > SimTime::ZERO);
+    }
+
+    #[test]
+    fn replay_leaves_invariants_intact() {
+        let stream = small_scenario().build(3);
+        let mut driver = ChurnDriver::new(local(), DriverConfig::default());
+        for e in stream.events() {
+            driver.step(e);
+        }
+        driver.with_engine(|e| e.check_invariants().expect("invariants after churn"));
+        let outcome = driver.finish(stream.horizon());
+        assert!(outcome.final_balance.vnodes >= 1);
+    }
+
+    #[test]
+    fn kv_overlay_measures_data_plane_and_loses_nothing() {
+        let stream = small_scenario().build(2);
+        let driver = ChurnDriver::with_kv(local(), DriverConfig::default(), 2_000, 16);
+        let outcome = driver.run(&stream);
+        assert_eq!(outcome.totals.lost_lookups, 0, "churn must never lose a key");
+        assert!(outcome.totals.entries_migrated > 0, "churn must move data");
+        assert!(outcome.totals.mean_availability > 0.0);
+        assert!(
+            outcome.samples.iter().any(|s| s.availability < 1.0),
+            "a failure event must disturb some owners"
+        );
+    }
+
+    #[test]
+    fn outcome_csv_is_deterministic() {
+        let stream = small_scenario().build(5);
+        let a = ChurnDriver::with_kv(local(), DriverConfig::default(), 1_000, 8).run(&stream);
+        let b = ChurnDriver::with_kv(local(), DriverConfig::default(), 1_000, 8).run(&stream);
+        assert_eq!(a, b);
+        assert_eq!(a.csv_string(), b.csv_string());
+        assert!(a.csv_string().starts_with("window,t_ms,"));
+    }
+
+    #[test]
+    fn identical_stream_replays_into_every_engine() {
+        let scenario = small_scenario();
+        let s1 = scenario.build(9);
+        let s2 = scenario.build(9);
+        assert_eq!(s1.fingerprint(), s2.fingerprint());
+        let l = ChurnDriver::new(local(), DriverConfig::default()).run(&s1);
+        let g = ChurnDriver::new(
+            GlobalDht::with_seed(DhtConfig::new(HashSpace::full(), 8, 1).unwrap(), 0xC1),
+            DriverConfig::default(),
+        )
+        .run(&s2);
+        // Same membership trajectory on both engines...
+        assert_eq!(l.totals.joins, g.totals.joins);
+        assert_eq!(l.totals.leaves, g.totals.leaves);
+        assert_eq!(l.final_balance.vnodes, g.final_balance.vnodes);
+        // ...while the engines differ where they should (group structure).
+        assert_eq!(g.final_balance.groups, 1);
+        assert!(l.final_balance.groups > 1);
+    }
+
+    #[test]
+    fn boundary_exact_events_never_duplicate_window_timestamps() {
+        // A truncated stream's horizon equals its last event time; when
+        // that lands exactly on a window boundary (here 30 s, the default
+        // window), the run must still emit unique, gap-free timestamps.
+        let join = |at_ms: u64, tag: u32| crate::event::ChurnEvent {
+            at: SimTime::millis(at_ms),
+            kind: EventKind::Join { node: NodeTag(tag), vnodes: 1 },
+        };
+        let stream = EventStream::new(
+            vec![join(10_000, 0), join(20_000, 1), join(30_000, 2)],
+            SimTime::millis(30_000),
+        );
+        let outcome = ChurnDriver::new(local(), DriverConfig::default()).run(&stream);
+        assert_eq!(outcome.samples.len(), 1, "one window, no zero-width duplicate");
+        assert_eq!(outcome.samples[0].end, SimTime::millis(30_000));
+        assert_eq!(outcome.samples[0].events, 3, "the boundary event belongs to the window");
+        // And with a gap past the boundary, windows stay unique too.
+        let stream = EventStream::new(
+            vec![join(10_000, 0), join(30_000, 1), join(45_000, 2)],
+            SimTime::millis(60_000),
+        );
+        let outcome = ChurnDriver::new(local(), DriverConfig::default()).run(&stream);
+        let ends: Vec<SimTime> = outcome.samples.iter().map(|s| s.end).collect();
+        assert_eq!(ends, vec![SimTime::millis(30_000), SimTime::millis(60_000)]);
+        assert_eq!(outcome.samples[0].events, 2);
+        assert_eq!(outcome.samples[1].events, 1);
+    }
+
+    #[test]
+    fn availability_series_extraction() {
+        let stream = small_scenario().build(4);
+        let outcome = ChurnDriver::with_kv(local(), DriverConfig::default(), 500, 8).run(&stream);
+        let s = outcome.series("availability", |w| w.availability);
+        assert_eq!(s.len(), outcome.samples.len());
+        assert!(s.y.iter().all(|&y| (0.0..=1.0).contains(&y)));
+    }
+}

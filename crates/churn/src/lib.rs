@@ -1,0 +1,62 @@
+//! # domus-churn
+//!
+//! A deterministic churn & failure scenario engine for the `domus` DHT
+//! workspace.
+//!
+//! The paper evaluates its cluster model under monotone growth and shrink
+//! sequences; its central claim, however — that group-local balancing
+//! keeps the DHT balanced *dynamically* — is a claim about behaviour
+//! under sustained, interleaved membership churn. This crate makes that
+//! measurable:
+//!
+//! * [`process`] — composable membership-event generators: Poisson
+//!   join/leave with exponential or heavy-tailed Pareto node lifetimes,
+//!   flash-crowd bursts, diurnal intensity waves, correlated mass
+//!   failure, heterogeneous-capacity arrivals.
+//! * [`scenario`] — [`Scenario`]: processes + horizon, compiled by seed
+//!   into one flat [`EventStream`]. The stream is engine-agnostic and a
+//!   pure function of `(scenario, seed)`, so the global approach, the
+//!   local approach and Consistent Hashing replay the *identical* event
+//!   sequence — [`EventStream::fingerprint`] asserts it.
+//! * [`event`] — the event vocabulary and the compiled stream.
+//! * [`driver`] — [`ChurnDriver`]: replays a stream into any
+//!   [`domus_core::DhtEngine`], prices every operation report through
+//!   `domus-sim`'s [`domus_sim::CostModel`], samples
+//!   [`domus_core::BalanceSnapshot`]s per time window, and (optionally)
+//!   threads a [`domus_kv::KvService`] through the run to measure keys
+//!   migrated, lookup correctness, and per-window availability.
+//!
+//! ```
+//! use domus_churn::{Capacity, ChurnDriver, DriverConfig, Lifetime, Process, Scenario};
+//! use domus_core::{DhtConfig, LocalDht};
+//! use domus_hashspace::HashSpace;
+//! use domus_sim::SimTime;
+//!
+//! let scenario = Scenario::new(SimTime::millis(60_000))
+//!     .with(Process::InitialFleet { nodes: 8, capacity: Capacity::Fixed(1) })
+//!     .with(Process::FlashCrowd {
+//!         at: SimTime::millis(30_000),
+//!         joins: 16,
+//!         spread: SimTime::millis(2_000),
+//!         capacity: Capacity::Fixed(1),
+//!         stay: Lifetime::Forever,
+//!     });
+//! let stream = scenario.build(2004);
+//!
+//! let engine = LocalDht::with_seed(DhtConfig::new(HashSpace::full(), 8, 4).unwrap(), 1);
+//! let outcome = ChurnDriver::new(engine, DriverConfig::default()).run(&stream);
+//! assert_eq!(outcome.totals.joins, 24);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod event;
+pub mod process;
+pub mod scenario;
+
+pub use driver::{ChurnDriver, ChurnOutcome, DriverConfig, RunTotals, WindowSample};
+pub use event::{ChurnEvent, EventKind, EventStream, NodeTag};
+pub use process::{Capacity, Lifetime, Process};
+pub use scenario::Scenario;

@@ -1,0 +1,415 @@
+//! Composable membership-event processes.
+//!
+//! Each [`Process`] is a generator of [`ChurnEvent`]s over a finite
+//! horizon, driven by its own seeded RNG stream; a [`crate::Scenario`]
+//! merges several of them into one [`crate::EventStream`]. The menagerie
+//! covers the shapes the churn literature benchmarks against: memoryless
+//! Poisson join/leave with configurable node-lifetime distributions
+//! (exponential and heavy-tailed Pareto — measured P2P lifetimes are
+//! famously heavy-tailed), flash-crowd bursts, diurnal intensity waves
+//! (non-homogeneous Poisson via thinning), correlated rack failure, and
+//! heterogeneous-capacity arrivals.
+
+use crate::event::{ChurnEvent, EventKind, NodeTag};
+use domus_sim::SimTime;
+use domus_util::{DomusRng, Xoshiro256pp};
+
+/// How long an arrived node stays before departing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Lifetime {
+    /// Memoryless sessions with the given mean.
+    Exponential {
+        /// Mean session length.
+        mean: SimTime,
+    },
+    /// Pareto (heavy-tailed) sessions: most nodes leave quickly, a few
+    /// stay very long — the empirical shape of P2P session lengths.
+    Pareto {
+        /// Minimum session length (the distribution's scale `x_m`).
+        min: SimTime,
+        /// Tail exponent `α > 0`; smaller = heavier tail.
+        alpha: f64,
+    },
+    /// Every session lasts exactly this long.
+    Fixed(SimTime),
+    /// Nodes never leave on their own (only failures remove them).
+    Forever,
+}
+
+impl Lifetime {
+    /// Draws one session length; `None` means the node stays past any
+    /// horizon.
+    pub fn draw<R: DomusRng>(&self, rng: &mut R) -> Option<SimTime> {
+        match *self {
+            Lifetime::Exponential { mean } => {
+                let u = rng.next_f64();
+                Some(secs_to_simtime(-(1.0 - u).ln() * simtime_to_secs(mean)))
+            }
+            Lifetime::Pareto { min, alpha } => {
+                assert!(alpha > 0.0, "Pareto tail exponent must be positive");
+                let u = rng.next_f64();
+                Some(secs_to_simtime(simtime_to_secs(min) / (1.0 - u).powf(1.0 / alpha)))
+            }
+            Lifetime::Fixed(t) => Some(t),
+            Lifetime::Forever => None,
+        }
+    }
+}
+
+/// How many vnodes an arriving node enrolls (its capacity share).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Capacity {
+    /// Every arrival enrolls the same count.
+    Fixed(u32),
+    /// Uniform over `lo..=hi`.
+    Uniform {
+        /// Smallest capacity, ≥ 1.
+        lo: u32,
+        /// Largest capacity.
+        hi: u32,
+    },
+    /// Discrete weighted classes `(vnodes, weight)` — e.g. a cluster of
+    /// mostly small nodes with a few big ones.
+    Weighted(Vec<(u32, u32)>),
+}
+
+impl Capacity {
+    /// Draws one arrival's capacity (always ≥ 1).
+    pub fn draw<R: DomusRng>(&self, rng: &mut R) -> u32 {
+        match self {
+            Capacity::Fixed(n) => (*n).max(1),
+            Capacity::Uniform { lo, hi } => {
+                assert!(lo <= hi && *lo >= 1, "capacity range must be 1 ≤ lo ≤ hi");
+                lo + rng.next_below((hi - lo + 1) as u64) as u32
+            }
+            Capacity::Weighted(classes) => {
+                let total: u64 = classes.iter().map(|&(_, w)| w as u64).sum();
+                assert!(total > 0, "weighted capacity needs positive total weight");
+                let mut pick = rng.next_below(total);
+                for &(v, w) in classes {
+                    if pick < w as u64 {
+                        return v.max(1);
+                    }
+                    pick -= w as u64;
+                }
+                unreachable!("pick < total is exhausted by the classes")
+            }
+        }
+    }
+}
+
+/// One composable event process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Process {
+    /// `nodes` arrivals at t = 0 that never leave on their own — the
+    /// steady base population a scenario churns around.
+    InitialFleet {
+        /// Number of arrivals.
+        nodes: u32,
+        /// Capacity of each arrival.
+        capacity: Capacity,
+    },
+    /// Homogeneous Poisson arrivals; each arrival departs after a drawn
+    /// lifetime (if it falls within the horizon).
+    Poisson {
+        /// Mean arrivals per second.
+        rate_per_s: f64,
+        /// Session-length distribution.
+        lifetime: Lifetime,
+        /// Capacity distribution.
+        capacity: Capacity,
+    },
+    /// A burst of `joins` arrivals spread uniformly over
+    /// `[at, at + spread)` — a flash crowd. Members stay per `stay`.
+    FlashCrowd {
+        /// Burst start.
+        at: SimTime,
+        /// Arrivals in the burst.
+        joins: u32,
+        /// Burst width (0 = all at one instant).
+        spread: SimTime,
+        /// Capacity distribution of burst members.
+        capacity: Capacity,
+        /// How long burst members stay.
+        stay: Lifetime,
+    },
+    /// Non-homogeneous Poisson arrivals whose intensity oscillates
+    /// sinusoidally between `trough_rate_per_s` and `peak_rate_per_s`
+    /// with the given period — a day/night load wave. Generated by
+    /// thinning a homogeneous process at the peak rate.
+    DiurnalWave {
+        /// Oscillation period.
+        period: SimTime,
+        /// Intensity at the wave crest (arrivals per second).
+        peak_rate_per_s: f64,
+        /// Intensity at the wave trough (arrivals per second).
+        trough_rate_per_s: f64,
+        /// Session-length distribution.
+        lifetime: Lifetime,
+        /// Capacity distribution.
+        capacity: Capacity,
+    },
+    /// One correlated mass failure at `at`: `fraction` of the then-live
+    /// vnode roster departs at once.
+    GroupFailure {
+        /// Failure instant.
+        at: SimTime,
+        /// Fraction of the live roster lost, in `(0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl Process {
+    /// The RNG-stream label of this process kind (stable across runs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Process::InitialFleet { .. } => "initial-fleet",
+            Process::Poisson { .. } => "poisson",
+            Process::FlashCrowd { .. } => "flash-crowd",
+            Process::DiurnalWave { .. } => "diurnal-wave",
+            Process::GroupFailure { .. } => "group-failure",
+        }
+    }
+
+    /// Generates this process's events for `[0, horizon)`. `process_index`
+    /// namespaces the node tags; `rng` is the process's private stream.
+    pub fn generate(
+        &self,
+        process_index: u32,
+        rng: &mut Xoshiro256pp,
+        horizon: SimTime,
+    ) -> Vec<ChurnEvent> {
+        let mut out = Vec::new();
+        let mut seq = 0u32;
+        let mut arrival = |out: &mut Vec<ChurnEvent>,
+                           rng: &mut Xoshiro256pp,
+                           at: SimTime,
+                           capacity: &Capacity,
+                           stay: &Lifetime| {
+            let node = NodeTag::new(process_index, seq);
+            seq += 1;
+            let vnodes = capacity.draw(rng);
+            out.push(ChurnEvent { at, kind: EventKind::Join { node, vnodes } });
+            if let Some(life) = stay.draw(rng) {
+                let depart = at + life;
+                if depart < horizon {
+                    out.push(ChurnEvent { at: depart, kind: EventKind::Leave { node } });
+                }
+            }
+        };
+        match self {
+            Process::InitialFleet { nodes, capacity } => {
+                for _ in 0..*nodes {
+                    arrival(&mut out, rng, SimTime::ZERO, capacity, &Lifetime::Forever);
+                }
+            }
+            Process::Poisson { rate_per_s, lifetime, capacity } => {
+                assert!(*rate_per_s > 0.0, "Poisson rate must be positive");
+                let mut t = SimTime::ZERO;
+                loop {
+                    t += exp_gap(rng, *rate_per_s);
+                    if t >= horizon {
+                        break;
+                    }
+                    arrival(&mut out, rng, t, capacity, lifetime);
+                }
+            }
+            Process::FlashCrowd { at, joins, spread, capacity, stay } => {
+                let mut offsets: Vec<u64> = (0..*joins)
+                    .map(|_| if spread.nanos() == 0 { 0 } else { rng.next_below(spread.nanos()) })
+                    .collect();
+                // Arrival order within the burst is time order.
+                offsets.sort_unstable();
+                for off in offsets {
+                    let t = *at + SimTime(off);
+                    if t < horizon {
+                        arrival(&mut out, rng, t, capacity, stay);
+                    }
+                }
+            }
+            Process::DiurnalWave {
+                period,
+                peak_rate_per_s,
+                trough_rate_per_s,
+                lifetime,
+                capacity,
+            } => {
+                assert!(
+                    *peak_rate_per_s >= *trough_rate_per_s && *trough_rate_per_s >= 0.0,
+                    "diurnal wave needs peak ≥ trough ≥ 0"
+                );
+                assert!(*peak_rate_per_s > 0.0, "diurnal wave needs a positive peak rate");
+                let mut t = SimTime::ZERO;
+                loop {
+                    // Thinning (Lewis–Shedler): candidates at the peak
+                    // rate, accepted with probability λ(t)/λ_peak.
+                    t += exp_gap(rng, *peak_rate_per_s);
+                    if t >= horizon {
+                        break;
+                    }
+                    let phase = simtime_to_secs(t) / simtime_to_secs(*period);
+                    let wave = 0.5 * (1.0 + (std::f64::consts::TAU * phase).sin());
+                    let intensity =
+                        trough_rate_per_s + (peak_rate_per_s - trough_rate_per_s) * wave;
+                    if rng.next_f64() < intensity / peak_rate_per_s {
+                        arrival(&mut out, rng, t, capacity, lifetime);
+                    }
+                }
+            }
+            Process::GroupFailure { at, fraction } => {
+                assert!(*fraction > 0.0 && *fraction <= 1.0, "failure fraction must be in (0, 1]");
+                if *at < horizon {
+                    out.push(ChurnEvent {
+                        at: *at,
+                        kind: EventKind::FailSlice {
+                            fraction_ppm: (fraction * 1e6).round() as u32,
+                            draw: rng.next_u64(),
+                        },
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An exponential inter-arrival gap at `rate` events per second.
+fn exp_gap<R: DomusRng>(rng: &mut R, rate_per_s: f64) -> SimTime {
+    let u = rng.next_f64();
+    secs_to_simtime(-(1.0 - u).ln() / rate_per_s)
+}
+
+fn simtime_to_secs(t: SimTime) -> f64 {
+    t.nanos() as f64 / 1e9
+}
+
+/// Converts seconds to [`SimTime`], saturating pathological draws so a
+/// heavy-tailed lifetime can never overflow the clock.
+fn secs_to_simtime(secs: f64) -> SimTime {
+    debug_assert!(secs >= 0.0, "negative duration");
+    let nanos = (secs * 1e9).round();
+    if nanos.is_finite() && nanos < u64::MAX as f64 / 4.0 {
+        SimTime(nanos as u64)
+    } else {
+        SimTime(u64::MAX / 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(7)
+    }
+
+    #[test]
+    fn poisson_joins_match_rate_and_pair_with_leaves() {
+        let p = Process::Poisson {
+            rate_per_s: 10.0,
+            lifetime: Lifetime::Exponential { mean: SimTime::millis(500) },
+            capacity: Capacity::Fixed(1),
+        };
+        let horizon = SimTime::millis(60_000);
+        let events = p.generate(0, &mut rng(), horizon);
+        let joins = events.iter().filter(|e| matches!(e.kind, EventKind::Join { .. })).count();
+        let leaves = events.iter().filter(|e| matches!(e.kind, EventKind::Leave { .. })).count();
+        // ≈ 600 expected joins over 60 s at 10/s; 5σ ≈ 122.
+        assert!((480..=720).contains(&joins), "got {joins} joins");
+        // Mean lifetime 0.5 s « horizon, so nearly every join's leave lands
+        // inside the horizon.
+        assert!(leaves as f64 > joins as f64 * 0.9, "{leaves} leaves for {joins} joins");
+        assert!(events.iter().all(|e| e.at < horizon));
+    }
+
+    #[test]
+    fn pareto_lifetimes_are_heavy_tailed() {
+        let life = Lifetime::Pareto { min: SimTime::millis(100), alpha: 1.2 };
+        let mut r = rng();
+        let draws: Vec<SimTime> = (0..5_000).map(|_| life.draw(&mut r).unwrap()).collect();
+        assert!(draws.iter().all(|&d| d >= SimTime::millis(100)), "xm is a hard floor");
+        // Median of Pareto(α=1.2) is xm·2^(1/1.2) ≈ 1.78·xm, but the mean
+        // is ≈ 6·xm: a heavy tail separates the two.
+        let mut sorted = draws.clone();
+        sorted.sort_unstable();
+        let median = sorted[draws.len() / 2];
+        let mean_ns = draws.iter().map(|d| d.nanos() as f64).sum::<f64>() / draws.len() as f64;
+        assert!(mean_ns > 2.0 * median.nanos() as f64, "tail must drag the mean up");
+    }
+
+    #[test]
+    fn flash_crowd_lands_inside_its_window() {
+        let p = Process::FlashCrowd {
+            at: SimTime::millis(1_000),
+            joins: 64,
+            spread: SimTime::millis(200),
+            capacity: Capacity::Fixed(1),
+            stay: Lifetime::Forever,
+        };
+        let events = p.generate(3, &mut rng(), SimTime::millis(10_000));
+        assert_eq!(events.len(), 64);
+        for e in &events {
+            assert!(e.at >= SimTime::millis(1_000) && e.at < SimTime::millis(1_200));
+            assert!(matches!(e.kind, EventKind::Join { .. }));
+        }
+        // Burst events are emitted in time order (pre-sorted offsets).
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn diurnal_wave_thins_toward_the_trough() {
+        let p = Process::DiurnalWave {
+            period: SimTime::millis(100_000),
+            peak_rate_per_s: 20.0,
+            trough_rate_per_s: 1.0,
+            lifetime: Lifetime::Forever,
+            capacity: Capacity::Fixed(1),
+        };
+        let events = p.generate(0, &mut rng(), SimTime::millis(100_000));
+        // Split one full period into crest half vs trough half by wave
+        // phase: sin ≥ 0 on [0, P/2).
+        let (crest, trough): (Vec<&ChurnEvent>, Vec<&ChurnEvent>) =
+            events.iter().partition(|e| e.at < SimTime::millis(50_000));
+        assert!(
+            crest.len() > 2 * trough.len(),
+            "crest {} events vs trough {}",
+            crest.len(),
+            trough.len()
+        );
+    }
+
+    #[test]
+    fn weighted_capacity_respects_weights() {
+        let cap = Capacity::Weighted(vec![(1, 90), (8, 10)]);
+        let mut r = rng();
+        let draws: Vec<u32> = (0..10_000).map(|_| cap.draw(&mut r)).collect();
+        let big = draws.iter().filter(|&&v| v == 8).count();
+        assert!(draws.iter().all(|&v| v == 1 || v == 8));
+        assert!((600..=1_400).contains(&big), "≈10% big nodes, got {big}");
+    }
+
+    #[test]
+    fn group_failure_is_one_event_with_ppm_fraction() {
+        let p = Process::GroupFailure { at: SimTime::millis(5_000), fraction: 0.25 };
+        let events = p.generate(0, &mut rng(), SimTime::millis(10_000));
+        assert_eq!(events.len(), 1);
+        match events[0].kind {
+            EventKind::FailSlice { fraction_ppm, .. } => assert_eq!(fraction_ppm, 250_000),
+            other => panic!("unexpected kind {other:?}"),
+        }
+        // Beyond the horizon the failure never fires.
+        assert!(p.generate(0, &mut rng(), SimTime::millis(1_000)).is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let p = Process::Poisson {
+            rate_per_s: 5.0,
+            lifetime: Lifetime::Pareto { min: SimTime::millis(200), alpha: 1.5 },
+            capacity: Capacity::Uniform { lo: 1, hi: 4 },
+        };
+        let a = p.generate(1, &mut Xoshiro256pp::seed_from_u64(42), SimTime::millis(20_000));
+        let b = p.generate(1, &mut Xoshiro256pp::seed_from_u64(42), SimTime::millis(20_000));
+        assert_eq!(a, b);
+    }
+}

@@ -95,3 +95,4 @@ pub use ids::{CanonicalName, SnodeId, VnodeId};
 pub use invariants::InvariantViolation;
 pub use local::{ideal_group_count, LocalDht};
 pub use record::{Pdr, PdrEntry};
+pub use stats::{snode_count, snode_quota_relstd_pct, snode_quotas, BalanceSnapshot};

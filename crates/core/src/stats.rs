@@ -21,6 +21,59 @@ pub fn snode_quota_relstd_pct<E: DhtEngine>(dht: &E) -> f64 {
     rel_std_dev_pct(snode_quotas(dht).into_values())
 }
 
+/// Number of distinct physical nodes currently hosting vnodes.
+pub fn snode_count<E: DhtEngine>(dht: &E) -> usize {
+    snode_quotas(dht).len()
+}
+
+/// A point-in-time balance/shape sample of an engine — everything the
+/// churn driver records per observation window, gathered in **one pass**
+/// over the live vnodes (cheap enough to sample at a high cadence).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceSnapshot {
+    /// Live vnodes `V`.
+    pub vnodes: usize,
+    /// Live groups `G` (1 for the global approach and CH).
+    pub groups: usize,
+    /// Distinct physical nodes hosting at least one vnode.
+    pub snodes: usize,
+    /// The paper's quality metric `σ̄(Qv, Q̄v)` in percent.
+    pub vnode_relstd_pct: f64,
+    /// `σ̄(Qn, Q̄n)` in percent over physical nodes.
+    pub snode_relstd_pct: f64,
+    /// Peak-to-ideal ratio `max(Qv) · V`: the worst vnode's load relative
+    /// to a perfectly balanced DHT (1.0 = perfect). This is the quantity a
+    /// capacity planner provisions for.
+    pub max_quota_over_ideal: f64,
+}
+
+impl BalanceSnapshot {
+    /// Captures the snapshot from a live engine.
+    pub fn capture<E: DhtEngine>(dht: &E) -> Self {
+        let vnodes = dht.vnodes();
+        let mut per_snode: BTreeMap<SnodeId, f64> = BTreeMap::new();
+        let mut quotas = Vec::with_capacity(vnodes.len());
+        let mut max_q = 0.0f64;
+        for v in &vnodes {
+            let q = dht.quota_of(*v).expect("live vnode has a quota");
+            let s = dht.snode_of(*v).expect("live vnode has an snode");
+            *per_snode.entry(s).or_insert(0.0) += q;
+            if q > max_q {
+                max_q = q;
+            }
+            quotas.push(q);
+        }
+        Self {
+            vnodes: vnodes.len(),
+            groups: dht.group_count(),
+            snodes: per_snode.len(),
+            vnode_relstd_pct: rel_std_dev_pct(quotas.iter().copied()),
+            snode_relstd_pct: rel_std_dev_pct(per_snode.into_values()),
+            max_quota_over_ideal: max_q * vnodes.len() as f64,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -40,6 +93,25 @@ mod tests {
         assert_eq!(q.len(), 5);
         let total: f64 = q.values().sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balance_snapshot_agrees_with_piecewise_metrics() {
+        let cfg = DhtConfig::new(HashSpace::new(32), 4, 4).unwrap();
+        let mut dht = LocalDht::with_seed(cfg, 7);
+        for i in 0..24u32 {
+            dht.create_vnode(SnodeId(i % 6)).unwrap();
+        }
+        let snap = BalanceSnapshot::capture(&dht);
+        assert_eq!(snap.vnodes, 24);
+        assert_eq!(snap.groups, dht.group_count());
+        assert_eq!(snap.snodes, 6);
+        assert!((snap.vnode_relstd_pct - dht.vnode_quota_relstd_pct()).abs() < 1e-9);
+        assert!((snap.snode_relstd_pct - snode_quota_relstd_pct(&dht)).abs() < 1e-9);
+        let max_q = dht.quotas().into_iter().fold(0.0f64, f64::max);
+        assert!((snap.max_quota_over_ideal - max_q * 24.0).abs() < 1e-9);
+        assert!(snap.max_quota_over_ideal >= 1.0 - 1e-9, "peak load is never below ideal");
+        assert_eq!(snode_count(&dht), 6);
     }
 
     #[test]

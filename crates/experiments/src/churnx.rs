@@ -1,0 +1,248 @@
+//! **CHURN** — dynamic balancement under sustained, interleaved churn.
+//!
+//! The paper grows (and our deletion extension shrinks) the DHT
+//! monotonically; the churn literature instead benchmarks balancers under
+//! interleaved join/leave storms. This experiment compiles one mixed
+//! scenario — heterogeneous base fleet, heavy-tailed Poisson churn, a
+//! diurnal wave, a flash crowd, a correlated failure — into a single
+//! seeded event stream and replays the *identical* stream (fingerprint-
+//! checked) through all three backends with the KV overlay threaded in.
+//! Per backend it writes `results/churn_<backend>.csv` with one row per
+//! observation window: balance factor, transfer volume, priced protocol
+//! cost, and data-plane availability.
+//!
+//! Determinism is part of the contract: the same seed produces
+//! byte-identical CSVs run-to-run (asserted by a unit test below), so
+//! cross-backend differences are attributable to the engines alone.
+
+use crate::runner::derive_seed;
+use crate::{Ctx, ExpReport};
+use domus_ch::ChEngine;
+use domus_churn::{ChurnDriver, ChurnOutcome, DriverConfig, EventStream, Scenario};
+use domus_core::{DhtConfig, DhtEngine, GlobalDht, LocalDht};
+use domus_hashspace::HashSpace;
+use domus_metrics::table::{num, Table};
+use domus_sim::SimTime;
+use std::fs;
+use std::io::BufWriter;
+
+/// The three backends' outcomes on one stream.
+pub struct ChurnComparison {
+    /// The replayed stream's event count.
+    pub events: usize,
+    /// The stream fingerprint every backend replayed.
+    pub fingerprint: u64,
+    /// `(backend name, outcome)`, in report order.
+    pub outcomes: Vec<(&'static str, ChurnOutcome)>,
+}
+
+/// Builds the experiment's scenario at a given intensity.
+fn scenario(intensity: f64) -> Scenario {
+    Scenario::mixed(intensity)
+}
+
+/// Compiles the stream and replays it into all three backends.
+///
+/// The stream is rebuilt from the same seed for every backend and the
+/// fingerprints are asserted equal — "same seed ⇒ byte-identical stream
+/// across engines" is enforced at run time, not assumed.
+pub fn compute(ctx: &Ctx, events: Option<usize>) -> ChurnComparison {
+    let paper_scale = ctx.n >= 512;
+    let intensity = if paper_scale { 1.0 } else { 0.5 };
+    let entries: u64 = if paper_scale { 20_000 } else { 4_000 };
+    let (pmin, vmin) = if paper_scale { (32, 32) } else { (8, 8) };
+    let seed = derive_seed(&ctx.seeds, "churn", 0);
+    let space = HashSpace::full();
+
+    let build_stream = || {
+        let mut s = scenario(intensity).build(seed);
+        if let Some(n) = events {
+            s.truncate(n);
+        }
+        s
+    };
+    let reference = build_stream();
+    let cfg = DriverConfig {
+        window: SimTime((reference.horizon().nanos() / 20).max(1)),
+        ..DriverConfig::default()
+    };
+
+    fn replay<E: DhtEngine>(
+        engine: E,
+        cfg: DriverConfig,
+        entries: u64,
+        stream: &EventStream,
+    ) -> ChurnOutcome {
+        ChurnDriver::with_kv(engine, cfg, entries, 16).run(stream)
+    }
+
+    let mut outcomes = Vec::new();
+    for name in ["local", "global", "ch"] {
+        let stream = build_stream();
+        assert_eq!(
+            stream.fingerprint(),
+            reference.fingerprint(),
+            "seeded stream must be identical for every backend"
+        );
+        let outcome = match name {
+            "local" => replay(
+                LocalDht::with_seed(
+                    DhtConfig::new(space, pmin, vmin).expect("powers of two"),
+                    seed,
+                ),
+                cfg,
+                entries,
+                &stream,
+            ),
+            "global" => replay(
+                GlobalDht::with_seed(DhtConfig::new(space, pmin, 1).expect("powers of two"), seed),
+                cfg,
+                entries,
+                &stream,
+            ),
+            _ => replay(
+                ChEngine::with_seed(
+                    DhtConfig::new(space, pmin, 1).expect("powers of two"),
+                    32,
+                    seed ^ 0xCC,
+                ),
+                cfg,
+                entries,
+                &stream,
+            ),
+        };
+        outcomes.push((name, outcome));
+    }
+    ChurnComparison { events: reference.len(), fingerprint: reference.fingerprint(), outcomes }
+}
+
+/// Runs the CHURN experiment: replay, CSVs, table, summary.
+pub fn run(ctx: &Ctx, events: Option<usize>) -> ExpReport {
+    let mut rep = ExpReport::new("CHURN");
+    let cmp = compute(ctx, events);
+
+    fs::create_dir_all(&ctx.out_dir).expect("create results dir");
+    for (name, outcome) in &cmp.outcomes {
+        let path = ctx.out_dir.join(format!("churn_{name}.csv"));
+        let file = fs::File::create(&path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
+        outcome.write_csv(BufWriter::new(file)).expect("write churn csv");
+    }
+
+    println!("\n── CHURN — {} events, stream fingerprint {:016x} ──", cmp.events, cmp.fingerprint);
+    let mut t = Table::new(&[
+        "system",
+        "end σ̄(Qv) %",
+        "end σ̄(Qn) %",
+        "peak/ideal",
+        "transfers",
+        "messages",
+        "wire MB",
+        "service ms",
+        "entries moved",
+        "mean avail",
+        "lost",
+    ]);
+    for (name, o) in &cmp.outcomes {
+        t.row(&[
+            label(name).into(),
+            num(o.final_balance.vnode_relstd_pct, 2),
+            num(o.final_balance.snode_relstd_pct, 2),
+            num(o.final_balance.max_quota_over_ideal, 2),
+            o.totals.transfers.to_string(),
+            o.totals.messages.to_string(),
+            num(o.totals.bytes as f64 / 1e6, 2),
+            num(o.totals.service.as_millis_f64(), 1),
+            o.totals.entries_migrated.to_string(),
+            num(o.totals.mean_availability, 4),
+            o.totals.lost_lookups.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    for (name, o) in &cmp.outcomes {
+        assert_eq!(o.totals.lost_lookups, 0, "{name}: churn lost data");
+    }
+    let get = |n: &str| &cmp.outcomes.iter().find(|(b, _)| *b == n).expect("backend ran").1;
+    let (local, global, ch) = (get("local"), get("global"), get("ch"));
+    rep.note(format!(
+        "identical stream: {} events (fingerprint {:016x}) replayed into all three backends; zero lost lookups",
+        cmp.events, cmp.fingerprint
+    ));
+    rep.note(format!(
+        "end balance under churn: local σ̄(Qv) {:.2}% / global {:.2}% vs CH {:.2}%",
+        local.final_balance.vnode_relstd_pct,
+        global.final_balance.vnode_relstd_pct,
+        ch.final_balance.vnode_relstd_pct
+    ));
+    rep.note(format!(
+        "availability (mean owner-stability per window): local {:.4} / global {:.4} / CH {:.4}",
+        local.totals.mean_availability,
+        global.totals.mean_availability,
+        ch.totals.mean_availability
+    ));
+    rep.note(format!(
+        "priced cost: local {} msgs / {:.2} MB, global {} msgs / {:.2} MB, CH {} msgs / {:.2} MB",
+        local.totals.messages,
+        local.totals.bytes as f64 / 1e6,
+        global.totals.messages,
+        global.totals.bytes as f64 / 1e6,
+        ch.totals.messages,
+        ch.totals.bytes as f64 / 1e6
+    ));
+    rep
+}
+
+fn label(backend: &str) -> &'static str {
+    match backend {
+        "local" => "model (local approach)",
+        "global" => "model (global approach)",
+        _ => "Consistent Hashing k=32",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_ctx(dir: &str) -> Ctx {
+        Ctx::quick(std::env::temp_dir().join(dir))
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical() {
+        // The acceptance-criteria determinism contract: two runs with the
+        // same seed produce byte-identical per-window CSV output.
+        let ctx = smoke_ctx("domus-churnx-det");
+        let a = compute(&ctx, Some(150));
+        let b = compute(&ctx, Some(150));
+        assert_eq!(a.fingerprint, b.fingerprint);
+        for ((na, oa), (nb, ob)) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(na, nb);
+            assert_eq!(oa.csv_string(), ob.csv_string(), "{na}: CSV must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn churn_runs_all_backends_on_one_stream() {
+        let ctx = smoke_ctx("domus-churnx-smoke");
+        let rep = run(&ctx, Some(200));
+        assert_eq!(rep.id, "CHURN");
+        assert!(rep.summary.iter().any(|l| l.contains("identical stream")));
+        for name in ["local", "global", "ch"] {
+            let csv = std::fs::read_to_string(ctx.out_dir.join(format!("churn_{name}.csv")))
+                .expect("per-backend CSV written");
+            assert!(csv.starts_with("window,t_ms,"));
+            assert!(csv.lines().count() > 2, "{name}: windows sampled");
+        }
+    }
+
+    #[test]
+    fn backends_see_the_same_membership_trajectory() {
+        let ctx = smoke_ctx("domus-churnx-parallel");
+        let cmp = compute(&ctx, Some(250));
+        let joins: Vec<u64> = cmp.outcomes.iter().map(|(_, o)| o.totals.joins).collect();
+        let leaves: Vec<u64> = cmp.outcomes.iter().map(|(_, o)| o.totals.leaves).collect();
+        assert!(joins.windows(2).all(|w| w[0] == w[1]), "joins diverged: {joins:?}");
+        assert!(leaves.windows(2).all(|w| w[0] == w[1]), "leaves diverged: {leaves:?}");
+    }
+}

@@ -1,7 +1,7 @@
 //! `repro` — the reproduction CLI.
 //!
 //! ```text
-//! repro [--quick] [--runs N] [--vnodes N] [--seed S] [--out DIR] <command>
+//! repro [--quick] [--runs N] [--vnodes N] [--seed S] [--events N] [--out DIR] <command>
 //!
 //! commands:
 //!   fig4 fig5 fig6 fig7 fig8 fig9      figure reproductions
@@ -9,6 +9,8 @@
 //!   claim-zone1 claim-g512             equivalence claims (§4.1.1, §4.2)
 //!   abl-victim abl-container abl-splitsel   policy ablations
 //!   het                                heterogeneous enrollment
+//!   churn                              churn storm over all three backends
+//!                                      (--events N truncates the stream)
 //!   all                                everything above, sharing runs
 //! ```
 
@@ -17,37 +19,48 @@ use std::io::Write as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--runs N] [--vnodes N] [--seed S] [--out DIR] <command>\n\
+        "usage: repro [--quick] [--runs N] [--vnodes N] [--seed S] [--events N] [--out DIR] <command>\n\
          commands: fig4 fig5 fig6 fig7 fig8 fig9 | claim-pv claim-30 claim-8k claim-zone1 claim-g512 |\n          \
-         abl-victim abl-container abl-splitsel | het | sim-makespan sim-msgs sim-mem | kv-migrate | all"
+         abl-victim abl-container abl-splitsel | het | sim-makespan sim-msgs sim-mem | kv-migrate |\n          \
+         churn | all"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut ctx = Ctx::paper("results");
+    // Two-phase parse so flag order is free-form: --quick selects the base
+    // scale, explicit --runs/--vnodes/--seed always win over it.
+    let mut quick = false;
+    let mut runs: Option<u64> = None;
+    let mut vnodes: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut out_dir: Option<std::path::PathBuf> = None;
     let mut cmd: Option<String> = None;
+    let mut events: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => ctx = Ctx::quick(ctx.out_dir.clone()),
+            "--quick" => quick = true,
+            "--events" => {
+                i += 1;
+                events = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
             "--runs" => {
                 i += 1;
-                ctx.runs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                runs = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
             }
             "--vnodes" => {
                 i += 1;
-                ctx.n = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                vnodes = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
             }
             "--seed" => {
                 i += 1;
-                let seed: u64 = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
-                ctx.seeds = domus_util::SeedSequence::new(seed);
+                seed = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
             }
             "--out" => {
                 i += 1;
-                ctx.out_dir = args.get(i).map(Into::into).unwrap_or_else(|| usage());
+                out_dir = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
             }
             c if !c.starts_with('-') && cmd.is_none() => cmd = Some(c.to_string()),
             _ => usage(),
@@ -55,6 +68,17 @@ fn main() {
         i += 1;
     }
     let cmd = cmd.unwrap_or_else(|| usage());
+    let out_dir = out_dir.unwrap_or_else(|| "results".into());
+    let mut ctx = if quick { Ctx::quick(out_dir) } else { Ctx::paper(out_dir) };
+    if let Some(r) = runs {
+        ctx.runs = r;
+    }
+    if let Some(n) = vnodes {
+        ctx.n = n;
+    }
+    if let Some(s) = seed {
+        ctx.seeds = domus_util::SeedSequence::new(s);
+    }
 
     let started = std::time::Instant::now();
     let mut reports: Vec<ExpReport> = Vec::new();
@@ -78,6 +102,7 @@ fn main() {
         "sim-msgs" => reports.push(simx::sim_msgs(&ctx)),
         "sim-mem" => reports.push(simx::sim_mem(&ctx)),
         "kv-migrate" => reports.push(kvx::run(&ctx)),
+        "churn" => reports.push(churnx::run(&ctx, events)),
         "all" => {
             // FIG4 feeds FIG5 and CLAIM-30, so compute it once.
             let fig4_data = fig4::compute(&ctx);
@@ -100,6 +125,7 @@ fn main() {
             reports.push(simx::sim_msgs(&ctx));
             reports.push(simx::sim_mem(&ctx));
             reports.push(kvx::run(&ctx));
+            reports.push(churnx::run(&ctx, events));
         }
         _ => usage(),
     }

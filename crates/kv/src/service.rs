@@ -8,7 +8,7 @@
 
 use crate::store::{KvStore, MigrationReport};
 use bytes::Bytes;
-use domus_core::{DhtEngine, DhtError, SnodeId, VnodeId};
+use domus_core::{CreateReport, DhtEngine, DhtError, RemoveReport, SnodeId, VnodeId};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -49,9 +49,16 @@ impl<E: DhtEngine> KvService<E> {
         self.inner.read().len()
     }
 
-    /// `true` when empty.
+    /// `true` when empty (one read-lock acquisition, no key walk).
     pub fn is_empty(&self) -> bool {
         self.inner.read().is_empty()
+    }
+
+    /// A consistent snapshot of every stored key, in deterministic (owner,
+    /// hash point) order. The whole walk happens under **one** read-lock
+    /// acquisition, so no concurrent maintenance event can tear the view.
+    pub fn snapshot_keys(&self) -> Vec<Bytes> {
+        self.inner.read().snapshot_keys()
     }
 
     /// Maintenance: a new vnode joins (exclusive).
@@ -59,9 +66,22 @@ impl<E: DhtEngine> KvService<E> {
         self.inner.write().join(snode)
     }
 
+    /// [`KvService::join`], also surfacing the engine's [`CreateReport`].
+    pub fn join_full(
+        &self,
+        snode: SnodeId,
+    ) -> Result<(VnodeId, CreateReport, MigrationReport), DhtError> {
+        self.inner.write().join_full(snode)
+    }
+
     /// Maintenance: a vnode leaves (exclusive).
     pub fn leave(&self, v: VnodeId) -> Result<MigrationReport, DhtError> {
         self.inner.write().leave(v)
+    }
+
+    /// [`KvService::leave`], also surfacing the engine's [`RemoveReport`].
+    pub fn leave_full(&self, v: VnodeId) -> Result<(RemoveReport, MigrationReport), DhtError> {
+        self.inner.write().leave_full(v)
     }
 
     /// Runs `f` under the read lock (bulk inspection).
@@ -114,6 +134,42 @@ mod tests {
         }
         svc.with_read(|s| s.verify_placement()).unwrap();
         assert_eq!(svc.len(), 400);
+    }
+
+    #[test]
+    fn snapshot_keys_is_consistent_and_ordered() {
+        let svc = service();
+        for i in 0..50u32 {
+            svc.put(format!("k{i}"), "v");
+        }
+        let snap = svc.snapshot_keys();
+        assert_eq!(snap.len(), 50);
+        // Every stored key appears exactly once.
+        let mut sorted: Vec<_> = snap.iter().map(|k| k.to_vec()).collect();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50);
+        // The order is deterministic: a second snapshot is identical.
+        assert_eq!(snap, svc.snapshot_keys());
+        // And survives maintenance as a set (order may change with owners).
+        svc.join(SnodeId(9)).unwrap();
+        let mut after: Vec<_> = svc.snapshot_keys().iter().map(|k| k.to_vec()).collect();
+        after.sort();
+        assert_eq!(after, sorted);
+    }
+
+    #[test]
+    fn full_reports_surface_control_and_data_plane() {
+        let svc = service();
+        for i in 0..200u32 {
+            svc.put(format!("k{i}"), format!("v{i}"));
+        }
+        let (v, create, mig) = svc.join_full(SnodeId(7)).unwrap();
+        assert!(create.group.is_some(), "engine report must come through");
+        assert_eq!(create.transfers.len() as u64, mig.transfers);
+        let (remove, mig) = svc.leave_full(v).unwrap();
+        assert_eq!(remove.transfers.len() as u64, mig.transfers);
+        assert_eq!(svc.len(), 200);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! operation (the KV-MIGRATE experiment prices it).
 
 use bytes::Bytes;
-use domus_core::{DhtEngine, DhtError, SnodeId, Transfer, VnodeId};
+use domus_core::{CreateReport, DhtEngine, DhtError, RemoveReport, SnodeId, Transfer, VnodeId};
 use domus_hashspace::hasher::Fnv1aHasher;
 use domus_hashspace::KeyHasher;
 use std::collections::BTreeMap;
@@ -169,20 +169,50 @@ impl<E: DhtEngine> KvStore<E> {
     /// Creates a vnode on `snode` and migrates the data its arrival pulls
     /// in.
     pub fn join(&mut self, snode: SnodeId) -> Result<(VnodeId, MigrationReport), DhtError> {
+        let (v, _, mig) = self.join_full(snode)?;
+        Ok((v, mig))
+    }
+
+    /// [`KvStore::join`], also surfacing the engine's [`CreateReport`] —
+    /// replay layers that price protocol cost (the churn driver) need the
+    /// control-plane report *and* the data-plane migration of one event.
+    pub fn join_full(
+        &mut self,
+        snode: SnodeId,
+    ) -> Result<(VnodeId, CreateReport, MigrationReport), DhtError> {
         let (v, report) = self.engine.create_vnode(snode)?;
         let _ = self.slot(v); // ensure backing map exists
-        Ok((v, self.apply_transfers(&report.transfers)))
+        let mig = self.apply_transfers(&report.transfers);
+        Ok((v, report, mig))
     }
 
     /// Removes a vnode and migrates its data out.
     pub fn leave(&mut self, v: VnodeId) -> Result<MigrationReport, DhtError> {
+        self.leave_full(v).map(|(_, mig)| mig)
+    }
+
+    /// [`KvStore::leave`], also surfacing the engine's [`RemoveReport`].
+    pub fn leave_full(&mut self, v: VnodeId) -> Result<(RemoveReport, MigrationReport), DhtError> {
         let report = self.engine.remove_vnode(v)?;
-        let rep = self.apply_transfers(&report.transfers);
+        let mig = self.apply_transfers(&report.transfers);
         debug_assert!(
             self.data.get(v.index()).map(BTreeMap::is_empty).unwrap_or(true),
             "transfers must drain the departing vnode"
         );
-        Ok(rep)
+        Ok((report, mig))
+    }
+
+    /// Every stored key, in deterministic (owner slot, hash point, chain)
+    /// order — the iteration order is stable across runs with the same
+    /// history, so snapshots are directly comparable.
+    pub fn snapshot_keys(&self) -> Vec<Bytes> {
+        let mut out = Vec::with_capacity(self.entries as usize);
+        for map in &self.data {
+            for bucket in map.values() {
+                out.extend(bucket.iter().map(|(k, _)| k.clone()));
+            }
+        }
+        out
     }
 
     /// Verifies that every stored entry sits exactly where routing points

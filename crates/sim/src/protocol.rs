@@ -30,7 +30,7 @@
 
 use crate::net::ClusterNet;
 use crate::time::SimTime;
-use domus_core::{CreateReport, DhtEngine, GroupId, SnodeId, VnodeId};
+use domus_core::{CreateReport, DhtEngine, GroupId, RemoveReport, SnodeId, Transfer, VnodeId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// CPU cost parameters (2004-era cluster node).
@@ -64,6 +64,120 @@ impl Default for CostModel {
 const PDR_ENTRY_BYTES: u64 = 12;
 /// Wire size of a creation request / transfer header.
 const HEADER_BYTES: u64 = 24;
+
+impl CostModel {
+    /// Sort/recompute time on a record of `record_len` entries (`V log V`,
+    /// paper §4.1.2).
+    fn sort_cost(&self, record_len: u64) -> SimTime {
+        let v = record_len;
+        let logv = if v <= 1 { 1 } else { 64 - (v - 1).leading_zeros() as u64 };
+        SimTime(self.sort_per_entry.nanos() * v * logv)
+    }
+
+    /// Synchronisation round with every other participant: request out
+    /// (fan-out serialised at the initiator), deterministic local
+    /// recompute, record-sized acks back.
+    fn sync_round(&self, net: &ClusterNet, record_len: u64, participants: u64) -> EventCost {
+        let record_bytes = record_len * PDR_ENTRY_BYTES;
+        let mut messages = 0u64;
+        let mut bytes = 0u64;
+        let mut duration = SimTime::ZERO;
+        let others = participants.saturating_sub(1);
+        if others > 0 {
+            messages += 2 * others;
+            bytes += others * (HEADER_BYTES + record_bytes);
+            duration += net.fan_out(others, HEADER_BYTES);
+            duration += net.one_way(record_bytes); // last ack home
+        }
+        duration += self.sort_cost(record_len);
+        EventCost { messages, bytes, duration, participants }
+    }
+
+    /// Transfer streaming: donors send in parallel, each donor serialises
+    /// its own sends.
+    fn transfer_cost(&self, net: &ClusterNet, transfers: &[Transfer]) -> EventCost {
+        let mut cost =
+            EventCost { messages: 0, bytes: 0, duration: SimTime::ZERO, participants: 0 };
+        if transfers.is_empty() {
+            return cost;
+        }
+        let mut per_donor: BTreeMap<VnodeId, u64> = BTreeMap::new();
+        for t in transfers {
+            *per_donor.entry(t.from).or_insert(0) += 1;
+        }
+        let payload = HEADER_BYTES + self.payload_per_partition;
+        let worst = per_donor.values().max().copied().unwrap_or(0);
+        cost.messages += transfers.len() as u64;
+        cost.bytes += transfers.len() as u64 * payload;
+        cost.duration += net.fan_out(worst, payload);
+        cost.duration += SimTime(self.per_transfer.nanos() * transfers.len() as u64);
+        cost
+    }
+
+    /// Prices one vnode creation from its report and the governing record's
+    /// shape (`record_len` entries spread over `participants` snodes).
+    ///
+    /// This is the pricing kernel [`SimDriver`] applies per event; it is
+    /// public so external replay engines (e.g. `domus-churn`) can price the
+    /// identical reports without a scheduler.
+    pub fn price_create(
+        &self,
+        net: &ClusterNet,
+        record_len: u64,
+        participants: u64,
+        report: &CreateReport,
+    ) -> EventCost {
+        let record_bytes = record_len * PDR_ENTRY_BYTES;
+        let mut cost = self.sync_round(net, record_len, participants);
+
+        // Victim lookup (the local approach's random point routing).
+        if report.lookup_point.is_some() {
+            cost.messages += 2;
+            cost.bytes += HEADER_BYTES + record_bytes;
+            cost.duration += net.round_trip(HEADER_BYTES, record_bytes);
+        }
+
+        // Split cascade bookkeeping.
+        cost.duration += SimTime(self.per_split.nanos() * report.partition_splits);
+
+        let t = self.transfer_cost(net, &report.transfers);
+        cost.messages += t.messages;
+        cost.bytes += t.bytes;
+        cost.duration += t.duration;
+        cost
+    }
+
+    /// Prices one vnode removal (deletion extension) symmetrically to
+    /// [`CostModel::price_create`]: a synchronisation round on the governing
+    /// record, merge-cascade bookkeeping (merges are binary splits run in
+    /// reverse, so they share `per_split`), the redistribution transfers,
+    /// and one extra round trip when the removal forced an internal vnode
+    /// migration between groups.
+    pub fn price_remove(
+        &self,
+        net: &ClusterNet,
+        record_len: u64,
+        participants: u64,
+        report: &RemoveReport,
+    ) -> EventCost {
+        let record_bytes = record_len * PDR_ENTRY_BYTES;
+        let mut cost = self.sync_round(net, record_len, participants);
+
+        cost.duration += SimTime(self.per_split.nanos() * report.partition_merges);
+
+        if report.migrated.is_some() {
+            cost.messages += 2;
+            cost.bytes += HEADER_BYTES + record_bytes;
+            cost.duration += net.round_trip(HEADER_BYTES, record_bytes);
+        }
+
+        let t = self.transfer_cost(net, &report.transfers);
+        cost.messages += t.messages;
+        cost.bytes += t.bytes;
+        cost.duration += t.duration;
+        cost
+    }
+}
 
 /// The priced outcome of one maintenance event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,55 +303,8 @@ impl<E: DhtEngine> SimDriver<E> {
     /// Prices one creation from its report plus the engine's records.
     fn price(&self, vnode: VnodeId, report: &CreateReport) -> EventCost {
         let pdr = self.engine.pdr_of(vnode).expect("fresh vnode has a record");
-        let record_bytes = pdr.len() as u64 * PDR_ENTRY_BYTES;
         let participants: BTreeSet<SnodeId> = pdr.entries().iter().map(|e| e.vnode.snode).collect();
-        let p = participants.len() as u64;
-
-        let mut messages = 0u64;
-        let mut bytes = 0u64;
-        let mut duration = SimTime::ZERO;
-
-        // 1. Victim lookup (the local approach's random point routing).
-        if report.lookup_point.is_some() {
-            messages += 2;
-            bytes += HEADER_BYTES + record_bytes;
-            duration += self.net.round_trip(HEADER_BYTES, record_bytes);
-        }
-
-        // 2. Synchronisation round with every other participant: request
-        //    out (fan-out serialised at the initiator), deterministic local
-        //    recompute, record-sized acks back.
-        let others = p.saturating_sub(1);
-        if others > 0 {
-            messages += 2 * others;
-            bytes += others * (HEADER_BYTES + record_bytes);
-            duration += self.net.fan_out(others, HEADER_BYTES);
-            duration += self.net.one_way(record_bytes); // last ack home
-        }
-        // Sort/recompute cost on the record (paper §4.1.2).
-        let v = pdr.len() as u64;
-        let logv = if v <= 1 { 1 } else { 64 - (v - 1).leading_zeros() as u64 };
-        duration += SimTime(self.cost.sort_per_entry.nanos() * v * logv);
-
-        // 3. Split cascade bookkeeping.
-        duration += SimTime(self.cost.per_split.nanos() * report.partition_splits);
-
-        // 4. Transfers: donors stream in parallel, each donor serialises
-        //    its own sends.
-        if !report.transfers.is_empty() {
-            let mut per_donor: BTreeMap<VnodeId, u64> = BTreeMap::new();
-            for t in &report.transfers {
-                *per_donor.entry(t.from).or_insert(0) += 1;
-            }
-            let payload = HEADER_BYTES + self.cost.payload_per_partition;
-            let worst = per_donor.values().max().copied().unwrap_or(0);
-            messages += report.transfers.len() as u64;
-            bytes += report.transfers.len() as u64 * payload;
-            duration += self.net.fan_out(worst, payload);
-            duration += SimTime(self.cost.per_transfer.nanos() * report.transfers.len() as u64);
-        }
-
-        EventCost { messages, bytes, duration, participants: p }
+        self.cost.price_create(&self.net, pdr.len() as u64, participants.len() as u64, report)
     }
 
     /// Creates one vnode, pricing and scheduling the event.
@@ -347,6 +414,29 @@ mod tests {
             (sim.trace().makespan(), sim.trace().messages(), sim.trace().bytes())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn remove_pricing_mirrors_create_pricing() {
+        let mut dht = local(4);
+        for i in 0..24u32 {
+            dht.create_vnode(SnodeId(i % 6)).unwrap();
+        }
+        let cost = CostModel::default();
+        let net = ClusterNet::default();
+        let victim = dht.vnodes()[7];
+        let report = dht.remove_vnode(victim).unwrap();
+        let priced = cost.price_remove(&net, 8, 4, &report);
+        // A removal with transfers must price messages, bytes and time.
+        assert!(!report.transfers.is_empty());
+        assert!(priced.messages > 0 && priced.bytes > 0);
+        assert!(priced.duration > SimTime::ZERO);
+        assert_eq!(priced.participants, 4);
+        // Deterministic: identical inputs price identically.
+        assert_eq!(priced, cost.price_remove(&net, 8, 4, &report));
+        // More participants cost strictly more sync traffic.
+        let wider = cost.price_remove(&net, 8, 9, &report);
+        assert!(wider.messages > priced.messages && wider.duration > priced.duration);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | [`ch`] | `domus-ch` | Consistent Hashing baseline (Karger '97 / CFS) |
 //! | [`sim`] | `domus-sim` | cluster network/cost simulator, protocol pricing, memory accounting |
 //! | [`kv`] | `domus-kv` | key-value store with live data migration |
+//! | [`churn`] | `domus-churn` | deterministic churn & failure scenario engine |
 //! | [`metrics`] | `domus-metrics` | σ̄ metrics, run averaging, CSV/ASCII reporting |
 //! | [`util`] | `domus-util` | deterministic RNG streams, power-of-two helpers |
 //!
@@ -56,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub use domus_ch as ch;
+pub use domus_churn as churn;
 pub use domus_core as core;
 pub use domus_hashspace as hashspace;
 pub use domus_kv as kv;
@@ -66,9 +68,13 @@ pub use domus_util as util;
 /// The most common imports in one line: `use domus::prelude::*;`.
 pub mod prelude {
     pub use domus_ch::{ChEngine, ChNodeId, ChRing};
+    pub use domus_churn::{
+        Capacity, ChurnDriver, ChurnEvent, DriverConfig, EventStream, Lifetime, Process, Scenario,
+    };
     pub use domus_core::{
-        Cluster, ContainerChoice, DhtConfig, DhtEngine, DhtError, EnrollmentPolicy, GlobalDht,
-        GroupId, LocalDht, Pdr, SnodeId, SplitSelection, VictimPartitionPolicy, VnodeId,
+        BalanceSnapshot, Cluster, ContainerChoice, DhtConfig, DhtEngine, DhtError,
+        EnrollmentPolicy, GlobalDht, GroupId, LocalDht, Pdr, SnodeId, SplitSelection,
+        VictimPartitionPolicy, VnodeId,
     };
     pub use domus_hashspace::{HashSpace, OwnerMap, Partition, Quota};
     pub use domus_kv::{KvService, KvStore, UniformKeys, ZipfKeys};

@@ -114,6 +114,54 @@ fn engine_contract_parity_across_backends() {
     run_script("ch", ch());
 }
 
+/// Interleaved join/remove churn — the event shapes `domus-churn`
+/// produces. The original script is joins-then-removes; churn interleaves
+/// them, which exercises different paths (removals from partially grown
+/// groups, merges racing splits), so parity is asserted after **every**
+/// event, not per phase.
+fn run_interleaved<E: DhtEngine>(label: &str, mut dht: E) {
+    // A deterministic interleaving: net growth with a removal every third
+    // step once enough vnodes exist, plus a mid-script mass failure.
+    let mut live = 0usize;
+    let mut next_snode = 0u32;
+    for round in 0..30u32 {
+        if round % 3 == 2 && live > 4 {
+            // Remove a rank-selected victim, like a churn Leave event.
+            let victims = dht.vnodes();
+            let v = victims[(round as usize * 7) % victims.len()];
+            let report = dht.remove_vnode(v).unwrap();
+            for t in &report.transfers {
+                assert_ne!(t.to, v, "{label}: transfer back to the departing vnode");
+                assert_ne!(t.from, t.to, "{label}: self-transfer");
+            }
+            live -= 1;
+        } else {
+            let (v, report) = dht.create_vnode(SnodeId(next_snode % 7)).unwrap();
+            next_snode += 1;
+            assert!(report.group.is_some(), "{label}: creation must report a group");
+            assert!(dht.vnodes().contains(&v), "{label}: fresh vnode listed");
+            live += 1;
+        }
+        assert_contract(label, &dht, live);
+    }
+    // Correlated failure: a contiguous slice of the roster leaves at once.
+    // Handles are re-fetched per removal: a removal may rename a survivor
+    // (group-merge migration), so pre-collected handles can go stale.
+    for _ in 0..4 {
+        let v = dht.vnodes()[2];
+        dht.remove_vnode(v).unwrap();
+        live -= 1;
+        assert_contract(label, &dht, live);
+    }
+}
+
+#[test]
+fn interleaved_churn_parity_across_backends() {
+    run_interleaved("global", global());
+    run_interleaved("local", local());
+    run_interleaved("ch", ch());
+}
+
 /// The KV store is generic over the engine: the identical workload loses
 /// no data on any backend, with migration driven purely by the reports.
 fn run_kv<E: DhtEngine>(label: &str, engine: E) {

@@ -1,0 +1,118 @@
+//! Property-based tests over the workload generators — the churn KV
+//! overlay and the KV experiments lean on these, so their distributional
+//! contract is pinned here.
+
+use domus::prelude::*;
+use domus_kv::workload::value_of;
+use proptest::prelude::*;
+
+/// The analytic Zipf(s) probability of rank 1 over `n` ranks:
+/// `1 / H_{n,s}` with `H_{n,s} = Σ_{k=1..n} k^{-s}`.
+fn zipf_rank1_mass(n: u64, s: f64) -> f64 {
+    let h: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+    1.0 / h
+}
+
+/// Parses the rank index back out of a generated key.
+fn rank_of(key: &str) -> u64 {
+    key.trim_start_matches("key:").parse().expect("workload keys are key:<rank>")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Every draw falls inside the declared universe: generated keys name
+    /// ranks `0..universe`, i.e. distribution ranks `1..=universe` — never
+    /// outside it, for any universe, exponent, or seed.
+    #[test]
+    fn zipf_draws_stay_inside_the_universe(
+        seed in any::<u64>(),
+        universe in 1u64..2_000,
+        s_milli in 0u64..2_500,
+    ) {
+        let s = s_milli as f64 / 1_000.0;
+        let w = ZipfKeys::new(universe, s);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..300 {
+            let rank = rank_of(&w.draw(&mut rng));
+            prop_assert!(rank < universe, "rank {rank} outside universe {universe}");
+        }
+    }
+
+    /// The empirical frequency of the hottest key tracks the analytic CDF:
+    /// rank 1's mass is `1/H_{n,s}`, and with 8k draws the observed
+    /// frequency must sit within a generous sampling tolerance of it.
+    #[test]
+    fn zipf_rank1_frequency_matches_analytic_cdf(
+        seed in any::<u64>(),
+        universe in 50u64..1_000,
+        s_milli in 500u64..2_000,
+    ) {
+        let s = s_milli as f64 / 1_000.0;
+        let w = ZipfKeys::new(universe, s);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let n = 8_000u32;
+        let mut hits = 0u32;
+        for _ in 0..n {
+            if rank_of(&w.draw(&mut rng)) == 0 {
+                hits += 1;
+            }
+        }
+        let expect = zipf_rank1_mass(universe, s);
+        let got = hits as f64 / n as f64;
+        // Binomial σ = sqrt(p(1-p)/n); allow 5σ plus a small absolute floor
+        // for tiny expected masses.
+        let sigma = (expect * (1.0 - expect) / n as f64).sqrt();
+        let tol = 5.0 * sigma + 0.002;
+        prop_assert!(
+            (got - expect).abs() <= tol,
+            "rank-1 frequency {got:.4} vs analytic {expect:.4} (tol {tol:.4}, s={s}, n={universe})"
+        );
+    }
+
+    /// Exponent 0 degenerates to uniform: rank 1 carries 1/n like any
+    /// other rank.
+    #[test]
+    fn zipf_zero_exponent_rank1_is_uniform(seed in any::<u64>(), universe in 10u64..200) {
+        let w = ZipfKeys::new(universe, 0.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let n = 4_000u32;
+        let hits = (0..n).filter(|_| rank_of(&w.draw(&mut rng)) == 0).count() as f64;
+        let expect = n as f64 / universe as f64;
+        prop_assert!(hits < expect * 3.0 + 10.0, "uniform head {hits} vs expected {expect}");
+    }
+
+    /// Draws are reproducible: the same seed yields the same key sequence
+    /// (the churn overlay's determinism depends on this).
+    #[test]
+    fn zipf_streams_are_deterministic(seed in any::<u64>(), universe in 1u64..500) {
+        let w = ZipfKeys::new(universe, 1.1);
+        let mut a = Xoshiro256pp::seed_from_u64(seed);
+        let mut b = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(w.draw(&mut a), w.draw(&mut b));
+        }
+    }
+
+    /// Uniform keys stay inside their universe and round-trip through
+    /// `key_at` (shared contract with the Zipf generator).
+    #[test]
+    fn uniform_draws_stay_inside_the_universe(seed in any::<u64>(), universe in 1u64..5_000) {
+        let w = UniformKeys::new(universe);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..200 {
+            let key = w.draw(&mut rng);
+            let rank = rank_of(&key);
+            prop_assert!(rank < universe);
+            prop_assert_eq!(w.key_at(rank), key);
+        }
+    }
+
+    /// Synthetic values are length-exact and tag-deterministic.
+    #[test]
+    fn values_are_sized_and_deterministic(len in 0usize..256, tag in any::<u64>()) {
+        let v = value_of(len, tag);
+        prop_assert_eq!(v.len(), len);
+        prop_assert_eq!(v, value_of(len, tag));
+    }
+}
