@@ -1,0 +1,60 @@
+//! Lookup scaling: point → vnode routing throughput at 1k/4k/16k vnodes
+//! on all three backends — the data-path cost the owner-indexed hashspace
+//! keeps logarithmic while the DHT grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use domus_ch::ChEngine;
+use domus_core::{DhtConfig, DhtEngine, GlobalDht, LocalDht, SnodeId};
+use domus_hashspace::HashSpace;
+use domus_util::{DomusRng, Xoshiro256pp};
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [1024, 4096, 16384];
+
+fn grow<E: DhtEngine>(mut e: E, v: usize) -> E {
+    for i in 0..v {
+        e.create_vnode(SnodeId(i as u32)).expect("growth");
+    }
+    e
+}
+
+fn points(n: usize) -> Vec<u64> {
+    let mut rng = Xoshiro256pp::seed_from_u64(17);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+fn bench_engine<E: DhtEngine>(g: &mut criterion::BenchmarkGroup<'_>, name: &str, v: usize, e: &E) {
+    let probes = points(1024);
+    g.bench_with_input(BenchmarkId::new(name, v), e, |b, e| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &probes {
+                let (_, vn) = e.lookup(p).expect("covered");
+                acc ^= vn.0 as u64;
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let space = HashSpace::full();
+    // Sample count is left to the harness (CLI `--sample-size` works —
+    // CI's smoke step passes 2); engine growth dominates setup anyway.
+    let mut g = c.benchmark_group("lookup_scaling");
+    g.throughput(Throughput::Elements(1024));
+    for v in SIZES {
+        let local = grow(LocalDht::with_seed(DhtConfig::new(space, 32, 32).unwrap(), 3), v);
+        bench_engine(&mut g, "local", v, &local);
+        drop(local);
+        let global = grow(GlobalDht::with_seed(DhtConfig::new(space, 32, 1).unwrap(), 3), v);
+        bench_engine(&mut g, "global", v, &global);
+        drop(global);
+        let ch = grow(ChEngine::with_seed(DhtConfig::new(space, 32, 1).unwrap(), 32, 3), v);
+        bench_engine(&mut g, "ch", v, &ch);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Quota-metric sampling cost at 1k/4k/16k vnodes on all three backends:
+//! `quota_of` (single vnode), `quotas()` (full vector), the σ̄(Qv) relstd
+//! metric and the churn driver's per-window `balance_snapshot` — the hot
+//! observation paths the incremental accumulators keep off the O(V·P)
+//! rescans the seed implementation paid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domus_ch::ChEngine;
+use domus_core::{DhtConfig, DhtEngine, GlobalDht, LocalDht, SnodeId};
+use domus_hashspace::HashSpace;
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [1024, 4096, 16384];
+
+fn grow<E: DhtEngine>(mut e: E, v: usize) -> E {
+    for i in 0..v {
+        // 4 vnodes per snode: the per-snode aggregates have real work.
+        e.create_vnode(SnodeId((i / 4) as u32)).expect("growth");
+    }
+    e
+}
+
+fn bench_engine<E: DhtEngine>(g: &mut criterion::BenchmarkGroup<'_>, name: &str, v: usize, e: &E) {
+    let probe = e.vnodes()[v / 2];
+    g.bench_with_input(BenchmarkId::new(format!("{name}/quota_of"), v), e, |b, e| {
+        b.iter(|| black_box(e.quota_of(probe).expect("live")));
+    });
+    g.bench_with_input(BenchmarkId::new(format!("{name}/quotas"), v), e, |b, e| {
+        b.iter(|| black_box(e.quotas().len()));
+    });
+    g.bench_with_input(BenchmarkId::new(format!("{name}/relstd"), v), e, |b, e| {
+        b.iter(|| black_box(e.vnode_quota_relstd_pct()));
+    });
+    g.bench_with_input(BenchmarkId::new(format!("{name}/balance_snapshot"), v), e, |b, e| {
+        b.iter(|| black_box(e.balance_snapshot().vnode_relstd_pct));
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let space = HashSpace::full();
+    // Sample count is left to the harness (CLI `--sample-size` works —
+    // CI's smoke step passes 2); engine growth dominates setup anyway.
+    let mut g = c.benchmark_group("quota_metrics");
+    for v in SIZES {
+        let local = grow(LocalDht::with_seed(DhtConfig::new(space, 32, 32).unwrap(), 5), v);
+        bench_engine(&mut g, "local", v, &local);
+        drop(local);
+        let global = grow(GlobalDht::with_seed(DhtConfig::new(space, 32, 1).unwrap(), 5), v);
+        bench_engine(&mut g, "global", v, &global);
+        drop(global);
+        let ch = grow(ChEngine::with_seed(DhtConfig::new(space, 32, 1).unwrap(), 32, 5), v);
+        bench_engine(&mut g, "ch", v, &ch);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -20,10 +20,14 @@
 //!   so the routing invariant ("a key lives exactly where lookup
 //!   points") is checkable — and checked — identically across backends.
 //!
-//! The per-node partition view is maintained *incrementally*: each claim
-//! moves an interval between per-node ordered piece maps, splitting only
-//! the pieces the interval straddles (O(k·Bh·log P) per join/leave, like
-//! the ring's own quota bookkeeping — no O(P) rescans).
+//! The partition view is **derived, not stored**: the ring's point set is
+//! the single source of truth, and every partition-oriented query tiles
+//! the relevant arc with its *minimal* dyadic cover on demand (`lookup`
+//! resolves its piece in O(Bh) arithmetic, `partitions_of` materialises
+//! one node's arcs in O(k·Bh)). Hand-overs therefore synthesize their
+//! transfer lists straight from the claimed intervals — no per-node
+//! piece maps to split, rebalance or rescan, and the reported pieces are
+//! always the coarsest exact tiling of what actually moved.
 //!
 //! CH has no groups; the whole ring is one region. Reports therefore
 //! carry `GroupId::FIRST` as their container, which also makes the
@@ -32,14 +36,11 @@
 
 use crate::ring::{ArcClaim, ChNodeId, ChRing};
 use domus_core::{
-    CanonicalName, CreateReport, DhtConfig, DhtEngine, DhtError, GroupId, InvariantViolation, Pdr,
-    PdrEntry, RemoveReport, SnodeId, Transfer, VnodeId,
+    BalanceSnapshot, CanonicalName, CreateReport, DhtConfig, DhtEngine, DhtError, GroupId,
+    InvariantViolation, Pdr, PdrEntry, RemoveReport, SnodeId, SnodeLedger, Transfer, VnodeId,
 };
-use domus_hashspace::{HashSpace, Partition};
+use domus_hashspace::{HashSpace, Partition, Quota};
 use std::collections::BTreeMap;
-
-/// A node's owned pieces, keyed by start point (tiles the node's arcs).
-type PieceMap = BTreeMap<u64, Partition>;
 
 /// Consistent Hashing as a [`DhtEngine`] backend.
 ///
@@ -66,8 +67,9 @@ pub struct ChEngine {
     hosts: Vec<CanonicalName>,
     /// Vnodes created per snode (for canonical `snode.local` names).
     per_snode: Vec<u32>,
-    /// Current piece set per node slot.
-    parts: Vec<PieceMap>,
+    /// Incremental per-snode quota ledger (fed by the same transfers the
+    /// reports carry, so it is exact).
+    ledger: SnodeLedger,
 }
 
 impl ChEngine {
@@ -82,12 +84,24 @@ impl ChEngine {
             cfg,
             hosts: Vec::new(),
             per_snode: Vec::new(),
-            parts: Vec::new(),
+            ledger: SnodeLedger::new(),
         }
     }
 
+    /// The incremental per-snode quota ledger.
+    pub fn ledger(&self) -> &SnodeLedger {
+        &self.ledger
+    }
+
+    /// Replays `transfers` into the ledger, resolving hosts through the
+    /// slot table (run-coalescing lives in [`SnodeLedger::apply_transfers`]).
+    fn ledger_apply(&mut self, transfers: &[Transfer]) {
+        let hosts = &self.hosts;
+        self.ledger.apply_transfers(transfers, |v| hosts[v.index()].snode);
+    }
+
     /// The underlying ring (read-only; mutate through the engine so the
-    /// partition view stays consistent).
+    /// names and the ledger stay consistent).
     pub fn ring(&self) -> &ChRing {
         &self.ring
     }
@@ -98,82 +112,25 @@ impl ChEngine {
 
     /// The key interval of an arc `(from_excl, to_incl]` as half-open
     /// integer segments `[start, end)` (two when the arc wraps through 0).
-    fn segments(space: HashSpace, arc: ArcClaim) -> Vec<(u64, u128)> {
-        if arc.from_excl == arc.to_incl {
+    fn segments(space: HashSpace, from_excl: u64, to_incl: u64) -> Vec<(u64, u128)> {
+        if from_excl == to_incl {
             // A point's arc to itself is the whole circle.
             return vec![(0, space.size())];
         }
-        let end = arc.to_incl as u128 + 1;
-        if arc.to_incl > arc.from_excl {
-            vec![(arc.from_excl + 1, end)]
-        } else if arc.from_excl == space.max_point() {
+        let end = to_incl as u128 + 1;
+        if to_incl > from_excl {
+            vec![(from_excl + 1, end)]
+        } else if from_excl == space.max_point() {
             vec![(0, end)]
         } else {
-            vec![(arc.from_excl + 1, space.size()), (0, end)]
+            vec![(from_excl + 1, space.size()), (0, end)]
         }
     }
 
-    /// Moves the interval `[s, e)` from one piece map to another,
-    /// splitting the (at most two) pieces that straddle a boundary.
-    /// Returns the pieces that changed hands.
-    fn move_interval(
-        from: &mut PieceMap,
-        to: &mut PieceMap,
-        space: HashSpace,
-        s: u64,
-        e: u128,
-    ) -> Vec<Partition> {
-        let mut moved = Vec::new();
-        // Candidates: the piece covering `s` (it may start before `s`)
-        // plus every piece starting inside the interval.
-        let mut starts: Vec<u64> = Vec::new();
-        if let Some((&p0, piece)) = from.range(..=s).next_back() {
-            if piece.end(space) > s as u128 {
-                starts.push(p0);
-            }
-        }
-        let inside: Vec<u64> = from
-            .range(s..)
-            .take_while(|(&p, _)| (p as u128) < e)
-            .map(|(&p, _)| p)
-            .filter(|p| Some(p) != starts.first())
-            .collect();
-        starts.extend(inside);
-        for p in starts {
-            let piece = from.remove(&p).expect("candidate piece exists");
-            let (ps, pe) = (piece.start(space), piece.end(space));
-            let is = ps.max(s);
-            let ie = pe.min(e);
-            debug_assert!((is as u128) < ie, "candidate must overlap the interval");
-            if ps == is && pe == ie {
-                // Fully inside: changes hands as-is.
-                to.insert(ps, piece);
-                moved.push(piece);
-            } else {
-                // Straddles: retile the inside and outside sub-intervals
-                // (every dyadic cover of a sub-interval nests within the
-                // original piece, so the tiling stays exact).
-                for keep in Partition::cover_range(space, ps, is as u128).into_iter().chain(
-                    ie.try_into()
-                        .ok()
-                        .into_iter()
-                        .flat_map(|ie64: u64| Partition::cover_range(space, ie64, pe)),
-                ) {
-                    from.insert(keep.start(space), keep);
-                }
-                for give in Partition::cover_range(space, is, ie) {
-                    to.insert(give.start(space), give);
-                    moved.push(give);
-                }
-            }
-        }
-        moved
-    }
-
-    /// Applies a batch of claims to the piece maps, synthesizing the
-    /// transfer list. `join` moves peer → target; leave moves target →
-    /// peer.
-    fn apply_claims(&mut self, claims: &[ArcClaim], target: VnodeId, join: bool) -> Vec<Transfer> {
+    /// Synthesizes the transfer list of a batch of claims: every claimed
+    /// interval changes hands as its minimal dyadic cover. `join` moves
+    /// peer → target; leave moves target → peer.
+    fn claim_transfers(&self, claims: &[ArcClaim], target: VnodeId, join: bool) -> Vec<Transfer> {
         let space = self.space();
         let mut transfers = Vec::new();
         for claim in claims {
@@ -182,16 +139,12 @@ impl ChEngine {
                 // the whole circle from nobody (no transfer — exactly like
                 // the first vnode of the other engines).
                 debug_assert!(join, "leaving the last node is rejected upstream");
-                for piece in Partition::cover_range(space, 0, space.size()) {
-                    self.parts[target.index()].insert(piece.start(space), piece);
-                }
                 continue;
             };
             let peer = VnodeId(peer_node.0);
             let (from, to) = if join { (peer, target) } else { (target, peer) };
-            for (s, e) in Self::segments(space, *claim) {
-                let (donor, recipient) = Self::two_slots(&mut self.parts, from.index(), to.index());
-                for partition in Self::move_interval(donor, recipient, space, s, e) {
+            for (s, e) in Self::segments(space, claim.from_excl, claim.to_incl) {
+                for partition in Partition::cover_range(space, s, e) {
                     transfers.push(Transfer { partition, from, to });
                 }
             }
@@ -199,16 +152,22 @@ impl ChEngine {
         transfers
     }
 
-    /// Two distinct mutable slots out of the piece-map arena.
-    fn two_slots(parts: &mut [PieceMap], a: usize, b: usize) -> (&mut PieceMap, &mut PieceMap) {
-        debug_assert_ne!(a, b, "self-claims are filtered by the ring");
-        if a < b {
-            let (lo, hi) = parts.split_at_mut(b);
-            (&mut lo[a], &mut hi[0])
-        } else {
-            let (lo, hi) = parts.split_at_mut(a);
-            (&mut hi[0], &mut lo[b])
+    /// The minimal dyadic tiling of one node's current arcs, in
+    /// hash-space order — O(k·Bh), derived from the ring.
+    fn tiles_of(&self, node: ChNodeId) -> Vec<Partition> {
+        let space = self.space();
+        let mut out = Vec::new();
+        for &p in self.ring.points_of(node) {
+            let (from_excl, to_incl, owner) =
+                self.ring.arc_containing(p).expect("a live node's point resolves");
+            debug_assert_eq!(owner, node, "a point's arc belongs to its node");
+            debug_assert_eq!(to_incl, p);
+            for (s, e) in Self::segments(space, from_excl, to_incl) {
+                out.extend(Partition::cover_range(space, s, e));
+            }
         }
+        out.sort_unstable_by_key(|p| p.start(space));
+        out
     }
 
     fn ensure_live(&self, v: VnodeId) -> Result<ChNodeId, DhtError> {
@@ -245,8 +204,13 @@ impl DhtEngine for ChEngine {
         let local = self.per_snode[snode.index()];
         self.per_snode[snode.index()] += 1;
         self.hosts.push(CanonicalName { snode, local });
-        self.parts.push(PieceMap::new());
-        let transfers = self.apply_claims(&claims, v, true);
+        let transfers = self.claim_transfers(&claims, v, true);
+        self.ledger.vnode_created(snode);
+        if self.ring.node_count() == 1 {
+            // The first node claimed the whole circle from nobody.
+            self.ledger.gain(snode, Quota::ONE);
+        }
+        self.ledger_apply(&transfers);
         let report = CreateReport {
             group: Some(GroupId::FIRST),
             lookup_point: None,
@@ -265,8 +229,9 @@ impl DhtEngine for ChEngine {
             return Err(DhtError::LastVnode);
         }
         let claims = self.ring.leave_reporting(node);
-        let transfers = self.apply_claims(&claims, v, false);
-        debug_assert!(self.parts[v.index()].is_empty(), "leave must drain the node");
+        let transfers = self.claim_transfers(&claims, v, false);
+        self.ledger_apply(&transfers);
+        self.ledger.vnode_killed(self.hosts[v.index()].snode);
         Ok(RemoveReport {
             group: Some(GroupId::FIRST),
             transfers,
@@ -277,11 +242,17 @@ impl DhtEngine for ChEngine {
     }
 
     fn lookup(&self, point: u64) -> Option<(Partition, VnodeId)> {
-        let owner = self.ring.lookup(point)?;
         let space = self.space();
-        let (_, &piece) = self.parts[owner.index()].range(..=point).next_back()?;
-        debug_assert!(piece.contains(point, space), "piece map tiles the node's arcs");
-        Some((piece, VnodeId(owner.0)))
+        let (from_excl, to_incl, owner) = self.ring.arc_containing(point)?;
+        // The piece is resolved within the arc segment holding the point —
+        // pure arithmetic over the minimal cover, no stored view.
+        for (s, e) in Self::segments(space, from_excl, to_incl) {
+            if (point as u128) >= (s as u128) && (point as u128) < e {
+                let piece = Partition::cover_piece_containing(space, s, e, point);
+                return Some((piece, VnodeId(owner.0)));
+            }
+        }
+        unreachable!("the arc containing a point covers it");
     }
 
     fn vnodes(&self) -> Vec<VnodeId> {
@@ -298,13 +269,8 @@ impl DhtEngine for ChEngine {
     }
 
     fn partitions_of(&self, v: VnodeId) -> Result<Vec<Partition>, DhtError> {
-        self.ensure_live(v)?;
-        Ok(self.parts[v.index()].values().copied().collect())
-    }
-
-    fn partition_count(&self, v: VnodeId) -> Result<u64, DhtError> {
-        self.ensure_live(v)?;
-        Ok(self.parts[v.index()].len() as u64)
+        let node = self.ensure_live(v)?;
+        Ok(self.tiles_of(node))
     }
 
     fn quota_of(&self, v: VnodeId) -> Result<f64, DhtError> {
@@ -329,10 +295,30 @@ impl DhtEngine for ChEngine {
             .into_iter()
             .map(|v| PdrEntry {
                 vnode: self.hosts[v.index()],
-                partitions: self.parts[v.index()].len() as u64,
+                partitions: self.tiles_of(ChNodeId(v.0)).len() as u64,
             })
             .collect();
         Ok(Pdr::new(entries))
+    }
+
+    fn record_shape_of(&self, v: VnodeId) -> Result<(u64, u64), DhtError> {
+        self.ensure_live(v)?;
+        // One region spanning every node; participants are the distinct
+        // hosting snodes — both maintained incrementally, O(1).
+        Ok((self.ring.node_count() as u64, self.ledger.snode_count() as u64))
+    }
+
+    fn balance_snapshot(&self) -> BalanceSnapshot {
+        let v = self.ring.node_count();
+        let space = self.space();
+        BalanceSnapshot {
+            vnodes: v,
+            groups: 1,
+            snodes: self.ledger.snode_count(),
+            vnode_relstd_pct: self.ring.node_quota_relstd_pct(),
+            snode_relstd_pct: self.ledger.relstd_pct(),
+            max_quota_over_ideal: self.ring.max_arc() as f64 / space.size() as f64 * v as f64,
+        }
     }
 
     fn check_invariants(&self) -> Result<(), InvariantViolation> {
@@ -343,33 +329,26 @@ impl DhtEngine for ChEngine {
         if self.ring.node_count() == 0 {
             return Ok(());
         }
-        // The partition view must tile R_h exactly…
-        let total: u128 =
-            self.parts.iter().flat_map(|map| map.values().map(|p| p.size(space))).sum();
-        if total != space.size() {
-            return Err(InvariantViolation::Coverage(format!(
-                "partition view covers {total} of {} points",
-                space.size()
-            )));
-        }
-        // …agree with the ring's exact arc quotas, vnode by vnode…
+        // The derived partition view must tile R_h exactly…
+        let mut total: u128 = 0;
         for v in self.vnodes() {
-            let from_parts: u128 = self.parts[v.index()].values().map(|p| p.size(space)).sum();
+            let tiles = self.tiles_of(ChNodeId(v.0));
+            let from_tiles: u128 = tiles.iter().map(|p| p.size(space)).sum();
+            total += from_tiles;
+            // …agree with the ring's exact arc quotas, vnode by vnode…
             let from_arcs = self.ring.arc_of(ChNodeId(v.0));
-            if from_parts != from_arcs {
+            if from_tiles != from_arcs {
                 return Err(InvariantViolation::RoutingMismatch {
                     vnode: v,
                     detail: format!(
-                        "partition view holds {from_parts} points, arc quota says {from_arcs}"
+                        "partition view holds {from_tiles} points, arc quota says {from_arcs}"
                     ),
                 });
             }
-        }
-        // …and route every piece back to its holder.
-        for v in self.vnodes() {
-            for piece in self.parts[v.index()].values() {
-                match self.ring.lookup(piece.start(space)) {
-                    Some(owner) if owner.0 == v.0 => {}
+            // …and route every piece back to its holder.
+            for piece in &tiles {
+                match self.lookup(piece.start(space)) {
+                    Some((q, owner)) if owner == v && q == *piece => {}
                     other => {
                         return Err(InvariantViolation::RoutingMismatch {
                             vnode: v,
@@ -378,6 +357,27 @@ impl DhtEngine for ChEngine {
                     }
                 }
             }
+        }
+        if total != space.size() {
+            return Err(InvariantViolation::Coverage(format!(
+                "partition view covers {total} of {} points",
+                space.size()
+            )));
+        }
+        // The incremental snode ledger matches a per-arc recomputation.
+        let mut fresh: BTreeMap<SnodeId, Quota> = BTreeMap::new();
+        for v in self.vnodes() {
+            let e = fresh.entry(self.hosts[v.index()].snode).or_insert(Quota::ZERO);
+            for piece in self.tiles_of(ChNodeId(v.0)) {
+                *e = *e + piece.quota();
+            }
+        }
+        if fresh.len() != self.ledger.snode_count()
+            || self.ledger.iter().any(|(s, share)| fresh.get(&s) != Some(&share.quota))
+        {
+            return Err(InvariantViolation::Coverage(
+                "snode ledger drifted from the partition view".into(),
+            ));
         }
         Ok(())
     }
@@ -512,5 +512,28 @@ mod tests {
         e.check_invariants().unwrap();
         let sum: f64 = e.quotas().iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derived_view_is_minimal_per_arc() {
+        // Each arc's tiling is the minimal dyadic cover: re-deriving it
+        // straight from the ring's arc endpoints yields the same pieces.
+        let mut e = engine(21);
+        for s in 0..8u32 {
+            e.create_vnode(SnodeId(s)).unwrap();
+        }
+        let space = e.space();
+        for v in e.vnodes() {
+            let tiles = e.partitions_of(v).unwrap();
+            let mut expected = Vec::new();
+            for &p in e.ring().points_of(ChNodeId(v.0)) {
+                let (from, to, _) = e.ring().arc_containing(p).unwrap();
+                for (s, en) in ChEngine::segments(space, from, to) {
+                    expected.extend(Partition::cover_range(space, s, en));
+                }
+            }
+            expected.sort_unstable_by_key(|p| p.start(space));
+            assert_eq!(tiles, expected);
+        }
     }
 }

@@ -63,8 +63,18 @@ pub struct ChRing<R: DomusRng = Xoshiro256pp> {
     points: BTreeMap<u64, ChNodeId>,
     /// Exact per-node arc totals (sum = 2^Bh once the ring is non-empty).
     arc: Vec<u128>,
+    /// Per-node virtual-server positions, in insertion order. Points are
+    /// only ever removed wholesale at leave time, so a node's list stays
+    /// valid for its whole life — departures walk it instead of scanning
+    /// every point on the ring.
+    points_of: Vec<Vec<u64>>,
     /// Live flag per node (leave() retires a node).
     live: Vec<bool>,
+    /// Number of live nodes (the `live` vector is append-only).
+    live_count: usize,
+    /// Multiset of live nodes' arc totals: arc length → node count. Keeps
+    /// `max_arc` (the peak-load metric) O(log V) under churn.
+    arc_counts: BTreeMap<u128, u32>,
     /// Default virtual servers per node.
     k: u32,
     rng: R,
@@ -82,7 +92,37 @@ impl<R: DomusRng> ChRing<R> {
     /// A ring using the supplied RNG stream.
     pub fn with_rng(space: HashSpace, k: u32, rng: R) -> Self {
         assert!(k >= 1, "at least one virtual server per node");
-        Self { space, points: BTreeMap::new(), arc: Vec::new(), live: Vec::new(), k, rng }
+        Self {
+            space,
+            points: BTreeMap::new(),
+            arc: Vec::new(),
+            points_of: Vec::new(),
+            live: Vec::new(),
+            live_count: 0,
+            arc_counts: BTreeMap::new(),
+            k,
+            rng,
+        }
+    }
+
+    /// Adjusts one live node's arc total, keeping the arc multiset in step.
+    fn set_arc(&mut self, node: ChNodeId, new: u128) {
+        let old = self.arc[node.index()];
+        if old == new {
+            return;
+        }
+        let n = self.arc_counts.get_mut(&old).expect("live arc is in the multiset");
+        *n -= 1;
+        if *n == 0 {
+            self.arc_counts.remove(&old);
+        }
+        *self.arc_counts.entry(new).or_insert(0) += 1;
+        self.arc[node.index()] = new;
+    }
+
+    /// The largest arc held by any live node — O(log V).
+    pub fn max_arc(&self) -> u128 {
+        self.arc_counts.keys().next_back().copied().unwrap_or(0)
     }
 
     /// The hash space.
@@ -95,9 +135,9 @@ impl<R: DomusRng> ChRing<R> {
         self.k
     }
 
-    /// Number of live nodes.
+    /// Number of live nodes — O(1).
     pub fn node_count(&self) -> usize {
-        self.live.iter().filter(|&&l| l).count()
+        self.live_count
     }
 
     /// Total virtual-server points on the ring.
@@ -148,9 +188,10 @@ impl<R: DomusRng> ChRing<R> {
         while self.points.contains_key(&p) {
             p = self.space.random_point(&mut self.rng);
         }
+        self.points_of[node.index()].push(p);
         if self.points.is_empty() {
             self.points.insert(p, node);
-            self.arc[node.index()] += self.space.size();
+            self.set_arc(node, self.arc[node.index()] + self.space.size());
             return ArcClaim { from_excl: p, to_incl: p, peer: None };
         }
         // The arc (pred, p] currently belongs to p's successor; it moves to
@@ -158,8 +199,8 @@ impl<R: DomusRng> ChRing<R> {
         let pred = self.predecessor_of(p);
         let (_, succ_owner) = self.successor_point(p).expect("non-empty ring has a successor");
         let len = self.arc_len(pred, p);
-        self.arc[succ_owner.index()] -= len;
-        self.arc[node.index()] += len;
+        self.set_arc(succ_owner, self.arc[succ_owner.index()] - len);
+        self.set_arc(node, self.arc[node.index()] + len);
         self.points.insert(p, node);
         ArcClaim { from_excl: pred, to_incl: p, peer: Some(succ_owner) }
     }
@@ -169,14 +210,14 @@ impl<R: DomusRng> ChRing<R> {
     fn remove_point(&mut self, p: u64) -> ArcClaim {
         let node = self.points.remove(&p).expect("point exists");
         if self.points.is_empty() {
-            self.arc[node.index()] -= self.space.size();
+            self.set_arc(node, self.arc[node.index()] - self.space.size());
             return ArcClaim { from_excl: p, to_incl: p, peer: None };
         }
         let pred = self.predecessor_of(p);
         let (_, succ_owner) = self.successor_point(p).expect("non-empty ring");
         let len = self.arc_len(pred, p);
-        self.arc[node.index()] -= len;
-        self.arc[succ_owner.index()] += len;
+        self.set_arc(node, self.arc[node.index()] - len);
+        self.set_arc(succ_owner, self.arc[succ_owner.index()] + len);
         ArcClaim { from_excl: pred, to_incl: p, peer: Some(succ_owner) }
     }
 
@@ -199,7 +240,10 @@ impl<R: DomusRng> ChRing<R> {
         assert!(points >= 1, "a node needs at least one virtual server");
         let node = ChNodeId(self.arc.len() as u32);
         self.arc.push(0);
+        self.points_of.push(Vec::with_capacity(points as usize));
         self.live.push(true);
+        self.live_count += 1;
+        *self.arc_counts.entry(0).or_insert(0) += 1;
         let mut claims = Vec::with_capacity(points as usize);
         for _ in 0..points {
             let claim = self.insert_point(node);
@@ -234,8 +278,8 @@ impl<R: DomusRng> ChRing<R> {
 
     fn leave_impl(&mut self, node: ChNodeId, mut claims: Option<&mut Vec<ArcClaim>>) {
         assert!(self.is_live(node), "unknown or dead node");
-        let mine: Vec<u64> =
-            self.points.iter().filter(|(_, &n)| n == node).map(|(&p, _)| p).collect();
+        // The node's own point list — no O(P) sweep over the whole ring.
+        let mine = std::mem::take(&mut self.points_of[node.index()]);
         if let Some(claims) = claims.as_deref_mut() {
             claims.reserve(mine.len());
         }
@@ -248,12 +292,31 @@ impl<R: DomusRng> ChRing<R> {
             }
         }
         self.live[node.index()] = false;
+        self.live_count -= 1;
         debug_assert_eq!(self.arc[node.index()], 0);
+        let zeros = self.arc_counts.get_mut(&0).expect("drained node holds a zero arc");
+        *zeros -= 1;
+        if *zeros == 0 {
+            self.arc_counts.remove(&0);
+        }
     }
 
     /// `true` iff `node` exists and has not left.
     pub fn is_live(&self, node: ChNodeId) -> bool {
         self.live.get(node.index()).copied().unwrap_or(false)
+    }
+
+    /// A live node's virtual-server positions (insertion order).
+    pub fn points_of(&self, node: ChNodeId) -> &[u64] {
+        &self.points_of[node.index()]
+    }
+
+    /// The arc `(from_excl, to_incl]` responsible for `key`, with its
+    /// owner — the interval a lookup resolves through, `O(log P)`.
+    pub fn arc_containing(&self, key: u64) -> Option<(u64, u64, ChNodeId)> {
+        let (to_incl, owner) = self.successor_point(key)?;
+        let from_excl = self.predecessor_of(to_incl);
+        Some((from_excl, to_incl, owner))
     }
 
     /// Live node handles, in join order.
@@ -302,7 +365,8 @@ impl<R: DomusRng> ChRing<R> {
     }
 
     /// Verifies the incremental arcs against a full recomputation and that
-    /// they tile the ring exactly.
+    /// they tile the ring exactly, plus the O(1)/O(log V) bookkeeping
+    /// (live count, per-node point lists, arc multiset).
     pub fn verify(&self) -> Result<(), String> {
         let fresh = self.recomputed_arcs();
         if fresh != self.arc {
@@ -312,6 +376,27 @@ impl<R: DomusRng> ChRing<R> {
         let expected = if self.points.is_empty() { 0 } else { self.space.size() };
         if total != expected {
             return Err(format!("arcs cover {total}, expected {expected}"));
+        }
+        let live = self.live.iter().filter(|&&l| l).count();
+        if live != self.live_count {
+            return Err(format!("live counter {} vs {live} live flags", self.live_count));
+        }
+        let mut counts: BTreeMap<u128, u32> = BTreeMap::new();
+        for (i, &a) in self.arc.iter().enumerate() {
+            if self.live[i] {
+                *counts.entry(a).or_insert(0) += 1;
+            }
+        }
+        if counts != self.arc_counts {
+            return Err("arc multiset drifted from live arcs".into());
+        }
+        for (i, mine) in self.points_of.iter().enumerate() {
+            let listed: std::collections::BTreeSet<u64> = mine.iter().copied().collect();
+            let actual: std::collections::BTreeSet<u64> =
+                self.points.iter().filter(|(_, n)| n.index() == i).map(|(&p, _)| p).collect();
+            if listed != actual {
+                return Err(format!("node n{i}: point list drifted from the ring"));
+            }
         }
         Ok(())
     }

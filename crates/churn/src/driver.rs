@@ -21,7 +21,6 @@ use domus_kv::workload::value_of;
 use domus_kv::{KvService, KvStore, UniformKeys};
 use domus_metrics::Series;
 use domus_sim::{ClusterNet, CostModel, EventCost, SimTime};
-use std::collections::BTreeSet;
 use std::io::{self, Write};
 
 /// Replay configuration.
@@ -356,7 +355,7 @@ impl<E: DhtEngine> ChurnDriver<E> {
             self.close_window(horizon);
         }
 
-        let final_balance = self.with_engine(BalanceSnapshot::capture);
+        let final_balance = self.with_engine(|e| e.balance_snapshot());
         let mut totals = RunTotals {
             events: 0,
             joins: 0,
@@ -405,7 +404,7 @@ impl<E: DhtEngine> ChurnDriver<E> {
     }
 
     fn close_window(&mut self, end: SimTime) {
-        let balance = self.with_engine(BalanceSnapshot::capture);
+        let balance = self.with_engine(|e| e.balance_snapshot());
         let (availability, lost_lookups) = self.probe_window();
         let acc = std::mem::take(&mut self.acc);
         self.samples.push(WindowSample {
@@ -532,12 +531,10 @@ impl<E: DhtEngine> ChurnDriver<E> {
 
     /// `(record length, participant snodes)` of the record governing `v`'s
     /// region — the inputs [`CostModel`] prices synchronisation with.
+    /// Served by the engines' incrementally-maintained counts, so pricing
+    /// an event never materialises a PDR.
     fn record_shape_of(&self, v: VnodeId) -> (u64, u64) {
-        self.with_engine(|e| {
-            let pdr = e.pdr_of(v).expect("live vnode has a record");
-            let snodes: BTreeSet<SnodeId> = pdr.entries().iter().map(|e| e.vnode.snode).collect();
-            (pdr.len() as u64, snodes.len() as u64)
-        })
+        self.with_engine(|e| e.record_shape_of(v).expect("live vnode has a record"))
     }
 
     /// Loads the KV population once the DHT can own keys (first join).

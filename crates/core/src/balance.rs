@@ -46,7 +46,6 @@ use crate::ids::VnodeId;
 use crate::state::{GroupState, VnodeStore};
 use domus_hashspace::{OwnerMap, Partition};
 use domus_util::DomusRng;
-use std::collections::BTreeMap;
 
 /// Picks the index of the donor partition to hand over, per policy.
 fn pick_partition<R: DomusRng>(len: usize, policy: VictimPartitionPolicy, rng: &mut R) -> usize {
@@ -116,9 +115,22 @@ pub fn all_at_pmin(_vs: &VnodeStore, region: &GroupState, cfg: &DhtConfig) -> bo
     v > 0 && region.sum == v * cfg.pmin && region.sumsq == v * cfg.pmin * cfg.pmin
 }
 
+/// `true` iff every member of the region holds exactly `Pmax` partitions —
+/// the merge-cascade trigger after a removal's redistribution. O(1), by
+/// the same accumulator argument as [`all_at_pmin`].
+pub fn all_at_pmax(region: &GroupState, cfg: &DhtConfig) -> bool {
+    let v = region.members.len() as u64;
+    let pmax = cfg.pmax();
+    v > 0 && region.sum == v * pmax && region.sumsq == v * pmax * pmax
+}
+
 /// The split cascade: binary-splits every partition of the region, doubling
 /// every member's count from `Pmin` to `Pmax` (§2.5). Returns the number of
 /// partitions split.
+///
+/// When the region spans the whole routing map (the global approach; the
+/// local approach while a single group exists) the cascade is one bulk
+/// rebuild — `O(P)` instead of `P` individual tree surgeries.
 pub fn split_all(
     vs: &mut VnodeStore,
     routing: &mut OwnerMap<VnodeId>,
@@ -128,15 +140,23 @@ pub fn split_all(
     if region.level >= space.bits() {
         return Err(DhtError::LevelOverflow { level: region.level, bits: space.bits() });
     }
+    let whole_map = region.sum == routing.len() as u64;
     let mut split_count = 0u64;
+    if whole_map {
+        split_count = routing.split_all();
+    }
     for &m in &region.members {
         let old = std::mem::take(&mut vs.get_mut(m).partitions);
         let mut fresh = Vec::with_capacity(old.len() * 2);
         for p in old {
-            let (a, b) = routing.split(p).expect("member partition must be routed");
+            let (a, b) = if whole_map {
+                p.split()
+            } else {
+                split_count += 1;
+                routing.split(p).expect("member partition must be routed")
+            };
             fresh.push(a);
             fresh.push(b);
-            split_count += 1;
         }
         vs.get_mut(m).partitions = fresh;
     }
@@ -277,87 +297,119 @@ pub fn merge_all<R: DomusRng>(
     // (`birth_level`). The capacity arithmetic in the module docs shows
     // every *required* merge happens above that floor; the structural
     // validation below is the authoritative guard.
-    // Gather sibling pairs: parent index → the two child (partition, owner).
-    let mut pairs: BTreeMap<u64, Vec<(Partition, VnodeId)>> = BTreeMap::new();
+    // Gather every (parent index, child, owner) and sort: siblings become
+    // adjacent, left child first — one flat buffer instead of a tree of
+    // per-parent vectors.
+    let mut children: Vec<(u64, Partition, VnodeId)> = Vec::with_capacity(region.sum as usize);
     for &m in &region.members {
         for &p in &vs.get(m).partitions {
-            pairs.entry(p.index() >> 1).or_default().push((p, m));
+            children.push((p.index() >> 1, p, m));
         }
     }
-    for (&parent_index, children) in &pairs {
-        if children.len() != 2 {
+    children.sort_unstable_by_key(|&(parent, p, _)| (parent, p.index()));
+    // Partitions are unique, so a parent index appears at most twice; the
+    // set is sibling-closed iff every run of equal parents has length 2.
+    let mut at = 0;
+    while at < children.len() {
+        let parent_index = children[at].0;
+        if at + 1 >= children.len() || children[at + 1].0 != parent_index {
             return Err(NotSiblingClosed { parent_index });
         }
+        at += 2;
     }
 
-    // Capacity: each member keeps count/2 parents.
-    let mut capacity: BTreeMap<VnodeId, u64> = BTreeMap::new();
-    for &m in &region.members {
-        let c = vs.get(m).count();
-        debug_assert!(c % 2 == 0, "merge_all requires even counts, {m} has {c}");
-        capacity.insert(m, c / 2);
-    }
+    // Capacity: each member keeps count/2 parents. Sorted by handle so the
+    // any-member fallback scan below is deterministic (same order the old
+    // BTreeMap-keyed bookkeeping iterated in).
+    let mut capacity: Vec<(VnodeId, u64)> = region
+        .members
+        .iter()
+        .map(|&m| {
+            let c = vs.get(m).count();
+            debug_assert!(c % 2 == 0, "merge_all requires even counts, {m} has {c}");
+            (m, c / 2)
+        })
+        .collect();
+    capacity.sort_unstable_by_key(|&(m, _)| m);
+    let cap_slot = |capacity: &[(VnodeId, u64)], m: VnodeId| -> usize {
+        capacity.binary_search_by_key(&m, |&(v, _)| v).expect("member has a capacity slot")
+    };
 
     // Assignment passes: (1) both children same owner → free;
     // (2) one child's owner has capacity → one transfer;
     // (3) any member with capacity → two transfers.
-    let mut assignment: BTreeMap<u64, VnodeId> = BTreeMap::new();
-    let mut deferred: Vec<u64> = Vec::new();
-    for (&parent, children) in &pairs {
-        let (a, b) = (children[0].1, children[1].1);
+    let pairs = children.len() / 2;
+    let mut assignment: Vec<Option<VnodeId>> = vec![None; pairs];
+    for (i, pair) in children.chunks_exact(2).enumerate() {
+        let (a, b) = (pair[0].2, pair[1].2);
         if a == b {
-            assignment.insert(parent, a);
-            *capacity.get_mut(&a).expect("member") -= 1;
-        } else {
-            deferred.push(parent);
+            assignment[i] = Some(a);
+            let slot = cap_slot(&capacity, a);
+            capacity[slot].1 -= 1;
         }
     }
-    let mut second: Vec<u64> = Vec::new();
-    for parent in deferred {
-        let children = &pairs[&parent];
-        let (a, b) = (children[0].1, children[1].1);
-        if capacity[&a] > 0 {
-            assignment.insert(parent, a);
-            *capacity.get_mut(&a).expect("member") -= 1;
-        } else if capacity[&b] > 0 {
-            assignment.insert(parent, b);
-            *capacity.get_mut(&b).expect("member") -= 1;
+    for (i, pair) in children.chunks_exact(2).enumerate() {
+        if assignment[i].is_some() {
+            continue;
+        }
+        let (a, b) = (pair[0].2, pair[1].2);
+        let sa = cap_slot(&capacity, a);
+        if capacity[sa].1 > 0 {
+            assignment[i] = Some(a);
+            capacity[sa].1 -= 1;
         } else {
-            second.push(parent);
+            let sb = cap_slot(&capacity, b);
+            if capacity[sb].1 > 0 {
+                assignment[i] = Some(b);
+                capacity[sb].1 -= 1;
+            }
         }
     }
-    for parent in second {
-        let any = *capacity
-            .iter()
-            .find(|(_, &cap)| cap > 0)
-            .expect("total capacity equals total parents")
-            .0;
-        assignment.insert(parent, any);
-        *capacity.get_mut(&any).expect("member") -= 1;
+    for slot in assignment.iter_mut().filter(|a| a.is_none()) {
+        let any = capacity
+            .iter_mut()
+            .find(|(_, cap)| *cap > 0)
+            .expect("total capacity equals total parents");
+        *slot = Some(any.0);
+        any.1 -= 1;
     }
 
     // Apply: route both children to the assignee, record the moves, merge.
+    // A region spanning the whole map (global approach / single local
+    // group) merges in one bulk rebuild; scattered groups use the in-place
+    // per-pair surgery.
+    let whole_map = region.sum == routing.len() as u64;
     let mut transfers = Vec::new();
-    let mut merges = 0u64;
     for &m in &region.members {
         vs.get_mut(m).partitions.clear();
     }
-    for (&parent_idx, children) in &pairs {
-        let owner = assignment[&parent_idx];
-        for &(p, old_owner) in children {
+    let mut replacement = Vec::with_capacity(if whole_map { pairs } else { 0 });
+    for (i, pair) in children.chunks_exact(2).enumerate() {
+        let owner = assignment[i].expect("every pair was assigned");
+        for &(_, p, old_owner) in pair {
             if old_owner != owner {
-                routing.transfer(p, owner).expect("child partition is routed");
+                if !whole_map {
+                    routing.transfer(p, owner).expect("child partition is routed");
+                }
                 transfers.push(Transfer { partition: p, from: old_owner, to: owner });
             }
         }
-        let merged = routing
-            .merge(children[0].0, children[1].0)
-            .expect("siblings with a common owner merge");
+        let merged = if whole_map {
+            let parent = pair[0].1.parent().expect("mergeable partitions sit below the root");
+            replacement.push((parent, owner));
+            parent
+        } else {
+            routing.merge(pair[0].1, pair[1].1).expect("siblings with a common owner merge")
+        };
         vs.get_mut(owner).partitions.push(merged);
-        merges += 1;
+    }
+    if whole_map {
+        // `children` was sorted by parent index at one common level, so the
+        // parent list is in ascending hash-space order.
+        routing.replace_all(replacement);
     }
     region.account_merge_all();
-    Ok((merges, transfers))
+    Ok((pairs as u64, transfers))
 }
 
 /// Moves partitions from maxima to minima until the region's counts differ

@@ -44,14 +44,35 @@ pub(crate) fn remove_local<R: DomusRng>(
     if dht.vs.alive_count() == 1 {
         return Err(DhtError::LastVnode);
     }
+    let snode = dht.vs.get(v).name.snode;
+    let report = remove_local_inner(dht, v)?;
+    // Ledger: the report's transfer list is the exact chronological quota
+    // motion of the whole removal (drain, cascades, migration).
+    crate::global::ledger_apply(&dht.vs, &mut dht.ledger, &report.transfers);
+    dht.ledger.vnode_killed(snode);
+    if let Some((old, _new)) = report.migrated {
+        // The migrated vnode was killed and re-created under the same
+        // snode; its re-creation was already ledgered by the admission
+        // path, so balance the kill of its old handle.
+        dht.ledger.vnode_killed(dht.vs.get(old).name.snode);
+    }
+    dht.debug_check();
+    Ok(report)
+}
+
+/// The removal state machine, without ledger accounting or the final
+/// invariant sweep (both owned by [`remove_local`]).
+fn remove_local_inner<R: DomusRng>(
+    dht: &mut LocalDht<R>,
+    v: VnodeId,
+) -> Result<RemoveReport, DhtError> {
     let mut report = RemoveReport::default();
     let slot = dht.vs.get(v).group;
     report.group = Some(dht.groups[slot as usize].gid);
 
     let vg = dht.groups[slot as usize].len() as u64;
-    if dht.live_groups == 1 || vg > dht.cfg.vmin {
+    if dht.live_slots.len() == 1 || vg > dht.cfg.vmin {
         intra_group_remove(dht, slot, v, &mut report);
-        dht.debug_check();
         return Ok(report);
     }
 
@@ -62,14 +83,12 @@ pub(crate) fn remove_local<R: DomusRng>(
         if dht.groups[sib as usize].len() as u64 == dht.cfg.vmin {
             let merged = merge_groups(dht, slot, sib, &mut report)?;
             intra_group_remove(dht, merged, v, &mut report);
-            dht.debug_check();
             return Ok(report);
         }
     }
     if let Some(donor) = find_donor_group(dht, slot) {
         migrate_one(dht, donor, slot, &mut report)?;
         intra_group_remove(dht, dht.vs.get(v).group, v, &mut report);
-        dht.debug_check();
         return Ok(report);
     }
 
@@ -83,7 +102,6 @@ pub(crate) fn remove_local<R: DomusRng>(
         migrate_one(dht, merged, v_slot, &mut report)?;
         intra_group_remove(dht, dht.vs.get(v).group, v, &mut report);
     }
-    dht.debug_check();
     Ok(report)
 }
 
@@ -104,9 +122,8 @@ fn intra_group_remove<R: DomusRng>(
     );
     report.transfers.extend(transfers);
     dht.vs.kill(v);
-    let saturated =
-        dht.groups[slot as usize].members.iter().all(|&m| dht.vs.get(m).count() == dht.cfg.pmax());
-    if saturated && !dht.groups[slot as usize].members.is_empty() {
+    let saturated = balance::all_at_pmax(&dht.groups[slot as usize], &dht.cfg);
+    if saturated {
         let (merges, extra) = balance::merge_all(
             &mut dht.vs,
             &mut dht.routing,
@@ -122,18 +139,19 @@ fn intra_group_remove<R: DomusRng>(
 
 /// Finds the live-group slot with identifier `gid`, if any.
 fn find_live_group<R: DomusRng>(dht: &LocalDht<R>, gid: GroupId) -> Option<u32> {
-    dht.groups.iter().enumerate().find(|(_, g)| g.alive && g.gid == gid).map(|(i, _)| i as u32)
+    dht.live_slots.iter().copied().find(|&s| dht.groups[s as usize].gid == gid)
 }
 
 /// Picks the largest group (ties: smallest identifier value, then slot)
 /// that can legally lose a member — excluding `except`.
 fn find_donor_group<R: DomusRng>(dht: &LocalDht<R>, except: u32) -> Option<u32> {
     let mut best: Option<(usize, u64, u32)> = None; // (len, gid value, slot)
-    for (i, g) in dht.groups.iter().enumerate() {
-        if !g.alive || i as u32 == except || g.len() as u64 <= dht.cfg.vmin {
+    for &i in &dht.live_slots {
+        let g = &dht.groups[i as usize];
+        if i == except || g.len() as u64 <= dht.cfg.vmin {
             continue;
         }
-        let cand = (g.len(), g.gid.value(), i as u32);
+        let cand = (g.len(), g.gid.value(), i);
         best = match best {
             None => Some(cand),
             Some(b) if cand.0 > b.0 || (cand.0 == b.0 && cand.1 < b.1) => Some(cand),
@@ -147,12 +165,11 @@ fn find_donor_group<R: DomusRng>(dht: &LocalDht<R>, except: u32) -> Option<u32> 
 /// be a live leaf (a deeper descendant would contradict depth maximality).
 fn deepest_sibling_pair<R: DomusRng>(dht: &LocalDht<R>) -> (u32, u32) {
     let deepest = dht
-        .groups
+        .live_slots
         .iter()
-        .enumerate()
-        .filter(|(_, g)| g.alive)
-        .max_by_key(|(i, g)| (g.gid.len(), usize::MAX - i))
-        .map(|(i, _)| i as u32)
+        .map(|&i| (i, &dht.groups[i as usize]))
+        .max_by_key(|(i, g)| (g.gid.len(), u32::MAX - i))
+        .map(|(i, _)| i)
         .expect("at least one live group");
     let gid = dht.groups[deepest as usize].gid;
     let sib = gid.sibling().expect("a deepest group below the root has a sibling");
@@ -192,8 +209,7 @@ fn merge_groups<R: DomusRng>(
     for slot in [a, b] {
         let members = std::mem::take(&mut dht.groups[slot as usize].members);
         dht.groups[slot as usize].alive = false;
-        dht.groups[slot as usize].sum = 0;
-        dht.groups[slot as usize].sumsq = 0;
+        dht.groups[slot as usize].clear_accumulators();
         for m in members {
             dht.vs.get_mut(m).group = merged_slot;
             let count = dht.vs.get(m).count();
@@ -201,7 +217,9 @@ fn merge_groups<R: DomusRng>(
         }
     }
     dht.groups.push(merged);
-    dht.live_groups -= 1; // two died, one was born
+    dht.retire_slot(a);
+    dht.retire_slot(b);
+    dht.live_slots.push(merged_slot);
     report.group_merge = Some((gid_a, gid_b, parent_gid));
 
     // Harmonisation may have pushed the raised side past Pmax; re-level.

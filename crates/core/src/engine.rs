@@ -7,7 +7,9 @@ use crate::group_id::GroupId;
 use crate::ids::{CanonicalName, SnodeId, VnodeId};
 use crate::invariants::InvariantViolation;
 use crate::record::Pdr;
+use crate::stats::BalanceSnapshot;
 use domus_hashspace::Partition;
+use std::collections::BTreeSet;
 
 /// One partition changing hands during a rebalancement event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +131,28 @@ pub trait DhtEngine {
     /// region: the GPDR for the global approach, the LPDR of `v`'s group
     /// for the local approach.
     fn pdr_of(&self, v: VnodeId) -> Result<Pdr, DhtError>;
+
+    /// The *shape* of the record governing `v`'s region: `(entries,
+    /// distinct participant snodes)` — all that event pricing needs from
+    /// [`DhtEngine::pdr_of`]. The default materialises the record
+    /// (O(record)); engines override it with incrementally-maintained
+    /// counts so replay loops never rebuild a PDR per event.
+    fn record_shape_of(&self, v: VnodeId) -> Result<(u64, u64), DhtError> {
+        let pdr = self.pdr_of(v)?;
+        let snodes: BTreeSet<SnodeId> = pdr.entries().iter().map(|e| e.vnode.snode).collect();
+        Ok((pdr.len() as u64, snodes.len() as u64))
+    }
+
+    /// A point-in-time [`BalanceSnapshot`]. The default is the generic
+    /// one-pass capture (O(V)); engines override it to sample from their
+    /// incremental accumulators (O(S + G) for the model engines) so
+    /// high-cadence observation windows never rescan the vnode map.
+    fn balance_snapshot(&self) -> BalanceSnapshot
+    where
+        Self: Sized,
+    {
+        BalanceSnapshot::capture(self)
+    }
 
     /// Verifies every model invariant; `Ok` on a healthy structure.
     fn check_invariants(&self) -> Result<(), InvariantViolation>;

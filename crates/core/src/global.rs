@@ -11,16 +11,25 @@
 
 use crate::balance;
 use crate::config::DhtConfig;
-use crate::engine::{CreateReport, DhtEngine, RemoveReport};
+use crate::engine::{CreateReport, DhtEngine, RemoveReport, Transfer};
 use crate::errors::DhtError;
 use crate::group_id::GroupId;
 use crate::ids::{CanonicalName, SnodeId, VnodeId};
 use crate::invariants::{self, InvariantViolation};
+use crate::ledger::SnodeLedger;
 use crate::record::{Pdr, PdrEntry};
 use crate::state::{GroupState, VnodeStore};
-use domus_hashspace::{OwnerMap, Partition};
+use crate::stats::BalanceSnapshot;
+use domus_hashspace::{OwnerMap, Partition, Quota};
 use domus_metrics::relstd::rel_std_dev_counts_pct;
 use domus_util::{DomusRng, Xoshiro256pp};
+
+/// Replays `transfers` into the snode ledger, resolving hosts through
+/// the vnode arena (run-coalescing lives in
+/// [`SnodeLedger::apply_transfers`]).
+pub(crate) fn ledger_apply(vs: &VnodeStore, ledger: &mut SnodeLedger, transfers: &[Transfer]) {
+    ledger.apply_transfers(transfers, |v| vs.get(v).name.snode);
+}
 
 /// A DHT balanced with the global approach.
 ///
@@ -42,6 +51,7 @@ pub struct GlobalDht<R: DomusRng = Xoshiro256pp> {
     vs: VnodeStore,
     region: GroupState,
     routing: OwnerMap<VnodeId>,
+    ledger: SnodeLedger,
     rng: R,
 }
 
@@ -61,8 +71,14 @@ impl<R: DomusRng> GlobalDht<R> {
             vs: VnodeStore::new(),
             region: GroupState::new(GroupId::FIRST, cfg.initial_level()),
             routing: OwnerMap::new(space),
+            ledger: SnodeLedger::new(),
             rng,
         }
+    }
+
+    /// The incremental per-snode quota ledger.
+    pub fn ledger(&self) -> &SnodeLedger {
+        &self.ledger
     }
 
     /// `σ̄(Pv, P̄v)` in percent — the count-based shortcut metric of §2.4,
@@ -130,6 +146,8 @@ impl<R: DomusRng> DhtEngine for GlobalDht<R> {
         if self.vs.alive_count() == 0 {
             let v = self.vs.create(snode, 0);
             balance::seed_first(&mut self.vs, &mut self.routing, &mut self.region, v, &self.cfg);
+            self.ledger.vnode_created(snode);
+            self.ledger.gain(snode, Quota::ONE);
             report.group_size_after = 1;
             self.debug_check();
             return Ok((v, report));
@@ -152,6 +170,8 @@ impl<R: DomusRng> DhtEngine for GlobalDht<R> {
             &self.cfg,
             &mut self.rng,
         );
+        self.ledger.vnode_created(snode);
+        ledger_apply(&self.vs, &mut self.ledger, &report.transfers);
         report.group_size_after = self.region.len();
         self.debug_check();
         Ok((v, report))
@@ -175,9 +195,7 @@ impl<R: DomusRng> DhtEngine for GlobalDht<R> {
         // If redistribution saturated everyone at Pmax, the member count is
         // a power of two (capacity arithmetic — DESIGN.md §3) and G5
         // requires the merge cascade back to Pmin.
-        let all_at_pmax =
-            self.region.members.iter().all(|&m| self.vs.get(m).count() == self.cfg.pmax());
-        if all_at_pmax {
+        if balance::all_at_pmax(&self.region, &self.cfg) {
             let (merges, extra) = balance::merge_all(
                 &mut self.vs,
                 &mut self.routing,
@@ -189,6 +207,8 @@ impl<R: DomusRng> DhtEngine for GlobalDht<R> {
             report.partition_merges = merges;
             report.transfers.extend(extra);
         }
+        ledger_apply(&self.vs, &mut self.ledger, &report.transfers);
+        self.ledger.vnode_killed(self.vs.get(v).name.snode);
         self.debug_check();
         Ok(report)
     }
@@ -246,12 +266,33 @@ impl<R: DomusRng> DhtEngine for GlobalDht<R> {
         Ok(self.gpdr())
     }
 
+    fn record_shape_of(&self, v: VnodeId) -> Result<(u64, u64), DhtError> {
+        self.ensure_alive(v)?;
+        // GPDR shape: every live vnode is an entry, every hosting snode a
+        // participant — both maintained incrementally, O(1).
+        Ok((self.region.len() as u64, self.ledger.snode_count() as u64))
+    }
+
+    fn balance_snapshot(&self) -> BalanceSnapshot {
+        let v = self.vs.alive_count();
+        let max_quota = self.region.max_count() as f64 / (self.region.level as f64).exp2();
+        BalanceSnapshot {
+            vnodes: v,
+            groups: 1,
+            snodes: self.ledger.snode_count(),
+            vnode_relstd_pct: self.vnode_quota_relstd_pct(),
+            snode_relstd_pct: self.ledger.relstd_pct(),
+            max_quota_over_ideal: max_quota * v as f64,
+        }
+    }
+
     fn check_invariants(&self) -> Result<(), InvariantViolation> {
         invariants::check(
             &self.cfg,
             &self.vs,
             std::slice::from_ref(&self.region),
             &self.routing,
+            &self.ledger,
             true,
         )
     }

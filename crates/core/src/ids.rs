@@ -34,6 +34,13 @@ impl VnodeId {
     }
 }
 
+impl domus_hashspace::OwnerKey for VnodeId {
+    #[inline]
+    fn dense(&self) -> usize {
+        self.index()
+    }
+}
+
 impl std::fmt::Display for SnodeId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "s{}", self.0)

@@ -11,10 +11,12 @@
 
 use crate::config::DhtConfig;
 use crate::group_id::GroupId;
-use crate::ids::VnodeId;
+use crate::ids::{SnodeId, VnodeId};
+use crate::ledger::SnodeLedger;
 use crate::state::{GroupState, VnodeStore};
 use domus_hashspace::{OwnerMap, Quota};
 use domus_util::bits::is_power_of_two;
+use std::collections::BTreeMap;
 
 /// A violated invariant, with enough context to debug it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,6 +103,12 @@ pub enum InvariantViolation {
         /// Detail.
         detail: String,
     },
+    /// The incremental snode ledger disagrees with a per-vnode
+    /// recomputation.
+    LedgerDrift {
+        /// Detail.
+        detail: String,
+    },
     /// The vnode quotas do not sum exactly to 1.
     QuotaSumNotOne {
         /// The exact sum found, rendered.
@@ -158,6 +166,7 @@ impl std::fmt::Display for InvariantViolation {
             Self::AccumulatorDrift { gid, detail } => {
                 write!(f, "accumulator drift in {gid}: {detail}")
             }
+            Self::LedgerDrift { detail } => write!(f, "snode ledger drift: {detail}"),
             Self::QuotaSumNotOne { found } => write!(f, "vnode quotas sum to {found}, not 1"),
             Self::SpreadTooWide { gid, min_max } => write!(
                 f,
@@ -180,6 +189,7 @@ pub fn check(
     vs: &VnodeStore,
     groups: &[GroupState],
     routing: &OwnerMap<VnodeId>,
+    ledger: &SnodeLedger,
     single_region: bool,
 ) -> Result<(), InvariantViolation> {
     let live: Vec<&GroupState> = groups.iter().filter(|g| g.alive).collect();
@@ -196,6 +206,9 @@ pub fn check(
 
     // --- G1/G1': exact tiling of R_h.
     routing.verify_coverage().map_err(|e| InvariantViolation::Coverage(e.to_string()))?;
+
+    // --- The routing map's owner index agrees with its entries.
+    routing.verify_index().map_err(|e| InvariantViolation::Coverage(e.to_string()))?;
 
     // --- Routing ↔ partition-list agreement, in both directions.
     let mut total_listed = 0usize;
@@ -311,6 +324,23 @@ pub fn check(
                 ),
             });
         }
+        // Count histogram.
+        let mut hist: Vec<u32> = Vec::new();
+        for &m in &g.members {
+            let c = vs.get(m).count() as usize;
+            if hist.len() <= c {
+                hist.resize(c + 1, 0);
+            }
+            hist[c] += 1;
+        }
+        let stored_trim = g.hist.iter().rposition(|&n| n > 0).map(|i| &g.hist[..=i]).unwrap_or(&[]);
+        let fresh_trim = hist.iter().rposition(|&n| n > 0).map(|i| &hist[..=i]).unwrap_or(&[]);
+        if stored_trim != fresh_trim {
+            return Err(InvariantViolation::AccumulatorDrift {
+                gid: g.gid,
+                detail: format!("histogram stored {stored_trim:?} recomputed {fresh_trim:?}"),
+            });
+        }
         // L2 and the quota law are local-approach specific.
         if !single_region {
             let (vmin, vmax) = (cfg.vmin, cfg.vmax());
@@ -372,6 +402,37 @@ pub fn check(
         if !sum.is_one() {
             return Err(InvariantViolation::QuotaSumNotOne { found: sum.to_string() });
         }
+    }
+
+    // --- The incremental snode ledger matches a per-vnode recomputation.
+    let mut fresh: BTreeMap<SnodeId, (Quota, u32)> = BTreeMap::new();
+    for g in &live {
+        for &m in &g.members {
+            let s = vs.get(m).name.snode;
+            let e = fresh.entry(s).or_insert((Quota::ZERO, 0));
+            e.0 = e.0 + Quota::of_partitions(vs.get(m).count(), g.level);
+            e.1 += 1;
+        }
+    }
+    if ledger.snode_count() != fresh.len() {
+        return Err(InvariantViolation::LedgerDrift {
+            detail: format!("{} snodes ledgered, {} found", ledger.snode_count(), fresh.len()),
+        });
+    }
+    for (s, share) in ledger.iter() {
+        match fresh.get(&s) {
+            Some(&(q, n)) if q == share.quota && n == share.vnodes => {}
+            found => {
+                return Err(InvariantViolation::LedgerDrift {
+                    detail: format!("snode {s}: ledgered {share:?}, recomputed {found:?}"),
+                });
+            }
+        }
+    }
+    if !ledger.total().is_one() {
+        return Err(InvariantViolation::LedgerDrift {
+            detail: format!("shares total {} ≠ 1", ledger.total()),
+        });
     }
 
     Ok(())

@@ -80,6 +80,7 @@ pub mod global;
 pub mod group_id;
 pub mod ids;
 pub mod invariants;
+pub mod ledger;
 pub mod local;
 pub mod record;
 pub mod state;
@@ -93,6 +94,7 @@ pub use global::GlobalDht;
 pub use group_id::GroupId;
 pub use ids::{CanonicalName, SnodeId, VnodeId};
 pub use invariants::InvariantViolation;
+pub use ledger::{SnodeLedger, SnodeShare};
 pub use local::{ideal_group_count, LocalDht};
 pub use record::{Pdr, PdrEntry};
 pub use stats::{snode_count, snode_quota_relstd_pct, snode_quotas, BalanceSnapshot};

@@ -24,12 +24,15 @@ use crate::balance;
 use crate::config::{ContainerChoice, DhtConfig};
 use crate::engine::{CreateReport, DhtEngine, GroupSplit, RemoveReport};
 use crate::errors::DhtError;
+use crate::global::ledger_apply;
 use crate::group_id::GroupId;
 use crate::ids::{CanonicalName, SnodeId, VnodeId};
 use crate::invariants::{self, InvariantViolation};
+use crate::ledger::SnodeLedger;
 use crate::record::{Pdr, PdrEntry};
 use crate::state::{GroupState, VnodeStore};
-use domus_hashspace::{OwnerMap, Partition};
+use crate::stats::BalanceSnapshot;
+use domus_hashspace::{OwnerMap, Partition, Quota};
 use domus_util::{DomusRng, Xoshiro256pp};
 
 /// A DHT balanced with the local approach.
@@ -53,8 +56,13 @@ pub struct LocalDht<R: DomusRng = Xoshiro256pp> {
     pub(crate) vs: VnodeStore,
     pub(crate) groups: Vec<GroupState>,
     pub(crate) routing: OwnerMap<VnodeId>,
+    pub(crate) ledger: SnodeLedger,
     pub(crate) rng: R,
-    pub(crate) live_groups: usize,
+    /// Slots of the live groups, ascending (fresh slots are always
+    /// appended at the end of the arena, so pushes preserve the order).
+    /// Retired slots stay in `groups` as tombstones; every hot iteration
+    /// walks this list instead of the ever-growing arena.
+    pub(crate) live_slots: Vec<u32>,
 }
 
 /// The ideal number of groups for `v` vnodes (figure 7's `G_ideal`):
@@ -85,20 +93,37 @@ impl<R: DomusRng> LocalDht<R> {
             vs: VnodeStore::new(),
             groups: Vec::new(),
             routing: OwnerMap::new(space),
+            ledger: SnodeLedger::new(),
             rng,
-            live_groups: 0,
+            live_slots: Vec::new(),
         }
+    }
+
+    /// The incremental per-snode quota ledger.
+    pub fn ledger(&self) -> &SnodeLedger {
+        &self.ledger
     }
 
     /// Live groups as `(identifier, member count, splitlevel)` in slot
     /// order.
     pub fn group_table(&self) -> Vec<(GroupId, usize, u32)> {
-        self.groups.iter().filter(|g| g.alive).map(|g| (g.gid, g.len(), g.level)).collect()
+        self.live_groups().map(|g| (g.gid, g.len(), g.level)).collect()
+    }
+
+    /// The live groups, in ascending slot order.
+    pub(crate) fn live_groups(&self) -> impl Iterator<Item = &GroupState> {
+        self.live_slots.iter().map(|&s| &self.groups[s as usize])
+    }
+
+    /// Retires a group slot from the live list.
+    pub(crate) fn retire_slot(&mut self, slot: u32) {
+        let at = self.live_slots.binary_search(&slot).expect("retired slot was live");
+        self.live_slots.remove(at);
     }
 
     /// The LPDR (§3.2) of the group identified by `gid`.
     pub fn lpdr(&self, gid: GroupId) -> Option<Pdr> {
-        let g = self.groups.iter().find(|g| g.alive && g.gid == gid)?;
+        let g = self.live_groups().find(|g| g.gid == gid)?;
         Some(Pdr::new(
             g.members
                 .iter()
@@ -121,15 +146,13 @@ impl<R: DomusRng> LocalDht<R> {
     /// `σ̄(Qg, Q̄g)` in percent — figure 8's quality of balancement *between
     /// groups*, measured against the ideal average quota `Q̄g = 1/G`.
     pub fn group_quota_relstd_pct(&self) -> f64 {
-        let g = self.live_groups as f64;
+        let g = self.live_slots.len() as f64;
         if g == 0.0 {
             return 0.0;
         }
         let ideal = 1.0 / g;
         let sum_sq_dev: f64 = self
-            .groups
-            .iter()
-            .filter(|gr| gr.alive)
+            .live_groups()
             .map(|gr| {
                 let d = gr.quota_f64() - ideal;
                 d * d
@@ -141,11 +164,14 @@ impl<R: DomusRng> LocalDht<R> {
 
     /// Quotas of the live groups, in slot order (Σ = 1).
     pub fn group_quotas(&self) -> Vec<f64> {
-        self.groups.iter().filter(|g| g.alive).map(|g| g.quota_f64()).collect()
+        self.live_groups().map(|g| g.quota_f64()).collect()
     }
 
     /// Splits the full group in `slot` into two `Vmin`-member halves with
     /// identifiers inherited per §3.7.1. Returns the two child slots.
+    ///
+    /// No partition changes hands, so neither vnode quotas nor the snode
+    /// ledger move.
     fn split_group(&mut self, slot: u32) -> (u32, u32) {
         let parent = &mut self.groups[slot as usize];
         debug_assert_eq!(parent.len() as u64, self.cfg.vmax(), "only full groups split");
@@ -153,8 +179,7 @@ impl<R: DomusRng> LocalDht<R> {
         let level = parent.level;
         let (gid0, gid1) = parent.gid.split();
         let mut members = std::mem::take(&mut parent.members);
-        parent.sum = 0;
-        parent.sumsq = 0;
+        parent.clear_accumulators();
 
         // "two groups, each one with Vmin vnodes, randomly selected from the
         // original victim group" (§3.7) — or admission-order halves under
@@ -180,7 +205,9 @@ impl<R: DomusRng> LocalDht<R> {
         }
         self.groups.push(child0);
         self.groups.push(child1);
-        self.live_groups += 1; // one died, two were born
+        self.retire_slot(slot);
+        self.live_slots.push(slot0);
+        self.live_slots.push(slot1);
         (slot0, slot1)
     }
 
@@ -209,6 +236,7 @@ impl<R: DomusRng> LocalDht<R> {
             )?;
         }
         let v = self.vs.create(snode, slot);
+        self.ledger.vnode_created(snode);
         self.groups[slot as usize].admit(v, 0);
         report.transfers.extend(balance::greedy_add(
             &mut self.vs,
@@ -244,7 +272,7 @@ impl<R: DomusRng> DhtEngine for LocalDht<R> {
     }
 
     fn group_count(&self) -> usize {
-        self.live_groups
+        self.live_slots.len()
     }
 
     fn create_vnode(&mut self, snode: SnodeId) -> Result<(VnodeId, CreateReport), DhtError> {
@@ -254,7 +282,7 @@ impl<R: DomusRng> DhtEngine for LocalDht<R> {
         if self.vs.alive_count() == 0 {
             let slot = self.groups.len() as u32;
             self.groups.push(GroupState::new(GroupId::FIRST, self.cfg.initial_level()));
-            self.live_groups += 1;
+            self.live_slots.push(slot);
             let v = self.vs.create(snode, slot);
             balance::seed_first(
                 &mut self.vs,
@@ -263,6 +291,8 @@ impl<R: DomusRng> DhtEngine for LocalDht<R> {
                 v,
                 &self.cfg,
             );
+            self.ledger.vnode_created(snode);
+            self.ledger.gain(snode, Quota::ONE);
             report.group = Some(GroupId::FIRST);
             report.group_size_after = 1;
             self.debug_check();
@@ -303,6 +333,7 @@ impl<R: DomusRng> DhtEngine for LocalDht<R> {
         };
 
         let v = self.admit_into_group(snode, container_slot, &mut report)?;
+        ledger_apply(&self.vs, &mut self.ledger, &report.transfers);
         self.debug_check();
         Ok((v, report))
     }
@@ -371,8 +402,37 @@ impl<R: DomusRng> DhtEngine for LocalDht<R> {
         Ok(self.lpdr(gid).expect("vnode's group is alive"))
     }
 
+    fn record_shape_of(&self, v: VnodeId) -> Result<(u64, u64), DhtError> {
+        self.ensure_alive(v)?;
+        // LPDR shape: one entry per group member, one participant per
+        // distinct hosting snode. `V_g ≤ Vmax`, so the snode dedup over a
+        // small sorted scratch vector beats building the record.
+        let g = &self.groups[self.vs.get(v).group as usize];
+        let mut snodes: Vec<SnodeId> =
+            g.members.iter().map(|&m| self.vs.get(m).name.snode).collect();
+        snodes.sort_unstable();
+        snodes.dedup();
+        Ok((g.len() as u64, snodes.len() as u64))
+    }
+
+    fn balance_snapshot(&self) -> BalanceSnapshot {
+        let v = self.vs.alive_count();
+        let max_quota = self
+            .live_groups()
+            .map(|g| g.max_count() as f64 / (g.level as f64).exp2())
+            .fold(0.0f64, f64::max);
+        BalanceSnapshot {
+            vnodes: v,
+            groups: self.live_slots.len(),
+            snodes: self.ledger.snode_count(),
+            vnode_relstd_pct: self.vnode_quota_relstd_pct(),
+            snode_relstd_pct: self.ledger.relstd_pct(),
+            max_quota_over_ideal: max_quota * v as f64,
+        }
+    }
+
     fn check_invariants(&self) -> Result<(), InvariantViolation> {
-        invariants::check(&self.cfg, &self.vs, &self.groups, &self.routing, false)
+        invariants::check(&self.cfg, &self.vs, &self.groups, &self.routing, &self.ledger, false)
     }
 }
 

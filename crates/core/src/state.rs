@@ -141,6 +141,12 @@ pub struct GroupState {
     pub sum: u64,
     /// `Σ Pv²` over members — the σ̄(Qv) accumulator.
     pub sumsq: u64,
+    /// Count histogram: `hist[c]` = members currently holding `c`
+    /// partitions. Bounded by `Pmax + 1` slots at rest (counts live in
+    /// `[Pmin, Pmax]`); kept exact through every accounting event so
+    /// `max_count` — and thus the peak-quota metric — is O(Pmax) instead
+    /// of an O(V_g) member rescan.
+    pub hist: Vec<u32>,
     /// `false` once the group has split or merged away.
     pub alive: bool,
 }
@@ -148,7 +154,30 @@ pub struct GroupState {
 impl GroupState {
     /// A fresh region at `level` with identifier `gid` and no members.
     pub fn new(gid: GroupId, level: u32) -> Self {
-        Self { gid, level, birth_level: level, members: Vec::new(), sum: 0, sumsq: 0, alive: true }
+        Self {
+            gid,
+            level,
+            birth_level: level,
+            members: Vec::new(),
+            sum: 0,
+            sumsq: 0,
+            hist: Vec::new(),
+            alive: true,
+        }
+    }
+
+    #[inline]
+    fn hist_slot(&mut self, count: u64) -> &mut u32 {
+        let idx = count as usize;
+        if self.hist.len() <= idx {
+            self.hist.resize(idx + 1, 0);
+        }
+        &mut self.hist[idx]
+    }
+
+    /// The largest member partition count, off the histogram — O(Pmax).
+    pub fn max_count(&self) -> u64 {
+        self.hist.iter().rposition(|&n| n > 0).unwrap_or(0) as u64
     }
 
     /// Number of member vnodes `V_g`.
@@ -168,6 +197,7 @@ impl GroupState {
         self.members.push(v);
         self.sum += count;
         self.sumsq += count * count;
+        *self.hist_slot(count) += 1;
     }
 
     /// Removes a member with current partition count `count` from the
@@ -180,6 +210,7 @@ impl GroupState {
         self.members.remove(pos);
         self.sum -= count;
         self.sumsq -= count * count;
+        self.hist[count as usize] -= 1;
     }
 
     /// Accounts for one partition moving from a member with count `from`
@@ -188,6 +219,10 @@ impl GroupState {
     pub fn account_move(&mut self, from: u64, to: u64) {
         // Σ is unchanged; ΣPv² changes by (from−1)²−from² + (to+1)²−to².
         self.sumsq = self.sumsq + 2 * to + 1 - (2 * from - 1);
+        self.hist[from as usize] -= 1;
+        self.hist[from as usize - 1] += 1;
+        self.hist[to as usize] -= 1;
+        *self.hist_slot(to + 1) += 1;
     }
 
     /// Accounts for one partition arriving at a member with pre-move count
@@ -196,34 +231,54 @@ impl GroupState {
     pub fn account_gain(&mut self, to: u64) {
         self.sum += 1;
         self.sumsq += 2 * to + 1;
+        self.hist[to as usize] -= 1;
+        *self.hist_slot(to + 1) += 1;
     }
 
     /// Accounts for a binary split of every partition (counts double).
-    #[inline]
     pub fn account_split_all(&mut self) {
         self.level += 1;
         self.sum *= 2;
         self.sumsq *= 4;
+        let old = std::mem::take(&mut self.hist);
+        self.hist = vec![0; old.len() * 2];
+        for (c, n) in old.into_iter().enumerate() {
+            self.hist[c * 2] = n;
+        }
     }
 
     /// Accounts for a binary merge of every partition pair (counts halve).
-    #[inline]
     pub fn account_merge_all(&mut self) {
         self.level -= 1;
         self.sum /= 2;
         self.sumsq /= 4;
+        let old = std::mem::take(&mut self.hist);
+        self.hist = vec![0; old.len() / 2 + 1];
+        for (c, &n) in old.iter().enumerate() {
+            debug_assert!(c % 2 == 0 || n == 0, "merge cascade requires even counts");
+            self.hist[c / 2] += n;
+        }
     }
 
-    /// Recomputes `sum`/`sumsq` from scratch (used after group splits,
-    /// where members change wholesale).
+    /// Recomputes `sum`/`sumsq`/`hist` from scratch (used after group
+    /// splits, where members change wholesale).
     pub fn recompute(&mut self, vs: &VnodeStore) {
         self.sum = 0;
         self.sumsq = 0;
-        for &m in &self.members {
-            let c = vs.get(m).count();
+        self.hist.clear();
+        for i in 0..self.members.len() {
+            let c = vs.get(self.members[i]).count();
             self.sum += c;
             self.sumsq += c * c;
+            *self.hist_slot(c) += 1;
         }
+    }
+
+    /// Empties the accumulators of a retired (split/merged-away) group.
+    pub fn clear_accumulators(&mut self) {
+        self.sum = 0;
+        self.sumsq = 0;
+        self.hist.clear();
     }
 
     /// The region's quota of `R_h` as `P_g / 2^l` (exact in f64 for the

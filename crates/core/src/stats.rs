@@ -48,7 +48,12 @@ pub struct BalanceSnapshot {
 }
 
 impl BalanceSnapshot {
-    /// Captures the snapshot from a live engine.
+    /// Captures the snapshot from a live engine with one generic pass
+    /// over the vnodes — the O(V) *oracle*. Hot-cadence callers (the
+    /// churn driver's window sampling) should use
+    /// [`DhtEngine::balance_snapshot`], which the engines override with
+    /// their incremental accumulators; the property suite asserts the two
+    /// agree.
     pub fn capture<E: DhtEngine>(dht: &E) -> Self {
         let vnodes = dht.vnodes();
         let mut per_snode: BTreeMap<SnodeId, f64> = BTreeMap::new();

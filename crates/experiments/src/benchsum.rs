@@ -1,0 +1,282 @@
+//! **BENCH-SUMMARY** — the machine-readable perf trajectory.
+//!
+//! Replays one deterministic churn storm (a large initial fleet plus
+//! sustained Poisson churn and a correlated failure) through all three
+//! backends, control-plane only — the same hot path as the
+//! `churn_driver` criterion bench — and writes `BENCH_churn.json` with
+//! events/sec per backend. The committed copy at the repo root is the
+//! baseline later PRs must beat; CI re-runs this command and uploads the
+//! fresh file as an artifact so per-PR regressions are visible.
+//!
+//! The *membership trajectory* is deterministic (same seed ⇒ same
+//! stream, same final population); the timings are wall-clock and
+//! machine-dependent, which is why the JSON also records the seed and
+//! scale — comparisons are only meaningful on the same machine, which is
+//! exactly how the before/after numbers in the committed file were
+//! produced.
+
+use crate::runner::derive_seed;
+use crate::{Ctx, ExpReport};
+use domus_ch::ChEngine;
+use domus_churn::{Capacity, ChurnDriver, DriverConfig, EventStream, Lifetime, Process, Scenario};
+use domus_core::{DhtConfig, DhtEngine, GlobalDht, LocalDht};
+use domus_hashspace::HashSpace;
+use domus_metrics::table::{num, Table};
+use domus_sim::SimTime;
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+/// One backend's measurement.
+pub struct BackendBench {
+    /// Backend key (`local` / `global` / `ch`).
+    pub name: &'static str,
+    /// Replay throughput, events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Wall-clock replay time in milliseconds.
+    pub elapsed_ms: f64,
+    /// Live vnodes at the horizon.
+    pub final_vnodes: usize,
+}
+
+/// The whole measurement: scale, seed, and per-backend numbers.
+pub struct BenchSummary {
+    /// Seed the stream was compiled from.
+    pub seed: u64,
+    /// Initial-fleet snodes (each hosting 2 vnodes).
+    pub fleet_nodes: usize,
+    /// Vnodes present right after the fleet joins.
+    pub initial_vnodes: usize,
+    /// Events in the replayed stream.
+    pub events: usize,
+    /// Per-backend measurements, in report order.
+    pub backends: Vec<BackendBench>,
+}
+
+/// The benchmark scenario: `fleet` snodes × 2 vnodes at t = 0, then a
+/// sustained Poisson storm and a correlated failure — the population
+/// stays near `2 · fleet` for the whole run, so the throughput is
+/// measured *at* that scale, not on the way up from zero.
+fn scenario(fleet: usize) -> Scenario {
+    let horizon = SimTime::millis(600_000);
+    Scenario::new(horizon)
+        .with(Process::InitialFleet { nodes: fleet as u32, capacity: Capacity::Fixed(2) })
+        .with(Process::Poisson {
+            rate_per_s: 2.0,
+            lifetime: Lifetime::Pareto { min: SimTime::millis(30_000), alpha: 1.5 },
+            capacity: Capacity::Uniform { lo: 1, hi: 2 },
+        })
+        .with(Process::GroupFailure { at: SimTime::millis(420_000), fraction: 0.1 })
+}
+
+fn replay<E: DhtEngine>(engine: E, stream: &EventStream) -> (f64, f64, usize) {
+    let started = Instant::now();
+    let outcome = ChurnDriver::new(engine, DriverConfig::default()).run(stream);
+    let elapsed = started.elapsed().as_secs_f64();
+    (stream.len() as f64 / elapsed, elapsed * 1e3, outcome.final_balance.vnodes)
+}
+
+/// Runs the measurement at `ctx.n` fleet snodes (2 vnodes each).
+/// `events` truncates the stream (smoke/tests).
+pub fn compute(ctx: &Ctx, events: Option<usize>) -> BenchSummary {
+    let fleet = ctx.n;
+    let seed = derive_seed(&ctx.seeds, "bench-churn", 0);
+    let mut stream = scenario(fleet).build(seed);
+    if let Some(n) = events {
+        stream.truncate(n);
+    }
+    let space = HashSpace::full();
+    let (pmin, vmin) = (32, 32);
+
+    let mut backends = Vec::new();
+    for name in ["local", "global", "ch"] {
+        let (events_per_sec, elapsed_ms, final_vnodes) = match name {
+            "local" => replay(
+                LocalDht::with_seed(DhtConfig::new(space, pmin, vmin).expect("config"), seed),
+                &stream,
+            ),
+            "global" => replay(
+                GlobalDht::with_seed(DhtConfig::new(space, pmin, 1).expect("config"), seed),
+                &stream,
+            ),
+            _ => replay(
+                ChEngine::with_seed(DhtConfig::new(space, pmin, 1).expect("config"), 32, seed),
+                &stream,
+            ),
+        };
+        backends.push(BackendBench { name, events_per_sec, elapsed_ms, final_vnodes });
+    }
+    BenchSummary {
+        seed,
+        fleet_nodes: fleet,
+        initial_vnodes: fleet * 2,
+        events: stream.len(),
+        backends,
+    }
+}
+
+/// Renders the summary as the `BENCH_churn.json` document. `baseline` is
+/// the `"backends"` JSON object of a previous run, embedded verbatim so
+/// before/after live in one file.
+pub fn to_json(s: &BenchSummary, baseline: Option<&str>) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": 1,\n  \"bench\": \"churn_driver\",\n");
+    out.push_str(&format!("  \"seed\": {},\n", s.seed));
+    out.push_str(&format!("  \"fleet_nodes\": {},\n", s.fleet_nodes));
+    out.push_str(&format!("  \"initial_vnodes\": {},\n", s.initial_vnodes));
+    out.push_str(&format!("  \"events\": {},\n", s.events));
+    out.push_str("  \"backends\": {\n");
+    for (i, b) in s.backends.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"events_per_sec\": {:.1}, \"elapsed_ms\": {:.1}, \"final_vnodes\": {}}}{}\n",
+            b.name,
+            b.events_per_sec,
+            b.elapsed_ms,
+            b.final_vnodes,
+            if i + 1 < s.backends.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }");
+    if let Some(base) = baseline {
+        out.push_str(",\n  \"baseline\": ");
+        out.push_str(base);
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Extracts the `"backends"` object (balanced braces) from a previous
+/// `BENCH_churn.json`, for embedding as the new file's baseline.
+pub fn extract_backends(json: &str) -> Option<String> {
+    let at = json.find("\"backends\"")?;
+    let open = at + json[at..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Pulls `events_per_sec` for one backend out of a backends JSON object.
+pub fn events_per_sec_of(backends_json: &str, backend: &str) -> Option<f64> {
+    let key = format!("\"{backend}\"");
+    let at = backends_json.find(&key)?;
+    let tail = &backends_json[at..];
+    let field = tail.find("\"events_per_sec\"")?;
+    let colon = field + tail[field..].find(':')?;
+    let rest = tail[colon + 1..].trim_start();
+    let end = rest.find(|c: char| c != '.' && !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Runs the measurement, writes `BENCH_churn.json` into `ctx.out_dir`
+/// and — when `baseline_path` points at a previous file — embeds and
+/// compares against it.
+pub fn run(ctx: &Ctx, events: Option<usize>, baseline_path: Option<&Path>) -> ExpReport {
+    let mut rep = ExpReport::new("BENCH-SUMMARY");
+    let s = compute(ctx, events);
+    let baseline = baseline_path
+        .and_then(|p| fs::read_to_string(p).ok())
+        .and_then(|json| extract_backends(&json));
+
+    println!(
+        "\n── BENCH-SUMMARY — {} events over {} initial vnodes (seed {}) ──",
+        s.events, s.initial_vnodes, s.seed
+    );
+    let speedups: Vec<Option<f64>> = s
+        .backends
+        .iter()
+        .map(|b| {
+            baseline
+                .as_deref()
+                .and_then(|base| events_per_sec_of(base, b.name))
+                .map(|prev| b.events_per_sec / prev)
+        })
+        .collect();
+    let mut t = Table::new(&["backend", "events/sec", "elapsed ms", "final vnodes", "vs baseline"]);
+    for (b, speedup) in s.backends.iter().zip(&speedups) {
+        t.row(&[
+            b.name.into(),
+            num(b.events_per_sec, 1),
+            num(b.elapsed_ms, 1),
+            b.final_vnodes.to_string(),
+            speedup.map(|x| format!("{x:.2}x")).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("{}", t.render());
+
+    fs::create_dir_all(&ctx.out_dir).expect("results dir");
+    let path = ctx.out_dir.join("BENCH_churn.json");
+    fs::write(&path, to_json(&s, baseline.as_deref())).expect("write BENCH_churn.json");
+    println!("written to {}", path.display());
+
+    for (b, speedup) in s.backends.iter().zip(&speedups) {
+        let vs = speedup.map(|x| format!(" ({x:.2}x baseline)")).unwrap_or_default();
+        rep.note(format!(
+            "{}: {:.0} events/sec at {} vnodes{vs}",
+            b.name, b.events_per_sec, s.initial_vnodes
+        ));
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_backends_and_rates() {
+        let s = BenchSummary {
+            seed: 7,
+            fleet_nodes: 16,
+            initial_vnodes: 32,
+            events: 100,
+            backends: vec![
+                BackendBench {
+                    name: "local",
+                    events_per_sec: 1234.5,
+                    elapsed_ms: 81.0,
+                    final_vnodes: 30,
+                },
+                BackendBench {
+                    name: "ch",
+                    events_per_sec: 999.0,
+                    elapsed_ms: 100.1,
+                    final_vnodes: 30,
+                },
+            ],
+        };
+        let json = to_json(&s, None);
+        let backends = extract_backends(&json).expect("backends object");
+        assert_eq!(events_per_sec_of(&backends, "local"), Some(1234.5));
+        assert_eq!(events_per_sec_of(&backends, "ch"), Some(999.0));
+        // Embedding as baseline nests cleanly and stays extractable.
+        let nested = to_json(&s, Some(&backends));
+        let outer = extract_backends(&nested).expect("outer backends first");
+        assert_eq!(events_per_sec_of(&outer, "local"), Some(1234.5));
+        assert!(nested.contains("\"baseline\""));
+    }
+
+    #[test]
+    fn smoke_measurement_runs_all_backends() {
+        let mut ctx = Ctx::quick(std::env::temp_dir().join("domus-benchsum-test"));
+        ctx.n = 8; // tiny fleet: this is an API smoke test, not a benchmark
+        let rep = run(&ctx, Some(60), None);
+        assert_eq!(rep.id, "BENCH-SUMMARY");
+        assert_eq!(rep.summary.len(), 3);
+        let json = std::fs::read_to_string(ctx.out_dir.join("BENCH_churn.json")).unwrap();
+        for name in ["local", "global", "ch"] {
+            let backends = extract_backends(&json).unwrap();
+            assert!(events_per_sec_of(&backends, name).unwrap() > 0.0, "{name} measured");
+        }
+    }
+}

@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod benchsum;
 pub mod churnx;
 pub mod claims;
 pub mod fig4;

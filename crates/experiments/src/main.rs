@@ -11,6 +11,10 @@
 //!   het                                heterogeneous enrollment
 //!   churn                              churn storm over all three backends
 //!                                      (--events N truncates the stream)
+//!   bench-summary                      events/sec of the churn hot path per
+//!                                      backend → BENCH_churn.json
+//!                                      (--baseline FILE embeds a previous
+//!                                      run for before/after comparison)
 //!   all                                everything above, sharing runs
 //! ```
 
@@ -19,10 +23,10 @@ use std::io::Write as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--runs N] [--vnodes N] [--seed S] [--events N] [--out DIR] <command>\n\
+        "usage: repro [--quick] [--runs N] [--vnodes N] [--seed S] [--events N] [--baseline FILE] [--out DIR] <command>\n\
          commands: fig4 fig5 fig6 fig7 fig8 fig9 | claim-pv claim-30 claim-8k claim-zone1 claim-g512 |\n          \
          abl-victim abl-container abl-splitsel | het | sim-makespan sim-msgs sim-mem | kv-migrate |\n          \
-         churn | all"
+         churn | bench-summary | all"
     );
     std::process::exit(2);
 }
@@ -38,6 +42,7 @@ fn main() {
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut cmd: Option<String> = None;
     let mut events: Option<usize> = None;
+    let mut baseline: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -61,6 +66,10 @@ fn main() {
             "--out" => {
                 i += 1;
                 out_dir = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--baseline" => {
+                i += 1;
+                baseline = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
             }
             c if !c.starts_with('-') && cmd.is_none() => cmd = Some(c.to_string()),
             _ => usage(),
@@ -103,6 +112,7 @@ fn main() {
         "sim-mem" => reports.push(simx::sim_mem(&ctx)),
         "kv-migrate" => reports.push(kvx::run(&ctx)),
         "churn" => reports.push(churnx::run(&ctx, events)),
+        "bench-summary" => reports.push(benchsum::run(&ctx, events, baseline.as_deref())),
         "all" => {
             // FIG4 feeds FIG5 and CLAIM-30, so compute it once.
             let fig4_data = fig4::compute(&ctx);

@@ -33,5 +33,5 @@ pub mod space;
 pub use hasher::KeyHasher;
 pub use partition::Partition;
 pub use quota::Quota;
-pub use range_map::OwnerMap;
+pub use range_map::{MapError, OwnerKey, OwnerMap};
 pub use space::HashSpace;

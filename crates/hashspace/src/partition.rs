@@ -189,6 +189,40 @@ impl Partition {
         }
         out
     }
+
+    /// The piece of [`Partition::cover_range`]`(space, start, end)` that
+    /// contains `point`, without materialising the cover — the same greedy
+    /// walk, O(Bh) arithmetic and no allocation.
+    ///
+    /// # Panics
+    /// Panics if `point` lies outside `[start, end)` (debug) or the range
+    /// is invalid.
+    pub fn cover_piece_containing(
+        space: HashSpace,
+        start: u64,
+        end: u128,
+        point: u64,
+    ) -> Partition {
+        debug_assert!(
+            (point as u128) >= (start as u128) && (point as u128) < end,
+            "point outside the covered range"
+        );
+        assert!(end <= space.size(), "range end beyond the space");
+        let mut at = start as u128;
+        loop {
+            let align = if at == 0 {
+                space.bits()
+            } else {
+                ((at as u64).trailing_zeros()).min(space.bits())
+            };
+            let fit = 127 - (end - at).leading_zeros();
+            let k = align.min(fit);
+            if (point as u128) < at + (1u128 << k) {
+                return Partition { level: space.bits() - k, index: (at >> k) as u64 };
+            }
+            at += 1u128 << k;
+        }
+    }
 }
 
 impl std::fmt::Display for Partition {
@@ -340,6 +374,25 @@ mod tests {
         // [1, 255): forced to fine levels at the ragged edges.
         let c = Partition::cover_range(s, 1, 255);
         assert!(c.len() <= 2 * 8, "at most 2·Bh pieces, got {}", c.len());
+    }
+
+    #[test]
+    fn cover_piece_containing_matches_materialised_cover() {
+        let s = s8();
+        for (start, end) in [(0u64, 256u128), (3, 200), (64, 192), (1, 255), (255, 256)] {
+            let cover = Partition::cover_range(s, start, end);
+            for point in start..end as u64 {
+                let expect = cover.iter().find(|p| p.contains(point, s)).copied().unwrap();
+                assert_eq!(
+                    Partition::cover_piece_containing(s, start, end, point),
+                    expect,
+                    "[{start},{end}) point {point}"
+                );
+            }
+        }
+        let full = HashSpace::full();
+        let p = Partition::cover_piece_containing(full, 1, full.size() - 1, u64::MAX - 1);
+        assert!(p.contains(u64::MAX - 1, full));
     }
 
     #[test]

@@ -7,8 +7,27 @@
 //! splitlevel; it stores heterogeneous-level partitions keyed by start
 //! point and relies on the split-tree structure for non-overlap.
 //!
-//! Complexity: `lookup`, `insert`, `remove`, `transfer`, `split` are all
-//! `O(log P)` in the number of partitions `P` (BTreeMap operations).
+//! Alongside the point-ordered entry map the structure maintains a
+//! **per-owner reverse index**: owner → its partitions plus an exact
+//! cached [`Quota`] accumulator, stored in a dense arena addressed by
+//! [`OwnerKey::dense`] so the per-mutation upkeep is an array access and
+//! a short vector scan — not tree surgery. The index makes the
+//! owner-oriented queries cheap:
+//!
+//! | operation            | complexity                                      |
+//! |----------------------|-------------------------------------------------|
+//! | `lookup`             | `O(log P)`                                      |
+//! | `insert` / `remove`  | `O(log P + Pv)`                                 |
+//! | `transfer`           | `O(log P + Pv)`                                 |
+//! | `split` / `merge`    | `O(log P + Pv)` (in place, no re-validation)    |
+//! | `split_all`          | `O(P)` (bulk rebuild)                           |
+//! | `replace_all`        | `O(P)` (bulk rebuild)                           |
+//! | `partitions_of`      | `O(Pv log Pv)` (sorted copy off the index)      |
+//! | `quota_of`           | `O(1)` (cached, exact)                          |
+//! | `owner_quotas`       | `O(V)`                                          |
+//!
+//! (`P` partitions, `V` owners, `Pv` partitions of one owner — bounded by
+//! `Pmax` in the model, so the `Pv` terms are small constants.)
 
 use crate::partition::Partition;
 use crate::quota::Quota;
@@ -31,6 +50,8 @@ pub enum MapError {
         /// Expected `2^Bh`.
         expected: u128,
     },
+    /// The owner index disagrees with the entry map.
+    IndexDrift(String),
 }
 
 impl std::fmt::Display for MapError {
@@ -42,26 +63,71 @@ impl std::fmt::Display for MapError {
             MapError::BadTotal { covered, expected } => {
                 write!(f, "covered {covered} of {expected} points")
             }
+            MapError::IndexDrift(d) => write!(f, "owner index drifted: {d}"),
         }
     }
 }
 
 impl std::error::Error for MapError {}
 
+/// An owner type usable as the key of the [`OwnerMap`] reverse index:
+/// every owner exposes a small, stable, dense arena index (the engines'
+/// vnode handles are dense by construction; the unsigned primitives are
+/// their own index).
+pub trait OwnerKey: Clone + Eq + std::fmt::Debug {
+    /// The owner's dense arena index. Must be stable for the owner's
+    /// lifetime and small (the index allocates `max(dense) + 1` slots).
+    fn dense(&self) -> usize;
+}
+
+macro_rules! impl_owner_key {
+    ($($t:ty),*) => {$(
+        impl OwnerKey for $t {
+            #[inline]
+            fn dense(&self) -> usize {
+                *self as usize
+            }
+        }
+    )*};
+}
+impl_owner_key!(u8, u16, u32, usize);
+
+/// One owner's slice of the index: its partitions (unordered — owners
+/// hold few partitions, so a flat vector beats tree surgery on the
+/// transfer hot path) and the exact sum of their quotas.
+#[derive(Debug, Clone)]
+struct OwnerEntry<T> {
+    owner: T,
+    parts: Vec<Partition>,
+    quota: Quota,
+}
+
+impl<T> OwnerEntry<T> {
+    #[inline]
+    fn slot_of(&self, p: Partition) -> usize {
+        self.parts.iter().position(|&q| q == p).expect("partition is indexed under its owner")
+    }
+}
+
 /// Maps every point of a [`HashSpace`] to an owner `T` through a set of
-/// non-overlapping [`Partition`]s.
+/// non-overlapping [`Partition`]s, with a per-owner reverse index.
 #[derive(Debug, Clone)]
 pub struct OwnerMap<T> {
     space: HashSpace,
     // start point → (partition, owner). Starts are unique because entries
     // never overlap; the partition carries its level (and thus its end).
     entries: BTreeMap<u64, (Partition, T)>,
+    // Dense arena over OwnerKey::dense: owner → partitions + cached
+    // quota. Slots of owners with no partitions are vacated, so the index
+    // never keeps an owner alive past its last hand-over.
+    owners: Vec<Option<OwnerEntry<T>>>,
+    owner_count: usize,
 }
 
-impl<T: Clone + Eq + std::fmt::Debug> OwnerMap<T> {
+impl<T: OwnerKey> OwnerMap<T> {
     /// An empty map over `space`.
     pub fn new(space: HashSpace) -> Self {
-        Self { space, entries: BTreeMap::new() }
+        Self { space, entries: BTreeMap::new(), owners: Vec::new(), owner_count: 0 }
     }
 
     /// A map with the whole space owned by `owner` (the first-vnode state).
@@ -86,6 +152,50 @@ impl<T: Clone + Eq + std::fmt::Debug> OwnerMap<T> {
         self.entries.is_empty()
     }
 
+    /// Number of distinct owners currently holding partitions.
+    pub fn owner_count(&self) -> usize {
+        self.owner_count
+    }
+
+    /// Registers `p` under `owner` in the index.
+    fn index_add(&mut self, owner: &T, p: Partition) {
+        let count = &mut self.owner_count;
+        let slot = {
+            let slot = owner.dense();
+            if self.owners.len() <= slot {
+                self.owners.resize_with(slot + 1, || None);
+            }
+            &mut self.owners[slot]
+        };
+        match slot {
+            Some(e) => {
+                debug_assert!(!e.parts.contains(&p), "index already held {p}");
+                debug_assert!(e.owner == *owner, "dense index collision");
+                e.parts.push(p);
+                e.quota = e.quota + p.quota();
+            }
+            None => {
+                *slot = Some(OwnerEntry { owner: owner.clone(), parts: vec![p], quota: p.quota() });
+                *count += 1;
+            }
+        }
+    }
+
+    /// Unregisters `p` from `owner` in the index, vacating empty owners.
+    fn index_remove(&mut self, owner: &T, p: Partition) {
+        let count = &mut self.owner_count;
+        let slot = &mut self.owners[owner.dense()];
+        let e = slot.as_mut().expect("mutated owner is indexed");
+        let at = e.slot_of(p);
+        e.parts.swap_remove(at);
+        e.quota = e.quota - p.quota();
+        if e.parts.is_empty() {
+            debug_assert!(e.quota.is_zero());
+            *slot = None;
+            *count -= 1;
+        }
+    }
+
     /// Inserts a partition with its owner.
     ///
     /// Rejects any insertion that would overlap an existing entry.
@@ -103,6 +213,7 @@ impl<T: Clone + Eq + std::fmt::Debug> OwnerMap<T> {
                 return Err(MapError::Overlap(p));
             }
         }
+        self.index_add(&owner, p);
         self.entries.insert(start, (p, owner));
         Ok(())
     }
@@ -111,7 +222,11 @@ impl<T: Clone + Eq + std::fmt::Debug> OwnerMap<T> {
     pub fn remove(&mut self, p: Partition) -> Result<T, MapError> {
         let start = p.start(self.space);
         match self.entries.get(&start) {
-            Some((q, _)) if *q == p => Ok(self.entries.remove(&start).expect("checked").1),
+            Some((q, _)) if *q == p => {
+                let (_, owner) = self.entries.remove(&start).expect("checked");
+                self.index_remove(&owner, p);
+                Ok(owner)
+            }
             _ => Err(MapError::Missing(p)),
         }
     }
@@ -119,34 +234,144 @@ impl<T: Clone + Eq + std::fmt::Debug> OwnerMap<T> {
     /// Reassigns an existing partition to a new owner, returning the old one.
     pub fn transfer(&mut self, p: Partition, new_owner: T) -> Result<T, MapError> {
         let start = p.start(self.space);
-        match self.entries.get_mut(&start) {
-            Some((q, owner)) if *q == p => Ok(std::mem::replace(owner, new_owner)),
-            _ => Err(MapError::Missing(p)),
-        }
+        let old = match self.entries.get_mut(&start) {
+            Some((q, owner)) if *q == p => std::mem::replace(owner, new_owner.clone()),
+            _ => return Err(MapError::Missing(p)),
+        };
+        self.index_remove(&old, p);
+        self.index_add(&new_owner, p);
+        Ok(old)
     }
 
     /// Splits an existing partition in place; both halves keep the owner.
+    ///
+    /// The halves replace the parent structurally (the left half reuses
+    /// the parent's slot), so no overlap re-validation — and exactly one
+    /// owner clone, for the new right-half entry — is needed.
     pub fn split(&mut self, p: Partition) -> Result<(Partition, Partition), MapError> {
-        let owner = self.remove(p)?;
+        let start = p.start(self.space);
         let (a, b) = p.split();
-        self.insert(a, owner.clone()).expect("left half fits where the parent was");
-        self.insert(b, owner).expect("right half fits where the parent was");
+        let owner = match self.entries.get_mut(&start) {
+            Some((q, owner)) if *q == p => {
+                *q = a; // the left half starts where the parent did
+                owner.clone()
+            }
+            _ => return Err(MapError::Missing(p)),
+        };
+        let mid = b.start(self.space);
+        let prev = self.entries.insert(mid, (b, owner.clone()));
+        debug_assert!(prev.is_none(), "the parent covered its own right half");
+        // Index: same owner, same quota (1/2^l = 2 · 1/2^(l+1)); only the
+        // partition set changes.
+        let e = self.owners[owner.dense()].as_mut().expect("split owner is indexed");
+        let at = e.slot_of(p);
+        e.parts[at] = a;
+        e.parts.push(b);
         Ok((a, b))
     }
 
     /// Merges two sibling partitions owned by the same owner into their
     /// parent. Returns the parent.
+    ///
+    /// The parent replaces the left child's slot in place; no owner is
+    /// cloned.
     pub fn merge(&mut self, a: Partition, b: Partition) -> Result<Partition, MapError> {
         let parent = Partition::merge(a, b).ok_or(MapError::Missing(b))?;
-        let oa = self.owner_of(a).ok_or(MapError::Missing(a))?.clone();
-        let ob = self.owner_of(b).ok_or(MapError::Missing(b))?.clone();
-        if oa != ob {
-            return Err(MapError::Overlap(parent)); // owners differ: refuse
+        let (sa, sb) = (a.start(self.space), b.start(self.space));
+        // Optimistically detach the right child; the error paths restore it.
+        let Some((pb, owner_b)) = self.entries.remove(&sb) else {
+            return Err(MapError::Missing(b));
+        };
+        if pb != b {
+            self.entries.insert(sb, (pb, owner_b));
+            return Err(MapError::Missing(b));
         }
-        self.remove(a)?;
-        self.remove(b)?;
-        self.insert(parent, oa).expect("children freed the parent's slot");
+        match self.entries.get_mut(&sa) {
+            Some((q, owner)) if *q == a && *owner == owner_b => {
+                *q = parent;
+            }
+            Some((q, _)) if *q == a => {
+                self.entries.insert(sb, (pb, owner_b));
+                return Err(MapError::Overlap(parent)); // owners differ: refuse
+            }
+            _ => {
+                self.entries.insert(sb, (pb, owner_b));
+                return Err(MapError::Missing(a));
+            }
+        }
+        let e = self.owners[owner_b.dense()].as_mut().expect("merge owner is indexed");
+        let at = e.slot_of(b);
+        e.parts.swap_remove(at);
+        let at = e.slot_of(a);
+        e.parts[at] = parent;
         Ok(parent)
+    }
+
+    /// Binary-splits **every** entry of the map in one bulk rebuild —
+    /// `O(P)`, against `O(P log P)` for `P` individual [`OwnerMap::split`]
+    /// calls. This is the split cascade of a region that spans the whole
+    /// map (the global approach; the local approach while one group
+    /// remains). Returns the number of partitions split.
+    ///
+    /// The caller guarantees every entry sits above the space's resolution
+    /// floor (level < `Bh`), exactly as for [`OwnerMap::split`].
+    pub fn split_all(&mut self) -> u64 {
+        let space = self.space;
+        let old = std::mem::take(&mut self.entries);
+        let n = old.len() as u64;
+        // The input is in ascending start order and children preserve it,
+        // so `collect` bulk-builds the tree bottom-up without rebalancing.
+        self.entries = old
+            .into_values()
+            .flat_map(|(p, o)| {
+                debug_assert!(p.level() < space.bits(), "split below the space's resolution");
+                let (a, b) = p.split();
+                [(a.start(space), (a, o.clone())), (b.start(space), (b, o))]
+            })
+            .collect();
+        for e in self.owners.iter_mut().flatten() {
+            let parts = std::mem::take(&mut e.parts);
+            e.parts = parts
+                .into_iter()
+                .flat_map(|p| {
+                    let (a, b) = p.split();
+                    [a, b]
+                })
+                .collect();
+            // Quotas are unchanged: 1/2^l = 2 · 1/2^(l+1).
+        }
+        n
+    }
+
+    /// Replaces the entire map with `new`, given in ascending hash-space
+    /// order — the bulk form of a whole-map merge cascade (`O(P)`).
+    ///
+    /// # Panics
+    /// Debug-asserts that `new` is sorted and non-overlapping; release
+    /// builds trust the caller (the balance kernel, which constructs the
+    /// parent list in entry order).
+    pub fn replace_all(&mut self, new: Vec<(Partition, T)>) {
+        let space = self.space;
+        self.owners.clear();
+        self.owner_count = 0;
+        // Index first (borrowing `new`), then move the same vector into
+        // the entry map — no intermediate copy of the whole tiling.
+        for (p, o) in &new {
+            self.index_add(o, *p);
+        }
+        let mut last_end = 0u128;
+        self.entries = new
+            .into_iter()
+            .map(|(p, o)| {
+                let start = p.start(space);
+                debug_assert!(
+                    (start as u128) >= last_end,
+                    "replace_all input must be sorted and non-overlapping"
+                );
+                last_end = p.end(space);
+                (start, (p, o))
+            })
+            .collect();
     }
 
     /// The partition containing `point` and its owner, if any entry covers
@@ -174,16 +399,36 @@ impl<T: Clone + Eq + std::fmt::Debug> OwnerMap<T> {
         self.entries.values().map(|(p, o)| (*p, o))
     }
 
-    /// All partitions of `owner`, in hash-space order (O(P) scan; the model
-    /// keeps per-vnode partition lists for the hot paths, this is the
-    /// verification-oriented accessor).
+    /// All partitions of `owner`, in hash-space order — `O(Pv log Pv)`
+    /// straight off the owner index (the index keeps the set unordered;
+    /// this accessor sorts its copy).
     pub fn partitions_of(&self, owner: &T) -> Vec<Partition> {
-        self.iter().filter(|(_, o)| *o == owner).map(|(p, _)| p).collect()
+        let Some(e) = self.owners.get(owner.dense()).and_then(Option::as_ref) else {
+            return Vec::new();
+        };
+        let mut out = e.parts.clone();
+        out.sort_unstable_by_key(|p| p.start(self.space));
+        out
     }
 
-    /// Exact total quota covered by `owner`'s partitions.
+    /// Number of partitions held by `owner` — `O(1)`.
+    pub fn partition_count_of(&self, owner: &T) -> usize {
+        self.owners.get(owner.dense()).and_then(Option::as_ref).map(|e| e.parts.len()).unwrap_or(0)
+    }
+
+    /// Exact total quota covered by `owner`'s partitions — `O(1)`, served
+    /// from the index's cached accumulator.
     pub fn quota_of(&self, owner: &T) -> Quota {
-        self.iter().filter(|(_, o)| *o == owner).map(|(p, _)| p.quota()).sum()
+        self.owners
+            .get(owner.dense())
+            .and_then(Option::as_ref)
+            .map(|e| e.quota)
+            .unwrap_or(Quota::ZERO)
+    }
+
+    /// Every owner with its exact quota, in dense-index order — `O(V)`.
+    pub fn owner_quotas(&self) -> impl Iterator<Item = (&T, Quota)> {
+        self.owners.iter().flatten().map(|e| (&e.owner, e.quota))
     }
 
     /// Verifies invariant G1: the entries tile `R_h` exactly — no gaps, no
@@ -201,6 +446,47 @@ impl<T: Clone + Eq + std::fmt::Debug> OwnerMap<T> {
         }
         Ok(())
     }
+
+    /// Verifies the owner index against a from-scratch recomputation over
+    /// the entry map (O(P log P); test/debug oracle).
+    pub fn verify_index(&self) -> Result<(), MapError> {
+        let mut fresh: BTreeMap<usize, (Vec<Partition>, Quota)> = BTreeMap::new();
+        for (p, o) in self.iter() {
+            let e = fresh.entry(o.dense()).or_insert_with(|| (Vec::new(), Quota::ZERO));
+            e.0.push(p);
+            e.1 = e.1 + p.quota();
+        }
+        if fresh.len() != self.owner_count {
+            return Err(MapError::IndexDrift(format!(
+                "{} owners indexed, {} found in entries",
+                self.owner_count,
+                fresh.len()
+            )));
+        }
+        for (slot, (parts, quota)) in fresh {
+            let Some(e) = self.owners.get(slot).and_then(Option::as_ref) else {
+                return Err(MapError::IndexDrift(format!("owner slot {slot} missing")));
+            };
+            if e.owner.dense() != slot {
+                return Err(MapError::IndexDrift(format!("owner slot {slot} holds {:?}", e.owner)));
+            }
+            if e.quota != quota {
+                return Err(MapError::IndexDrift(format!(
+                    "owner {:?}: cached quota {} vs recomputed {quota}",
+                    e.owner, e.quota
+                )));
+            }
+            let mut indexed = e.parts.clone();
+            indexed.sort_unstable_by_key(|p| p.start(self.space));
+            if indexed != parts {
+                return Err(MapError::IndexDrift(format!(
+                    "owner {:?}: partition sets differ",
+                    e.owner
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -213,13 +499,16 @@ mod tests {
 
     #[test]
     fn whole_map_routes_everything_to_one_owner() {
-        let m = OwnerMap::whole(space(), "v0");
+        let m = OwnerMap::whole(space(), 0u32);
         for point in 0..=255u64 {
             let (p, owner) = m.lookup(point).expect("covered");
             assert_eq!(p, Partition::ROOT);
-            assert_eq!(*owner, "v0");
+            assert_eq!(*owner, 0);
         }
         m.verify_coverage().unwrap();
+        m.verify_index().unwrap();
+        assert_eq!(m.owner_count(), 1);
+        assert!(m.quota_of(&0).is_one());
     }
 
     #[test]
@@ -227,9 +516,11 @@ mod tests {
         let mut m = OwnerMap::whole(space(), 0u32);
         let (a, b) = m.split(Partition::ROOT).unwrap();
         m.verify_coverage().unwrap();
+        m.verify_index().unwrap();
         assert_eq!(m.len(), 2);
         assert_eq!(m.owner_of(a), Some(&0));
         assert_eq!(m.owner_of(b), Some(&0));
+        assert!(m.quota_of(&0).is_one());
     }
 
     #[test]
@@ -242,6 +533,8 @@ mod tests {
         assert_eq!(m.lookup(255).unwrap().1, &1);
         assert_eq!(m.partitions_of(&0), vec![a]);
         assert_eq!(m.partitions_of(&1), vec![b]);
+        assert_eq!(m.partition_count_of(&0), 1);
+        m.verify_index().unwrap();
     }
 
     #[test]
@@ -252,6 +545,9 @@ mod tests {
         // Also a *smaller* partition inside an existing one:
         let (ll, _) = l.split();
         assert_eq!(m.insert(ll, 1), Err(MapError::Overlap(ll)));
+        // Rejected inserts must leave the index untouched.
+        m.verify_index().unwrap();
+        assert_eq!(m.owner_count(), 1);
     }
 
     #[test]
@@ -264,6 +560,7 @@ mod tests {
         assert_eq!(m.insert(r, 8), Err(MapError::Overlap(r)));
         m.insert(l, 9).unwrap();
         assert_eq!(m.len(), 2);
+        m.verify_index().unwrap();
     }
 
     #[test]
@@ -274,6 +571,18 @@ mod tests {
         // Present start but different level also counts as missing:
         m.insert(Partition::new(2, 0), 1).unwrap();
         assert_eq!(m.remove(p), Err(MapError::Missing(p)));
+        m.verify_index().unwrap();
+    }
+
+    #[test]
+    fn remove_evicts_empty_owners_from_the_index() {
+        let mut m = OwnerMap::whole(space(), 3u32);
+        assert_eq!(m.owner_count(), 1);
+        m.remove(Partition::ROOT).unwrap();
+        assert_eq!(m.owner_count(), 0);
+        assert!(m.quota_of(&3).is_zero());
+        assert!(m.partitions_of(&3).is_empty());
+        m.verify_index().unwrap();
     }
 
     #[test]
@@ -283,11 +592,32 @@ mod tests {
         m.insert(l, 1u32).unwrap();
         m.insert(r, 2u32).unwrap();
         assert!(m.merge(l, r).is_err());
+        // The refused merge must leave both entries routed.
+        assert_eq!(m.owner_of(l), Some(&1));
+        assert_eq!(m.owner_of(r), Some(&2));
+        m.verify_index().unwrap();
         m.transfer(r, 1).unwrap();
         let parent = m.merge(l, r).unwrap();
         assert_eq!(parent, Partition::ROOT);
         assert_eq!(m.len(), 1);
         m.verify_coverage().unwrap();
+        m.verify_index().unwrap();
+        assert_eq!(m.owner_count(), 1);
+    }
+
+    #[test]
+    fn merge_of_missing_children_restores_state() {
+        let mut m = OwnerMap::new(space());
+        let (l, r) = Partition::ROOT.split();
+        let (rl, rr) = r.split();
+        m.insert(l, 1u32).unwrap();
+        m.insert(rl, 1u32).unwrap();
+        m.insert(rr, 1u32).unwrap();
+        // (l, r): r itself is not an entry (its children are).
+        assert_eq!(m.merge(l, r), Err(MapError::Missing(r)));
+        m.verify_coverage().unwrap();
+        m.verify_index().unwrap();
+        assert_eq!(m.len(), 3);
     }
 
     #[test]
@@ -310,6 +640,7 @@ mod tests {
         assert_eq!(m.quota_of(&0), Quota::new(1, 2));
         assert_eq!(m.quota_of(&1), Quota::new(3, 2));
         assert!((m.quota_of(&0) + m.quota_of(&1)).is_one());
+        m.verify_index().unwrap();
     }
 
     #[test]
@@ -322,11 +653,13 @@ mod tests {
         }
         m.insert(Partition::new(1, 1), 99u32).unwrap();
         m.verify_coverage().unwrap();
+        m.verify_index().unwrap();
         assert_eq!(*m.lookup(0).unwrap().1, 0);
         assert_eq!(*m.lookup(32).unwrap().1, 1);
         assert_eq!(*m.lookup(127).unwrap().1, 3);
         assert_eq!(*m.lookup(128).unwrap().1, 99);
         assert_eq!(*m.lookup(255).unwrap().1, 99);
+        assert_eq!(m.owner_count(), 5);
     }
 
     #[test]
@@ -334,5 +667,91 @@ mod tests {
         let m: OwnerMap<u32> = OwnerMap::new(space());
         assert!(m.lookup(10).is_none());
         assert!(m.is_empty());
+        assert_eq!(m.owner_count(), 0);
+    }
+
+    #[test]
+    fn split_all_doubles_every_entry() {
+        let mut m = OwnerMap::new(space());
+        for i in 0..4u64 {
+            m.insert(Partition::new(2, i), (i % 2) as u32).unwrap();
+        }
+        let n = m.split_all();
+        assert_eq!(n, 4);
+        assert_eq!(m.len(), 8);
+        m.verify_coverage().unwrap();
+        m.verify_index().unwrap();
+        for i in 0..8u64 {
+            assert_eq!(m.owner_of(Partition::new(3, i)), Some(&(((i / 2) % 2) as u32)));
+        }
+        assert_eq!(m.quota_of(&0), Quota::new(1, 1));
+        assert_eq!(m.quota_of(&1), Quota::new(1, 1));
+    }
+
+    #[test]
+    fn replace_all_rebuilds_entries_and_index() {
+        let mut m = OwnerMap::whole(space(), 0u32);
+        m.replace_all(vec![
+            (Partition::new(1, 0), 4u32),
+            (Partition::new(2, 2), 5),
+            (Partition::new(2, 3), 4),
+        ]);
+        m.verify_coverage().unwrap();
+        m.verify_index().unwrap();
+        assert_eq!(m.owner_count(), 2);
+        assert_eq!(m.quota_of(&4), Quota::new(3, 2));
+        assert_eq!(m.quota_of(&5), Quota::new(1, 2));
+        assert_eq!(m.partitions_of(&4), vec![Partition::new(1, 0), Partition::new(2, 3)]);
+    }
+
+    #[test]
+    fn owner_quotas_iterates_in_dense_order() {
+        let mut m = OwnerMap::new(space());
+        let (l, r) = Partition::ROOT.split();
+        m.insert(r, 9u32).unwrap();
+        m.insert(l, 2u32).unwrap();
+        let got: Vec<(u32, Quota)> = m.owner_quotas().map(|(&o, q)| (o, q)).collect();
+        assert_eq!(got, vec![(2, Quota::new(1, 1)), (9, Quota::new(1, 1))]);
+    }
+
+    #[test]
+    fn randomized_interleaving_keeps_index_exact() {
+        // A deterministic pseudo-random walk over every mutation kind; the
+        // index must match a from-scratch recomputation at every step.
+        let mut m = OwnerMap::whole(space(), 0u32);
+        let mut x = 0x2545F4914F6CDD1Du64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for step in 0..600 {
+            let parts: Vec<Partition> = m.iter().map(|(p, _)| p).collect();
+            let p = parts[(rng() % parts.len() as u64) as usize];
+            match rng() % 3 {
+                0 if p.level() < 8 => {
+                    m.split(p).unwrap();
+                }
+                1 => {
+                    m.transfer(p, (rng() % 5) as u32).unwrap();
+                }
+                _ => {
+                    if p.level() > 0 {
+                        let sib = p.sibling();
+                        if m.owner_of(sib).is_some() && m.owner_of(sib) != m.owner_of(p) {
+                            let o = m.owner_of(p).copied().unwrap();
+                            m.transfer(sib, o).unwrap();
+                        }
+                        if m.owner_of(sib) == m.owner_of(p) && m.owner_of(sib).is_some() {
+                            let (l, r) = if p.index() % 2 == 0 { (p, sib) } else { (sib, p) };
+                            m.merge(l, r).unwrap();
+                        }
+                    }
+                }
+            }
+            m.verify_coverage().unwrap_or_else(|e| panic!("step {step}: {e}"));
+            m.verify_index().unwrap_or_else(|e| panic!("step {step}: {e}"));
+        }
     }
 }

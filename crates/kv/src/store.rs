@@ -14,8 +14,15 @@ use domus_hashspace::KeyHasher;
 use std::collections::BTreeMap;
 
 /// Per-point bucket: distinct keys hashing to the same point (rare but
-/// legal) are chained.
+/// legal) are chained, **sorted by key** so probes are binary searches
+/// instead of linear scans.
 type Bucket = Vec<(Bytes, Bytes)>;
+
+/// Position of `key` in a sorted bucket (`Ok` = present).
+#[inline]
+fn bucket_search(bucket: &Bucket, key: &[u8]) -> Result<usize, usize> {
+    bucket.binary_search_by(|(k, _)| k.as_ref().cmp(key))
+}
 
 /// What a rebalancement event moved.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -96,24 +103,23 @@ impl<E: DhtEngine> KvStore<E> {
         let point = self.hasher.point(&key, self.engine.config().hash_space());
         let (_, v) = self.engine.lookup(point).expect("put on an empty DHT");
         let bucket = self.slot(v).entry(point).or_default();
-        if let Some(pair) = bucket.iter_mut().find(|(k, _)| *k == key) {
-            return Some(std::mem::replace(&mut pair.1, value));
+        match bucket_search(bucket, &key) {
+            Ok(i) => Some(std::mem::replace(&mut bucket[i].1, value)),
+            Err(i) => {
+                bucket.insert(i, (key, value));
+                self.entries += 1;
+                None
+            }
         }
-        bucket.push((key, value));
-        self.entries += 1;
-        None
     }
 
     /// Looks a key up.
     pub fn get(&self, key: &[u8]) -> Option<Bytes> {
         let point = self.hasher.point(key, self.engine.config().hash_space());
         let (_, v) = self.engine.lookup(point)?;
-        self.data
-            .get(v.index())?
-            .get(&point)?
-            .iter()
-            .find(|(k, _)| k.as_ref() == key)
-            .map(|(_, val)| val.clone())
+        let bucket = self.data.get(v.index())?.get(&point)?;
+        let i = bucket_search(bucket, key).ok()?;
+        Some(bucket[i].1.clone())
     }
 
     /// Removes a key, returning its value.
@@ -122,8 +128,8 @@ impl<E: DhtEngine> KvStore<E> {
         let (_, v) = self.engine.lookup(point)?;
         let map = self.data.get_mut(v.index())?;
         let bucket = map.get_mut(&point)?;
-        let idx = bucket.iter().position(|(k, _)| k.as_ref() == key)?;
-        let (_, value) = bucket.swap_remove(idx);
+        let idx = bucket_search(bucket, key).ok()?;
+        let (_, value) = bucket.remove(idx);
         if bucket.is_empty() {
             map.remove(&point);
         }
@@ -132,7 +138,8 @@ impl<E: DhtEngine> KvStore<E> {
     }
 
     /// Applies one partition transfer: every entry whose point falls in
-    /// the partition moves from `t.from` to `t.to`.
+    /// the partition moves from `t.from` to `t.to` — pure range surgery
+    /// (`split_off`/`append`), never a per-key rescan of the donor.
     fn apply_transfer(&mut self, t: &Transfer) -> (u64, u64) {
         let space = self.engine.config().hash_space();
         let start = t.partition.start(space);
@@ -141,8 +148,11 @@ impl<E: DhtEngine> KvStore<E> {
         let donor = self.slot(t.from);
         let mut moved = donor.split_off(&start);
         if end <= u64::MAX as u128 {
-            let keep = moved.split_off(&(end as u64));
-            donor.extend(keep);
+            let mut keep = moved.split_off(&(end as u64));
+            // Every key in `keep` (≥ end) exceeds every remaining donor key
+            // (< start), so this is an O(keep) ordered append, not
+            // re-insertion.
+            donor.append(&mut keep);
         }
         let mut entries = 0u64;
         let mut bytes = 0u64;

@@ -31,7 +31,7 @@
 use crate::net::ClusterNet;
 use crate::time::SimTime;
 use domus_core::{CreateReport, DhtEngine, GroupId, RemoveReport, SnodeId, Transfer, VnodeId};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// CPU cost parameters (2004-era cluster node).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,10 +101,21 @@ impl CostModel {
         if transfers.is_empty() {
             return cost;
         }
+        // Transfers arrive in event order, so a donor's sends form runs;
+        // count per run instead of touching the map once per transfer.
         let mut per_donor: BTreeMap<VnodeId, u64> = BTreeMap::new();
+        let mut run_from = transfers[0].from;
+        let mut run_len = 0u64;
         for t in transfers {
-            *per_donor.entry(t.from).or_insert(0) += 1;
+            if t.from == run_from {
+                run_len += 1;
+            } else {
+                *per_donor.entry(run_from).or_insert(0) += run_len;
+                run_from = t.from;
+                run_len = 1;
+            }
         }
+        *per_donor.entry(run_from).or_insert(0) += run_len;
         let payload = HEADER_BYTES + self.payload_per_partition;
         let worst = per_donor.values().max().copied().unwrap_or(0);
         cost.messages += transfers.len() as u64;
@@ -302,9 +313,9 @@ impl<E: DhtEngine> SimDriver<E> {
 
     /// Prices one creation from its report plus the engine's records.
     fn price(&self, vnode: VnodeId, report: &CreateReport) -> EventCost {
-        let pdr = self.engine.pdr_of(vnode).expect("fresh vnode has a record");
-        let participants: BTreeSet<SnodeId> = pdr.entries().iter().map(|e| e.vnode.snode).collect();
-        self.cost.price_create(&self.net, pdr.len() as u64, participants.len() as u64, report)
+        let (record_len, participants) =
+            self.engine.record_shape_of(vnode).expect("fresh vnode has a record");
+        self.cost.price_create(&self.net, record_len, participants, report)
     }
 
     /// Creates one vnode, pricing and scheduling the event.

@@ -1,0 +1,115 @@
+//! A tiny deterministic integer hasher for hot-path hash maps.
+//!
+//! `std`'s default `HashMap` hasher (SipHash) is keyed per-process and
+//! costs tens of nanoseconds per small key — both wrong for this
+//! workspace, where map *contents* must be reproducible run-to-run and
+//! the keys are small dense-ish integers (snode ids, vnode handles).
+//! [`FxHasher`] is the classic Fibonacci-multiply mix (the `rustc`
+//! hashing scheme): one multiply per word, fully deterministic.
+//!
+//! Iteration order of a hash map is still arbitrary — callers that emit
+//! user-visible sequences must sort first (see
+//! `domus_core::ledger::SnodeLedger`).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// One-multiply mixing hasher for integer keys (FxHash).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, deterministic).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u32(0xDEAD);
+        b.write_u32(0xDEAD);
+        assert_eq!(a.finish(), b.finish());
+        a.write(b"suffix");
+        b.write(b"suffix");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_works_with_integer_keys() {
+        let mut m: FxHashMap<u32, u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, i as u64 * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&512), Some(&1024));
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        let hashes: std::collections::BTreeSet<u64> = (0..10_000u32)
+            .map(|i| {
+                let mut h = FxHasher::default();
+                h.write_u32(i);
+                h.finish()
+            })
+            .collect();
+        assert_eq!(hashes.len(), 10_000, "no collisions on small dense keys");
+    }
+}

@@ -18,7 +18,9 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod hash;
 pub mod rng;
 
 pub use bits::{ceil_log2, floor_log2, is_power_of_two, next_power_of_two};
+pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use rng::{DomusRng, SeedSequence, SplitMix64, Xoshiro256pp};
