@@ -10,12 +10,12 @@
 //! event pricing, the experiment harness) drive a CH ring through the
 //! *same* code paths as the global and local approaches:
 //!
-//! * `create_vnode(snode)` joins one physical node with the configured
-//!   number of virtual servers and synthesizes a [`CreateReport`] whose
-//!   transfers are exactly the partition pieces the newcomer pulled from
-//!   their previous owners.
-//! * `remove_vnode` leaves the ring and reports the pieces inherited by
-//!   the surviving successors the same way.
+//! * `create_vnode_with(snode, sink)` joins one physical node with the
+//!   configured number of virtual servers and streams one `Transfer`
+//!   event per partition piece the newcomer pulled from its previous
+//!   owners (the report shim materialises the same list on demand).
+//! * `remove_vnode_with` leaves the ring and streams the pieces
+//!   inherited by the surviving successors the same way.
 //! * `lookup`/`partitions_of` expose the current arc set as partitions,
 //!   so the routing invariant ("a key lives exactly where lookup
 //!   points") is checkable — and checked — identically across backends.
@@ -36,8 +36,9 @@
 
 use crate::ring::{ArcClaim, ChNodeId, ChRing};
 use domus_core::{
-    BalanceSnapshot, CanonicalName, CreateReport, DhtConfig, DhtEngine, DhtError, GroupId,
-    InvariantViolation, Pdr, PdrEntry, RemoveReport, SnodeId, SnodeLedger, Transfer, VnodeId,
+    BalanceSnapshot, CanonicalName, CreateOutcome, DhtConfig, DhtEngine, DhtError, GroupId,
+    InvariantViolation, LedgeredSink, Pdr, PdrEntry, RebalanceSink, RemoveOutcome, SnodeId,
+    SnodeLedger, Transfer, VnodeId,
 };
 use domus_hashspace::{HashSpace, Partition, Quota};
 use std::collections::BTreeMap;
@@ -72,6 +73,29 @@ pub struct ChEngine {
     ledger: SnodeLedger,
 }
 
+/// Up to two half-open integer segments `[start, end)` — an arc's key
+/// interval, split in two when it wraps through 0. Stack-allocated so
+/// the per-event hot paths never build a `Vec` per claim.
+#[derive(Debug, Clone, Copy)]
+struct Segments {
+    buf: [(u64, u128); 2],
+    len: usize,
+}
+
+impl Segments {
+    fn one(start: u64, end: u128) -> Self {
+        Self { buf: [(start, end), (0, 0)], len: 1 }
+    }
+
+    fn two(a: (u64, u128), b: (u64, u128)) -> Self {
+        Self { buf: [a, b], len: 2 }
+    }
+
+    fn as_slice(&self) -> &[(u64, u128)] {
+        &self.buf[..self.len]
+    }
+}
+
 impl ChEngine {
     /// A CH engine over `cfg`'s hash space with `virtual_servers` points
     /// per node, deterministically seeded.
@@ -93,13 +117,6 @@ impl ChEngine {
         &self.ledger
     }
 
-    /// Replays `transfers` into the ledger, resolving hosts through the
-    /// slot table (run-coalescing lives in [`SnodeLedger::apply_transfers`]).
-    fn ledger_apply(&mut self, transfers: &[Transfer]) {
-        let hosts = &self.hosts;
-        self.ledger.apply_transfers(transfers, |v| hosts[v.index()].snode);
-    }
-
     /// The underlying ring (read-only; mutate through the engine so the
     /// names and the ledger stay consistent).
     pub fn ring(&self) -> &ChRing {
@@ -112,27 +129,33 @@ impl ChEngine {
 
     /// The key interval of an arc `(from_excl, to_incl]` as half-open
     /// integer segments `[start, end)` (two when the arc wraps through 0).
-    fn segments(space: HashSpace, from_excl: u64, to_incl: u64) -> Vec<(u64, u128)> {
+    fn segments(space: HashSpace, from_excl: u64, to_incl: u64) -> Segments {
         if from_excl == to_incl {
             // A point's arc to itself is the whole circle.
-            return vec![(0, space.size())];
+            return Segments::one(0, space.size());
         }
         let end = to_incl as u128 + 1;
         if to_incl > from_excl {
-            vec![(from_excl + 1, end)]
+            Segments::one(from_excl + 1, end)
         } else if from_excl == space.max_point() {
-            vec![(0, end)]
+            Segments::one(0, end)
         } else {
-            vec![(from_excl + 1, space.size()), (0, end)]
+            Segments::two((from_excl + 1, space.size()), (0, end))
         }
     }
 
-    /// Synthesizes the transfer list of a batch of claims: every claimed
-    /// interval changes hands as its minimal dyadic cover. `join` moves
-    /// peer → target; leave moves target → peer.
-    fn claim_transfers(&self, claims: &[ArcClaim], target: VnodeId, join: bool) -> Vec<Transfer> {
-        let space = self.space();
-        let mut transfers = Vec::new();
+    /// Streams the transfers of a batch of claims: every claimed interval
+    /// changes hands as its minimal dyadic cover, piece by piece, with the
+    /// ledger updated in the same pass. `join` moves peer → target; leave
+    /// moves target → peer.
+    fn emit_claims(
+        space: HashSpace,
+        hosts: &[CanonicalName],
+        claims: &[ArcClaim],
+        target: VnodeId,
+        join: bool,
+        sink: &mut LedgeredSink<'_>,
+    ) {
         for claim in claims {
             let Some(peer_node) = claim.peer else {
                 // No counterparty: the first point of an empty ring claims
@@ -143,13 +166,13 @@ impl ChEngine {
             };
             let peer = VnodeId(peer_node.0);
             let (from, to) = if join { (peer, target) } else { (target, peer) };
-            for (s, e) in Self::segments(space, claim.from_excl, claim.to_incl) {
-                for partition in Partition::cover_range(space, s, e) {
-                    transfers.push(Transfer { partition, from, to });
-                }
+            let (from_snode, to_snode) = (hosts[from.index()].snode, hosts[to.index()].snode);
+            for &(s, e) in Self::segments(space, claim.from_excl, claim.to_incl).as_slice() {
+                Partition::for_each_cover(space, s, e, &mut |partition| {
+                    sink.transfer(Transfer { partition, from, to }, from_snode, to_snode);
+                });
             }
         }
-        transfers
     }
 
     /// The minimal dyadic tiling of one node's current arcs, in
@@ -162,7 +185,7 @@ impl ChEngine {
                 self.ring.arc_containing(p).expect("a live node's point resolves");
             debug_assert_eq!(owner, node, "a point's arc belongs to its node");
             debug_assert_eq!(to_incl, p);
-            for (s, e) in Self::segments(space, from_excl, to_incl) {
+            for &(s, e) in Self::segments(space, from_excl, to_incl).as_slice() {
                 out.extend(Partition::cover_range(space, s, e));
             }
         }
@@ -193,7 +216,11 @@ impl DhtEngine for ChEngine {
         1
     }
 
-    fn create_vnode(&mut self, snode: SnodeId) -> Result<(VnodeId, CreateReport), DhtError> {
+    fn create_vnode_with(
+        &mut self,
+        snode: SnodeId,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<CreateOutcome, DhtError> {
         let k = self.ring.virtual_servers_per_node();
         let (node, claims) = self.ring.join_with_points_reporting(k);
         let v = VnodeId(node.0);
@@ -204,41 +231,38 @@ impl DhtEngine for ChEngine {
         let local = self.per_snode[snode.index()];
         self.per_snode[snode.index()] += 1;
         self.hosts.push(CanonicalName { snode, local });
-        let transfers = self.claim_transfers(&claims, v, true);
         self.ledger.vnode_created(snode);
         if self.ring.node_count() == 1 {
             // The first node claimed the whole circle from nobody.
             self.ledger.gain(snode, Quota::ONE);
         }
-        self.ledger_apply(&transfers);
-        let report = CreateReport {
+        {
+            let mut ls = LedgeredSink::new(sink, &mut self.ledger);
+            Self::emit_claims(self.ring.space(), &self.hosts, &claims, v, true, &mut ls);
+        }
+        Ok(CreateOutcome {
+            vnode: v,
             group: Some(GroupId::FIRST),
-            lookup_point: None,
-            victim: None,
-            group_split: None,
-            partition_splits: 0,
-            transfers,
             group_size_after: self.ring.node_count(),
-        };
-        Ok((v, report))
+        })
     }
 
-    fn remove_vnode(&mut self, v: VnodeId) -> Result<RemoveReport, DhtError> {
+    fn remove_vnode_with(
+        &mut self,
+        v: VnodeId,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<RemoveOutcome, DhtError> {
         let node = self.ensure_live(v)?;
         if self.ring.node_count() == 1 {
             return Err(DhtError::LastVnode);
         }
         let claims = self.ring.leave_reporting(node);
-        let transfers = self.claim_transfers(&claims, v, false);
-        self.ledger_apply(&transfers);
+        {
+            let mut ls = LedgeredSink::new(sink, &mut self.ledger);
+            Self::emit_claims(self.ring.space(), &self.hosts, &claims, v, false, &mut ls);
+        }
         self.ledger.vnode_killed(self.hosts[v.index()].snode);
-        Ok(RemoveReport {
-            group: Some(GroupId::FIRST),
-            transfers,
-            partition_merges: 0,
-            group_merge: None,
-            migrated: None,
-        })
+        Ok(RemoveOutcome { group: Some(GroupId::FIRST) })
     }
 
     fn lookup(&self, point: u64) -> Option<(Partition, VnodeId)> {
@@ -246,7 +270,7 @@ impl DhtEngine for ChEngine {
         let (from_excl, to_incl, owner) = self.ring.arc_containing(point)?;
         // The piece is resolved within the arc segment holding the point —
         // pure arithmetic over the minimal cover, no stored view.
-        for (s, e) in Self::segments(space, from_excl, to_incl) {
+        for &(s, e) in Self::segments(space, from_excl, to_incl).as_slice() {
             if (point as u128) >= (s as u128) && (point as u128) < e {
                 let piece = Partition::cover_piece_containing(space, s, e, point);
                 return Some((piece, VnodeId(owner.0)));
@@ -255,8 +279,8 @@ impl DhtEngine for ChEngine {
         unreachable!("the arc containing a point covers it");
     }
 
-    fn vnodes(&self) -> Vec<VnodeId> {
-        self.ring.nodes().into_iter().map(|n| VnodeId(n.0)).collect()
+    fn for_each_vnode(&self, f: &mut dyn FnMut(VnodeId)) {
+        self.ring.for_each_node(&mut |n| f(VnodeId(n.0)));
     }
 
     fn name_of(&self, v: VnodeId) -> Result<CanonicalName, DhtError> {
@@ -278,8 +302,8 @@ impl DhtEngine for ChEngine {
         Ok(self.ring.quota_of(node))
     }
 
-    fn quotas(&self) -> Vec<f64> {
-        self.ring.quotas()
+    fn for_each_quota(&self, f: &mut dyn FnMut(f64)) {
+        self.ring.for_each_node(&mut |n| f(self.ring.quota_of(n)));
     }
 
     fn vnode_quota_relstd_pct(&self) -> f64 {
@@ -528,7 +552,7 @@ mod tests {
             let mut expected = Vec::new();
             for &p in e.ring().points_of(ChNodeId(v.0)) {
                 let (from, to, _) = e.ring().arc_containing(p).unwrap();
-                for (s, en) in ChEngine::segments(space, from, to) {
+                for &(s, en) in ChEngine::segments(space, from, to).as_slice() {
                     expected.extend(Partition::cover_range(space, s, en));
                 }
             }

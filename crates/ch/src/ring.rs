@@ -321,7 +321,19 @@ impl<R: DomusRng> ChRing<R> {
 
     /// Live node handles, in join order.
     pub fn nodes(&self) -> Vec<ChNodeId> {
-        (0..self.live.len()).filter(|&i| self.live[i]).map(|i| ChNodeId(i as u32)).collect()
+        let mut out = Vec::with_capacity(self.node_count());
+        self.for_each_node(&mut |n| out.push(n));
+        out
+    }
+
+    /// Visits every live node handle in join order — the allocation-free
+    /// primitive behind [`ChRing::nodes`].
+    pub fn for_each_node(&self, f: &mut dyn FnMut(ChNodeId)) {
+        for i in 0..self.live.len() {
+            if self.live[i] {
+                f(ChNodeId(i as u32));
+            }
+        }
     }
 
     /// Exact quota of a node (fraction of `R_h`).

@@ -1,14 +1,18 @@
 //! The replay engine: an [`EventStream`] driven into any [`DhtEngine`].
 //!
-//! [`ChurnDriver`] replays membership events, prices every resulting
-//! `CreateReport`/`RemoveReport` through `domus-sim`'s [`CostModel`], and
-//! samples [`BalanceSnapshot`]s at a fixed simulated-time cadence into
-//! per-window rows. With the optional KV overlay the run also measures
-//! data-plane effects: entries migrated per event, lookup correctness of
-//! a probe set, and a per-window *availability* figure — the fraction of
-//! probe keys whose owning vnode did **not** change during the window
-//! (an owner change mid-window is a request that would have hit a node
-//! mid-migration).
+//! [`ChurnDriver`] replays membership events through the streaming
+//! operation surface: every engine operation runs with `domus-sim`'s
+//! [`domus_sim::EventPricer`] as its sink (tapped through the KV store's
+//! in-line migration when the overlay is active), so pricing, transfer
+//! counting and data migration all happen *while the event executes* —
+//! no per-event report is ever materialised, and the hot path performs
+//! zero per-event report allocations. Per fixed simulated-time window
+//! the driver samples [`BalanceSnapshot`]s into per-window rows. With
+//! the optional KV overlay the run also measures data-plane effects:
+//! entries migrated per event, lookup correctness of a probe set, and a
+//! per-window *availability* figure — the fraction of probe keys whose
+//! owning vnode did **not** change during the window (an owner change
+//! mid-window is a request that would have hit a node mid-migration).
 //!
 //! Replay is rank- and tag-based (see [`crate::event`]), so the identical
 //! stream drives the global approach, the local approach and Consistent
@@ -20,7 +24,7 @@ use domus_core::{BalanceSnapshot, DhtEngine, SnodeId, VnodeId};
 use domus_kv::workload::value_of;
 use domus_kv::{KvService, KvStore, UniformKeys};
 use domus_metrics::Series;
-use domus_sim::{ClusterNet, CostModel, EventCost, SimTime};
+use domus_sim::{ClusterNet, CostModel, EventCost, EventPricer, SimTime};
 use std::io::{self, Write};
 
 /// Replay configuration.
@@ -229,6 +233,9 @@ enum Plant<E: DhtEngine> {
 pub struct ChurnDriver<E: DhtEngine> {
     plant: Plant<E>,
     cfg: DriverConfig,
+    /// The streaming pricing sink every operation runs through (scratch
+    /// reused across events — the hot path allocates nothing per event).
+    pricer: EventPricer,
     /// Live vnodes in creation order, tagged by their arrival.
     roster: Vec<(NodeTag, VnodeId)>,
     clock: SimTime,
@@ -266,6 +273,7 @@ impl<E: DhtEngine> ChurnDriver<E> {
         Self {
             plant,
             cfg,
+            pricer: EventPricer::new(cfg.net, cfg.cost),
             roster: Vec::new(),
             clock: SimTime::ZERO,
             next_window_end: cfg.window,
@@ -453,22 +461,26 @@ impl<E: DhtEngine> ChurnDriver<E> {
 
     fn create_one(&mut self, node: NodeTag) {
         let snode = SnodeId(node.0);
-        let (v, report, migrated) = match &mut self.plant {
+        self.pricer.begin();
+        let (v, entries_moved) = match &mut self.plant {
             Plant::Bare(e) => {
-                let (v, r) = e.create_vnode(snode).expect("churn replay: create failed");
-                (v, r, 0)
+                let out = e
+                    .create_vnode_with(snode, &mut self.pricer)
+                    .expect("churn replay: create failed");
+                (out.vnode, 0)
             }
             Plant::Kv(svc) => {
-                let (v, r, m) = svc.join_full(snode).expect("churn replay: create failed");
-                (v, r, m.entries)
+                let (out, m) =
+                    svc.join_with(snode, &mut self.pricer).expect("churn replay: create failed");
+                (out.vnode, m.entries)
             }
         };
         self.load_kv_if_pending();
         let (record_len, participants) = self.record_shape_of(v);
-        let cost = self.cfg.cost.price_create(&self.cfg.net, record_len, participants, &report);
+        let cost = self.pricer.finish_create(record_len, participants);
         self.acc.absorb(cost);
-        self.acc.transfers += report.transfers.len() as u64;
-        self.acc.entries_migrated += migrated;
+        self.acc.transfers += self.pricer.transfers();
+        self.acc.entries_migrated += entries_moved;
         self.acc.joins += 1;
         self.roster.push((node, v));
     }
@@ -498,35 +510,39 @@ impl<E: DhtEngine> ChurnDriver<E> {
             self.acc.skipped += 1;
             return None;
         }
-        let (report, migrated) = match &mut self.plant {
-            Plant::Bare(e) => (e.remove_vnode(v).expect("churn replay: remove failed"), 0),
+        self.pricer.begin();
+        let entries_moved = match &mut self.plant {
+            Plant::Bare(e) => {
+                e.remove_vnode_with(v, &mut self.pricer).expect("churn replay: remove failed");
+                0
+            }
             Plant::Kv(svc) => {
-                let (r, m) = svc.leave_full(v).expect("churn replay: remove failed");
-                (r, m.entries)
+                svc.leave_with(v, &mut self.pricer).expect("churn replay: remove failed").1.entries
             }
         };
         // The governing record after the event is visible through any
         // receiver of the redistribution transfers.
-        let (record_len, participants) = match report.transfers.first() {
-            Some(t) => self.record_shape_of(t.to),
+        let (record_len, participants) = match self.pricer.first_receiver() {
+            Some(to) => self.record_shape_of(to),
             None => (1, 1),
         };
-        let cost = self.cfg.cost.price_remove(&self.cfg.net, record_len, participants, &report);
+        let cost = self.pricer.finish_remove(record_len, participants);
         self.acc.absorb(cost);
-        self.acc.transfers += report.transfers.len() as u64;
-        self.acc.entries_migrated += migrated;
+        self.acc.transfers += self.pricer.transfers();
+        self.acc.entries_migrated += entries_moved;
         self.acc.leaves += 1;
         self.roster.retain(|&(_, rv)| rv != v);
         // A removal may internally migrate a surviving vnode between
         // groups, retiring its old handle — follow the rename.
-        if let Some((old, new)) = report.migrated {
+        let migrated = self.pricer.migrated();
+        if let Some((old, new)) = migrated {
             for entry in &mut self.roster {
                 if entry.1 == old {
                     entry.1 = new;
                 }
             }
         }
-        report.migrated
+        migrated
     }
 
     /// `(record length, participant snodes)` of the record governing `v`'s

@@ -20,11 +20,13 @@
 //!   sequence — [`EventStream::fingerprint`] asserts it.
 //! * [`event`] — the event vocabulary and the compiled stream.
 //! * [`driver`] — [`ChurnDriver`]: replays a stream into any
-//!   [`domus_core::DhtEngine`], prices every operation report through
-//!   `domus-sim`'s [`domus_sim::CostModel`], samples
-//!   [`domus_core::BalanceSnapshot`]s per time window, and (optionally)
-//!   threads a [`domus_kv::KvService`] through the run to measure keys
-//!   migrated, lookup correctness, and per-window availability.
+//!   [`domus_core::DhtEngine`] through the streaming event surface,
+//!   pricing every operation in-line with `domus-sim`'s
+//!   [`domus_sim::EventPricer`] sink (no report materialisation on the
+//!   hot path), samples [`domus_core::BalanceSnapshot`]s per time
+//!   window, and (optionally) threads a [`domus_kv::KvService`] through
+//!   the run to measure keys migrated, lookup correctness, and
+//!   per-window availability.
 //!
 //! ```
 //! use domus_churn::{Capacity, ChurnDriver, DriverConfig, Lifetime, Process, Scenario};

@@ -43,6 +43,7 @@ use crate::config::{DhtConfig, VictimPartitionPolicy};
 use crate::engine::Transfer;
 use crate::errors::DhtError;
 use crate::ids::VnodeId;
+use crate::sink::LedgeredSink;
 use crate::state::{GroupState, VnodeStore};
 use domus_hashspace::{OwnerMap, Partition};
 use domus_util::DomusRng;
@@ -57,7 +58,8 @@ fn pick_partition<R: DomusRng>(len: usize, policy: VictimPartitionPolicy, rng: &
     }
 }
 
-/// Removes one partition from `donor` per policy and hands it to `recv`.
+/// Removes one partition from `donor` per policy, hands it to `recv`,
+/// and emits the transfer (which also streams the ledger move).
 fn move_one<R: DomusRng>(
     vs: &mut VnodeStore,
     routing: &mut OwnerMap<VnodeId>,
@@ -65,7 +67,8 @@ fn move_one<R: DomusRng>(
     recv: VnodeId,
     policy: VictimPartitionPolicy,
     rng: &mut R,
-) -> Transfer {
+    sink: &mut LedgeredSink<'_>,
+) {
     let donor_parts = &mut vs.get_mut(donor).partitions;
     let idx = pick_partition(donor_parts.len(), policy, rng);
     // `swap_remove` is O(1); `First` keeps FIFO semantics with `remove`.
@@ -76,7 +79,11 @@ fn move_one<R: DomusRng>(
     };
     routing.transfer(p, recv).expect("donor's partition must be routed to it");
     vs.get_mut(recv).partitions.push(p);
-    Transfer { partition: p, from: donor, to: recv }
+    sink.transfer(
+        Transfer { partition: p, from: donor, to: recv },
+        vs.get(donor).name.snode,
+        vs.get(recv).name.snode,
+    );
 }
 
 /// Seeds the first vnode of a DHT: all `Pmin` partitions of splitlevel
@@ -166,7 +173,8 @@ pub fn split_all(
 
 /// Steps 1–4 of the paper's creation algorithm: `new` (already admitted to
 /// the region with zero partitions) receives partitions one at a time from
-/// the most-loaded member while `σ(Pv)` strictly decreases.
+/// the most-loaded member while `σ(Pv)` strictly decreases. Every handover
+/// streams through `sink`.
 ///
 /// Ties among equally-loaded donors are broken LIFO over admission order
 /// (the paper's step-3 sort leaves ties unspecified).
@@ -177,7 +185,8 @@ pub fn greedy_add<R: DomusRng>(
     new: VnodeId,
     cfg: &DhtConfig,
     rng: &mut R,
-) -> Vec<Transfer> {
+    sink: &mut LedgeredSink<'_>,
+) {
     debug_assert_eq!(vs.get(new).count(), 0, "greedy_add expects a fresh vnode");
     debug_assert!(region.members.contains(&new), "new vnode must be admitted first");
 
@@ -192,7 +201,6 @@ pub fn greedy_add<R: DomusRng>(
     }
     let mut cur = max_count;
     let mut new_count = 0u64;
-    let mut transfers = Vec::new();
     loop {
         while cur > 0 && buckets[cur].is_empty() {
             cur -= 1;
@@ -210,7 +218,7 @@ pub fn greedy_add<R: DomusRng>(
             "greedy would drag a donor below Pmin: donor at {cur}, Pmin {}",
             cfg.pmin
         );
-        transfers.push(move_one(vs, routing, donor, new, cfg.victim_partition, rng));
+        move_one(vs, routing, donor, new, cfg.victim_partition, rng, sink);
         region.account_move(cur as u64, new_count);
         buckets[cur - 1].push(donor);
         new_count += 1;
@@ -220,7 +228,6 @@ pub fn greedy_add<R: DomusRng>(
         "new vnode overfilled: {new_count} > Pmax {}",
         cfg.pmax()
     );
-    transfers
 }
 
 /// Inverse of [`greedy_add`]: drains every partition of `victim` to the
@@ -237,7 +244,8 @@ pub fn greedy_remove<R: DomusRng>(
     victim: VnodeId,
     cfg: &DhtConfig,
     rng: &mut R,
-) -> Vec<Transfer> {
+    sink: &mut LedgeredSink<'_>,
+) {
     debug_assert!(region.members.len() >= 2, "greedy_remove needs a surviving member");
     let victim_count = vs.get(victim).count();
     region.expel(victim, victim_count);
@@ -251,13 +259,12 @@ pub fn greedy_remove<R: DomusRng>(
         buckets[c].push(m);
         cur = cur.min(c);
     }
-    let mut transfers = Vec::with_capacity(victim_count as usize);
     for _ in 0..victim_count {
         while buckets[cur].is_empty() {
             cur += 1;
         }
         let recv = buckets[cur].pop().expect("cursor sits on a non-empty bucket");
-        transfers.push(move_one(vs, routing, victim, recv, cfg.victim_partition, rng));
+        move_one(vs, routing, victim, recv, cfg.victim_partition, rng, sink);
         region.account_gain(cur as u64);
         debug_assert!(
             (cur as u64) < cfg.pmax(),
@@ -266,7 +273,6 @@ pub fn greedy_remove<R: DomusRng>(
         buckets[cur + 1].push(recv);
     }
     debug_assert!(vs.get(victim).partitions.is_empty());
-    transfers
 }
 
 /// Error from [`merge_all`]: the region's partition set is not closed under
@@ -280,8 +286,9 @@ pub struct NotSiblingClosed {
 }
 
 /// The merge cascade (inverse of [`split_all`]): re-pairs sibling
-/// partitions onto common owners with the fewest possible transfers, then
-/// binary-merges every pair, halving every member's count.
+/// partitions onto common owners with the fewest possible transfers
+/// (streamed through `sink`), then binary-merges every pair, halving
+/// every member's count. Returns the number of pairs merged.
 ///
 /// Precondition: every member's count is even (callers invoke this at the
 /// all-`Pmax` state) and the region sits above its birth level.
@@ -291,7 +298,8 @@ pub fn merge_all<R: DomusRng>(
     region: &mut GroupState,
     _cfg: &DhtConfig,
     _rng: &mut R,
-) -> Result<(u64, Vec<Transfer>), NotSiblingClosed> {
+    sink: &mut LedgeredSink<'_>,
+) -> Result<u64, NotSiblingClosed> {
     // Note on the closure floor: a region created by a membership split is
     // only guaranteed sibling-closed above the level it was born at
     // (`birth_level`). The capacity arithmetic in the module docs shows
@@ -379,7 +387,6 @@ pub fn merge_all<R: DomusRng>(
     // group) merges in one bulk rebuild; scattered groups use the in-place
     // per-pair surgery.
     let whole_map = region.sum == routing.len() as u64;
-    let mut transfers = Vec::new();
     for &m in &region.members {
         vs.get_mut(m).partitions.clear();
     }
@@ -391,7 +398,11 @@ pub fn merge_all<R: DomusRng>(
                 if !whole_map {
                     routing.transfer(p, owner).expect("child partition is routed");
                 }
-                transfers.push(Transfer { partition: p, from: old_owner, to: owner });
+                sink.transfer(
+                    Transfer { partition: p, from: old_owner, to: owner },
+                    vs.get(old_owner).name.snode,
+                    vs.get(owner).name.snode,
+                );
             }
         }
         let merged = if whole_map {
@@ -409,20 +420,21 @@ pub fn merge_all<R: DomusRng>(
         routing.replace_all(replacement);
     }
     region.account_merge_all();
-    Ok((pairs as u64, transfers))
+    Ok(pairs as u64)
 }
 
 /// Moves partitions from maxima to minima until the region's counts differ
-/// by at most one (each move strictly decreases σ). Used after a group
-/// merge (deletion extension) to re-legalise counts.
+/// by at most one (each move strictly decreases σ), streaming every move
+/// through `sink`. Used after a group merge (deletion extension) to
+/// re-legalise counts.
 pub fn rebalance_spread<R: DomusRng>(
     vs: &mut VnodeStore,
     routing: &mut OwnerMap<VnodeId>,
     region: &mut GroupState,
     cfg: &DhtConfig,
     rng: &mut R,
-) -> Vec<Transfer> {
-    let mut transfers = Vec::new();
+    sink: &mut LedgeredSink<'_>,
+) {
     // Each move from a current maximum to a current minimum strictly
     // reduces Σ(Pv)², so this terminates; the group-merge path that calls
     // this is rare enough that the O(V_g) scan per move is irrelevant.
@@ -443,17 +455,18 @@ pub fn rebalance_spread<R: DomusRng>(
             break;
         }
         let (vmin, vmax) = (vmin.expect("non-empty"), vmax.expect("non-empty"));
-        transfers.push(move_one(vs, routing, vmax, vmin, cfg.victim_partition, rng));
+        move_one(vs, routing, vmax, vmin, cfg.victim_partition, rng, sink);
         region.account_move(cmax, cmin);
     }
-    transfers
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::group_id::GroupId;
-    use domus_hashspace::HashSpace;
+    use crate::ledger::SnodeLedger;
+    use crate::sink::{CollectReport, NullSink};
+    use domus_hashspace::{HashSpace, Quota};
     use domus_util::Xoshiro256pp;
 
     fn setup(pmin: u64) -> (VnodeStore, OwnerMap<VnodeId>, GroupState, DhtConfig, Xoshiro256pp) {
@@ -462,6 +475,20 @@ mod tests {
         let routing = OwnerMap::new(cfg.hash_space());
         let region = GroupState::new(GroupId::FIRST, cfg.initial_level());
         (vs, routing, region, cfg, Xoshiro256pp::seed_from_u64(1))
+    }
+
+    /// A ledger seeded from the region's current distribution, so the
+    /// streamed moves have registered snodes to debit and credit.
+    fn seeded_ledger(vs: &VnodeStore, region: &GroupState) -> SnodeLedger {
+        let mut l = SnodeLedger::new();
+        for &m in &region.members {
+            let s = vs.get(m).name.snode;
+            l.vnode_created(s);
+            if vs.get(m).count() > 0 {
+                l.gain(s, Quota::new(vs.get(m).count() as u128, region.level));
+            }
+        }
+        l
     }
 
     #[test]
@@ -514,11 +541,19 @@ mod tests {
         split_all(&mut vs, &mut routing, &mut region).unwrap();
         let b = vs.create(crate::ids::SnodeId(1), 0);
         region.admit(b, 0);
-        let transfers = greedy_add(&mut vs, &mut routing, &mut region, b, &cfg, &mut rng);
+        let mut ledger = seeded_ledger(&vs, &region);
+        let mut collect = CollectReport::new();
+        {
+            let mut sink = LedgeredSink::new(&mut collect, &mut ledger);
+            greedy_add(&mut vs, &mut routing, &mut region, b, &cfg, &mut rng, &mut sink);
+        }
+        let transfers = collect.transfers();
         assert_eq!(transfers.len(), 4, "[8,0] → [4,4]");
         assert_eq!(vs.get(a).count(), 4);
         assert_eq!(vs.get(b).count(), 4);
         assert!(transfers.iter().all(|t| t.from == a && t.to == b));
+        assert!(ledger.total().is_one(), "streamed ledger moves conserve quota");
+        assert_eq!(ledger.relstd_pct(), 0.0, "[4,4] over two snodes is perfectly even");
         routing.verify_coverage().unwrap();
     }
 
@@ -532,7 +567,11 @@ mod tests {
         assert!(!all_at_pmin(&vs, &region, &cfg), "counts are at Pmax now");
         let b = vs.create(crate::ids::SnodeId(1), 0);
         region.admit(b, 0);
-        greedy_add(&mut vs, &mut routing, &mut region, b, &cfg, &mut rng);
+        let mut ledger = seeded_ledger(&vs, &region);
+        let mut null = NullSink;
+        let mut sink = LedgeredSink::new(&mut null, &mut ledger);
+        greedy_add(&mut vs, &mut routing, &mut region, b, &cfg, &mut rng, &mut sink);
+        drop(sink);
         assert!(all_at_pmin(&vs, &region, &cfg), "[4,4] is all-at-Pmin again");
     }
 
@@ -544,18 +583,31 @@ mod tests {
         split_all(&mut vs, &mut routing, &mut region).unwrap();
         let b = vs.create(crate::ids::SnodeId(1), 0);
         region.admit(b, 0);
-        greedy_add(&mut vs, &mut routing, &mut region, b, &cfg, &mut rng);
+        let mut ledger = seeded_ledger(&vs, &region);
+        let mut collect = CollectReport::new();
+        {
+            let mut sink = LedgeredSink::new(&mut collect, &mut ledger);
+            greedy_add(&mut vs, &mut routing, &mut region, b, &cfg, &mut rng, &mut sink);
+        }
+        collect.clear();
         // Remove b: a absorbs everything → all at Pmax → merge cascade.
-        let t = greedy_remove(&mut vs, &mut routing, &mut region, b, &cfg, &mut rng);
-        assert_eq!(t.len(), 4);
+        {
+            let mut sink = LedgeredSink::new(&mut collect, &mut ledger);
+            greedy_remove(&mut vs, &mut routing, &mut region, b, &cfg, &mut rng, &mut sink);
+        }
+        assert_eq!(collect.transfers().len(), 4);
         vs.kill(b);
         assert_eq!(vs.get(a).count(), 8);
-        let (merges, moves) =
-            merge_all(&mut vs, &mut routing, &mut region, &cfg, &mut rng).unwrap();
+        collect.clear();
+        let merges = {
+            let mut sink = LedgeredSink::new(&mut collect, &mut ledger);
+            merge_all(&mut vs, &mut routing, &mut region, &cfg, &mut rng, &mut sink).unwrap()
+        };
         assert_eq!(merges, 4);
-        assert!(moves.is_empty(), "single owner ⇒ all pairs co-located");
+        assert!(collect.transfers().is_empty(), "single owner ⇒ all pairs co-located");
         assert_eq!(vs.get(a).count(), 4);
         assert_eq!(region.level, cfg.initial_level());
+        assert!(ledger.total().is_one());
         routing.verify_coverage().unwrap();
     }
 
@@ -580,13 +632,18 @@ mod tests {
         region.admit(a, 2);
         region.admit(b, 2);
         let mut rng = Xoshiro256pp::seed_from_u64(3);
-        let (merges, moves) =
-            merge_all(&mut vs, &mut routing, &mut region, &cfg, &mut rng).unwrap();
+        let mut ledger = seeded_ledger(&vs, &region);
+        let mut collect = CollectReport::new();
+        let merges = {
+            let mut sink = LedgeredSink::new(&mut collect, &mut ledger);
+            merge_all(&mut vs, &mut routing, &mut region, &cfg, &mut rng, &mut sink).unwrap()
+        };
         assert_eq!(merges, 2);
-        assert_eq!(moves.len(), 2, "each pair needs one co-location transfer");
+        assert_eq!(collect.transfers().len(), 2, "each pair needs one co-location transfer");
         assert_eq!(vs.get(a).count(), 1);
         assert_eq!(vs.get(b).count(), 1);
         assert_eq!(region.level, 1);
+        assert!(ledger.total().is_one(), "co-location moves conserve snode quota");
         routing.verify_coverage().unwrap();
     }
 
@@ -610,7 +667,11 @@ mod tests {
         }
         region.admit(a, 2);
         let mut rng = Xoshiro256pp::seed_from_u64(3);
-        let err = merge_all(&mut vs, &mut routing, &mut region, &cfg, &mut rng).unwrap_err();
+        let mut ledger = seeded_ledger(&vs, &region);
+        let mut null = NullSink;
+        let mut sink = LedgeredSink::new(&mut null, &mut ledger);
+        let err =
+            merge_all(&mut vs, &mut routing, &mut region, &cfg, &mut rng, &mut sink).unwrap_err();
         assert!(matches!(err, NotSiblingClosed { .. }));
     }
 
@@ -635,7 +696,12 @@ mod tests {
             region.admit(v, range.end - range.start);
         }
         let mut rng = Xoshiro256pp::seed_from_u64(5);
-        rebalance_spread(&mut vs, &mut routing, &mut region, &cfg, &mut rng);
+        let mut ledger = seeded_ledger(&vs, &region);
+        {
+            let mut null = NullSink;
+            let mut sink = LedgeredSink::new(&mut null, &mut ledger);
+            rebalance_spread(&mut vs, &mut routing, &mut region, &cfg, &mut rng, &mut sink);
+        }
         let counts: Vec<u64> = region.members.iter().map(|&m| vs.get(m).count()).collect();
         let min = counts.iter().min().unwrap();
         let max = counts.iter().max().unwrap();

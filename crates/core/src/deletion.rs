@@ -28,52 +28,47 @@
 //!    contains the victim (case 1) or can donate a vnode (case 3).
 
 use crate::balance;
-use crate::engine::{CreateReport, RemoveReport};
+use crate::engine::RemoveOutcome;
 use crate::errors::DhtError;
 use crate::group_id::GroupId;
 use crate::ids::VnodeId;
 use crate::local::LocalDht;
+use crate::sink::{LedgeredSink, RebalanceEvent, RebalanceSink};
 use domus_util::DomusRng;
 
-/// Entry point used by [`LocalDht::remove_vnode`].
+/// Entry point used by [`LocalDht::remove_vnode_with`]. Every quota
+/// motion (drain, cascades, migration) streams through `sink` in
+/// chronological order, ledgered as it happens.
 pub(crate) fn remove_local<R: DomusRng>(
     dht: &mut LocalDht<R>,
     v: VnodeId,
-) -> Result<RemoveReport, DhtError> {
+    sink: &mut dyn RebalanceSink,
+) -> Result<RemoveOutcome, DhtError> {
     dht.ensure_alive(v)?;
     if dht.vs.alive_count() == 1 {
         return Err(DhtError::LastVnode);
     }
     let snode = dht.vs.get(v).name.snode;
-    let report = remove_local_inner(dht, v)?;
-    // Ledger: the report's transfer list is the exact chronological quota
-    // motion of the whole removal (drain, cascades, migration).
-    crate::global::ledger_apply(&dht.vs, &mut dht.ledger, &report.transfers);
+    let outcome = remove_local_inner(dht, v, sink)?;
     dht.ledger.vnode_killed(snode);
-    if let Some((old, _new)) = report.migrated {
-        // The migrated vnode was killed and re-created under the same
-        // snode; its re-creation was already ledgered by the admission
-        // path, so balance the kill of its old handle.
-        dht.ledger.vnode_killed(dht.vs.get(old).name.snode);
-    }
     dht.debug_check();
-    Ok(report)
+    Ok(outcome)
 }
 
-/// The removal state machine, without ledger accounting or the final
-/// invariant sweep (both owned by [`remove_local`]).
+/// The removal state machine, without the victim's ledger kill or the
+/// final invariant sweep (both owned by [`remove_local`]).
 fn remove_local_inner<R: DomusRng>(
     dht: &mut LocalDht<R>,
     v: VnodeId,
-) -> Result<RemoveReport, DhtError> {
-    let mut report = RemoveReport::default();
+    sink: &mut dyn RebalanceSink,
+) -> Result<RemoveOutcome, DhtError> {
     let slot = dht.vs.get(v).group;
-    report.group = Some(dht.groups[slot as usize].gid);
+    let outcome = RemoveOutcome { group: Some(dht.groups[slot as usize].gid) };
 
     let vg = dht.groups[slot as usize].len() as u64;
     if dht.live_slots.len() == 1 || vg > dht.cfg.vmin {
-        intra_group_remove(dht, slot, v, &mut report);
-        return Ok(report);
+        intra_group_remove(dht, slot, v, sink);
+        return Ok(outcome);
     }
 
     // V_g == Vmin with other groups around: make room first.
@@ -81,28 +76,28 @@ fn remove_local_inner<R: DomusRng>(
     let sibling_slot = gid.sibling().and_then(|sib| find_live_group(dht, sib));
     if let Some(sib) = sibling_slot {
         if dht.groups[sib as usize].len() as u64 == dht.cfg.vmin {
-            let merged = merge_groups(dht, slot, sib, &mut report)?;
-            intra_group_remove(dht, merged, v, &mut report);
-            return Ok(report);
+            let merged = merge_groups(dht, slot, sib, sink)?;
+            intra_group_remove(dht, merged, v, sink);
+            return Ok(outcome);
         }
     }
     if let Some(donor) = find_donor_group(dht, slot) {
-        migrate_one(dht, donor, slot, &mut report)?;
-        intra_group_remove(dht, dht.vs.get(v).group, v, &mut report);
-        return Ok(report);
+        migrate_one(dht, donor, slot, sink)?;
+        intra_group_remove(dht, dht.vs.get(v).group, v, sink);
+        return Ok(outcome);
     }
 
     // Every live group is at Vmin: merge the deepest sibling pair.
     let (a, b) = deepest_sibling_pair(dht);
-    let merged = merge_groups(dht, a, b, &mut report)?;
+    let merged = merge_groups(dht, a, b, sink)?;
     let v_slot = dht.vs.get(v).group;
     if v_slot == merged {
-        intra_group_remove(dht, merged, v, &mut report);
+        intra_group_remove(dht, merged, v, sink);
     } else {
-        migrate_one(dht, merged, v_slot, &mut report)?;
-        intra_group_remove(dht, dht.vs.get(v).group, v, &mut report);
+        migrate_one(dht, merged, v_slot, sink)?;
+        intra_group_remove(dht, dht.vs.get(v).group, v, sink);
     }
-    Ok(report)
+    Ok(outcome)
 }
 
 /// Case 1: drain, kill, and run the merge cascade if it saturated `Pmax`.
@@ -110,30 +105,23 @@ fn intra_group_remove<R: DomusRng>(
     dht: &mut LocalDht<R>,
     slot: u32,
     v: VnodeId,
-    report: &mut RemoveReport,
+    sink: &mut dyn RebalanceSink,
 ) {
-    let transfers = balance::greedy_remove(
-        &mut dht.vs,
-        &mut dht.routing,
-        &mut dht.groups[slot as usize],
-        v,
-        &dht.cfg,
-        &mut dht.rng,
-    );
-    report.transfers.extend(transfers);
+    {
+        let LocalDht { vs, groups, routing, ledger, rng, cfg, .. } = dht;
+        let mut ls = LedgeredSink::new(sink, ledger);
+        balance::greedy_remove(vs, routing, &mut groups[slot as usize], v, cfg, rng, &mut ls);
+    }
     dht.vs.kill(v);
     let saturated = balance::all_at_pmax(&dht.groups[slot as usize], &dht.cfg);
     if saturated {
-        let (merges, extra) = balance::merge_all(
-            &mut dht.vs,
-            &mut dht.routing,
-            &mut dht.groups[slot as usize],
-            &dht.cfg,
-            &mut dht.rng,
-        )
-        .expect("saturation only occurs above the region's closure floor (DESIGN.md §3)");
-        report.partition_merges += merges;
-        report.transfers.extend(extra);
+        let pairs = {
+            let LocalDht { vs, groups, routing, ledger, rng, cfg, .. } = dht;
+            let mut ls = LedgeredSink::new(sink, ledger);
+            balance::merge_all(vs, routing, &mut groups[slot as usize], cfg, rng, &mut ls)
+                .expect("saturation only occurs above the region's closure floor (DESIGN.md §3)")
+        };
+        sink.event(RebalanceEvent::PartitionMerge { pairs });
     }
 }
 
@@ -181,14 +169,15 @@ fn deepest_sibling_pair<R: DomusRng>(dht: &LocalDht<R>) -> (u32, u32) {
 /// Case 2/4: fuse two sibling groups back into their parent identifier.
 ///
 /// Returns the merged group's slot. Levels are harmonised to the higher of
-/// the two (splitting the lower side's partitions), members are pooled, and
-/// counts are re-levelled to spread ≤ 1 — which the equal-quota law places
-/// inside `[Pmin, Pmax]`.
+/// the two (splitting the lower side's partitions — streamed as
+/// `PartitionSplit` events, which the legacy report never recorded),
+/// members are pooled, and counts are re-levelled to spread ≤ 1 — which
+/// the equal-quota law places inside `[Pmin, Pmax]`.
 fn merge_groups<R: DomusRng>(
     dht: &mut LocalDht<R>,
     a: u32,
     b: u32,
-    report: &mut RemoveReport,
+    sink: &mut dyn RebalanceSink,
 ) -> Result<u32, DhtError> {
     let gid_a = dht.groups[a as usize].gid;
     let gid_b = dht.groups[b as usize].gid;
@@ -198,7 +187,9 @@ fn merge_groups<R: DomusRng>(
     let target = dht.groups[a as usize].level.max(dht.groups[b as usize].level);
     for slot in [a, b] {
         while dht.groups[slot as usize].level < target {
-            balance::split_all(&mut dht.vs, &mut dht.routing, &mut dht.groups[slot as usize])?;
+            let count =
+                balance::split_all(&mut dht.vs, &mut dht.routing, &mut dht.groups[slot as usize])?;
+            sink.event(RebalanceEvent::PartitionSplit { count });
         }
     }
 
@@ -220,35 +211,41 @@ fn merge_groups<R: DomusRng>(
     dht.retire_slot(a);
     dht.retire_slot(b);
     dht.live_slots.push(merged_slot);
-    report.group_merge = Some((gid_a, gid_b, parent_gid));
+    sink.event(RebalanceEvent::GroupMerge { left: gid_a, right: gid_b, parent: parent_gid });
 
     // Harmonisation may have pushed the raised side past Pmax; re-level.
-    let extra = balance::rebalance_spread(
-        &mut dht.vs,
-        &mut dht.routing,
-        &mut dht.groups[merged_slot as usize],
-        &dht.cfg,
-        &mut dht.rng,
-    );
-    report.transfers.extend(extra);
+    {
+        let LocalDht { vs, groups, routing, ledger, rng, cfg, .. } = dht;
+        let mut ls = LedgeredSink::new(sink, ledger);
+        balance::rebalance_spread(
+            vs,
+            routing,
+            &mut groups[merged_slot as usize],
+            cfg,
+            rng,
+            &mut ls,
+        );
+    }
     Ok(merged_slot)
 }
 
 /// Case 3: migrate one vnode from `donor` into `dest` (remove + re-create
-/// under the same snode), recording the handle change.
+/// under the same snode), announcing the handle change as a
+/// `VnodeMigrated` event.
 fn migrate_one<R: DomusRng>(
     dht: &mut LocalDht<R>,
     donor: u32,
     dest: u32,
-    report: &mut RemoveReport,
+    sink: &mut dyn RebalanceSink,
 ) -> Result<(), DhtError> {
     let w = *dht.groups[donor as usize].members.last().expect("donor group is non-empty");
     let snode = dht.vs.get(w).name.snode;
-    intra_group_remove(dht, donor, w, report);
-    let mut sub = CreateReport::default();
-    let w2 = dht.admit_into_group(snode, dest, &mut sub)?;
-    report.transfers.extend(sub.transfers);
-    report.migrated = Some((w, w2));
+    intra_group_remove(dht, donor, w, sink);
+    let outcome = dht.admit_into_group(snode, dest, sink)?;
+    // The re-creation was ledgered by the admission path; balance the
+    // kill of the retired handle.
+    dht.ledger.vnode_killed(snode);
+    sink.event(RebalanceEvent::VnodeMigrated { old: w, new: outcome.vnode });
     Ok(())
 }
 

@@ -1,5 +1,12 @@
 //! The engine abstraction shared by the global and local approaches, plus
-//! the operation reports consumed by the simulator and the KV layer.
+//! the operation surface consumed by the simulator and the KV layer.
+//!
+//! Membership operations stream typed [`RebalanceEvent`]s into a
+//! caller-supplied [`RebalanceSink`] while they run
+//! ([`DhtEngine::create_vnode_with`] / [`DhtEngine::remove_vnode_with`] /
+//! the batched [`DhtEngine::apply`]); the legacy report-returning methods
+//! remain as provided shims built on the [`crate::CollectReport`] sink.
+//! The trait is dyn-compatible: `&mut dyn DhtEngine` drives any backend.
 
 use crate::config::DhtConfig;
 use crate::errors::DhtError;
@@ -7,6 +14,7 @@ use crate::group_id::GroupId;
 use crate::ids::{CanonicalName, SnodeId, VnodeId};
 use crate::invariants::InvariantViolation;
 use crate::record::Pdr;
+use crate::sink::{CollectReport, RebalanceEvent, RebalanceSink};
 use crate::stats::BalanceSnapshot;
 use domus_hashspace::Partition;
 use std::collections::BTreeSet;
@@ -33,11 +41,66 @@ pub struct GroupSplit {
     pub child1: GroupId,
 }
 
+/// The scalar outcome of one vnode creation — everything that is a fact
+/// about the *result* rather than a step of the rebalancement (those
+/// stream through the sink).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreateOutcome {
+    /// The created vnode's handle.
+    pub vnode: VnodeId,
+    /// The group that received the vnode (root id for the global
+    /// approach and CH).
+    pub group: Option<GroupId>,
+    /// Member count of the container group after the creation.
+    pub group_size_after: usize,
+}
+
+/// The scalar outcome of one vnode removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoveOutcome {
+    /// Group the vnode was removed from.
+    pub group: Option<GroupId>,
+}
+
+/// One membership operation for [`DhtEngine::apply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DhtOp {
+    /// Create a vnode hosted by the snode.
+    Create(SnodeId),
+    /// Remove the vnode.
+    Remove(VnodeId),
+}
+
+/// The result of one [`DhtEngine::apply`] batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchOutcome {
+    /// Handles of the vnodes created, in op order.
+    pub created: Vec<VnodeId>,
+    /// Removals applied.
+    pub removed: usize,
+    /// Ops that failed, as `(op index, error)` — the batch continues past
+    /// failures (a dead handle in a bulk decommission is routine).
+    pub failed: Vec<(usize, DhtError)>,
+}
+
+impl BatchOutcome {
+    /// `true` when every op applied.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// Ops applied successfully.
+    pub fn applied(&self) -> usize {
+        self.created.len() + self.removed
+    }
+}
+
 /// Everything that happened while creating one vnode.
 ///
-/// The distribution-quality experiments ignore this; the simulator prices
-/// it (messages, makespan) and the KV layer replays `transfers` as data
-/// migration.
+/// Legacy materialised view: the streaming surface
+/// ([`DhtEngine::create_vnode_with`]) emits the same facts as
+/// [`RebalanceEvent`]s without allocating; this struct remains for
+/// consumers that want the event list as data.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CreateReport {
     /// The group that received the vnode (root id for the global approach).
@@ -73,10 +136,12 @@ pub struct RemoveReport {
     pub migrated: Option<(VnodeId, VnodeId)>,
 }
 
-/// Common interface of [`crate::GlobalDht`] and [`crate::LocalDht`].
+/// Common interface of [`crate::GlobalDht`], [`crate::LocalDht`] and the
+/// `domus-ch` Consistent-Hashing adapter.
 ///
-/// Downstream layers (simulator, KV store, experiments) are generic over
-/// this trait, so every experiment can run against either approach.
+/// Downstream layers (simulator, KV store, churn replay, experiments)
+/// are generic over this trait — or hold a `&mut dyn DhtEngine` — so
+/// every experiment runs against any backend.
 pub trait DhtEngine {
     /// The immutable configuration.
     fn config(&self) -> &DhtConfig;
@@ -87,18 +152,143 @@ pub trait DhtEngine {
     /// Number of live groups `G` (always 1 for the global approach).
     fn group_count(&self) -> usize;
 
-    /// Creates a vnode hosted by `snode` and rebalances per the model.
-    fn create_vnode(&mut self, snode: SnodeId) -> Result<(VnodeId, CreateReport), DhtError>;
+    /// Creates a vnode hosted by `snode` and rebalances per the model,
+    /// streaming every rebalancement step into `sink` as it happens.
+    ///
+    /// ```
+    /// use domus_core::{CountOnly, DhtConfig, DhtEngine, GlobalDht, SnodeId};
+    /// use domus_hashspace::HashSpace;
+    ///
+    /// let cfg = DhtConfig::new(HashSpace::new(32), 4, 1).unwrap();
+    /// let mut dht = GlobalDht::with_seed(cfg, 1);
+    /// let mut counts = CountOnly::default();
+    /// let first = dht.create_vnode_with(SnodeId(0), &mut counts).unwrap();
+    /// assert_eq!(counts.transfers, 0, "nobody to take from");
+    /// dht.create_vnode_with(SnodeId(1), &mut counts).unwrap();
+    /// assert!(counts.transfers > 0, "the second vnode pulls partitions");
+    /// # assert_eq!(first.group_size_after, 1);
+    /// ```
+    fn create_vnode_with(
+        &mut self,
+        snode: SnodeId,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<CreateOutcome, DhtError>;
 
     /// Removes a vnode and rebalances (deletion extension; see
-    /// `DESIGN.md` §2 item 7).
-    fn remove_vnode(&mut self, v: VnodeId) -> Result<RemoveReport, DhtError>;
+    /// `DESIGN.md` §2 item 7), streaming every rebalancement step into
+    /// `sink` as it happens.
+    fn remove_vnode_with(
+        &mut self,
+        v: VnodeId,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<RemoveOutcome, DhtError>;
+
+    /// Creates a vnode, materialising the event stream as a
+    /// [`CreateReport`] (compatibility shim over
+    /// [`DhtEngine::create_vnode_with`]).
+    fn create_vnode(&mut self, snode: SnodeId) -> Result<(VnodeId, CreateReport), DhtError> {
+        let mut collect = CollectReport::new();
+        let outcome = self.create_vnode_with(snode, &mut collect)?;
+        Ok((outcome.vnode, collect.into_create_report(&outcome)))
+    }
+
+    /// Removes a vnode, materialising the event stream as a
+    /// [`RemoveReport`] (compatibility shim over
+    /// [`DhtEngine::remove_vnode_with`]).
+    fn remove_vnode(&mut self, v: VnodeId) -> Result<RemoveReport, DhtError> {
+        let mut collect = CollectReport::new();
+        let outcome = self.remove_vnode_with(v, &mut collect)?;
+        Ok(collect.into_remove_report(&outcome))
+    }
+
+    /// Applies a batch of membership operations through one sink.
+    ///
+    /// The batch continues past per-op failures (recorded in
+    /// [`BatchOutcome::failed`]); a removal that internally migrates a
+    /// vnode emits [`RebalanceEvent::VnodeMigrated`], and `apply` patches
+    /// both the *remaining* `Remove` ops of the batch and any
+    /// already-recorded [`BatchOutcome::created`] handle to the renamed
+    /// vnode — the same bookkeeping every replay roster performs, so the
+    /// returned handles are all live.
+    ///
+    /// ```
+    /// use domus_core::{DhtConfig, DhtEngine, DhtOp, LocalDht, NullSink, SnodeId};
+    /// use domus_hashspace::HashSpace;
+    ///
+    /// let cfg = DhtConfig::new(HashSpace::new(32), 4, 2).unwrap();
+    /// let mut dht = LocalDht::with_seed(cfg, 3);
+    /// let ops: Vec<DhtOp> = (0..6).map(|s| DhtOp::Create(SnodeId(s))).collect();
+    /// let batch = dht.apply(&ops, &mut NullSink);
+    /// assert!(batch.is_complete());
+    /// assert_eq!(batch.created.len(), 6);
+    /// assert_eq!(dht.vnode_count(), 6);
+    /// ```
+    fn apply(&mut self, ops: &[DhtOp], sink: &mut dyn RebalanceSink) -> BatchOutcome {
+        /// Observes renames passing through, forwarding everything.
+        struct RenameWatch<'a> {
+            out: &'a mut dyn RebalanceSink,
+            renamed: Option<(VnodeId, VnodeId)>,
+        }
+        impl RebalanceSink for RenameWatch<'_> {
+            fn event(&mut self, e: RebalanceEvent) {
+                if let RebalanceEvent::VnodeMigrated { old, new } = e {
+                    self.renamed = Some((old, new));
+                }
+                self.out.event(e);
+            }
+        }
+
+        let mut outcome = BatchOutcome::default();
+        let mut pending: Vec<DhtOp> = ops.to_vec();
+        let mut i = 0;
+        while i < pending.len() {
+            let op = pending[i];
+            match op {
+                DhtOp::Create(s) => match self.create_vnode_with(s, sink) {
+                    Ok(o) => outcome.created.push(o.vnode),
+                    Err(e) => outcome.failed.push((i, e)),
+                },
+                DhtOp::Remove(v) => {
+                    let mut watch = RenameWatch { out: sink, renamed: None };
+                    match self.remove_vnode_with(v, &mut watch) {
+                        Ok(_) => outcome.removed += 1,
+                        Err(e) => outcome.failed.push((i, e)),
+                    }
+                    if let Some((old, new)) = watch.renamed {
+                        for later in pending.iter_mut().skip(i + 1) {
+                            if *later == DhtOp::Remove(old) {
+                                *later = DhtOp::Remove(new);
+                            }
+                        }
+                        // A handle created earlier in this batch may be the
+                        // one retired; keep the returned handles live.
+                        for created in &mut outcome.created {
+                            if *created == old {
+                                *created = new;
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        outcome
+    }
 
     /// The vnode responsible for `point`, with the containing partition.
     fn lookup(&self, point: u64) -> Option<(Partition, VnodeId)>;
 
-    /// Live vnode handles in creation order.
-    fn vnodes(&self) -> Vec<VnodeId>;
+    /// Visits every live vnode handle, in creation order — the
+    /// allocation-free primitive behind [`DhtEngine::vnodes`].
+    fn for_each_vnode(&self, f: &mut dyn FnMut(VnodeId));
+
+    /// Live vnode handles in creation order (owned snapshot; hot loops
+    /// should prefer [`DhtEngine::for_each_vnode`]).
+    fn vnodes(&self) -> Vec<VnodeId> {
+        let mut out = Vec::with_capacity(self.vnode_count());
+        self.for_each_vnode(&mut |v| out.push(v));
+        out
+    }
 
     /// Canonical name of a vnode.
     fn name_of(&self, v: VnodeId) -> Result<CanonicalName, DhtError>;
@@ -121,8 +311,25 @@ pub trait DhtEngine {
     /// The quota `Qv` of one vnode (exact partition-count over size form).
     fn quota_of(&self, v: VnodeId) -> Result<f64, DhtError>;
 
-    /// All vnode quotas, in creation order (Σ = 1).
-    fn quotas(&self) -> Vec<f64>;
+    /// Visits every vnode quota, in creation order — the allocation-free
+    /// primitive behind [`DhtEngine::quotas`]. Engines override it to
+    /// skip the per-vnode liveness re-check of the generic path.
+    fn for_each_quota(&self, f: &mut dyn FnMut(f64)) {
+        let mut err = None;
+        self.for_each_vnode(&mut |v| match self.quota_of(v) {
+            Ok(q) => f(q),
+            Err(e) => err = Some(e),
+        });
+        debug_assert!(err.is_none(), "a listed vnode has a quota");
+    }
+
+    /// All vnode quotas, in creation order (Σ = 1; owned snapshot — hot
+    /// loops should prefer [`DhtEngine::for_each_quota`]).
+    fn quotas(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.vnode_count());
+        self.for_each_quota(&mut |q| out.push(q));
+        out
+    }
 
     /// The paper's quality metric `σ̄(Qv, Q̄v)` in percent (§2.3/§3.5).
     fn vnode_quota_relstd_pct(&self) -> f64;
@@ -147,10 +354,7 @@ pub trait DhtEngine {
     /// one-pass capture (O(V)); engines override it to sample from their
     /// incremental accumulators (O(S + G) for the model engines) so
     /// high-cadence observation windows never rescan the vnode map.
-    fn balance_snapshot(&self) -> BalanceSnapshot
-    where
-        Self: Sized,
-    {
+    fn balance_snapshot(&self) -> BalanceSnapshot {
         BalanceSnapshot::capture(self)
     }
 

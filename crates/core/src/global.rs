@@ -11,25 +11,19 @@
 
 use crate::balance;
 use crate::config::DhtConfig;
-use crate::engine::{CreateReport, DhtEngine, RemoveReport, Transfer};
+use crate::engine::{CreateOutcome, DhtEngine, RemoveOutcome};
 use crate::errors::DhtError;
 use crate::group_id::GroupId;
 use crate::ids::{CanonicalName, SnodeId, VnodeId};
 use crate::invariants::{self, InvariantViolation};
 use crate::ledger::SnodeLedger;
 use crate::record::{Pdr, PdrEntry};
+use crate::sink::{LedgeredSink, RebalanceEvent, RebalanceSink};
 use crate::state::{GroupState, VnodeStore};
 use crate::stats::BalanceSnapshot;
 use domus_hashspace::{OwnerMap, Partition, Quota};
 use domus_metrics::relstd::rel_std_dev_counts_pct;
 use domus_util::{DomusRng, Xoshiro256pp};
-
-/// Replays `transfers` into the snode ledger, resolving hosts through
-/// the vnode arena (run-coalescing lives in
-/// [`SnodeLedger::apply_transfers`]).
-pub(crate) fn ledger_apply(vs: &VnodeStore, ledger: &mut SnodeLedger, transfers: &[Transfer]) {
-    ledger.apply_transfers(transfers, |v| vs.get(v).name.snode);
-}
 
 /// A DHT balanced with the global approach.
 ///
@@ -140,85 +134,105 @@ impl<R: DomusRng> DhtEngine for GlobalDht<R> {
         1
     }
 
-    fn create_vnode(&mut self, snode: SnodeId) -> Result<(VnodeId, CreateReport), DhtError> {
-        let mut report = CreateReport { group: Some(self.region.gid), ..Default::default() };
-
+    fn create_vnode_with(
+        &mut self,
+        snode: SnodeId,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<CreateOutcome, DhtError> {
         if self.vs.alive_count() == 0 {
             let v = self.vs.create(snode, 0);
             balance::seed_first(&mut self.vs, &mut self.routing, &mut self.region, v, &self.cfg);
             self.ledger.vnode_created(snode);
             self.ledger.gain(snode, Quota::ONE);
-            report.group_size_after = 1;
             self.debug_check();
-            return Ok((v, report));
+            return Ok(CreateOutcome {
+                vnode: v,
+                group: Some(self.region.gid),
+                group_size_after: 1,
+            });
         }
 
         // §2.5: when V is a power of two every vnode holds Pmin (G5), and
         // the handover would drop a vnode below Pmin — so every older vnode
         // binary-splits its partitions first.
         if balance::all_at_pmin(&self.vs, &self.region, &self.cfg) {
-            report.partition_splits =
-                balance::split_all(&mut self.vs, &mut self.routing, &mut self.region)?;
+            let count = balance::split_all(&mut self.vs, &mut self.routing, &mut self.region)?;
+            sink.event(RebalanceEvent::PartitionSplit { count });
         }
         let v = self.vs.create(snode, 0);
         self.region.admit(v, 0);
-        report.transfers = balance::greedy_add(
-            &mut self.vs,
-            &mut self.routing,
-            &mut self.region,
-            v,
-            &self.cfg,
-            &mut self.rng,
-        );
         self.ledger.vnode_created(snode);
-        ledger_apply(&self.vs, &mut self.ledger, &report.transfers);
-        report.group_size_after = self.region.len();
+        {
+            let mut ls = LedgeredSink::new(sink, &mut self.ledger);
+            balance::greedy_add(
+                &mut self.vs,
+                &mut self.routing,
+                &mut self.region,
+                v,
+                &self.cfg,
+                &mut self.rng,
+                &mut ls,
+            );
+        }
         self.debug_check();
-        Ok((v, report))
+        Ok(CreateOutcome {
+            vnode: v,
+            group: Some(self.region.gid),
+            group_size_after: self.region.len(),
+        })
     }
 
-    fn remove_vnode(&mut self, v: VnodeId) -> Result<RemoveReport, DhtError> {
+    fn remove_vnode_with(
+        &mut self,
+        v: VnodeId,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<RemoveOutcome, DhtError> {
         self.ensure_alive(v)?;
         if self.vs.alive_count() == 1 {
             return Err(DhtError::LastVnode);
         }
-        let mut report = RemoveReport { group: Some(self.region.gid), ..Default::default() };
-        report.transfers = balance::greedy_remove(
-            &mut self.vs,
-            &mut self.routing,
-            &mut self.region,
-            v,
-            &self.cfg,
-            &mut self.rng,
-        );
+        {
+            let mut ls = LedgeredSink::new(sink, &mut self.ledger);
+            balance::greedy_remove(
+                &mut self.vs,
+                &mut self.routing,
+                &mut self.region,
+                v,
+                &self.cfg,
+                &mut self.rng,
+                &mut ls,
+            );
+        }
         self.vs.kill(v);
         // If redistribution saturated everyone at Pmax, the member count is
         // a power of two (capacity arithmetic — DESIGN.md §3) and G5
         // requires the merge cascade back to Pmin.
         if balance::all_at_pmax(&self.region, &self.cfg) {
-            let (merges, extra) = balance::merge_all(
-                &mut self.vs,
-                &mut self.routing,
-                &mut self.region,
-                &self.cfg,
-                &mut self.rng,
-            )
-            .expect("the global region spans R_h and is sibling-closed at every level");
-            report.partition_merges = merges;
-            report.transfers.extend(extra);
+            let pairs = {
+                let mut ls = LedgeredSink::new(sink, &mut self.ledger);
+                balance::merge_all(
+                    &mut self.vs,
+                    &mut self.routing,
+                    &mut self.region,
+                    &self.cfg,
+                    &mut self.rng,
+                    &mut ls,
+                )
+                .expect("the global region spans R_h and is sibling-closed at every level")
+            };
+            sink.event(RebalanceEvent::PartitionMerge { pairs });
         }
-        ledger_apply(&self.vs, &mut self.ledger, &report.transfers);
         self.ledger.vnode_killed(self.vs.get(v).name.snode);
         self.debug_check();
-        Ok(report)
+        Ok(RemoveOutcome { group: Some(self.region.gid) })
     }
 
     fn lookup(&self, point: u64) -> Option<(Partition, VnodeId)> {
         self.routing.lookup(point).map(|(p, &v)| (p, v))
     }
 
-    fn vnodes(&self) -> Vec<VnodeId> {
-        self.vs.iter_alive().collect()
+    fn for_each_vnode(&self, f: &mut dyn FnMut(VnodeId)) {
+        self.vs.iter_alive().for_each(f);
     }
 
     fn name_of(&self, v: VnodeId) -> Result<CanonicalName, DhtError> {
@@ -246,9 +260,9 @@ impl<R: DomusRng> DhtEngine for GlobalDht<R> {
         Ok(self.vs.get(v).count() as f64 / (self.region.level as f64).exp2())
     }
 
-    fn quotas(&self) -> Vec<f64> {
+    fn for_each_quota(&self, f: &mut dyn FnMut(f64)) {
         let denom = (self.region.level as f64).exp2();
-        self.vs.iter_alive().map(|v| self.vs.get(v).count() as f64 / denom).collect()
+        self.vs.iter_alive().for_each(|v| f(self.vs.get(v).count() as f64 / denom));
     }
 
     fn vnode_quota_relstd_pct(&self) -> f64 {

@@ -81,29 +81,6 @@ impl SnodeLedger {
         self.gain(to, q);
     }
 
-    /// Replays a transfer list, resolving hosts through `snode_of`.
-    /// Consecutive transfers along the same vnode edge (a drain, a
-    /// cascade run, a CH claim) are summed first, so the ledger is
-    /// touched once per run instead of once per partition.
-    pub fn apply_transfers(
-        &mut self,
-        transfers: &[crate::engine::Transfer],
-        mut snode_of: impl FnMut(crate::ids::VnodeId) -> SnodeId,
-    ) {
-        let mut i = 0;
-        while i < transfers.len() {
-            let t = &transfers[i];
-            let mut q = t.partition.quota();
-            let mut j = i + 1;
-            while j < transfers.len() && transfers[j].from == t.from && transfers[j].to == t.to {
-                q = q + transfers[j].partition.quota();
-                j += 1;
-            }
-            self.move_quota(snode_of(t.from), snode_of(t.to), q);
-            i = j;
-        }
-    }
-
     /// Number of snodes hosting at least one live vnode — O(1).
     pub fn snode_count(&self) -> usize {
         self.map.len()

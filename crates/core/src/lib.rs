@@ -83,12 +83,16 @@ pub mod invariants;
 pub mod ledger;
 pub mod local;
 pub mod record;
+pub mod sink;
 pub mod state;
 pub mod stats;
 
 pub use cluster::{Cluster, EnrollmentPolicy};
 pub use config::{ContainerChoice, DhtConfig, SplitSelection, VictimPartitionPolicy};
-pub use engine::{CreateReport, DhtEngine, GroupSplit, RemoveReport, Transfer};
+pub use engine::{
+    BatchOutcome, CreateOutcome, CreateReport, DhtEngine, DhtOp, GroupSplit, RemoveOutcome,
+    RemoveReport, Transfer,
+};
 pub use errors::DhtError;
 pub use global::GlobalDht;
 pub use group_id::GroupId;
@@ -97,4 +101,7 @@ pub use invariants::InvariantViolation;
 pub use ledger::{SnodeLedger, SnodeShare};
 pub use local::{ideal_group_count, LocalDht};
 pub use record::{Pdr, PdrEntry};
+pub use sink::{
+    CollectReport, CountOnly, LedgeredSink, NullSink, RebalanceEvent, RebalanceSink, Tee,
+};
 pub use stats::{snode_count, snode_quota_relstd_pct, snode_quotas, BalanceSnapshot};

@@ -22,14 +22,14 @@
 
 use crate::balance;
 use crate::config::{ContainerChoice, DhtConfig};
-use crate::engine::{CreateReport, DhtEngine, GroupSplit, RemoveReport};
+use crate::engine::{CreateOutcome, DhtEngine, GroupSplit, RemoveOutcome};
 use crate::errors::DhtError;
-use crate::global::ledger_apply;
 use crate::group_id::GroupId;
 use crate::ids::{CanonicalName, SnodeId, VnodeId};
 use crate::invariants::{self, InvariantViolation};
 use crate::ledger::SnodeLedger;
 use crate::record::{Pdr, PdrEntry};
+use crate::sink::{LedgeredSink, RebalanceEvent, RebalanceSink};
 use crate::state::{GroupState, VnodeStore};
 use crate::stats::BalanceSnapshot;
 use domus_hashspace::{OwnerMap, Partition, Quota};
@@ -220,35 +220,36 @@ impl<R: DomusRng> LocalDht<R> {
     }
 
     /// Admits a brand-new vnode into group `slot` and runs the paper's
-    /// balancement (split cascade + greedy handover). Shared by creation
-    /// and by the deletion extension's internal migration.
+    /// balancement (split cascade + greedy handover), streaming every
+    /// step into `sink`. Shared by creation and by the deletion
+    /// extension's internal migration.
     pub(crate) fn admit_into_group(
         &mut self,
         snode: SnodeId,
         slot: u32,
-        report: &mut CreateReport,
-    ) -> Result<VnodeId, DhtError> {
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<CreateOutcome, DhtError> {
         if balance::all_at_pmin(&self.vs, &self.groups[slot as usize], &self.cfg) {
-            report.partition_splits = balance::split_all(
+            let count = balance::split_all(
                 &mut self.vs,
                 &mut self.routing,
                 &mut self.groups[slot as usize],
             )?;
+            sink.event(RebalanceEvent::PartitionSplit { count });
         }
         let v = self.vs.create(snode, slot);
         self.ledger.vnode_created(snode);
         self.groups[slot as usize].admit(v, 0);
-        report.transfers.extend(balance::greedy_add(
-            &mut self.vs,
-            &mut self.routing,
-            &mut self.groups[slot as usize],
-            v,
-            &self.cfg,
-            &mut self.rng,
-        ));
-        report.group = Some(self.groups[slot as usize].gid);
-        report.group_size_after = self.groups[slot as usize].len();
-        Ok(v)
+        {
+            let Self { vs, groups, routing, ledger, rng, cfg, .. } = self;
+            let mut ls = LedgeredSink::new(sink, ledger);
+            balance::greedy_add(vs, routing, &mut groups[slot as usize], v, cfg, rng, &mut ls);
+        }
+        Ok(CreateOutcome {
+            vnode: v,
+            group: Some(self.groups[slot as usize].gid),
+            group_size_after: self.groups[slot as usize].len(),
+        })
     }
 
     #[cfg(debug_assertions)]
@@ -275,9 +276,11 @@ impl<R: DomusRng> DhtEngine for LocalDht<R> {
         self.live_slots.len()
     }
 
-    fn create_vnode(&mut self, snode: SnodeId) -> Result<(VnodeId, CreateReport), DhtError> {
-        let mut report = CreateReport::default();
-
+    fn create_vnode_with(
+        &mut self,
+        snode: SnodeId,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<CreateOutcome, DhtError> {
         // First vnode: create group 0 and seed it (§3.7 case a).
         if self.vs.alive_count() == 0 {
             let slot = self.groups.len() as u32;
@@ -293,28 +296,29 @@ impl<R: DomusRng> DhtEngine for LocalDht<R> {
             );
             self.ledger.vnode_created(snode);
             self.ledger.gain(snode, Quota::ONE);
-            report.group = Some(GroupId::FIRST);
-            report.group_size_after = 1;
             self.debug_check();
-            return Ok((v, report));
+            return Ok(CreateOutcome {
+                vnode: v,
+                group: Some(GroupId::FIRST),
+                group_size_after: 1,
+            });
         }
 
         // §3.6: random point → victim vnode → victim group.
         let r = self.cfg.hash_space().random_point(&mut self.rng);
         let (_, &victim) = self.routing.lookup(r).expect("R_h is fully covered");
         let victim_slot = self.vs.get(victim).group;
-        report.lookup_point = Some(r);
-        report.victim = Some(victim);
+        sink.event(RebalanceEvent::LookupProbe { point: r, victim });
 
         // §3.7 case b: a full victim group splits before admitting.
         let container_slot = if self.groups[victim_slot as usize].len() as u64 == self.cfg.vmax() {
             let parent_gid = self.groups[victim_slot as usize].gid;
             let (slot0, slot1) = self.split_group(victim_slot);
-            report.group_split = Some(GroupSplit {
+            sink.event(RebalanceEvent::GroupSplit(GroupSplit {
                 parent: parent_gid,
                 child0: self.groups[slot0 as usize].gid,
                 child1: self.groups[slot1 as usize].gid,
-            });
+            }));
             match self.cfg.container_choice {
                 // "One of these two groups will then be randomly chosen to
                 // be the container of the new vnode."
@@ -332,22 +336,25 @@ impl<R: DomusRng> DhtEngine for LocalDht<R> {
             victim_slot
         };
 
-        let v = self.admit_into_group(snode, container_slot, &mut report)?;
-        ledger_apply(&self.vs, &mut self.ledger, &report.transfers);
+        let outcome = self.admit_into_group(snode, container_slot, sink)?;
         self.debug_check();
-        Ok((v, report))
+        Ok(outcome)
     }
 
-    fn remove_vnode(&mut self, v: VnodeId) -> Result<RemoveReport, DhtError> {
-        crate::deletion::remove_local(self, v)
+    fn remove_vnode_with(
+        &mut self,
+        v: VnodeId,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<RemoveOutcome, DhtError> {
+        crate::deletion::remove_local(self, v, sink)
     }
 
     fn lookup(&self, point: u64) -> Option<(Partition, VnodeId)> {
         self.routing.lookup(point).map(|(p, &v)| (p, v))
     }
 
-    fn vnodes(&self) -> Vec<VnodeId> {
-        self.vs.iter_alive().collect()
+    fn for_each_vnode(&self, f: &mut dyn FnMut(VnodeId)) {
+        self.vs.iter_alive().for_each(f);
     }
 
     fn name_of(&self, v: VnodeId) -> Result<CanonicalName, DhtError> {
@@ -376,14 +383,11 @@ impl<R: DomusRng> DhtEngine for LocalDht<R> {
         Ok(self.vs.get(v).count() as f64 / (level as f64).exp2())
     }
 
-    fn quotas(&self) -> Vec<f64> {
-        self.vs
-            .iter_alive()
-            .map(|v| {
-                let level = self.groups[self.vs.get(v).group as usize].level;
-                self.vs.get(v).count() as f64 / (level as f64).exp2()
-            })
-            .collect()
+    fn for_each_quota(&self, f: &mut dyn FnMut(f64)) {
+        self.vs.iter_alive().for_each(|v| {
+            let level = self.groups[self.vs.get(v).group as usize].level;
+            f(self.vs.get(v).count() as f64 / (level as f64).exp2())
+        });
     }
 
     fn vnode_quota_relstd_pct(&self) -> f64 {

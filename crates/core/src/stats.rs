@@ -6,23 +6,23 @@ use domus_metrics::rel_std_dev_pct;
 use std::collections::BTreeMap;
 
 /// Per-snode quotas: the sum of each snode's vnode quotas, keyed by snode.
-pub fn snode_quotas<E: DhtEngine>(dht: &E) -> BTreeMap<SnodeId, f64> {
+pub fn snode_quotas<E: DhtEngine + ?Sized>(dht: &E) -> BTreeMap<SnodeId, f64> {
     let mut out: BTreeMap<SnodeId, f64> = BTreeMap::new();
-    for v in dht.vnodes() {
+    dht.for_each_vnode(&mut |v| {
         let s = dht.snode_of(v).expect("live vnode has an snode");
         *out.entry(s).or_insert(0.0) += dht.quota_of(v).expect("live vnode has a quota");
-    }
+    });
     out
 }
 
 /// `σ̄(Qn, Q̄n)` in percent over physical nodes — the figure-9 comparison
 /// metric ("we define Qn as the quota of R_h handled by each physical node").
-pub fn snode_quota_relstd_pct<E: DhtEngine>(dht: &E) -> f64 {
+pub fn snode_quota_relstd_pct<E: DhtEngine + ?Sized>(dht: &E) -> f64 {
     rel_std_dev_pct(snode_quotas(dht).into_values())
 }
 
 /// Number of distinct physical nodes currently hosting vnodes.
-pub fn snode_count<E: DhtEngine>(dht: &E) -> usize {
+pub fn snode_count<E: DhtEngine + ?Sized>(dht: &E) -> usize {
     snode_quotas(dht).len()
 }
 
@@ -54,27 +54,26 @@ impl BalanceSnapshot {
     /// [`DhtEngine::balance_snapshot`], which the engines override with
     /// their incremental accumulators; the property suite asserts the two
     /// agree.
-    pub fn capture<E: DhtEngine>(dht: &E) -> Self {
-        let vnodes = dht.vnodes();
+    pub fn capture<E: DhtEngine + ?Sized>(dht: &E) -> Self {
         let mut per_snode: BTreeMap<SnodeId, f64> = BTreeMap::new();
-        let mut quotas = Vec::with_capacity(vnodes.len());
+        let mut quotas = Vec::with_capacity(dht.vnode_count());
         let mut max_q = 0.0f64;
-        for v in &vnodes {
-            let q = dht.quota_of(*v).expect("live vnode has a quota");
-            let s = dht.snode_of(*v).expect("live vnode has an snode");
+        dht.for_each_vnode(&mut |v| {
+            let q = dht.quota_of(v).expect("live vnode has a quota");
+            let s = dht.snode_of(v).expect("live vnode has an snode");
             *per_snode.entry(s).or_insert(0.0) += q;
             if q > max_q {
                 max_q = q;
             }
             quotas.push(q);
-        }
+        });
         Self {
-            vnodes: vnodes.len(),
+            vnodes: quotas.len(),
             groups: dht.group_count(),
             snodes: per_snode.len(),
             vnode_relstd_pct: rel_std_dev_pct(quotas.iter().copied()),
             snode_relstd_pct: rel_std_dev_pct(per_snode.into_values()),
-            max_quota_over_ideal: max_q * vnodes.len() as f64,
+            max_quota_over_ideal: max_q * quotas.len() as f64,
         }
     }
 }

@@ -180,8 +180,15 @@ pub fn events_per_sec_of(backends_json: &str, backend: &str) -> Option<f64> {
 
 /// Runs the measurement, writes `BENCH_churn.json` into `ctx.out_dir`
 /// and — when `baseline_path` points at a previous file — embeds and
-/// compares against it.
-pub fn run(ctx: &Ctx, events: Option<usize>, baseline_path: Option<&Path>) -> ExpReport {
+/// compares against it. With `gate_pct = Some(p)` the process exits
+/// non-zero when any backend's events/sec falls more than `p` percent
+/// below the baseline — the CI regression gate for the churn hot path.
+pub fn run(
+    ctx: &Ctx,
+    events: Option<usize>,
+    baseline_path: Option<&Path>,
+    gate_pct: Option<f64>,
+) -> ExpReport {
     let mut rep = ExpReport::new("BENCH-SUMMARY");
     let s = compute(ctx, events);
     let baseline = baseline_path
@@ -226,6 +233,30 @@ pub fn run(ctx: &Ctx, events: Option<usize>, baseline_path: Option<&Path>) -> Ex
             b.name, b.events_per_sec, s.initial_vnodes
         ));
     }
+
+    if let Some(pct) = gate_pct {
+        let floor = 1.0 - pct / 100.0;
+        // A missing baseline (bad path, corrupt file, renamed backend) is
+        // a gate failure, not a pass — a silent None must never let a
+        // regression ship.
+        let problems: Vec<String> = s
+            .backends
+            .iter()
+            .zip(&speedups)
+            .filter_map(|(b, sp)| match sp {
+                None => Some(format!("{}: no baseline events/sec to compare against", b.name)),
+                Some(x) if *x < floor => Some(format!("{} regressed to {x:.2}x baseline", b.name)),
+                Some(_) => None,
+            })
+            .collect();
+        if problems.is_empty() {
+            rep.note(format!("gate: no backend regressed more than {pct}% vs baseline"));
+        } else {
+            eprintln!("BENCH-SUMMARY gate ({pct}% floor) FAILED: {}", problems.join("; "));
+            rep.note(format!("gate FAILED: {}", problems.join("; ")));
+            rep.failed = true;
+        }
+    }
     rep
 }
 
@@ -267,10 +298,40 @@ mod tests {
     }
 
     #[test]
+    fn gate_flags_missing_and_regressed_baselines() {
+        let mut ctx = Ctx::quick(std::env::temp_dir().join("domus-benchsum-gate"));
+        ctx.n = 8;
+        fs::create_dir_all(&ctx.out_dir).unwrap();
+
+        // Missing baseline with the gate on is a failure, never a pass.
+        let rep = run(&ctx, Some(40), Some(Path::new("/nonexistent/BENCH.json")), Some(15.0));
+        assert!(rep.failed, "a missing baseline must fail the gate");
+
+        // A floor-low baseline: every backend is a massive speedup → pass.
+        let base = ctx.out_dir.join("base.json");
+        let backends = |rate: &str| {
+            format!(
+                "{{\"backends\": {{\"local\": {{\"events_per_sec\": {rate}}}, \
+                 \"global\": {{\"events_per_sec\": {rate}}}, \
+                 \"ch\": {{\"events_per_sec\": {rate}}}}}}}"
+            )
+        };
+        fs::write(&base, backends("0.1")).unwrap();
+        let rep = run(&ctx, Some(40), Some(base.as_path()), Some(15.0));
+        assert!(!rep.failed, "huge speedups must pass the gate");
+
+        // An unreachable baseline rate → every backend regresses → fail.
+        fs::write(&base, backends("999999999999.0")).unwrap();
+        let rep = run(&ctx, Some(40), Some(base.as_path()), Some(15.0));
+        assert!(rep.failed, "a >15% regression must fail the gate");
+        assert!(rep.summary.iter().any(|l| l.contains("gate FAILED")));
+    }
+
+    #[test]
     fn smoke_measurement_runs_all_backends() {
         let mut ctx = Ctx::quick(std::env::temp_dir().join("domus-benchsum-test"));
         ctx.n = 8; // tiny fleet: this is an API smoke test, not a benchmark
-        let rep = run(&ctx, Some(60), None);
+        let rep = run(&ctx, Some(60), None, None);
         assert_eq!(rep.id, "BENCH-SUMMARY");
         assert_eq!(rep.summary.len(), 3);
         let json = std::fs::read_to_string(ctx.out_dir.join("BENCH_churn.json")).unwrap();

@@ -69,12 +69,15 @@ pub struct ExpReport {
     pub id: String,
     /// Lines for `results/summary.txt` / EXPERIMENTS.md.
     pub summary: Vec<String>,
+    /// `true` when a gated check failed — the dispatcher exits non-zero
+    /// after printing the summary (used by `bench-summary --gate`).
+    pub failed: bool,
 }
 
 impl ExpReport {
     /// A report for `id`.
     pub fn new(id: impl Into<String>) -> Self {
-        Self { id: id.into(), summary: Vec::new() }
+        Self { id: id.into(), summary: Vec::new(), failed: false }
     }
 
     /// Appends a summary line (also echoed to stdout by the dispatcher).

@@ -172,9 +172,20 @@ impl Partition {
     /// # Panics
     /// Panics if `end` exceeds the space size or `start as u128 > end`.
     pub fn cover_range(space: HashSpace, start: u64, end: u128) -> Vec<Partition> {
+        let mut out = Vec::new();
+        Self::for_each_cover(space, start, end, &mut |p| out.push(p));
+        out
+    }
+
+    /// Visits [`Partition::cover_range`]`(space, start, end)` piece by
+    /// piece without materialising the cover — the allocation-free form
+    /// the streaming transfer paths use.
+    ///
+    /// # Panics
+    /// Panics if `end` exceeds the space size or `start as u128 > end`.
+    pub fn for_each_cover(space: HashSpace, start: u64, end: u128, f: &mut dyn FnMut(Partition)) {
         assert!(end <= space.size(), "range end beyond the space");
         assert!((start as u128) <= end, "inverted range");
-        let mut out = Vec::new();
         let mut at = start as u128;
         while at < end {
             // Largest block aligned at `at`…
@@ -184,10 +195,9 @@ impl Partition {
             let fit = 127 - (end - at).leading_zeros();
             let k = align.min(fit);
             let level = space.bits() - k;
-            out.push(Partition { level, index: (at >> k) as u64 });
+            f(Partition { level, index: (at >> k) as u64 });
             at += 1u128 << k;
         }
-        out
     }
 
     /// The piece of [`Partition::cover_range`]`(space, start, end)` that

@@ -8,7 +8,10 @@
 
 use crate::store::{KvStore, MigrationReport};
 use bytes::Bytes;
-use domus_core::{CreateReport, DhtEngine, DhtError, RemoveReport, SnodeId, VnodeId};
+use domus_core::{
+    CreateOutcome, CreateReport, DhtEngine, DhtError, RebalanceSink, RemoveOutcome, RemoveReport,
+    SnodeId, VnodeId,
+};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -66,6 +69,16 @@ impl<E: DhtEngine> KvService<E> {
         self.inner.write().join(snode)
     }
 
+    /// [`KvService::join`], streaming every rebalance event into `sink`
+    /// while the store migrates data in-line (exclusive).
+    pub fn join_with(
+        &self,
+        snode: SnodeId,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<(CreateOutcome, MigrationReport), DhtError> {
+        self.inner.write().join_with(snode, sink)
+    }
+
     /// [`KvService::join`], also surfacing the engine's [`CreateReport`].
     pub fn join_full(
         &self,
@@ -77,6 +90,16 @@ impl<E: DhtEngine> KvService<E> {
     /// Maintenance: a vnode leaves (exclusive).
     pub fn leave(&self, v: VnodeId) -> Result<MigrationReport, DhtError> {
         self.inner.write().leave(v)
+    }
+
+    /// [`KvService::leave`], streaming every rebalance event into `sink`
+    /// while the store migrates data in-line (exclusive).
+    pub fn leave_with(
+        &self,
+        v: VnodeId,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<(RemoveOutcome, MigrationReport), DhtError> {
+        self.inner.write().leave_with(v, sink)
     }
 
     /// [`KvService::leave`], also surfacing the engine's [`RemoveReport`].

@@ -1,16 +1,21 @@
 //! The key-value store over a DHT engine.
 //!
 //! Entries live at the vnode owning the key's hash point. Rebalancement
-//! events (vnode creation/removal, group splits/merges) report partition
-//! [`Transfer`]s; the store replays them as data migration, so the routing
-//! invariant — *a key is always stored exactly where `lookup` points* —
-//! survives arbitrary elasticity. Migration volume is surfaced per
-//! operation (the KV-MIGRATE experiment prices it).
+//! operations (vnode creation/removal, group splits/merges) stream
+//! partition [`Transfer`] events; the store applies each one as data
+//! migration *while the operation runs* (a `RebalanceSink` wired between
+//! the engine and the caller's sink), so the routing invariant — *a key
+//! is always stored exactly where `lookup` points* — survives arbitrary
+//! elasticity with no materialised transfer list. Migration volume is
+//! surfaced per operation (the KV-MIGRATE experiment prices it).
 
 use bytes::Bytes;
-use domus_core::{CreateReport, DhtEngine, DhtError, RemoveReport, SnodeId, Transfer, VnodeId};
+use domus_core::{
+    CollectReport, CreateOutcome, CreateReport, DhtEngine, DhtError, NullSink, RebalanceEvent,
+    RebalanceSink, RemoveOutcome, RemoveReport, SnodeId, Transfer, VnodeId,
+};
 use domus_hashspace::hasher::Fnv1aHasher;
-use domus_hashspace::KeyHasher;
+use domus_hashspace::{HashSpace, KeyHasher};
 use std::collections::BTreeMap;
 
 /// Per-point bucket: distinct keys hashing to the same point (rare but
@@ -33,6 +38,73 @@ pub struct MigrationReport {
     pub bytes: u64,
     /// Partition transfers that carried them.
     pub transfers: u64,
+}
+
+/// The in-line migration tap: applies every streamed [`Transfer`] to the
+/// entry maps *while the engine operation runs*, accumulates the
+/// [`MigrationReport`], and forwards every event to the caller's sink.
+struct MigrationSink<'a> {
+    space: HashSpace,
+    data: &'a mut Vec<BTreeMap<u64, Bucket>>,
+    out: &'a mut dyn RebalanceSink,
+    moved: MigrationReport,
+}
+
+impl<'a> MigrationSink<'a> {
+    fn new(
+        space: HashSpace,
+        data: &'a mut Vec<BTreeMap<u64, Bucket>>,
+        out: &'a mut dyn RebalanceSink,
+    ) -> Self {
+        Self { space, data, out, moved: MigrationReport::default() }
+    }
+
+    fn report(&self) -> MigrationReport {
+        self.moved
+    }
+
+    /// Applies one partition transfer: every entry whose point falls in
+    /// the partition moves from `t.from` to `t.to` — pure range surgery
+    /// (`split_off`/`append`), never a per-key rescan of the donor.
+    fn apply_transfer(&mut self, t: &Transfer) {
+        let start = t.partition.start(self.space);
+        let end = t.partition.end(self.space); // u128: may be 2^Bh
+        let donor = slot_of(self.data, t.from);
+        // Detach [start, end) from the donor.
+        let mut moved = donor.split_off(&start);
+        if end <= u64::MAX as u128 {
+            let mut keep = moved.split_off(&(end as u64));
+            // Every key in `keep` (≥ end) exceeds every remaining donor key
+            // (< start), so this is an O(keep) ordered append, not
+            // re-insertion.
+            donor.append(&mut keep);
+        }
+        self.moved.transfers += 1;
+        for bucket in moved.values() {
+            for (k, v) in bucket {
+                self.moved.entries += 1;
+                self.moved.bytes += (k.len() + v.len()) as u64;
+            }
+        }
+        slot_of(self.data, t.to).extend(moved);
+    }
+}
+
+impl RebalanceSink for MigrationSink<'_> {
+    fn event(&mut self, e: RebalanceEvent) {
+        if let RebalanceEvent::Transfer(t) = e {
+            self.apply_transfer(&t);
+        }
+        self.out.event(e);
+    }
+}
+
+/// The entry map of a vnode slot, growing the arena on demand.
+fn slot_of(data: &mut Vec<BTreeMap<u64, Bucket>>, v: VnodeId) -> &mut BTreeMap<u64, Bucket> {
+    if data.len() <= v.index() {
+        data.resize_with(v.index() + 1, BTreeMap::new);
+    }
+    &mut data[v.index()]
 }
 
 /// A replicated-nothing, in-memory KV store routed by a DHT engine.
@@ -61,7 +133,8 @@ impl<E: DhtEngine> KvStore<E> {
     /// Wraps an engine (which may already contain vnodes — empty stores
     /// are attached to them).
     pub fn new(engine: E) -> Self {
-        let slots = engine.vnodes().iter().map(|v| v.index() + 1).max().unwrap_or(0);
+        let mut slots = 0;
+        engine.for_each_vnode(&mut |v| slots = slots.max(v.index() + 1));
         Self { engine, hasher: Fnv1aHasher, data: vec![BTreeMap::new(); slots], entries: 0 }
     }
 
@@ -81,10 +154,7 @@ impl<E: DhtEngine> KvStore<E> {
     }
 
     fn slot(&mut self, v: VnodeId) -> &mut BTreeMap<u64, Bucket> {
-        if self.data.len() <= v.index() {
-            self.data.resize_with(v.index() + 1, BTreeMap::new);
-        }
-        &mut self.data[v.index()]
+        slot_of(&mut self.data, v)
     }
 
     /// The vnode responsible for a key.
@@ -137,79 +207,74 @@ impl<E: DhtEngine> KvStore<E> {
         Some(value)
     }
 
-    /// Applies one partition transfer: every entry whose point falls in
-    /// the partition moves from `t.from` to `t.to` — pure range surgery
-    /// (`split_off`/`append`), never a per-key rescan of the donor.
-    fn apply_transfer(&mut self, t: &Transfer) -> (u64, u64) {
-        let space = self.engine.config().hash_space();
-        let start = t.partition.start(space);
-        let end = t.partition.end(space); // u128: may be 2^Bh
-                                          // Detach [start, end) from the donor.
-        let donor = self.slot(t.from);
-        let mut moved = donor.split_off(&start);
-        if end <= u64::MAX as u128 {
-            let mut keep = moved.split_off(&(end as u64));
-            // Every key in `keep` (≥ end) exceeds every remaining donor key
-            // (< start), so this is an O(keep) ordered append, not
-            // re-insertion.
-            donor.append(&mut keep);
-        }
-        let mut entries = 0u64;
-        let mut bytes = 0u64;
-        for bucket in moved.values() {
-            for (k, v) in bucket {
-                entries += 1;
-                bytes += (k.len() + v.len()) as u64;
-            }
-        }
-        self.slot(t.to).extend(moved);
-        (entries, bytes)
-    }
-
-    fn apply_transfers(&mut self, transfers: &[Transfer]) -> MigrationReport {
-        let mut rep = MigrationReport { transfers: transfers.len() as u64, ..Default::default() };
-        for t in transfers {
-            let (e, b) = self.apply_transfer(t);
-            rep.entries += e;
-            rep.bytes += b;
-        }
-        rep
-    }
-
     /// Creates a vnode on `snode` and migrates the data its arrival pulls
     /// in.
     pub fn join(&mut self, snode: SnodeId) -> Result<(VnodeId, MigrationReport), DhtError> {
-        let (v, _, mig) = self.join_full(snode)?;
-        Ok((v, mig))
+        let (out, mig) = self.join_with(snode, &mut NullSink)?;
+        Ok((out.vnode, mig))
+    }
+
+    /// Creates a vnode, applying each streamed [`Transfer`] to the stored
+    /// data *as it happens* and forwarding every event to `sink` — the
+    /// allocation-free surface replay layers (the churn driver) price
+    /// events through.
+    pub fn join_with(
+        &mut self,
+        snode: SnodeId,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<(CreateOutcome, MigrationReport), DhtError> {
+        let space = self.engine.config().hash_space();
+        let (outcome, mig) = {
+            let mut migrate = MigrationSink::new(space, &mut self.data, sink);
+            let outcome = self.engine.create_vnode_with(snode, &mut migrate)?;
+            (outcome, migrate.report())
+        };
+        let _ = self.slot(outcome.vnode); // ensure backing map exists
+        Ok((outcome, mig))
     }
 
     /// [`KvStore::join`], also surfacing the engine's [`CreateReport`] —
-    /// replay layers that price protocol cost (the churn driver) need the
-    /// control-plane report *and* the data-plane migration of one event.
+    /// for consumers that want the control-plane event list *as data*
+    /// alongside the data-plane migration of one event.
     pub fn join_full(
         &mut self,
         snode: SnodeId,
     ) -> Result<(VnodeId, CreateReport, MigrationReport), DhtError> {
-        let (v, report) = self.engine.create_vnode(snode)?;
-        let _ = self.slot(v); // ensure backing map exists
-        let mig = self.apply_transfers(&report.transfers);
-        Ok((v, report, mig))
+        let mut collect = CollectReport::new();
+        let (outcome, mig) = self.join_with(snode, &mut collect)?;
+        Ok((outcome.vnode, collect.into_create_report(&outcome), mig))
     }
 
     /// Removes a vnode and migrates its data out.
     pub fn leave(&mut self, v: VnodeId) -> Result<MigrationReport, DhtError> {
-        self.leave_full(v).map(|(_, mig)| mig)
+        self.leave_with(v, &mut NullSink).map(|(_, mig)| mig)
     }
 
-    /// [`KvStore::leave`], also surfacing the engine's [`RemoveReport`].
-    pub fn leave_full(&mut self, v: VnodeId) -> Result<(RemoveReport, MigrationReport), DhtError> {
-        let report = self.engine.remove_vnode(v)?;
-        let mig = self.apply_transfers(&report.transfers);
+    /// Removes a vnode, applying each streamed [`Transfer`] to the stored
+    /// data as it happens and forwarding every event to `sink`.
+    pub fn leave_with(
+        &mut self,
+        v: VnodeId,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<(RemoveOutcome, MigrationReport), DhtError> {
+        let space = self.engine.config().hash_space();
+        let (outcome, mig) = {
+            let mut migrate = MigrationSink::new(space, &mut self.data, sink);
+            let outcome = self.engine.remove_vnode_with(v, &mut migrate)?;
+            (outcome, migrate.report())
+        };
         debug_assert!(
             self.data.get(v.index()).map(BTreeMap::is_empty).unwrap_or(true),
             "transfers must drain the departing vnode"
         );
-        Ok((report, mig))
+        Ok((outcome, mig))
+    }
+
+    /// [`KvStore::leave`], also surfacing the engine's [`RemoveReport`].
+    pub fn leave_full(&mut self, v: VnodeId) -> Result<(RemoveReport, MigrationReport), DhtError> {
+        let mut collect = CollectReport::new();
+        let (outcome, mig) = self.leave_with(v, &mut collect)?;
+        Ok((collect.into_remove_report(&outcome), mig))
     }
 
     /// Every stored key, in deterministic (owner slot, hash point, chain)
@@ -257,18 +322,16 @@ impl<E: DhtEngine> KvStore<E> {
 
     /// Entries per vnode, in creation order (storage-balance view).
     pub fn entries_per_vnode(&self) -> Vec<(VnodeId, u64)> {
-        self.engine
-            .vnodes()
-            .into_iter()
-            .map(|v| {
-                let n = self
-                    .data
-                    .get(v.index())
-                    .map(|m| m.values().map(|b| b.len() as u64).sum())
-                    .unwrap_or(0);
-                (v, n)
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.engine.vnode_count());
+        self.engine.for_each_vnode(&mut |v| {
+            let n = self
+                .data
+                .get(v.index())
+                .map(|m| m.values().map(|b| b.len() as u64).sum())
+                .unwrap_or(0);
+            out.push((v, n));
+        });
+        out
     }
 }
 

@@ -15,9 +15,10 @@
 //!   memory utilization" claim of §1).
 //!
 //! The simulator never re-implements the balancement logic: it *drives* a
-//! real [`domus_core::DhtEngine`] and prices the operation reports the
-//! engine emits, so the priced workload is exactly the workload the model
-//! produces.
+//! real [`domus_core::DhtEngine`] and prices the rebalance events the
+//! engine streams (through the [`protocol::EventPricer`] sink), so the
+//! priced workload is exactly the workload the model produces — with no
+//! per-event report materialisation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,5 +30,5 @@ pub mod time;
 
 pub use memory::{global_footprint, local_footprint, RecordFootprint};
 pub use net::ClusterNet;
-pub use protocol::{CostModel, EventCost, ScheduledEvent, SimDriver, SimTrace};
+pub use protocol::{CostModel, EventCost, EventPricer, ScheduledEvent, SimDriver, SimTrace};
 pub use time::SimTime;

@@ -51,8 +51,10 @@ impl RecordFootprint {
 /// keeps a full `V`-entry copy (§2.1.4: "every snode hosts a copy").
 pub fn global_footprint<E: DhtEngine>(dht: &E) -> RecordFootprint {
     let v = dht.vnode_count() as u64;
-    let snodes: BTreeSet<SnodeId> =
-        dht.vnodes().iter().map(|&vn| dht.snode_of(vn).expect("alive")).collect();
+    let mut snodes: BTreeSet<SnodeId> = BTreeSet::new();
+    dht.for_each_vnode(&mut |vn| {
+        snodes.insert(dht.snode_of(vn).expect("alive"));
+    });
     let mut fp = RecordFootprint::default();
     for s in snodes {
         fp.per_snode_entries.insert(s, v);
@@ -69,11 +71,11 @@ pub fn local_footprint<R: DomusRng>(dht: &LocalDht<R>) -> RecordFootprint {
         dht.group_table().into_iter().map(|(gid, len, _)| (gid, len as u64)).collect();
     // Which groups does each snode participate in?
     let mut membership: BTreeMap<SnodeId, BTreeSet<GroupId>> = BTreeMap::new();
-    for v in dht.vnodes() {
+    dht.for_each_vnode(&mut |v| {
         let s = dht.snode_of(v).expect("alive");
         let g = dht.group_of(v).expect("alive");
         membership.entry(s).or_default().insert(g);
-    }
+    });
     let mut fp = RecordFootprint::default();
     for (s, groups) in membership {
         let entries = groups.iter().map(|g| group_size[g]).sum();

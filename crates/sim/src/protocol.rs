@@ -30,7 +30,10 @@
 
 use crate::net::ClusterNet;
 use crate::time::SimTime;
-use domus_core::{CreateReport, DhtEngine, GroupId, RemoveReport, SnodeId, Transfer, VnodeId};
+use domus_core::{
+    CreateReport, DhtEngine, GroupId, GroupSplit, RebalanceEvent, RebalanceSink, RemoveReport,
+    SnodeId, Transfer, VnodeId,
+};
 use std::collections::BTreeMap;
 
 /// CPU cost parameters (2004-era cluster node).
@@ -93,13 +96,11 @@ impl CostModel {
         EventCost { messages, bytes, duration, participants }
     }
 
-    /// Transfer streaming: donors send in parallel, each donor serialises
-    /// its own sends.
-    fn transfer_cost(&self, net: &ClusterNet, transfers: &[Transfer]) -> EventCost {
-        let mut cost =
-            EventCost { messages: 0, bytes: 0, duration: SimTime::ZERO, participants: 0 };
+    /// The donor-run shape of a transfer list: `(count, worst donor
+    /// total)` — everything [`CostModel::transfer_cost_parts`] needs.
+    fn transfer_stats(transfers: &[Transfer]) -> (u64, u64) {
         if transfers.is_empty() {
-            return cost;
+            return (0, 0);
         }
         // Transfers arrive in event order, so a donor's sends form runs;
         // count per run instead of touching the map once per transfer.
@@ -116,21 +117,100 @@ impl CostModel {
             }
         }
         *per_donor.entry(run_from).or_insert(0) += run_len;
-        let payload = HEADER_BYTES + self.payload_per_partition;
         let worst = per_donor.values().max().copied().unwrap_or(0);
-        cost.messages += transfers.len() as u64;
-        cost.bytes += transfers.len() as u64 * payload;
+        (transfers.len() as u64, worst)
+    }
+
+    /// Transfer streaming from pre-aggregated stats: donors send in
+    /// parallel, each donor serialises its own sends (`worst` is the
+    /// busiest donor's total).
+    fn transfer_cost_parts(&self, net: &ClusterNet, count: u64, worst: u64) -> EventCost {
+        let mut cost =
+            EventCost { messages: 0, bytes: 0, duration: SimTime::ZERO, participants: 0 };
+        if count == 0 {
+            return cost;
+        }
+        let payload = HEADER_BYTES + self.payload_per_partition;
+        cost.messages += count;
+        cost.bytes += count * payload;
         cost.duration += net.fan_out(worst, payload);
-        cost.duration += SimTime(self.per_transfer.nanos() * transfers.len() as u64);
+        cost.duration += SimTime(self.per_transfer.nanos() * count);
         cost
     }
 
-    /// Prices one vnode creation from its report and the governing record's
-    /// shape (`record_len` entries spread over `participants` snodes).
-    ///
-    /// This is the pricing kernel [`SimDriver`] applies per event; it is
-    /// public so external replay engines (e.g. `domus-churn`) can price the
-    /// identical reports without a scheduler.
+    /// Prices one creation from its accumulated parts: the governing
+    /// record's shape, whether a victim lookup ran, the split-cascade
+    /// size, and the transfer stats. This is the kernel both
+    /// [`CostModel::price_create`] (over a materialised report) and the
+    /// streaming [`EventPricer`] resolve to, so the two surfaces price
+    /// identically by construction.
+    #[allow(clippy::too_many_arguments)] // the event's full shape, flattened for the hot path
+    pub fn price_create_parts(
+        &self,
+        net: &ClusterNet,
+        record_len: u64,
+        participants: u64,
+        probed: bool,
+        partition_splits: u64,
+        transfer_count: u64,
+        worst_donor: u64,
+    ) -> EventCost {
+        let record_bytes = record_len * PDR_ENTRY_BYTES;
+        let mut cost = self.sync_round(net, record_len, participants);
+
+        // Victim lookup (the local approach's random point routing).
+        if probed {
+            cost.messages += 2;
+            cost.bytes += HEADER_BYTES + record_bytes;
+            cost.duration += net.round_trip(HEADER_BYTES, record_bytes);
+        }
+
+        // Split cascade bookkeeping.
+        cost.duration += SimTime(self.per_split.nanos() * partition_splits);
+
+        let t = self.transfer_cost_parts(net, transfer_count, worst_donor);
+        cost.messages += t.messages;
+        cost.bytes += t.bytes;
+        cost.duration += t.duration;
+        cost
+    }
+
+    /// Prices one removal from its accumulated parts, symmetrically to
+    /// [`CostModel::price_create_parts`]: merge-cascade bookkeeping
+    /// (merges are binary splits run in reverse, so they share
+    /// `per_split`), the redistribution transfers, and one extra round
+    /// trip when the removal forced an internal vnode migration.
+    #[allow(clippy::too_many_arguments)] // the event's full shape, flattened for the hot path
+    pub fn price_remove_parts(
+        &self,
+        net: &ClusterNet,
+        record_len: u64,
+        participants: u64,
+        migrated: bool,
+        partition_merges: u64,
+        transfer_count: u64,
+        worst_donor: u64,
+    ) -> EventCost {
+        let record_bytes = record_len * PDR_ENTRY_BYTES;
+        let mut cost = self.sync_round(net, record_len, participants);
+
+        cost.duration += SimTime(self.per_split.nanos() * partition_merges);
+
+        if migrated {
+            cost.messages += 2;
+            cost.bytes += HEADER_BYTES + record_bytes;
+            cost.duration += net.round_trip(HEADER_BYTES, record_bytes);
+        }
+
+        let t = self.transfer_cost_parts(net, transfer_count, worst_donor);
+        cost.messages += t.messages;
+        cost.bytes += t.bytes;
+        cost.duration += t.duration;
+        cost
+    }
+
+    /// Prices one vnode creation from a materialised report
+    /// ([`CostModel::price_create_parts`] over the report's fields).
     pub fn price_create(
         &self,
         net: &ClusterNet,
@@ -138,32 +218,20 @@ impl CostModel {
         participants: u64,
         report: &CreateReport,
     ) -> EventCost {
-        let record_bytes = record_len * PDR_ENTRY_BYTES;
-        let mut cost = self.sync_round(net, record_len, participants);
-
-        // Victim lookup (the local approach's random point routing).
-        if report.lookup_point.is_some() {
-            cost.messages += 2;
-            cost.bytes += HEADER_BYTES + record_bytes;
-            cost.duration += net.round_trip(HEADER_BYTES, record_bytes);
-        }
-
-        // Split cascade bookkeeping.
-        cost.duration += SimTime(self.per_split.nanos() * report.partition_splits);
-
-        let t = self.transfer_cost(net, &report.transfers);
-        cost.messages += t.messages;
-        cost.bytes += t.bytes;
-        cost.duration += t.duration;
-        cost
+        let (count, worst) = Self::transfer_stats(&report.transfers);
+        self.price_create_parts(
+            net,
+            record_len,
+            participants,
+            report.lookup_point.is_some(),
+            report.partition_splits,
+            count,
+            worst,
+        )
     }
 
-    /// Prices one vnode removal (deletion extension) symmetrically to
-    /// [`CostModel::price_create`]: a synchronisation round on the governing
-    /// record, merge-cascade bookkeeping (merges are binary splits run in
-    /// reverse, so they share `per_split`), the redistribution transfers,
-    /// and one extra round trip when the removal forced an internal vnode
-    /// migration between groups.
+    /// Prices one vnode removal from a materialised report
+    /// ([`CostModel::price_remove_parts`] over the report's fields).
     pub fn price_remove(
         &self,
         net: &ClusterNet,
@@ -171,22 +239,177 @@ impl CostModel {
         participants: u64,
         report: &RemoveReport,
     ) -> EventCost {
-        let record_bytes = record_len * PDR_ENTRY_BYTES;
-        let mut cost = self.sync_round(net, record_len, participants);
+        let (count, worst) = Self::transfer_stats(&report.transfers);
+        self.price_remove_parts(
+            net,
+            record_len,
+            participants,
+            report.migrated.is_some(),
+            report.partition_merges,
+            count,
+            worst,
+        )
+    }
+}
 
-        cost.duration += SimTime(self.per_split.nanos() * report.partition_merges);
+/// A [`RebalanceSink`] that prices a membership event *while it runs* —
+/// the streaming replacement for materialising a report and handing it
+/// to [`CostModel::price_create`]/[`CostModel::price_remove`].
+///
+/// Per event: call [`EventPricer::begin`], run the engine operation with
+/// the pricer as its sink, then [`EventPricer::finish_create`] or
+/// [`EventPricer::finish_remove`] with the governing record's shape. The
+/// internal per-donor scratch is reused across events, so a replay loop
+/// prices millions of events with no per-event allocation. Both finish
+/// paths resolve to the same `*_parts` kernels the report pricers use,
+/// so streamed and materialised pricing agree to the bit (asserted by a
+/// test below and the cross-crate churn suite).
+#[derive(Debug, Clone)]
+pub struct EventPricer {
+    net: ClusterNet,
+    cost: CostModel,
+    // Per-event accumulators, reset by `begin`.
+    transfers: u64,
+    splits: u64,
+    merges: u64,
+    probed: bool,
+    group_split: Option<GroupSplit>,
+    migrated: Option<(VnodeId, VnodeId)>,
+    first_to: Option<VnodeId>,
+    /// Per-donor totals, sorted by donor (reused scratch).
+    per_donor: Vec<(VnodeId, u64)>,
+    run_from: Option<VnodeId>,
+    run_len: u64,
+}
 
-        if report.migrated.is_some() {
-            cost.messages += 2;
-            cost.bytes += HEADER_BYTES + record_bytes;
-            cost.duration += net.round_trip(HEADER_BYTES, record_bytes);
+impl EventPricer {
+    /// A pricer over the given network and cost models.
+    pub fn new(net: ClusterNet, cost: CostModel) -> Self {
+        Self {
+            net,
+            cost,
+            transfers: 0,
+            splits: 0,
+            merges: 0,
+            probed: false,
+            group_split: None,
+            migrated: None,
+            first_to: None,
+            per_donor: Vec::new(),
+            run_from: None,
+            run_len: 0,
         }
+    }
 
-        let t = self.transfer_cost(net, &report.transfers);
-        cost.messages += t.messages;
-        cost.bytes += t.bytes;
-        cost.duration += t.duration;
-        cost
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Resets the per-event accumulators (scratch capacity is kept).
+    pub fn begin(&mut self) {
+        self.transfers = 0;
+        self.splits = 0;
+        self.merges = 0;
+        self.probed = false;
+        self.group_split = None;
+        self.migrated = None;
+        self.first_to = None;
+        self.per_donor.clear();
+        self.run_from = None;
+        self.run_len = 0;
+    }
+
+    /// Transfers observed since [`EventPricer::begin`].
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// The first transfer's receiver — the vnode through which the
+    /// governing record of a removal is visible afterwards.
+    pub fn first_receiver(&self) -> Option<VnodeId> {
+        self.first_to
+    }
+
+    /// The group split observed, if any (creations only).
+    pub fn group_split(&self) -> Option<GroupSplit> {
+        self.group_split
+    }
+
+    /// The internal vnode migration observed, if any (removals only).
+    pub fn migrated(&self) -> Option<(VnodeId, VnodeId)> {
+        self.migrated
+    }
+
+    fn flush_run(&mut self) {
+        let Some(from) = self.run_from.take() else { return };
+        let len = std::mem::take(&mut self.run_len);
+        match self.per_donor.binary_search_by_key(&from, |&(d, _)| d) {
+            Ok(i) => self.per_donor[i].1 += len,
+            Err(i) => self.per_donor.insert(i, (from, len)),
+        }
+    }
+
+    fn worst_donor(&mut self) -> u64 {
+        self.flush_run();
+        self.per_donor.iter().map(|&(_, n)| n).max().unwrap_or(0)
+    }
+
+    /// Prices the accumulated creation against the governing record's
+    /// shape (`record_len` entries over `participants` snodes).
+    pub fn finish_create(&mut self, record_len: u64, participants: u64) -> EventCost {
+        let worst = self.worst_donor();
+        self.cost.price_create_parts(
+            &self.net,
+            record_len,
+            participants,
+            self.probed,
+            self.splits,
+            self.transfers,
+            worst,
+        )
+    }
+
+    /// Prices the accumulated removal. Harmonisation `PartitionSplit`s
+    /// are ignored, exactly as [`CostModel::price_remove`] ignores them
+    /// (the legacy report never carried them).
+    pub fn finish_remove(&mut self, record_len: u64, participants: u64) -> EventCost {
+        let worst = self.worst_donor();
+        self.cost.price_remove_parts(
+            &self.net,
+            record_len,
+            participants,
+            self.migrated.is_some(),
+            self.merges,
+            self.transfers,
+            worst,
+        )
+    }
+}
+
+impl RebalanceSink for EventPricer {
+    fn event(&mut self, e: RebalanceEvent) {
+        match e {
+            RebalanceEvent::Transfer(t) => {
+                self.transfers += 1;
+                if self.first_to.is_none() {
+                    self.first_to = Some(t.to);
+                }
+                if self.run_from == Some(t.from) {
+                    self.run_len += 1;
+                } else {
+                    self.flush_run();
+                    self.run_from = Some(t.from);
+                    self.run_len = 1;
+                }
+            }
+            RebalanceEvent::PartitionSplit { count } => self.splits += count,
+            RebalanceEvent::PartitionMerge { pairs } => self.merges += pairs,
+            RebalanceEvent::GroupSplit(s) => self.group_split = Some(s),
+            RebalanceEvent::GroupMerge { .. } => {}
+            RebalanceEvent::VnodeMigrated { old, new } => self.migrated = Some((old, new)),
+            RebalanceEvent::LookupProbe { .. } => self.probed = true,
+        }
     }
 }
 
@@ -269,10 +492,12 @@ impl SimTrace {
 }
 
 /// Drives a real engine while pricing and scheduling every creation.
+///
+/// Pricing is streamed: the driver *is* wired to the engine through an
+/// [`EventPricer`] sink, so no report is materialised per event.
 pub struct SimDriver<E: DhtEngine> {
     engine: E,
-    net: ClusterNet,
-    cost: CostModel,
+    pricer: EventPricer,
     /// Per-resource next-free time.
     busy: BTreeMap<GroupId, SimTime>,
     trace: SimTrace,
@@ -292,8 +517,7 @@ impl<E: DhtEngine> SimDriver<E> {
     pub fn with_models(engine: E, net: ClusterNet, cost: CostModel) -> Self {
         Self {
             engine,
-            net,
-            cost,
+            pricer: EventPricer::new(net, cost),
             busy: BTreeMap::new(),
             trace: SimTrace::default(),
             clock: SimTime::ZERO,
@@ -311,22 +535,20 @@ impl<E: DhtEngine> SimDriver<E> {
         &self.trace
     }
 
-    /// Prices one creation from its report plus the engine's records.
-    fn price(&self, vnode: VnodeId, report: &CreateReport) -> EventCost {
+    /// Creates one vnode, pricing (in-stream) and scheduling the event.
+    pub fn create_vnode(&mut self, snode: SnodeId) -> Result<VnodeId, domus_core::DhtError> {
+        self.pricer.begin();
+        let outcome = self.engine.create_vnode_with(snode, &mut self.pricer)?;
+        let vnode = outcome.vnode;
         let (record_len, participants) =
             self.engine.record_shape_of(vnode).expect("fresh vnode has a record");
-        self.cost.price_create(&self.net, record_len, participants, report)
-    }
-
-    /// Creates one vnode, pricing and scheduling the event.
-    pub fn create_vnode(&mut self, snode: SnodeId) -> Result<VnodeId, domus_core::DhtError> {
-        let (vnode, report) = self.engine.create_vnode(snode)?;
-        let cost = self.price(vnode, &report);
+        let cost = self.pricer.finish_create(record_len, participants);
 
         // The resource occupied: the container group — or the parent group
         // when this event split it (the split itself is part of the event).
-        let container = report.group.expect("creation reports its group");
-        let resource = report.group_split.map(|s| s.parent).unwrap_or(container);
+        let container = outcome.group.expect("creation reports its group");
+        let group_split = self.pricer.group_split();
+        let resource = group_split.map(|s| s.parent).unwrap_or(container);
 
         let released = self.clock;
         self.clock += self.release_interval;
@@ -334,7 +556,7 @@ impl<E: DhtEngine> SimDriver<E> {
         let start = released.max(free);
         let done = start + cost.duration;
         self.busy.insert(resource, done);
-        if let Some(split) = report.group_split {
+        if let Some(split) = group_split {
             // Both halves come into existence busy until the event ends.
             self.busy.insert(split.child0, done);
             self.busy.insert(split.child1, done);
@@ -448,6 +670,50 @@ mod tests {
         // More participants cost strictly more sync traffic.
         let wider = cost.price_remove(&net, 8, 9, &report);
         assert!(wider.messages > priced.messages && wider.duration > priced.duration);
+    }
+
+    #[test]
+    fn streamed_pricing_matches_report_pricing() {
+        // Two identical engines: one priced through the EventPricer sink,
+        // one through materialised reports — bit-identical EventCosts.
+        let cost = CostModel::default();
+        let net = ClusterNet::default();
+        let mut streamed = local(2);
+        let mut reported = local(2);
+        let mut pricer = EventPricer::new(net, cost);
+        for i in 0..40u32 {
+            let snode = SnodeId(i % 5);
+            pricer.begin();
+            let out = streamed.create_vnode_with(snode, &mut pricer).unwrap();
+            let (rl, pa) = streamed.record_shape_of(out.vnode).unwrap();
+            let via_sink = pricer.finish_create(rl, pa);
+
+            let (v, report) = reported.create_vnode(snode).unwrap();
+            let (rl2, pa2) = reported.record_shape_of(v).unwrap();
+            let via_report = cost.price_create(&net, rl2, pa2, &report);
+            assert_eq!(via_sink, via_report, "creation {i}");
+        }
+        for i in 0..20u32 {
+            let victim = streamed.vnodes()[(i as usize * 3) % streamed.vnode_count()];
+            pricer.begin();
+            streamed.remove_vnode_with(victim, &mut pricer).unwrap();
+            let shape = |e: &LocalDht, v| e.record_shape_of(v).unwrap();
+            let (rl, pa) = match pricer.first_receiver() {
+                Some(to) => shape(&streamed, to),
+                None => (1, 1),
+            };
+            let via_sink = pricer.finish_remove(rl, pa);
+
+            let victim2 = reported.vnodes()[(i as usize * 3) % reported.vnode_count()];
+            assert_eq!(victim, victim2, "twin engines stay in lockstep");
+            let report = reported.remove_vnode(victim2).unwrap();
+            let (rl2, pa2) = match report.transfers.first() {
+                Some(t) => shape(&reported, t.to),
+                None => (1, 1),
+            };
+            let via_report = cost.price_remove(&net, rl2, pa2, &report);
+            assert_eq!(via_sink, via_report, "removal {i}");
+        }
     }
 
     #[test]

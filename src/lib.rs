@@ -49,8 +49,10 @@
 //! ```
 //!
 //! The runnable examples (`cargo run --example quickstart`, `…
-//! heterogeneous_cluster`, `… elastic_scaling`, `… kv_store`, `…
-//! parallel_rebalance`) walk through the full API; the `repro` binary in
+//! observer`, `… heterogeneous_cluster`, `… elastic_scaling`, `…
+//! kv_store`, `… parallel_rebalance`) walk through the full API —
+//! `observer` shows live consumption of the streaming
+//! [`domus_core::RebalanceSink`] surface; the `repro` binary in
 //! `domus-experiments` regenerates every figure of the paper.
 
 #![forbid(unsafe_code)]
@@ -72,13 +74,14 @@ pub mod prelude {
         Capacity, ChurnDriver, ChurnEvent, DriverConfig, EventStream, Lifetime, Process, Scenario,
     };
     pub use domus_core::{
-        BalanceSnapshot, Cluster, ContainerChoice, DhtConfig, DhtEngine, DhtError,
-        EnrollmentPolicy, GlobalDht, GroupId, LocalDht, Pdr, SnodeId, SplitSelection,
-        VictimPartitionPolicy, VnodeId,
+        BalanceSnapshot, BatchOutcome, Cluster, CollectReport, ContainerChoice, CountOnly,
+        CreateOutcome, DhtConfig, DhtEngine, DhtError, DhtOp, EnrollmentPolicy, GlobalDht, GroupId,
+        LocalDht, NullSink, Pdr, RebalanceEvent, RebalanceSink, RemoveOutcome, SnodeId,
+        SplitSelection, Tee, VictimPartitionPolicy, VnodeId,
     };
     pub use domus_hashspace::{HashSpace, OwnerMap, Partition, Quota};
     pub use domus_kv::{KvService, KvStore, UniformKeys, ZipfKeys};
     pub use domus_metrics::{rel_std_dev_pct, Series, Table, Welford};
-    pub use domus_sim::{ClusterNet, CostModel, SimDriver, SimTime};
+    pub use domus_sim::{ClusterNet, CostModel, EventPricer, SimDriver, SimTime};
     pub use domus_util::{DomusRng, SeedSequence, SplitMix64, Xoshiro256pp};
 }

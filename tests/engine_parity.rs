@@ -162,8 +162,88 @@ fn interleaved_churn_parity_across_backends() {
     run_interleaved("ch", ch());
 }
 
+/// The trait is dyn-compatible: one `&mut dyn DhtEngine` handle drives
+/// any backend through the batched `apply` surface, the default
+/// `balance_snapshot`, and the report shim — the satellite fix for the
+/// old `where Self: Sized` bound that made trait objects unusable.
+fn drive_dyn(label: &str, dht: &mut dyn DhtEngine) {
+    let ops: Vec<DhtOp> = (0..12u32).map(|s| DhtOp::Create(SnodeId(s % 4))).collect();
+    let mut counts = CountOnly::default();
+    let batch = dht.apply(&ops, &mut counts);
+    assert!(batch.is_complete(), "{label}: {:?}", batch.failed);
+    assert_eq!(batch.created.len(), 12, "{label}");
+    assert_eq!(dht.vnode_count(), 12, "{label}");
+    assert!(counts.transfers > 0, "{label}: growth must move partitions");
+
+    // Batched removal through the same dyn handle; `apply` patches any
+    // handles a group-merge migration renames mid-batch.
+    let victims: Vec<DhtOp> =
+        dht.vnodes().into_iter().step_by(3).take(4).map(DhtOp::Remove).collect();
+    let batch = dht.apply(&victims, &mut NullSink);
+    assert!(batch.is_complete(), "{label}: {:?}", batch.failed);
+    assert_eq!(batch.removed, 4, "{label}");
+    assert_eq!(dht.vnode_count(), 8, "{label}");
+
+    // The default balance_snapshot and the report shims are object-safe.
+    let snap = dht.balance_snapshot();
+    assert_eq!(snap.vnodes, 8, "{label}");
+    let (_, report) = dht.create_vnode(SnodeId(9)).unwrap();
+    assert!(report.group.is_some(), "{label}");
+    let victim = dht.vnodes()[0];
+    dht.remove_vnode(victim).unwrap();
+    dht.check_invariants().unwrap_or_else(|e| panic!("{label}: {e}"));
+}
+
+/// A deep shrink with `Vmin = 2` forces group merges and internal
+/// migrations; a creation interleaved into the batch can be the very
+/// vnode a later migration retires. `apply` must patch the recorded
+/// created handles along with the pending ops, so everything it hands
+/// back is live.
+#[test]
+fn apply_keeps_created_handles_live_across_renames() {
+    let mut renames_seen = 0u64;
+    for seed in 0..20u64 {
+        let cfg = DhtConfig::new(HashSpace::new(32), 4, 2).unwrap();
+        let mut dht = LocalDht::with_seed(cfg, seed);
+        let grow: Vec<DhtOp> = (0..32u32).map(|s| DhtOp::Create(SnodeId(s % 6))).collect();
+        let grown = dht.apply(&grow, &mut NullSink);
+        assert!(grown.is_complete());
+
+        // Decommission most of the fleet with fresh creates interleaved.
+        let mut ops = Vec::new();
+        for (i, &v) in grown.created.iter().enumerate().take(28) {
+            ops.push(DhtOp::Remove(v));
+            if i % 5 == 0 {
+                ops.push(DhtOp::Create(SnodeId(100 + i as u32)));
+            }
+        }
+        let mut counts = CountOnly::default();
+        let batch = dht.apply(&ops, &mut counts);
+        assert!(batch.is_complete(), "seed {seed}: {:?}", batch.failed);
+        renames_seen += counts.migrations;
+        for &v in &batch.created {
+            assert!(dht.name_of(v).is_ok(), "seed {seed}: batch handed back dead handle {v}");
+        }
+        dht.check_invariants().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+    assert!(renames_seen > 0, "the scenario must exercise the rename path");
+}
+
+#[test]
+fn dyn_engine_objects_drive_all_backends() {
+    let mut g = global();
+    let mut l = local();
+    let mut c = ch();
+    let engines: [(&str, &mut dyn DhtEngine); 3] =
+        [("global", &mut g), ("local", &mut l), ("ch", &mut c)];
+    for (label, dht) in engines {
+        drive_dyn(label, dht);
+    }
+}
+
 /// The KV store is generic over the engine: the identical workload loses
-/// no data on any backend, with migration driven purely by the reports.
+/// no data on any backend, with migration driven purely by the streamed
+/// transfer events.
 fn run_kv<E: DhtEngine>(label: &str, engine: E) {
     let mut kv = KvStore::new(engine);
     kv.join(SnodeId(0)).unwrap();

@@ -1,0 +1,276 @@
+//! Sink parity: the streaming event surface must reproduce the legacy
+//! report structs *field-identically*.
+//!
+//! The golden digests below were captured from the pre-redesign engines
+//! (reports built inline by `create_vnode`/`remove_vnode`) on fixed
+//! churn scenarios. After the event-sink redesign the same reports are
+//! reconstituted by the `CollectReport` sink behind the compatibility
+//! shim — replaying the identical fingerprinted stream must therefore
+//! reproduce the identical digests, or a field was lost or reordered on
+//! the way through the sink.
+
+use domus::churn::{EventKind, NodeTag};
+use domus::prelude::*;
+use domus_core::{CreateReport, RemoveReport};
+use domus_util::SplitMix64;
+use proptest::prelude::*;
+
+fn mix(h: u64, x: u64) -> u64 {
+    SplitMix64::mix(h ^ x)
+}
+
+fn mix_transfers(mut h: u64, space: HashSpace, transfers: &[domus_core::Transfer]) -> u64 {
+    h = mix(h, transfers.len() as u64);
+    for t in transfers {
+        h = mix(h, t.partition.start(space));
+        h = mix(h, t.partition.level() as u64);
+        h = mix(h, t.from.0 as u64);
+        h = mix(h, t.to.0 as u64);
+    }
+    h
+}
+
+fn mix_create(mut h: u64, space: HashSpace, v: VnodeId, rep: &CreateReport) -> u64 {
+    h = mix(h, 0xC0DE);
+    h = mix(h, v.0 as u64);
+    h = mix(h, rep.group.map(|g| g.value() ^ 0x10).unwrap_or(0));
+    h = mix(h, rep.lookup_point.map(|p| p ^ 0x20).unwrap_or(1));
+    h = mix(h, rep.victim.map(|v| v.0 as u64 ^ 0x30).unwrap_or(2));
+    if let Some(s) = rep.group_split {
+        h = mix(h, s.parent.value());
+        h = mix(h, s.child0.value());
+        h = mix(h, s.child1.value());
+    } else {
+        h = mix(h, 3);
+    }
+    h = mix(h, rep.partition_splits);
+    h = mix_transfers(h, space, &rep.transfers);
+    mix(h, rep.group_size_after as u64)
+}
+
+fn mix_remove(mut h: u64, space: HashSpace, rep: &RemoveReport) -> u64 {
+    h = mix(h, 0xDEAD);
+    h = mix(h, rep.group.map(|g| g.value() ^ 0x10).unwrap_or(0));
+    h = mix_transfers(h, space, &rep.transfers);
+    h = mix(h, rep.partition_merges);
+    if let Some((a, b, p)) = rep.group_merge {
+        h = mix(h, a.value());
+        h = mix(h, b.value());
+        h = mix(h, p.value());
+    } else {
+        h = mix(h, 4);
+    }
+    match rep.migrated {
+        Some((old, new)) => mix(mix(h, old.0 as u64 ^ 0x40), new.0 as u64),
+        None => mix(h, 5),
+    }
+}
+
+/// The golden scenario: a steady fleet, sustained Poisson churn with
+/// heavy-tailed lifetimes, and a correlated failure — every removal
+/// path (drain, merge cascades, group merges, internal migration) fires.
+fn scenario() -> Scenario {
+    Scenario::new(SimTime::millis(240_000))
+        .with(Process::InitialFleet { nodes: 12, capacity: Capacity::Fixed(1) })
+        .with(Process::Poisson {
+            rate_per_s: 1.5,
+            lifetime: Lifetime::Pareto { min: SimTime::millis(15_000), alpha: 1.5 },
+            capacity: Capacity::Uniform { lo: 1, hi: 2 },
+        })
+        .with(Process::GroupFailure { at: SimTime::millis(160_000), fraction: 0.3 })
+}
+
+/// Replays the stream with the churn driver's roster semantics (tag- and
+/// rank-based victim selection, rename patching, keep-one guard) while
+/// digesting every report the legacy surface yields.
+fn replay_digest<E: DhtEngine>(mut dht: E, stream: &EventStream) -> u64 {
+    let space = dht.config().hash_space();
+    let mut h = 0x0409_2004_u64;
+    let mut roster: Vec<(NodeTag, VnodeId)> = Vec::new();
+
+    fn remove_all<E: DhtEngine>(
+        dht: &mut E,
+        space: HashSpace,
+        roster: &mut Vec<(NodeTag, VnodeId)>,
+        mut victims: Vec<VnodeId>,
+        mut h: u64,
+    ) -> u64 {
+        while !victims.is_empty() {
+            let v = victims.remove(0);
+            if roster.len() <= 1 {
+                h = mix(h, 0x5817);
+                continue;
+            }
+            let rep = dht.remove_vnode(v).expect("golden replay: remove failed");
+            h = mix_remove(h, space, &rep);
+            roster.retain(|&(_, rv)| rv != v);
+            if let Some((old, new)) = rep.migrated {
+                for entry in roster.iter_mut() {
+                    if entry.1 == old {
+                        entry.1 = new;
+                    }
+                }
+                for pending in victims.iter_mut() {
+                    if *pending == old {
+                        *pending = new;
+                    }
+                }
+            }
+        }
+        h
+    }
+
+    for e in stream.events() {
+        match e.kind {
+            EventKind::Join { node, vnodes } => {
+                for _ in 0..vnodes.max(1) {
+                    let (v, rep) = dht.create_vnode(SnodeId(node.0)).expect("golden replay");
+                    h = mix_create(h, space, v, &rep);
+                    roster.push((node, v));
+                }
+            }
+            EventKind::Leave { node } => {
+                let victims: Vec<VnodeId> =
+                    roster.iter().filter(|(t, _)| *t == node).map(|&(_, v)| v).collect();
+                h = remove_all(&mut dht, space, &mut roster, victims, h);
+            }
+            EventKind::FailSlice { fraction_ppm, draw } => {
+                let live = roster.len();
+                if live == 0 {
+                    h = mix(h, 0x5817);
+                    continue;
+                }
+                let n = ((live as u64 * fraction_ppm as u64) / 1_000_000).max(1) as usize;
+                let start = (draw % live as u64) as usize;
+                let victims: Vec<VnodeId> =
+                    (0..n.min(live)).map(|i| roster[(start + i) % live].1).collect();
+                h = remove_all(&mut dht, space, &mut roster, victims, h);
+            }
+        }
+    }
+    dht.check_invariants().expect("invariants after golden replay");
+    h
+}
+
+fn digests(seed: u64) -> [u64; 3] {
+    let stream = scenario().build(seed);
+    let space = HashSpace::full();
+    let local = replay_digest(
+        LocalDht::with_seed(DhtConfig::new(space, 8, 4).unwrap(), 0xC0 ^ seed),
+        &stream,
+    );
+    let global = replay_digest(
+        GlobalDht::with_seed(DhtConfig::new(space, 8, 1).unwrap(), 0xC1 ^ seed),
+        &stream,
+    );
+    let ch = replay_digest(
+        ChEngine::with_seed(DhtConfig::new(space, 8, 1).unwrap(), 8, 0xC2 ^ seed),
+        &stream,
+    );
+    [local, global, ch]
+}
+
+/// `(scenario seed, stream fingerprint, [local, global, ch])` captured
+/// from the pre-redesign report-building engines.
+const GOLDEN: [(u64, u64, [u64; 3]); 3] = [
+    (1, 0x13caef651d1afe83, [0x3f72dadf6194f3ce, 0xb8f00c571db2e3d7, 0xcff22a3a5b6e17e8]),
+    (2, 0x58d15e33e0e32fb9, [0x0128a2bcc08fc8dc, 0x61f4a80557a84932, 0x0dea2135d9c7b28a]),
+    (3, 0xbe29715867d3669b, [0x312a94518a882956, 0x9a5de0bfec30b0fc, 0x9df7737a5c9037c6]),
+];
+
+/// A random membership op for the Tee property below.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Create(u32),
+    /// Remove the live vnode at this (modular) position.
+    Remove(u16),
+}
+
+fn op_scripts(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0u32..10).prop_map(Op::Create),
+            2 => any::<u16>().prop_map(Op::Remove),
+        ],
+        4..max_len,
+    )
+}
+
+/// Drives a script through `Tee(CountOnly, CollectReport)` and asserts
+/// the tallies agree with the collected payloads on every operation.
+fn tee_counts_match<E: DhtEngine>(mut dht: E, script: &[Op]) -> Result<(), TestCaseError> {
+    for (step, op) in script.iter().enumerate() {
+        let mut tee = Tee(CountOnly::default(), CollectReport::new());
+        match *op {
+            Op::Create(s) => {
+                dht.create_vnode_with(SnodeId(s), &mut tee).unwrap();
+            }
+            Op::Remove(pos) => {
+                let live = dht.vnodes();
+                if live.len() > 1 {
+                    let v = live[pos as usize % live.len()];
+                    dht.remove_vnode_with(v, &mut tee).unwrap();
+                }
+            }
+        }
+        let Tee(counts, collect) = tee;
+        prop_assert_eq!(
+            counts.transfers,
+            collect.transfers().len() as u64,
+            "step {}: tallied transfers vs collected list",
+            step
+        );
+        // Single-shot events fire at most once per operation.
+        prop_assert!(counts.group_splits <= 1, "step {step}");
+        prop_assert!(counts.group_merges <= 1, "step {step}");
+        prop_assert!(counts.migrations <= 1, "step {step}");
+        prop_assert!(counts.probes <= 1, "step {step}");
+    }
+    dht.check_invariants().map_err(|e| TestCaseError::fail(e.to_string()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tee_count_only_matches_collect_report(seed in any::<u64>(), script in op_scripts(30)) {
+        let space = HashSpace::new(24);
+        tee_counts_match(LocalDht::with_seed(DhtConfig::new(space, 8, 2).unwrap(), seed), &script)?;
+        tee_counts_match(GlobalDht::with_seed(DhtConfig::new(space, 8, 1).unwrap(), seed), &script)?;
+        tee_counts_match(ChEngine::with_seed(DhtConfig::new(space, 8, 1).unwrap(), 4, seed), &script)?;
+    }
+}
+
+#[test]
+#[ignore = "golden capture helper: prints the table for GOLDEN"]
+fn capture_goldens() {
+    for seed in [1u64, 2, 3] {
+        let stream = scenario().build(seed);
+        let d = digests(seed);
+        println!(
+            "    ({seed}, {:#018x}, [{:#018x}, {:#018x}, {:#018x}]),",
+            stream.fingerprint(),
+            d[0],
+            d[1],
+            d[2]
+        );
+    }
+}
+
+#[test]
+fn collect_report_reproduces_pre_redesign_reports() {
+    for (seed, fingerprint, want) in GOLDEN {
+        let stream = scenario().build(seed);
+        assert_eq!(
+            stream.fingerprint(),
+            fingerprint,
+            "seed {seed}: the golden stream itself changed — digests below are incomparable"
+        );
+        let got = digests(seed);
+        assert_eq!(
+            got, want,
+            "seed {seed}: reports diverged from the pre-redesign goldens \
+             (stream fp {fingerprint:#018x}, got {got:#018x?})"
+        );
+    }
+}
