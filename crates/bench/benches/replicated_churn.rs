@@ -1,0 +1,85 @@
+//! Replicated-churn benchmarks: events/sec of the crash-failure replay
+//! hot path with the `ReplicatedStore` overlay threaded in — event
+//! dispatch + engine mutation + replica relocation + horizon-bounded
+//! repair + pricing — at replication factors R = 1, 2 and 3, per backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use domus_ch::ChEngine;
+use domus_churn::{Capacity, ChurnDriver, DriverConfig, Lifetime, Process, Scenario};
+use domus_core::{DhtConfig, GlobalDht, LocalDht};
+use domus_hashspace::HashSpace;
+use domus_sim::SimTime;
+use std::hint::black_box;
+
+const ENTRIES: u64 = 2_000;
+const VALUE_LEN: usize = 16;
+
+fn bench(c: &mut Criterion) {
+    // Sustained churn with ungraceful crashes layered on — the event
+    // shapes CHURN-REPL replays.
+    let stream = Scenario::new(SimTime::millis(600_000))
+        .with(Process::InitialFleet { nodes: 16, capacity: Capacity::Fixed(2) })
+        .with(Process::Poisson {
+            rate_per_s: 1.0,
+            lifetime: Lifetime::Pareto { min: SimTime::millis(60_000), alpha: 1.5 },
+            capacity: Capacity::Uniform { lo: 1, hi: 2 },
+        })
+        .with(Process::RandomCrashes { rate_per_s: 0.05 })
+        .with(Process::CrashStorm {
+            at: SimTime::millis(400_000),
+            crashes: 3,
+            spread: SimTime::millis(10_000),
+        })
+        .build(2004);
+    let space = HashSpace::full();
+
+    let mut g = c.benchmark_group("replicated_churn");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(stream.len() as u64));
+
+    for r in [1usize, 2, 3] {
+        g.bench_with_input(BenchmarkId::new("local", format!("r{r}")), &stream, |b, stream| {
+            let cfg = DhtConfig::new(space, 32, 32).expect("config");
+            b.iter(|| {
+                let driver = ChurnDriver::with_replication(
+                    LocalDht::with_seed(cfg, 7),
+                    DriverConfig::default(),
+                    ENTRIES,
+                    VALUE_LEN,
+                    r,
+                );
+                black_box(driver.run(stream).totals.repaired)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("global", format!("r{r}")), &stream, |b, stream| {
+            let cfg = DhtConfig::new(space, 32, 1).expect("config");
+            b.iter(|| {
+                let driver = ChurnDriver::with_replication(
+                    GlobalDht::with_seed(cfg, 7),
+                    DriverConfig::default(),
+                    ENTRIES,
+                    VALUE_LEN,
+                    r,
+                );
+                black_box(driver.run(stream).totals.repaired)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("ch", format!("r{r}")), &stream, |b, stream| {
+            let cfg = DhtConfig::new(space, 32, 1).expect("config");
+            b.iter(|| {
+                let driver = ChurnDriver::with_replication(
+                    ChEngine::with_seed(cfg, 32, 7),
+                    DriverConfig::default(),
+                    ENTRIES,
+                    VALUE_LEN,
+                    r,
+                );
+                black_box(driver.run(stream).totals.repaired)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

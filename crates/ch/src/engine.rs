@@ -279,6 +279,29 @@ impl DhtEngine for ChEngine {
         unreachable!("the arc containing a point covers it");
     }
 
+    fn for_each_successor(&self, point: u64, f: &mut dyn FnMut(VnodeId) -> bool) {
+        // Walk successor *arcs* directly off the ring — one visit per arc
+        // instead of one per derived dyadic piece, same owner sequence.
+        let space = self.space();
+        let Some((_, first_to, owner)) = self.ring.arc_containing(point) else { return };
+        if !f(VnodeId(owner.0)) {
+            return;
+        }
+        let mut to = first_to;
+        loop {
+            let next = if to == space.max_point() { 0 } else { to + 1 };
+            let (_, arc_to, owner) =
+                self.ring.arc_containing(next).expect("a live ring covers the circle");
+            if arc_to == first_to {
+                return; // wrapped to the starting arc
+            }
+            if !f(VnodeId(owner.0)) {
+                return;
+            }
+            to = arc_to;
+        }
+    }
+
     fn for_each_vnode(&self, f: &mut dyn FnMut(VnodeId)) {
         self.ring.for_each_node(&mut |n| f(VnodeId(n.0)));
     }

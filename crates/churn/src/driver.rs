@@ -22,7 +22,7 @@
 use crate::event::{ChurnEvent, EventKind, EventStream, NodeTag};
 use domus_core::{BalanceSnapshot, DhtEngine, SnodeId, VnodeId};
 use domus_kv::workload::value_of;
-use domus_kv::{KvService, KvStore, UniformKeys};
+use domus_kv::{KvService, KvStore, ReplicatedStore, UniformKeys};
 use domus_metrics::Series;
 use domus_sim::{ClusterNet, CostModel, EventCost, EventPricer, SimTime};
 use std::io::{self, Write};
@@ -59,12 +59,14 @@ struct WindowAcc {
     events: u64,
     joins: u64,
     leaves: u64,
+    crashes: u64,
     skipped: u64,
     transfers: u64,
     messages: u64,
     bytes: u64,
     service_ns: u64,
     entries_migrated: u64,
+    keys_lost: u64,
 }
 
 impl WindowAcc {
@@ -100,16 +102,35 @@ pub struct WindowSample {
     pub bytes: u64,
     /// Priced service time (sum of event durations).
     pub service: SimTime,
-    /// KV entries migrated (0 without the overlay).
+    /// KV entries migrated (0 without an overlay; replica copies moved or
+    /// minted with the replicated overlay).
     pub entries_migrated: u64,
+    /// Ungraceful snode crashes absorbed in the window.
+    pub crashes: u64,
     /// Balance/shape snapshot at the window end.
     pub balance: BalanceSnapshot,
     /// Fraction of probe keys whose owner did not change in the window
     /// (1.0 without the overlay or before data is loaded).
     pub availability: f64,
     /// Probe keys that failed to read back at the window end (must stay 0
-    /// — a nonzero value is a routing/migration bug).
+    /// — a nonzero value is a routing/migration bug; crash-lost keys are
+    /// pruned from the probe set as they are accounted in `keys_lost`).
     pub lost_lookups: u64,
+    /// Keys whose last replica was destroyed by crashes in this window —
+    /// the per-window durability numerator (0 without the replicated
+    /// overlay).
+    pub keys_lost: u64,
+    /// Distinct live keys at the window end — the durability denominator
+    /// (0 without any overlay; the plain KV overlay reports its entry
+    /// count, which graceful churn never changes).
+    pub keys_total: u64,
+    /// Fraction of probe keys readable at majority quorum at the window
+    /// end, *before* the end-of-window repair pass (1.0 without the
+    /// replicated overlay).
+    pub quorum_availability: f64,
+    /// Replica copies placed by the anti-entropy repair that runs at this
+    /// window's close (0 without the replicated overlay).
+    pub repaired: u64,
 }
 
 /// Whole-run aggregate.
@@ -134,10 +155,19 @@ pub struct RunTotals {
     pub service: SimTime,
     /// Total KV entries migrated.
     pub entries_migrated: u64,
+    /// Total ungraceful snode crashes absorbed.
+    pub crashes: u64,
     /// Unweighted mean of per-window availability.
     pub mean_availability: f64,
     /// Total probe read failures (must be 0).
     pub lost_lookups: u64,
+    /// Total keys lost to crashes (0 at full replication with isolated
+    /// failures; the durability headline of CHURN-REPL).
+    pub keys_lost: u64,
+    /// Unweighted mean of per-window quorum availability.
+    pub mean_quorum_availability: f64,
+    /// Total replica copies placed by end-of-window repairs.
+    pub repaired: u64,
 }
 
 /// The finished result of one churn run.
@@ -153,12 +183,13 @@ pub struct ChurnOutcome {
 
 impl ChurnOutcome {
     /// The CSV header of [`ChurnOutcome::write_csv`].
-    pub const CSV_HEADER: [&'static str; 19] = [
+    pub const CSV_HEADER: [&'static str; 24] = [
         "window",
         "t_ms",
         "events",
         "joins",
         "leaves",
+        "crashes",
         "skipped",
         "vnodes",
         "groups",
@@ -173,6 +204,10 @@ impl ChurnOutcome {
         "entries_migrated",
         "availability",
         "lost_lookups",
+        "keys_total",
+        "keys_lost",
+        "quorum_availability",
+        "repaired",
     ];
 
     /// Writes the per-window rows as CSV. The formatting is fixed-point,
@@ -186,6 +221,7 @@ impl ChurnOutcome {
                 s.events.to_string(),
                 s.joins.to_string(),
                 s.leaves.to_string(),
+                s.crashes.to_string(),
                 s.skipped.to_string(),
                 s.balance.vnodes.to_string(),
                 s.balance.groups.to_string(),
@@ -200,6 +236,10 @@ impl ChurnOutcome {
                 s.entries_migrated.to_string(),
                 format!("{:.4}", s.availability),
                 s.lost_lookups.to_string(),
+                s.keys_total.to_string(),
+                s.keys_lost.to_string(),
+                format!("{:.4}", s.quorum_availability),
+                s.repaired.to_string(),
             ]
         });
         domus_metrics::csv::write_rows(w, &Self::CSV_HEADER, rows)
@@ -222,11 +262,13 @@ impl ChurnOutcome {
     }
 }
 
-/// What the driver drives: the bare engine, or the engine threaded
-/// through a [`KvService`] so every membership event migrates real data.
+/// What the driver drives: the bare engine, the engine threaded through a
+/// [`KvService`] so every membership event migrates real data, or a
+/// [`ReplicatedStore`] so crashes destroy data and durability is measured.
 enum Plant<E: DhtEngine> {
     Bare(E),
     Kv(KvService<E>),
+    Repl(ReplicatedStore<E>),
 }
 
 /// Replays an [`EventStream`] into one engine, pricing and sampling.
@@ -268,6 +310,27 @@ impl<E: DhtEngine> ChurnDriver<E> {
         )
     }
 
+    /// A driver with the **replicated** overlay at replication factor
+    /// `replication`: crashes ([`EventKind::Crash`]/[`EventKind::CrashRank`])
+    /// destroy the failed snode's replicas instead of migrating them, each
+    /// window samples durability (`keys_lost` / `keys_total`) and
+    /// quorum-read availability, and an anti-entropy repair pass runs at
+    /// every window close.
+    pub fn with_replication(
+        engine: E,
+        cfg: DriverConfig,
+        entries: u64,
+        value_len: usize,
+        replication: usize,
+    ) -> Self {
+        assert!(entries > 0, "replicated overlay needs a key population");
+        Self::build(
+            Plant::Repl(ReplicatedStore::new(engine, replication)),
+            cfg,
+            Some((entries, value_len)),
+        )
+    }
+
     fn build(plant: Plant<E>, cfg: DriverConfig, pending_load: Option<(u64, usize)>) -> Self {
         assert!(cfg.window > SimTime::ZERO, "sampling window must be positive");
         Self {
@@ -290,14 +353,23 @@ impl<E: DhtEngine> ChurnDriver<E> {
         match &self.plant {
             Plant::Bare(e) => f(e),
             Plant::Kv(svc) => svc.with_read(|s| f(s.engine())),
+            Plant::Repl(store) => f(store.engine()),
         }
     }
 
-    /// The KV service handle, when the overlay is active.
+    /// The KV service handle, when the plain overlay is active.
     pub fn kv(&self) -> Option<&KvService<E>> {
         match &self.plant {
-            Plant::Bare(_) => None,
             Plant::Kv(svc) => Some(svc),
+            _ => None,
+        }
+    }
+
+    /// The replicated store, when the replicated overlay is active.
+    pub fn replicated(&self) -> Option<&ReplicatedStore<E>> {
+        match &self.plant {
+            Plant::Repl(store) => Some(store),
+            _ => None,
         }
     }
 
@@ -333,6 +405,15 @@ impl<E: DhtEngine> ChurnDriver<E> {
                     let victims: Vec<VnodeId> =
                         (0..n.min(live)).map(|i| self.roster[(start + i) % live].1).collect();
                     self.remove_all(victims);
+                }
+            }
+            EventKind::Crash { node } => self.crash_tag(node),
+            EventKind::CrashRank { draw } => {
+                if self.roster.is_empty() {
+                    self.acc.skipped += 1;
+                } else {
+                    let tag = self.roster[(draw % self.roster.len() as u64) as usize].0;
+                    self.crash_tag(tag);
                 }
             }
         }
@@ -374,8 +455,12 @@ impl<E: DhtEngine> ChurnDriver<E> {
             bytes: 0,
             service: SimTime::ZERO,
             entries_migrated: 0,
+            crashes: 0,
             mean_availability: 1.0,
             lost_lookups: 0,
+            keys_lost: 0,
+            mean_quorum_availability: 1.0,
+            repaired: 0,
         };
         for s in &self.samples {
             totals.events += s.events;
@@ -387,11 +472,16 @@ impl<E: DhtEngine> ChurnDriver<E> {
             totals.bytes += s.bytes;
             totals.service += s.service;
             totals.entries_migrated += s.entries_migrated;
+            totals.crashes += s.crashes;
             totals.lost_lookups += s.lost_lookups;
+            totals.keys_lost += s.keys_lost;
+            totals.repaired += s.repaired;
         }
         if !self.samples.is_empty() {
-            totals.mean_availability = self.samples.iter().map(|s| s.availability).sum::<f64>()
-                / self.samples.len() as f64;
+            let n = self.samples.len() as f64;
+            totals.mean_availability = self.samples.iter().map(|s| s.availability).sum::<f64>() / n;
+            totals.mean_quorum_availability =
+                self.samples.iter().map(|s| s.quorum_availability).sum::<f64>() / n;
         }
         ChurnOutcome { samples: self.samples, final_balance, totals }
     }
@@ -413,7 +503,14 @@ impl<E: DhtEngine> ChurnDriver<E> {
 
     fn close_window(&mut self, end: SimTime) {
         let balance = self.with_engine(|e| e.balance_snapshot());
-        let (availability, lost_lookups) = self.probe_window();
+        let (availability, lost_lookups, quorum_availability) = self.probe_window();
+        // Anti-entropy runs at window cadence: sample the damage first
+        // (the quorum figure above sees the pre-repair state), then heal.
+        let (keys_total, repaired) = match &mut self.plant {
+            Plant::Repl(store) => (store.len(), store.repair().copies_placed),
+            Plant::Kv(svc) => (svc.len(), 0),
+            Plant::Bare(_) => (0, 0),
+        };
         let acc = std::mem::take(&mut self.acc);
         self.samples.push(WindowSample {
             index: self.samples.len(),
@@ -421,6 +518,7 @@ impl<E: DhtEngine> ChurnDriver<E> {
             events: acc.events,
             joins: acc.joins,
             leaves: acc.leaves,
+            crashes: acc.crashes,
             skipped: acc.skipped,
             transfers: acc.transfers,
             messages: acc.messages,
@@ -430,33 +528,60 @@ impl<E: DhtEngine> ChurnDriver<E> {
             balance,
             availability,
             lost_lookups,
+            keys_lost: acc.keys_lost,
+            keys_total,
+            quorum_availability,
+            repaired,
         });
     }
 
     /// Re-routes the probe set: availability = unchanged-owner fraction;
-    /// every probe must still read back (lookup correctness).
-    fn probe_window(&mut self) -> (f64, u64) {
+    /// every probe must still read back (lookup correctness); with the
+    /// replicated overlay the quorum figure counts probes readable at
+    /// majority quorum.
+    fn probe_window(&mut self) -> (f64, u64, f64) {
         if self.probe_keys.is_empty() {
-            return (1.0, 0);
+            return (1.0, 0, 1.0);
         }
-        let Plant::Kv(svc) = &self.plant else { return (1.0, 0) };
         let mut changed = 0u64;
         let mut lost = 0u64;
+        let mut at_quorum = 0u64;
         let owners = &mut self.probe_owner;
         let keys = &self.probe_keys;
-        svc.with_read(|store| {
-            for (key, prev) in keys.iter().zip(owners.iter_mut()) {
-                let now = store.route(key.as_bytes());
-                if store.get(key.as_bytes()).is_none() {
-                    lost += 1;
+        match &self.plant {
+            Plant::Bare(_) => return (1.0, 0, 1.0),
+            Plant::Kv(svc) => svc.with_read(|store| {
+                for (key, prev) in keys.iter().zip(owners.iter_mut()) {
+                    let now = store.route(key.as_bytes());
+                    if store.get(key.as_bytes()).is_none() {
+                        lost += 1;
+                    }
+                    at_quorum += 1;
+                    if prev.is_some() && *prev != now {
+                        changed += 1;
+                    }
+                    *prev = now;
                 }
-                if prev.is_some() && *prev != now {
-                    changed += 1;
+            }),
+            Plant::Repl(store) => {
+                for (key, prev) in keys.iter().zip(owners.iter_mut()) {
+                    let now = store.route(key.as_bytes());
+                    let read = store.get_quorum(key.as_bytes());
+                    if read.value.is_none() {
+                        lost += 1;
+                    }
+                    if read.available() {
+                        at_quorum += 1;
+                    }
+                    if prev.is_some() && *prev != now {
+                        changed += 1;
+                    }
+                    *prev = now;
                 }
-                *prev = now;
             }
-        });
-        (1.0 - changed as f64 / self.probe_keys.len() as f64, lost)
+        }
+        let n = self.probe_keys.len() as f64;
+        (1.0 - changed as f64 / n, lost, at_quorum as f64 / n)
     }
 
     fn create_one(&mut self, node: NodeTag) {
@@ -473,6 +598,11 @@ impl<E: DhtEngine> ChurnDriver<E> {
                 let (out, m) =
                     svc.join_with(snode, &mut self.pricer).expect("churn replay: create failed");
                 (out.vnode, m.entries)
+            }
+            Plant::Repl(store) => {
+                let (out, rep) =
+                    store.join_with(snode, &mut self.pricer).expect("churn replay: create failed");
+                (out.vnode, rep.copies_placed)
             }
         };
         self.load_kv_if_pending();
@@ -519,6 +649,13 @@ impl<E: DhtEngine> ChurnDriver<E> {
             Plant::Kv(svc) => {
                 svc.leave_with(v, &mut self.pricer).expect("churn replay: remove failed").1.entries
             }
+            Plant::Repl(store) => {
+                store
+                    .leave_with(v, &mut self.pricer)
+                    .expect("churn replay: remove failed")
+                    .1
+                    .copies_placed
+            }
         };
         // The governing record after the event is visible through any
         // receiver of the redistribution transfers.
@@ -545,6 +682,93 @@ impl<E: DhtEngine> ChurnDriver<E> {
         migrated
     }
 
+    /// Crashes the snode identified by `tag` **ungracefully**: every vnode
+    /// it hosts is torn down at once and — with the replicated overlay —
+    /// whatever it stored is destroyed rather than migrated. The plain KV
+    /// overlay cannot represent loss, so it degrades the crash to graceful
+    /// removals (identical membership trajectory, data migrates).
+    ///
+    /// A crash is priced as one composite removal event: one
+    /// synchronisation round over the post-crash record plus all streamed
+    /// transfers — a deliberate approximation (a crash is detected and
+    /// absorbed as a unit, not as per-vnode goodbyes).
+    fn crash_tag(&mut self, tag: NodeTag) {
+        let count = self.roster.iter().filter(|(t, _)| *t == tag).count();
+        if count == 0 || count == self.roster.len() {
+            // Already gone, or crashing the whole fleet would empty the
+            // DHT — skip, state-parallel across engines.
+            self.acc.skipped += 1;
+            return;
+        }
+        if matches!(self.plant, Plant::Kv(_)) {
+            let victims: Vec<VnodeId> =
+                self.roster.iter().filter(|(t, _)| *t == tag).map(|&(_, v)| v).collect();
+            self.remove_all(victims);
+            self.acc.crashes += 1;
+            return;
+        }
+        let snode = SnodeId(tag.0);
+        self.pricer.begin();
+        let (renames, vnodes_failed, keys_lost, relocated) = match &mut self.plant {
+            Plant::Bare(e) => {
+                let out =
+                    e.fail_snode(snode, &mut self.pricer).expect("churn replay: crash failed");
+                (out.renames, out.vnodes.len(), 0, 0)
+            }
+            Plant::Repl(store) => {
+                let rep = store
+                    .fail_snode_with(snode, &mut self.pricer)
+                    .expect("churn replay: crash failed");
+                (rep.renames, rep.vnodes_failed, rep.keys_lost, rep.copies_relocated)
+            }
+            Plant::Kv(_) => unreachable!("degraded to graceful removal above"),
+        };
+        self.roster.retain(|&(t, _)| t != tag);
+        for (old, new) in renames {
+            for entry in &mut self.roster {
+                if entry.1 == old {
+                    entry.1 = new;
+                }
+            }
+        }
+        // The governing record after the event: the first transfer
+        // receiver when it survived the whole crash, else any survivor.
+        let shape_v = self
+            .pricer
+            .first_receiver()
+            .filter(|&v| self.with_engine(|e| e.snode_of(v).is_ok()))
+            .or_else(|| self.roster.first().map(|&(_, v)| v));
+        let (record_len, participants) = match shape_v {
+            Some(v) => self.record_shape_of(v),
+            None => (1, 1),
+        };
+        let cost = self.pricer.finish_remove(record_len, participants);
+        self.acc.absorb(cost);
+        self.acc.transfers += self.pricer.transfers();
+        self.acc.entries_migrated += relocated;
+        self.acc.leaves += vnodes_failed as u64;
+        self.acc.crashes += 1;
+        self.acc.keys_lost += keys_lost;
+        if keys_lost > 0 {
+            self.prune_lost_probes();
+        }
+    }
+
+    /// Drops probe keys whose every replica a crash just destroyed — they
+    /// are accounted in `keys_lost`, and keeping them would misreport the
+    /// loss a second time as `lost_lookups`.
+    fn prune_lost_probes(&mut self) {
+        let Plant::Repl(store) = &self.plant else { return };
+        let keys = std::mem::take(&mut self.probe_keys);
+        let owners = std::mem::take(&mut self.probe_owner);
+        for (key, owner) in keys.into_iter().zip(owners) {
+            if store.get(key.as_bytes()).is_some() {
+                self.probe_keys.push(key);
+                self.probe_owner.push(owner);
+            }
+        }
+    }
+
     /// `(record length, participant snodes)` of the record governing `v`'s
     /// region — the inputs [`CostModel`] prices synchronisation with.
     /// Served by the engines' incrementally-maintained counts, so pricing
@@ -556,19 +780,34 @@ impl<E: DhtEngine> ChurnDriver<E> {
     /// Loads the KV population once the DHT can own keys (first join).
     fn load_kv_if_pending(&mut self) {
         let Some((entries, value_len)) = self.pending_load.take() else { return };
-        let Plant::Kv(svc) = &self.plant else { return };
         let keys = UniformKeys::new(entries);
-        for i in 0..entries {
-            svc.put(keys.key_at(i), value_of(value_len, i));
+        match &mut self.plant {
+            Plant::Bare(_) => return, // only overlay plants carry a load
+            Plant::Kv(svc) => {
+                for i in 0..entries {
+                    svc.put(keys.key_at(i), value_of(value_len, i));
+                }
+            }
+            Plant::Repl(store) => {
+                for i in 0..entries {
+                    store.put(keys.key_at(i), value_of(value_len, i));
+                }
+            }
         }
         let probes = self.cfg.probes.min(entries as usize).max(1);
         let stride = (entries / probes as u64).max(1);
         self.probe_keys = (0..probes as u64).map(|i| keys.key_at((i * stride) % entries)).collect();
         let owners = &mut self.probe_owner;
         let probe_keys = &self.probe_keys;
-        svc.with_read(|store| {
-            *owners = probe_keys.iter().map(|k| store.route(k.as_bytes())).collect();
-        });
+        match &self.plant {
+            Plant::Bare(_) => {}
+            Plant::Kv(svc) => svc.with_read(|store| {
+                *owners = probe_keys.iter().map(|k| store.route(k.as_bytes())).collect();
+            }),
+            Plant::Repl(store) => {
+                *owners = probe_keys.iter().map(|k| store.route(k.as_bytes())).collect();
+            }
+        }
     }
 }
 
@@ -696,6 +935,92 @@ mod tests {
         assert_eq!(ends, vec![SimTime::millis(30_000), SimTime::millis(60_000)]);
         assert_eq!(outcome.samples[0].events, 2);
         assert_eq!(outcome.samples[1].events, 1);
+    }
+
+    fn crashy_scenario() -> Scenario {
+        Scenario::new(SimTime::millis(120_000))
+            .with(Process::InitialFleet { nodes: 10, capacity: Capacity::Fixed(1) })
+            .with(Process::Poisson {
+                rate_per_s: 0.5,
+                lifetime: Lifetime::Exponential { mean: SimTime::millis(40_000) },
+                capacity: Capacity::Fixed(1),
+            })
+            .with(Process::RandomCrashes { rate_per_s: 0.08 })
+    }
+
+    #[test]
+    fn replicated_overlay_survives_crashes_at_r2() {
+        // One crash per 30 s window: the end-of-window repair always runs
+        // between failures, so R=2 provably loses nothing (a single crash
+        // destroys at most one of two distinct-snode copies).
+        let stream = Scenario::new(SimTime::millis(120_000))
+            .with(Process::InitialFleet { nodes: 10, capacity: Capacity::Fixed(1) })
+            .with(Process::Poisson {
+                rate_per_s: 0.3,
+                lifetime: Lifetime::Forever,
+                capacity: Capacity::Fixed(1),
+            })
+            .with(Process::CrashStorm {
+                at: SimTime::millis(20_000),
+                crashes: 1,
+                spread: SimTime::ZERO,
+            })
+            .with(Process::CrashStorm {
+                at: SimTime::millis(50_000),
+                crashes: 1,
+                spread: SimTime::ZERO,
+            })
+            .with(Process::CrashStorm {
+                at: SimTime::millis(80_000),
+                crashes: 1,
+                spread: SimTime::ZERO,
+            })
+            .build(6);
+        let driver = ChurnDriver::with_replication(local(), DriverConfig::default(), 1_500, 16, 2);
+        let outcome = driver.run(&stream);
+        assert!(outcome.totals.crashes > 0, "the scenario must crash nodes");
+        assert_eq!(outcome.totals.keys_lost, 0, "R=2 with per-window repair loses nothing");
+        assert_eq!(outcome.totals.lost_lookups, 0);
+        assert!(outcome.totals.repaired > 0, "crashes must leave work for repair");
+        assert!(
+            outcome.samples.iter().any(|s| s.quorum_availability < 1.0),
+            "a crash window must dent quorum availability before repair"
+        );
+        assert_eq!(outcome.samples.last().unwrap().keys_total, 1_500);
+    }
+
+    #[test]
+    fn unreplicated_crashes_lose_exactly_what_accounting_says() {
+        let stream = crashy_scenario().build(11);
+        let driver = ChurnDriver::with_replication(local(), DriverConfig::default(), 1_500, 16, 1);
+        let outcome = driver.run(&stream);
+        assert!(outcome.totals.crashes > 0);
+        assert!(outcome.totals.keys_lost > 0, "R=1 crashes must lose keys");
+        // Exact accounting: the survivors plus the accounted losses cover
+        // the whole population.
+        let final_keys = outcome.samples.last().unwrap().keys_total;
+        assert_eq!(final_keys + outcome.totals.keys_lost, 1_500);
+        assert_eq!(outcome.totals.lost_lookups, 0, "losses are accounted, never silent");
+    }
+
+    #[test]
+    fn replicated_replay_is_deterministic_and_parallel_across_backends() {
+        let scenario = crashy_scenario();
+        let (s1, s2) = (scenario.build(9), scenario.build(9));
+        let a = ChurnDriver::with_replication(local(), DriverConfig::default(), 800, 8, 3).run(&s1);
+        let b = ChurnDriver::with_replication(local(), DriverConfig::default(), 800, 8, 3).run(&s2);
+        assert_eq!(a, b, "same seed ⇒ identical replicated outcome");
+        assert!(a.csv_string().contains("quorum_availability"));
+        let g = ChurnDriver::with_replication(
+            GlobalDht::with_seed(DhtConfig::new(HashSpace::full(), 8, 1).unwrap(), 0xD1),
+            DriverConfig::default(),
+            800,
+            8,
+            3,
+        )
+        .run(&scenario.build(9));
+        assert_eq!(a.totals.joins, g.totals.joins, "identical membership trajectory");
+        assert_eq!(a.totals.crashes, g.totals.crashes);
     }
 
     #[test]

@@ -66,6 +66,21 @@ pub enum EventKind {
         /// Pre-drawn randomness locating the slice.
         draw: u64,
     },
+    /// An **ungraceful** departure: the node crashes with all its vnodes.
+    /// Unlike [`EventKind::Leave`], whatever data the node held is *not*
+    /// migrated out — it is lost unless the overlay replicated it. A
+    /// no-op if the node's vnodes are already gone.
+    Crash {
+        /// The crashing arrival.
+        node: NodeTag,
+    },
+    /// An ungraceful crash of a rank-selected node: the snode owning the
+    /// live-roster vnode at rank `draw mod live` crashes with **all** its
+    /// vnodes — rank-based, so the victim is identical on every engine.
+    CrashRank {
+        /// Pre-drawn randomness locating the victim.
+        draw: u64,
+    },
 }
 
 /// One timestamped event.
@@ -136,6 +151,8 @@ impl EventStream {
                 EventKind::Join { node, vnodes } => (1u64, node.0 as u64, vnodes as u64),
                 EventKind::Leave { node } => (2, node.0 as u64, 0),
                 EventKind::FailSlice { fraction_ppm, draw } => (3, fraction_ppm as u64, draw),
+                EventKind::Crash { node } => (4, node.0 as u64, 0),
+                EventKind::CrashRank { draw } => (5, draw, 0),
             };
             h = SplitMix64::mix(h ^ disc);
             h = SplitMix64::mix(h ^ a);

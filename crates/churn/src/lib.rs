@@ -12,7 +12,10 @@
 //! * [`process`] — composable membership-event generators: Poisson
 //!   join/leave with exponential or heavy-tailed Pareto node lifetimes,
 //!   flash-crowd bursts, diurnal intensity waves, correlated mass
-//!   failure, heterogeneous-capacity arrivals.
+//!   failure, heterogeneous-capacity arrivals, plus **ungraceful crash**
+//!   processes (memoryless single-node crashes and correlated crash
+//!   storms) whose victims lose their data unless the overlay replicated
+//!   it.
 //! * [`scenario`] — [`Scenario`]: processes + horizon, compiled by seed
 //!   into one flat [`EventStream`]. The stream is engine-agnostic and a
 //!   pure function of `(scenario, seed)`, so the global approach, the
@@ -24,9 +27,12 @@
 //!   pricing every operation in-line with `domus-sim`'s
 //!   [`domus_sim::EventPricer`] sink (no report materialisation on the
 //!   hot path), samples [`domus_core::BalanceSnapshot`]s per time
-//!   window, and (optionally) threads a [`domus_kv::KvService`] through
-//!   the run to measure keys migrated, lookup correctness, and
-//!   per-window availability.
+//!   window, and (optionally) threads a [`domus_kv::KvService`] — or a
+//!   [`domus_kv::ReplicatedStore`] at a chosen replication factor —
+//!   through the run to measure keys migrated, lookup correctness,
+//!   per-window availability, and (replicated) per-window durability
+//!   (`keys_lost`/`keys_total`) plus quorum-read availability with an
+//!   anti-entropy repair pass at every window close.
 //!
 //! ```
 //! use domus_churn::{Capacity, ChurnDriver, DriverConfig, Lifetime, Process, Scenario};

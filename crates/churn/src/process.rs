@@ -157,6 +157,27 @@ pub enum Process {
         /// Fraction of the live roster lost, in `(0, 1]`.
         fraction: f64,
     },
+    /// Memoryless **crash** failures: at Poisson instants a rank-selected
+    /// live node crashes ungracefully with all its vnodes
+    /// ([`EventKind::CrashRank`]) — whatever it stored is lost unless the
+    /// overlay replicated it. The steady "disks die" background process of
+    /// a durability study.
+    RandomCrashes {
+        /// Mean crashes per second.
+        rate_per_s: f64,
+    },
+    /// A correlated crash wave: `crashes` rank-selected nodes crash
+    /// ungracefully, spread uniformly over `[at, at + spread)` — the
+    /// "rack loses power" shape, but without the graceful drain of
+    /// [`Process::GroupFailure`].
+    CrashStorm {
+        /// Wave start.
+        at: SimTime,
+        /// Nodes crashed by the wave.
+        crashes: u32,
+        /// Wave width (0 = all at one instant).
+        spread: SimTime,
+    },
 }
 
 impl Process {
@@ -168,6 +189,8 @@ impl Process {
             Process::FlashCrowd { .. } => "flash-crowd",
             Process::DiurnalWave { .. } => "diurnal-wave",
             Process::GroupFailure { .. } => "group-failure",
+            Process::RandomCrashes { .. } => "random-crashes",
+            Process::CrashStorm { .. } => "crash-storm",
         }
     }
 
@@ -266,6 +289,35 @@ impl Process {
                             draw: rng.next_u64(),
                         },
                     });
+                }
+            }
+            Process::RandomCrashes { rate_per_s } => {
+                assert!(*rate_per_s > 0.0, "crash rate must be positive");
+                let mut t = SimTime::ZERO;
+                loop {
+                    t += exp_gap(rng, *rate_per_s);
+                    if t >= horizon {
+                        break;
+                    }
+                    out.push(ChurnEvent {
+                        at: t,
+                        kind: EventKind::CrashRank { draw: rng.next_u64() },
+                    });
+                }
+            }
+            Process::CrashStorm { at, crashes, spread } => {
+                let mut offsets: Vec<u64> = (0..*crashes)
+                    .map(|_| if spread.nanos() == 0 { 0 } else { rng.next_below(spread.nanos()) })
+                    .collect();
+                offsets.sort_unstable();
+                for off in offsets {
+                    let t = *at + SimTime(off);
+                    if t < horizon {
+                        out.push(ChurnEvent {
+                            at: t,
+                            kind: EventKind::CrashRank { draw: rng.next_u64() },
+                        });
+                    }
                 }
             }
         }

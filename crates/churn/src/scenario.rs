@@ -105,6 +105,32 @@ impl Scenario {
             })
             .with(Process::GroupFailure { at: SimTime::millis(420_000), fraction: 0.2 })
     }
+
+    /// A ready-made durability scenario for replication studies: a stable
+    /// base fleet under sustained Poisson churn with **ungraceful**
+    /// failures layered on — memoryless single-node crashes throughout
+    /// plus a correlated crash storm at 70% of the horizon. `intensity`
+    /// scales the event volume.
+    pub fn crashy(intensity: f64) -> Self {
+        assert!(intensity > 0.0, "intensity must be positive");
+        let horizon = SimTime::millis(600_000); // 10 simulated minutes
+        Scenario::new(horizon)
+            .with(Process::InitialFleet {
+                nodes: 24,
+                capacity: Capacity::Weighted(vec![(1, 70), (2, 30)]),
+            })
+            .with(Process::Poisson {
+                rate_per_s: 1.0 * intensity,
+                lifetime: Lifetime::Pareto { min: SimTime::millis(60_000), alpha: 1.5 },
+                capacity: Capacity::Uniform { lo: 1, hi: 2 },
+            })
+            .with(Process::RandomCrashes { rate_per_s: 0.05 * intensity })
+            .with(Process::CrashStorm {
+                at: SimTime::millis(420_000),
+                crashes: (3.0 * intensity).ceil() as u32,
+                spread: SimTime::millis(10_000),
+            })
+    }
 }
 
 #[cfg(test)]
@@ -138,12 +164,36 @@ mod tests {
                 }
                 EventKind::Leave { .. } => leaves += 1,
                 EventKind::FailSlice { .. } => fails += 1,
+                EventKind::Crash { .. } | EventKind::CrashRank { .. } => {
+                    panic!("mixed scenario has no ungraceful crashes")
+                }
             }
         }
         assert!(joins > 500, "mixed scenario is join-heavy ({joins})");
         assert!(leaves > 200, "sustained churn produces departures ({leaves})");
         assert_eq!(fails, 1);
         assert!(het, "weighted capacities must produce multi-vnode arrivals");
+    }
+
+    #[test]
+    fn crashy_scenario_mixes_graceful_and_ungraceful_departures() {
+        let stream = Scenario::crashy(1.0).build(2004);
+        let mut joins = 0;
+        let mut leaves = 0;
+        let mut crashes = 0;
+        for e in stream.events() {
+            match e.kind {
+                EventKind::Join { .. } => joins += 1,
+                EventKind::Leave { .. } => leaves += 1,
+                EventKind::Crash { .. } | EventKind::CrashRank { .. } => crashes += 1,
+                EventKind::FailSlice { .. } => panic!("crashy uses ungraceful failures only"),
+            }
+        }
+        assert!(joins > 200, "{joins} joins");
+        assert!(leaves > 50, "{leaves} leaves");
+        // ~0.05/s over 600 s plus the storm: ≈ 33 crashes expected.
+        assert!((10..=80).contains(&crashes), "{crashes} crashes");
+        assert_eq!(stream.fingerprint(), Scenario::crashy(1.0).build(2004).fingerprint());
     }
 
     #[test]

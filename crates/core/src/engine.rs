@@ -62,6 +62,38 @@ pub struct RemoveOutcome {
     pub group: Option<GroupId>,
 }
 
+/// The scalar outcome of one snode crash ([`DhtEngine::fail_snode`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailOutcome {
+    /// The failed snode's vnodes, by their handle at crash time, in the
+    /// order they were torn down. Handles renamed mid-crash by a
+    /// group-merge migration appear under the handle that was actually
+    /// removed.
+    pub vnodes: Vec<VnodeId>,
+    /// Renames a group-merge migration applied while the crash was being
+    /// absorbed, as `(old, new)` — survivors keep their data under a new
+    /// handle; renamed vnodes of the failed snode were torn down too.
+    pub renames: Vec<(VnodeId, VnodeId)>,
+}
+
+/// Observes [`RebalanceEvent::VnodeMigrated`] renames passing through a
+/// removal, forwarding everything — shared by [`DhtEngine::apply`] and
+/// [`DhtEngine::fail_snode`], whose pending-op patching must follow the
+/// rename.
+struct RenameWatch<'a> {
+    out: &'a mut dyn RebalanceSink,
+    renamed: Option<(VnodeId, VnodeId)>,
+}
+
+impl RebalanceSink for RenameWatch<'_> {
+    fn event(&mut self, e: RebalanceEvent) {
+        if let RebalanceEvent::VnodeMigrated { old, new } = e {
+            self.renamed = Some((old, new));
+        }
+        self.out.event(e);
+    }
+}
+
 /// One membership operation for [`DhtEngine::apply`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DhtOp {
@@ -224,20 +256,6 @@ pub trait DhtEngine {
     /// assert_eq!(dht.vnode_count(), 6);
     /// ```
     fn apply(&mut self, ops: &[DhtOp], sink: &mut dyn RebalanceSink) -> BatchOutcome {
-        /// Observes renames passing through, forwarding everything.
-        struct RenameWatch<'a> {
-            out: &'a mut dyn RebalanceSink,
-            renamed: Option<(VnodeId, VnodeId)>,
-        }
-        impl RebalanceSink for RenameWatch<'_> {
-            fn event(&mut self, e: RebalanceEvent) {
-                if let RebalanceEvent::VnodeMigrated { old, new } = e {
-                    self.renamed = Some((old, new));
-                }
-                self.out.event(e);
-            }
-        }
-
         let mut outcome = BatchOutcome::default();
         let mut pending: Vec<DhtOp> = ops.to_vec();
         let mut i = 0;
@@ -277,6 +295,101 @@ pub trait DhtEngine {
 
     /// The vnode responsible for `point`, with the containing partition.
     fn lookup(&self, point: u64) -> Option<(Partition, VnodeId)>;
+
+    /// Visits the owners of successive partitions in hash-space order,
+    /// starting at the partition containing `point` and wrapping past the
+    /// top of the space, until `f` returns `false` or every partition has
+    /// been visited once — the successor walk a cluster-aware replica
+    /// placer probes for followers. The first visit is always the point's
+    /// owner (the primary); the same vnode may be visited more than once
+    /// (one visit per partition), so callers dedup by vnode or snode.
+    ///
+    /// The default walks partition by partition through [`DhtEngine::lookup`]
+    /// (`O(log P)` per step on any backend); the model engines override it
+    /// with a direct scan of their routing map.
+    fn for_each_successor(&self, point: u64, f: &mut dyn FnMut(VnodeId) -> bool) {
+        let Some((first, v)) = self.lookup(point) else { return };
+        if !f(v) {
+            return;
+        }
+        let space = self.config().hash_space();
+        let start = first.start(space);
+        let mut cursor = first.end(space);
+        loop {
+            let next = if cursor >= space.size() { 0 } else { cursor as u64 };
+            if next == start {
+                return; // wrapped all the way around
+            }
+            let Some((p, v)) = self.lookup(next) else { return };
+            if !f(v) {
+                return;
+            }
+            cursor = p.end(space);
+        }
+    }
+
+    /// The live vnodes hosted by `s`, in creation order.
+    fn vnodes_of_snode(&self, s: SnodeId) -> Vec<VnodeId> {
+        let mut out = Vec::new();
+        self.for_each_vnode(&mut |v| {
+            if self.snode_of(v) == Ok(s) {
+                out.push(v);
+            }
+        });
+        out
+    }
+
+    /// Crashes a snode: every vnode it hosts is removed **ungracefully**,
+    /// streaming the resulting rebalancement into `sink`.
+    ///
+    /// Control-plane-wise this is a sequence of removals (routing must
+    /// stay total, so the failed vnodes' partitions transfer to
+    /// survivors); the crash semantics live in the *data plane* — a
+    /// replicated store layered on the engine treats the streamed
+    /// transfers out of a failed vnode as **lost** rather than migrated
+    /// (see `domus-kv`'s `ReplicatedStore::fail_snode_with`), which is
+    /// exactly what distinguishes this path from per-vnode
+    /// [`DhtEngine::remove_vnode_with`] driven by a graceful leave.
+    ///
+    /// Fails with [`DhtError::EmptySnode`] when `s` hosts nothing and
+    /// [`DhtError::LastVnode`] when the crash would empty the DHT; both
+    /// are checked before anything mutates. Mid-crash group-merge
+    /// migrations renaming a pending victim are followed (the replacement
+    /// lives on the same failed snode, so it is torn down too) and
+    /// reported in [`FailOutcome::renames`].
+    fn fail_snode(
+        &mut self,
+        s: SnodeId,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<FailOutcome, DhtError> {
+        let mut victims = self.vnodes_of_snode(s);
+        if victims.is_empty() {
+            return Err(DhtError::EmptySnode(s));
+        }
+        if victims.len() == self.vnode_count() {
+            return Err(DhtError::LastVnode);
+        }
+        let mut outcome = FailOutcome::default();
+        let mut i = 0;
+        while i < victims.len() {
+            let v = victims[i];
+            let mut watch = RenameWatch { out: sink, renamed: None };
+            self.remove_vnode_with(v, &mut watch)?;
+            outcome.vnodes.push(v);
+            if let Some((old, new)) = watch.renamed {
+                outcome.renames.push((old, new));
+                // The replacement is hosted by the same snode as the
+                // retired handle; a renamed pending victim stays a victim.
+                for pending in &mut victims[i + 1..] {
+                    if *pending == old {
+                        *pending = new;
+                    }
+                }
+            }
+            i += 1;
+        }
+        Ok(outcome)
+    }
 
     /// Visits every live vnode handle, in creation order — the
     /// allocation-free primitive behind [`DhtEngine::vnodes`].

@@ -1,12 +1,14 @@
 //! Error types for DHT operations.
 
-use crate::ids::VnodeId;
+use crate::ids::{SnodeId, VnodeId};
 
 /// Errors returned by the DHT engines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DhtError {
     /// The vnode handle does not exist or was deleted.
     UnknownVnode(VnodeId),
+    /// A crash was requested for a snode that hosts no live vnodes.
+    EmptySnode(SnodeId),
     /// The operation needs at least one vnode but the DHT is empty.
     Empty,
     /// Removing this vnode would leave the DHT empty — the model has no
@@ -29,6 +31,7 @@ impl std::fmt::Display for DhtError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DhtError::UnknownVnode(v) => write!(f, "unknown or deleted vnode {v}"),
+            DhtError::EmptySnode(s) => write!(f, "snode {s} hosts no live vnodes"),
             DhtError::Empty => write!(f, "the DHT has no vnodes"),
             DhtError::LastVnode => write!(f, "cannot remove the last vnode of a DHT"),
             DhtError::LevelOverflow { level, bits } => {
@@ -48,6 +51,7 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         assert!(DhtError::UnknownVnode(VnodeId(7)).to_string().contains("v7"));
+        assert!(DhtError::EmptySnode(SnodeId(3)).to_string().contains("s3"));
         assert!(DhtError::LevelOverflow { level: 64, bits: 64 }.to_string().contains("64 bits"));
         assert!(DhtError::BadConfig("pmin").to_string().contains("pmin"));
     }

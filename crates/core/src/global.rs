@@ -231,6 +231,14 @@ impl<R: DomusRng> DhtEngine for GlobalDht<R> {
         self.routing.lookup(point).map(|(p, &v)| (p, v))
     }
 
+    fn for_each_successor(&self, point: u64, f: &mut dyn FnMut(VnodeId) -> bool) {
+        for (_, &v) in self.routing.successors(point) {
+            if !f(v) {
+                return;
+            }
+        }
+    }
+
     fn for_each_vnode(&self, f: &mut dyn FnMut(VnodeId)) {
         self.vs.iter_alive().for_each(f);
     }

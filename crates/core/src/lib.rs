@@ -90,8 +90,8 @@ pub mod stats;
 pub use cluster::{Cluster, EnrollmentPolicy};
 pub use config::{ContainerChoice, DhtConfig, SplitSelection, VictimPartitionPolicy};
 pub use engine::{
-    BatchOutcome, CreateOutcome, CreateReport, DhtEngine, DhtOp, GroupSplit, RemoveOutcome,
-    RemoveReport, Transfer,
+    BatchOutcome, CreateOutcome, CreateReport, DhtEngine, DhtOp, FailOutcome, GroupSplit,
+    RemoveOutcome, RemoveReport, Transfer,
 };
 pub use errors::DhtError;
 pub use global::GlobalDht;

@@ -353,6 +353,14 @@ impl<R: DomusRng> DhtEngine for LocalDht<R> {
         self.routing.lookup(point).map(|(p, &v)| (p, v))
     }
 
+    fn for_each_successor(&self, point: u64, f: &mut dyn FnMut(VnodeId) -> bool) {
+        for (_, &v) in self.routing.successors(point) {
+            if !f(v) {
+                return;
+            }
+        }
+    }
+
     fn for_each_vnode(&self, f: &mut dyn FnMut(VnodeId)) {
         self.vs.iter_alive().for_each(f);
     }

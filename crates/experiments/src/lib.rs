@@ -23,6 +23,7 @@ pub mod fig9;
 pub mod het;
 pub mod kvx;
 pub mod output;
+pub mod replx;
 pub mod runner;
 pub mod simx;
 

@@ -11,6 +11,9 @@
 //!   het                                heterogeneous enrollment
 //!   churn                              churn storm over all three backends
 //!                                      (--events N truncates the stream)
+//!   churn-repl                         crash failures + R=1/2/3 replication
+//!                                      sweep: durability & quorum availability
+//!                                      (--events N truncates the stream)
 //!   bench-summary                      events/sec of the churn hot path per
 //!                                      backend → BENCH_churn.json
 //!                                      (--baseline FILE embeds a previous
@@ -28,7 +31,7 @@ fn usage() -> ! {
         "usage: repro [--quick] [--runs N] [--vnodes N] [--seed S] [--events N] [--baseline FILE] [--gate PCT] [--out DIR] <command>\n\
          commands: fig4 fig5 fig6 fig7 fig8 fig9 | claim-pv claim-30 claim-8k claim-zone1 claim-g512 |\n          \
          abl-victim abl-container abl-splitsel | het | sim-makespan sim-msgs sim-mem | kv-migrate |\n          \
-         churn | bench-summary | all"
+         churn | churn-repl | bench-summary | all"
     );
     std::process::exit(2);
 }
@@ -119,6 +122,7 @@ fn main() {
         "sim-mem" => reports.push(simx::sim_mem(&ctx)),
         "kv-migrate" => reports.push(kvx::run(&ctx)),
         "churn" => reports.push(churnx::run(&ctx, events)),
+        "churn-repl" => reports.push(replx::run(&ctx, events)),
         "bench-summary" => reports.push(benchsum::run(&ctx, events, baseline.as_deref(), gate)),
         "all" => {
             // FIG4 feeds FIG5 and CLAIM-30, so compute it once.
@@ -143,6 +147,7 @@ fn main() {
             reports.push(simx::sim_mem(&ctx));
             reports.push(kvx::run(&ctx));
             reports.push(churnx::run(&ctx, events));
+            reports.push(replx::run(&ctx, events));
         }
         _ => usage(),
     }

@@ -1,0 +1,281 @@
+//! **CHURN-REPL** — durability and quorum availability under crash
+//! failures, with cluster-aware replication.
+//!
+//! The CHURN experiment measures balancement under *graceful* churn: a
+//! leave migrates its data out, so "availability" is owner stability,
+//! never durability. This experiment turns the failures ungraceful: one
+//! seeded scenario mixes sustained Poisson churn with memoryless
+//! single-node crashes and a correlated crash storm, and the identical
+//! stream (fingerprint-checked) replays through all three backends with
+//! the [`domus_kv::ReplicatedStore`] overlay at R = 1, 2 and 3. Per
+//! backend it writes `results/churn_repl_<backend>.csv` (the R = 2 run)
+//! with per-window durability (`keys_lost` / `keys_total`), quorum-read
+//! availability, and anti-entropy repair volume; the summary table sweeps
+//! the replication factor.
+//!
+//! Exact loss accounting is part of the contract: for every backend and
+//! every R, the surviving keys plus the accounted crash losses must cover
+//! the loaded population — a key may die, but never silently.
+
+use crate::runner::derive_seed;
+use crate::{Ctx, ExpReport};
+use domus_ch::ChEngine;
+use domus_churn::{ChurnDriver, ChurnOutcome, DriverConfig, EventStream, Scenario};
+use domus_core::{DhtConfig, DhtEngine, GlobalDht, LocalDht};
+use domus_hashspace::HashSpace;
+use domus_metrics::table::{num, Table};
+use domus_sim::SimTime;
+use std::fs;
+use std::io::BufWriter;
+
+/// The replication factors the sweep runs.
+pub const FACTORS: [usize; 3] = [1, 2, 3];
+
+/// One `(backend, R)` cell of the sweep.
+pub struct ReplCell {
+    /// Backend name (`local`/`global`/`ch`).
+    pub backend: &'static str,
+    /// Replication factor.
+    pub r: usize,
+    /// Keys loaded at the first join.
+    pub entries: u64,
+    /// The replay outcome.
+    pub outcome: ChurnOutcome,
+}
+
+/// The full sweep on one stream.
+pub struct ReplComparison {
+    /// Events replayed per run.
+    pub events: usize,
+    /// The stream fingerprint every run replayed.
+    pub fingerprint: u64,
+    /// All `(backend, R)` cells, backend-major.
+    pub cells: Vec<ReplCell>,
+}
+
+/// Compiles the crash scenario and replays it per backend × R.
+pub fn compute(ctx: &Ctx, events: Option<usize>) -> ReplComparison {
+    let paper_scale = ctx.n >= 512;
+    let intensity = if paper_scale { 1.0 } else { 0.5 };
+    let entries: u64 = if paper_scale { 10_000 } else { 2_000 };
+    let (pmin, vmin) = if paper_scale { (32, 32) } else { (8, 8) };
+    let seed = derive_seed(&ctx.seeds, "churn-repl", 0);
+    let space = HashSpace::full();
+
+    let build_stream = || {
+        let mut s = Scenario::crashy(intensity).build(seed);
+        if let Some(n) = events {
+            s.truncate(n);
+        }
+        s
+    };
+    let reference = build_stream();
+    let cfg = DriverConfig {
+        window: SimTime((reference.horizon().nanos() / 20).max(1)),
+        ..DriverConfig::default()
+    };
+
+    fn replay<E: DhtEngine>(
+        engine: E,
+        cfg: DriverConfig,
+        entries: u64,
+        r: usize,
+        stream: &EventStream,
+    ) -> ChurnOutcome {
+        ChurnDriver::with_replication(engine, cfg, entries, 16, r).run(stream)
+    }
+
+    let mut cells = Vec::new();
+    for name in ["local", "global", "ch"] {
+        for r in FACTORS {
+            let stream = build_stream();
+            assert_eq!(
+                stream.fingerprint(),
+                reference.fingerprint(),
+                "seeded stream must be identical for every backend and R"
+            );
+            let outcome = match name {
+                "local" => replay(
+                    LocalDht::with_seed(
+                        DhtConfig::new(space, pmin, vmin).expect("powers of two"),
+                        seed,
+                    ),
+                    cfg,
+                    entries,
+                    r,
+                    &stream,
+                ),
+                "global" => replay(
+                    GlobalDht::with_seed(
+                        DhtConfig::new(space, pmin, 1).expect("powers of two"),
+                        seed,
+                    ),
+                    cfg,
+                    entries,
+                    r,
+                    &stream,
+                ),
+                _ => replay(
+                    ChEngine::with_seed(
+                        DhtConfig::new(space, pmin, 1).expect("powers of two"),
+                        32,
+                        seed ^ 0xCC,
+                    ),
+                    cfg,
+                    entries,
+                    r,
+                    &stream,
+                ),
+            };
+            cells.push(ReplCell { backend: name, r, entries, outcome });
+        }
+    }
+    ReplComparison { events: reference.len(), fingerprint: reference.fingerprint(), cells }
+}
+
+/// Runs the CHURN-REPL experiment: sweep, CSVs, table, summary.
+pub fn run(ctx: &Ctx, events: Option<usize>) -> ExpReport {
+    let mut rep = ExpReport::new("CHURN-REPL");
+    let cmp = compute(ctx, events);
+
+    fs::create_dir_all(&ctx.out_dir).expect("create results dir");
+    for cell in &cmp.cells {
+        if cell.r == 2 {
+            let path = ctx.out_dir.join(format!("churn_repl_{}.csv", cell.backend));
+            let file = fs::File::create(&path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
+            cell.outcome.write_csv(BufWriter::new(file)).expect("write churn-repl csv");
+        }
+    }
+
+    println!(
+        "\n── CHURN-REPL — {} events, stream fingerprint {:016x} ──",
+        cmp.events, cmp.fingerprint
+    );
+    let mut t = Table::new(&[
+        "system",
+        "R",
+        "crashes",
+        "keys",
+        "lost",
+        "durability",
+        "mean quorum avail",
+        "repaired copies",
+        "copies moved",
+    ]);
+    for cell in &cmp.cells {
+        let o = &cell.outcome;
+        let final_keys = o.samples.last().map(|s| s.keys_total).unwrap_or(0);
+        t.row(&[
+            label(cell.backend).into(),
+            cell.r.to_string(),
+            o.totals.crashes.to_string(),
+            final_keys.to_string(),
+            o.totals.keys_lost.to_string(),
+            num(final_keys as f64 / cell.entries as f64, 4),
+            num(o.totals.mean_quorum_availability, 4),
+            o.totals.repaired.to_string(),
+            o.totals.entries_migrated.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Contract: losses are exactly accounted on every backend at every R
+    // (a key may die with its replicas, but never silently), and nothing
+    // readable ever went missing outside that accounting.
+    for cell in &cmp.cells {
+        let o = &cell.outcome;
+        let final_keys = o.samples.last().map(|s| s.keys_total).unwrap_or(0);
+        assert_eq!(
+            final_keys + o.totals.keys_lost,
+            cell.entries,
+            "{} R={}: loss accounting must be exact",
+            cell.backend,
+            cell.r
+        );
+        assert_eq!(
+            o.totals.lost_lookups, 0,
+            "{} R={}: unaccounted probe loss",
+            cell.backend, cell.r
+        );
+    }
+
+    let loss_of = |backend: &str, r: usize| {
+        cmp.cells
+            .iter()
+            .find(|c| c.backend == backend && c.r == r)
+            .expect("cell ran")
+            .outcome
+            .totals
+            .keys_lost
+    };
+    rep.note(format!(
+        "identical crash stream: {} events (fingerprint {:016x}) × 3 backends × R∈{{1,2,3}}; loss accounting exact everywhere",
+        cmp.events, cmp.fingerprint
+    ));
+    rep.note(format!(
+        "keys lost (local approach): R=1 {} / R=2 {} / R=3 {} of {} keys",
+        loss_of("local", 1),
+        loss_of("local", 2),
+        loss_of("local", 3),
+        cmp.cells[0].entries
+    ));
+    let quorum_of = |backend: &str, r: usize| {
+        cmp.cells
+            .iter()
+            .find(|c| c.backend == backend && c.r == r)
+            .expect("cell ran")
+            .outcome
+            .totals
+            .mean_quorum_availability
+    };
+    rep.note(format!(
+        "mean quorum availability at R=2: local {:.4} / global {:.4} / CH {:.4}",
+        quorum_of("local", 2),
+        quorum_of("global", 2),
+        quorum_of("ch", 2)
+    ));
+    rep
+}
+
+fn label(backend: &str) -> &'static str {
+    match backend {
+        "local" => "model (local approach)",
+        "global" => "model (global approach)",
+        _ => "Consistent Hashing k=32",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_ctx(dir: &str) -> Ctx {
+        Ctx::quick(std::env::temp_dir().join(dir))
+    }
+
+    #[test]
+    fn churn_repl_runs_and_accounts_losses() {
+        let ctx = smoke_ctx("domus-replx-smoke");
+        let rep = run(&ctx, Some(150));
+        assert_eq!(rep.id, "CHURN-REPL");
+        assert!(rep.summary.iter().any(|l| l.contains("loss accounting exact")));
+        for name in ["local", "global", "ch"] {
+            let csv = std::fs::read_to_string(ctx.out_dir.join(format!("churn_repl_{name}.csv")))
+                .expect("per-backend CSV written");
+            assert!(csv.starts_with("window,t_ms,"));
+            assert!(csv.lines().next().unwrap().contains("quorum_availability"));
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_per_seed() {
+        let ctx = smoke_ctx("domus-replx-det");
+        let a = compute(&ctx, Some(120));
+        let b = compute(&ctx, Some(120));
+        assert_eq!(a.fingerprint, b.fingerprint);
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!((ca.backend, ca.r), (cb.backend, cb.r));
+            assert_eq!(ca.outcome.csv_string(), cb.outcome.csv_string());
+        }
+    }
+}

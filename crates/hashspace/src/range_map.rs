@@ -399,6 +399,24 @@ impl<T: OwnerKey> OwnerMap<T> {
         self.entries.values().map(|(p, o)| (*p, o))
     }
 
+    /// Iterates `(partition, owner)` in hash-space order **starting at the
+    /// partition containing `point`**, wrapping past the top of the space —
+    /// the replica-successor walk of a cluster-aware replication policy:
+    /// the first item is the point's owner (the primary), the following
+    /// items are the successive partitions a replica placer probes for
+    /// followers hosted on distinct snodes. Visits every partition exactly
+    /// once; empty when the map is empty.
+    pub fn successors(&self, point: u64) -> impl Iterator<Item = (Partition, &T)> {
+        debug_assert!(self.space.contains(point));
+        let pivot = match self.entries.range(..=point).next_back() {
+            Some((&s, _)) => s,
+            // No entry at or below the point: the wrap begins at the first
+            // entry (only reachable on a non-covering map).
+            None => 0,
+        };
+        self.entries.range(pivot..).chain(self.entries.range(..pivot)).map(|(_, (p, o))| (*p, o))
+    }
+
     /// All partitions of `owner`, in hash-space order — `O(Pv log Pv)`
     /// straight off the owner index (the index keeps the set unordered;
     /// this accessor sorts its copy).
@@ -660,6 +678,27 @@ mod tests {
         assert_eq!(*m.lookup(128).unwrap().1, 99);
         assert_eq!(*m.lookup(255).unwrap().1, 99);
         assert_eq!(m.owner_count(), 5);
+    }
+
+    #[test]
+    fn successors_wrap_and_cover_every_partition_once() {
+        let mut m = OwnerMap::new(space());
+        for i in 0..4u64 {
+            m.insert(Partition::new(2, i), i as u32).unwrap();
+        }
+        // Starting inside the third quarter: 2, 3, then wrap to 0, 1.
+        let walk: Vec<u32> = m.successors(130).map(|(_, &o)| o).collect();
+        assert_eq!(walk, vec![2, 3, 0, 1]);
+        // Starting at point 0 is plain hash-space order.
+        let walk: Vec<u32> = m.successors(0).map(|(_, &o)| o).collect();
+        assert_eq!(walk, vec![0, 1, 2, 3]);
+        // The first item always matches lookup.
+        for point in [0u64, 77, 128, 255] {
+            let (p, o) = m.successors(point).next().unwrap();
+            let (lp, lo) = m.lookup(point).unwrap();
+            assert_eq!((p, o), (lp, lo));
+        }
+        assert_eq!(OwnerMap::<u32>::new(space()).successors(9).count(), 0);
     }
 
     #[test]

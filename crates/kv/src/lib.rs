@@ -8,6 +8,8 @@
 //! arbitrary join/leave churn.
 //!
 //! * [`store`] — the single-threaded store + migration engine.
+//! * [`replicated`] — R-way cluster-aware replication: distinct-snode
+//!   placement, quorum reads, crash survival, event-driven repair.
 //! * [`service`] — a `RwLock` façade: concurrent reads, exclusive
 //!   maintenance.
 //! * [`workload`] — uniform and Zipf key generators for experiments.
@@ -15,10 +17,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod replicated;
 pub mod service;
 pub mod store;
 pub mod workload;
 
+pub use replicated::{CrashReport, QuorumRead, RepairReport, ReplicatedStore};
 pub use service::KvService;
 pub use store::{KvStore, MigrationReport};
 pub use workload::{UniformKeys, ZipfKeys};

@@ -1,0 +1,885 @@
+//! Cluster-aware replication over any [`DhtEngine`].
+//!
+//! The plain [`crate::KvStore`] holds every entry exactly once: a
+//! graceful leave migrates data out in-line, but an **ungraceful** crash
+//! destroys whatever the failed snode held. [`ReplicatedStore`] closes
+//! that gap with the replica policy the cluster-replication literature
+//! (Ayyasamy & Sivanandam; Leslie et al.) layers on structured overlays:
+//!
+//! * **Placement** — each entry lives on `R` vnodes hosted by *distinct*
+//!   snodes: the primary is the point's owner, the followers are found by
+//!   walking successor partitions ([`DhtEngine::for_each_successor`]) and
+//!   taking the first vnode of each previously unseen snode. Replicas are
+//!   therefore never co-located on one snode, so a single snode crash can
+//!   destroy at most one copy of any entry.
+//! * **Reads** — [`ReplicatedStore::get`] probes the replica chain in
+//!   placement order and returns the first copy found (fallback read);
+//!   [`ReplicatedStore::get_quorum`] additionally counts the live copies
+//!   against the majority quorum `⌊R/2⌋+1`, the availability figure the
+//!   churn harness samples.
+//! * **Repair from events** — membership operations stream
+//!   [`RebalanceEvent`]s; the store collects each
+//!   [`domus_core::Transfer`]'s partition (plus every `VnodeMigrated`
+//!   fallout, which also arrives as transfers), extends each touched
+//!   range *backwards* across up to `R`
+//!   distinct predecessor snodes (a change at partition `Q` can only
+//!   shift the follower sets of ranges whose successor walk reaches `Q`),
+//!   and rebuilds replica placement for exactly those ranges — incremental
+//!   re-replication, never a full keyspace rescan.
+//! * **Crash** — [`ReplicatedStore::fail_snode_with`] destroys the failed
+//!   snode's slots *before* driving [`DhtEngine::fail_snode`], then
+//!   relocates the surviving copies onto the new replica chains without
+//!   minting new ones (placement heals, redundancy does not), records the
+//!   touched ranges as **pending**, and accounts exactly which keys had
+//!   their last copy on the failed snode. A later
+//!   [`ReplicatedStore::repair`] re-replicates the pending ranges back to
+//!   full strength — the window between the two is where quorum
+//!   availability measurably dips.
+
+use crate::store::{bucket_search, slot_of, Bucket};
+use bytes::Bytes;
+use domus_core::{
+    CreateOutcome, DhtEngine, DhtError, NullSink, RebalanceEvent, RebalanceSink, RemoveOutcome,
+    SnodeId, VnodeId,
+};
+use domus_hashspace::hasher::Fnv1aHasher;
+use domus_hashspace::{HashSpace, KeyHasher, Partition};
+use std::collections::BTreeMap;
+
+/// A half-open hash-space range `[start, end)` (`end` is `u128` because
+/// the full space's top is `2^Bh`).
+type Range = (u64, u128);
+
+/// Forwards every event to the caller's sink while collecting the
+/// hash-space ranges the operation touched (one per streamed transfer).
+struct RangeTap<'a> {
+    space: HashSpace,
+    out: &'a mut dyn RebalanceSink,
+    touched: Vec<Range>,
+}
+
+impl<'a> RangeTap<'a> {
+    fn new(space: HashSpace, out: &'a mut dyn RebalanceSink) -> Self {
+        Self { space, out, touched: Vec::new() }
+    }
+}
+
+impl RebalanceSink for RangeTap<'_> {
+    fn event(&mut self, e: RebalanceEvent) {
+        if let RebalanceEvent::Transfer(t) = e {
+            self.touched.push((t.partition.start(self.space), t.partition.end(self.space)));
+        }
+        self.out.event(e);
+    }
+}
+
+/// What one [`ReplicatedStore::fail_snode_with`] crash did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashReport {
+    /// Vnodes of the failed snode torn down.
+    pub vnodes_failed: usize,
+    /// Handle renames group-merge migrations applied to *survivors* while
+    /// the crash was absorbed (`(old, new)`), for roster bookkeeping.
+    pub renames: Vec<(VnodeId, VnodeId)>,
+    /// Replica copies destroyed with the snode.
+    pub copies_destroyed: u64,
+    /// Keys whose **last** copy was destroyed — unrecoverable. Zero
+    /// whenever `R ≥ 2` copies existed and at most this one snode was
+    /// lost since the last repair.
+    pub keys_lost: u64,
+    /// Surviving copies relocated onto their new replica chains.
+    pub copies_relocated: u64,
+}
+
+/// What one repair pass ([`ReplicatedStore::repair`] or the in-line
+/// repair of a graceful membership change) did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Disjoint hash-space ranges rebuilt.
+    pub ranges: usize,
+    /// Replica copies placed (moves + newly minted replicas).
+    pub copies_placed: u64,
+}
+
+/// One quorum read ([`ReplicatedStore::get_quorum`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumRead {
+    /// The value, from the first replica holding a copy (`None` when no
+    /// copy survives anywhere on the chain).
+    pub value: Option<Bytes>,
+    /// Replicas currently holding a copy.
+    pub hits: u32,
+    /// The majority quorum `⌊R/2⌋+1` the read is judged against.
+    pub needed: u32,
+}
+
+impl QuorumRead {
+    /// `true` when the read meets its quorum.
+    pub fn available(&self) -> bool {
+        self.value.is_some() && self.hits >= self.needed
+    }
+}
+
+/// The replica chain of `point`: the owner, then the first vnode of each
+/// subsequent distinct snode along the successor walk, up to `r` entries.
+fn replicas_for<E: DhtEngine>(engine: &E, r: usize, point: u64) -> Vec<VnodeId> {
+    let mut out: Vec<VnodeId> = Vec::with_capacity(r);
+    let mut snodes: Vec<SnodeId> = Vec::with_capacity(r);
+    engine.for_each_successor(point, &mut |v| {
+        let s = engine.snode_of(v).expect("successor walk yields live vnodes");
+        if !snodes.contains(&s) {
+            snodes.push(s);
+            out.push(v);
+        }
+        out.len() < r
+    });
+    out
+}
+
+/// An in-memory KV store placing every entry on `R` distinct snodes.
+///
+/// ```
+/// use domus_core::{DhtConfig, DhtEngine, LocalDht, SnodeId};
+/// use domus_hashspace::HashSpace;
+/// use domus_kv::ReplicatedStore;
+///
+/// let cfg = DhtConfig::new(HashSpace::new(32), 4, 2).unwrap();
+/// let mut kv = ReplicatedStore::new(LocalDht::with_seed(cfg, 1), 2);
+/// for s in 0..4u32 {
+///     kv.join(SnodeId(s)).unwrap();
+/// }
+/// kv.put("user:42", "alice");
+/// // The crash of any single snode cannot lose the entry at R = 2 —
+/// // not even the primary's.
+/// let primary = kv.route(b"user:42").unwrap();
+/// let victim = kv.engine().snode_of(primary).unwrap();
+/// let report = kv.fail_snode(victim).unwrap();
+/// assert_eq!(report.keys_lost, 0);
+/// assert_eq!(kv.get(b"user:42").unwrap().as_ref(), b"alice");
+/// kv.repair();
+/// assert!(kv.get_quorum(b"user:42").available());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplicatedStore<E: DhtEngine> {
+    engine: E,
+    hasher: Fnv1aHasher,
+    /// Replication factor `R ≥ 1` (effective factor is capped by the
+    /// number of distinct live snodes).
+    r: usize,
+    /// Copy maps indexed by vnode arena slot; a point may appear in up to
+    /// `R` slots (one copy per replica).
+    data: Vec<BTreeMap<u64, Bucket>>,
+    /// Distinct live keys (≥ one surviving copy).
+    keys: u64,
+    /// Under-replicated ranges awaiting [`ReplicatedStore::repair`]
+    /// (recorded by crashes; graceful changes repair in-line).
+    pending: Vec<Range>,
+}
+
+impl<E: DhtEngine> ReplicatedStore<E> {
+    /// Wraps an engine (which may already contain vnodes) with replication
+    /// factor `r`.
+    ///
+    /// # Panics
+    /// Panics when `r == 0`.
+    pub fn new(engine: E, r: usize) -> Self {
+        assert!(r >= 1, "replication factor must be at least 1");
+        let mut slots = 0;
+        engine.for_each_vnode(&mut |v| slots = slots.max(v.index() + 1));
+        Self {
+            engine,
+            hasher: Fnv1aHasher,
+            r,
+            data: vec![BTreeMap::new(); slots],
+            keys: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// The replication factor `R`.
+    pub fn replication(&self) -> usize {
+        self.r
+    }
+
+    /// The majority quorum `⌊R/2⌋+1`.
+    pub fn quorum(&self) -> u32 {
+        (self.r / 2 + 1) as u32
+    }
+
+    /// Number of distinct live keys.
+    pub fn len(&self) -> u64 {
+        self.keys
+    }
+
+    /// `true` when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.keys == 0
+    }
+
+    /// Total replica copies currently stored (`R × len` at full strength).
+    pub fn copies(&self) -> u64 {
+        self.data.iter().flat_map(|m| m.values()).map(|b| b.len() as u64).sum()
+    }
+
+    /// `true` while crash-touched ranges await [`ReplicatedStore::repair`].
+    pub fn has_pending_repair(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    fn space(&self) -> HashSpace {
+        self.engine.config().hash_space()
+    }
+
+    fn point_of(&self, key: &[u8]) -> u64 {
+        self.hasher.point(key, self.engine.config().hash_space())
+    }
+
+    /// The replica chain of a key's point (primary first).
+    pub fn replicas_of(&self, key: &[u8]) -> Vec<VnodeId> {
+        replicas_for(&self.engine, self.r, self.point_of(key))
+    }
+
+    /// The primary vnode responsible for a key.
+    pub fn route(&self, key: &[u8]) -> Option<VnodeId> {
+        self.engine.lookup(self.point_of(key)).map(|(_, v)| v)
+    }
+
+    /// Inserts or replaces an entry on every replica. Returns the previous
+    /// value and restores full replication for this key even when its
+    /// range is pending repair.
+    ///
+    /// # Panics
+    /// Panics if the DHT has no vnodes yet.
+    pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> Option<Bytes> {
+        let key = key.into();
+        let value = value.into();
+        let point = self.point_of(&key);
+        let replicas = replicas_for(&self.engine, self.r, point);
+        assert!(!replicas.is_empty(), "put on an empty DHT");
+        let mut prev = None;
+        for (i, &v) in replicas.iter().enumerate() {
+            let bucket = slot_of(&mut self.data, v).entry(point).or_default();
+            match bucket_search(bucket, &key) {
+                Ok(at) => {
+                    let old = std::mem::replace(&mut bucket[at].1, value.clone());
+                    if i == 0 {
+                        prev = Some(old);
+                    }
+                }
+                Err(at) => bucket.insert(at, (key.clone(), value.clone())),
+            }
+        }
+        if prev.is_none() {
+            self.keys += 1;
+        }
+        prev
+    }
+
+    /// Fallback read: probes the replica chain in placement order and
+    /// returns the first copy found.
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        let point = self.point_of(key);
+        for v in replicas_for(&self.engine, self.r, point) {
+            if let Some(bucket) = self.data.get(v.index()).and_then(|m| m.get(&point)) {
+                if let Ok(i) = bucket_search(bucket, key) {
+                    return Some(bucket[i].1.clone());
+                }
+            }
+        }
+        None
+    }
+
+    /// Quorum read: the value (with fallback) plus how many replicas hold
+    /// a copy, judged against the majority quorum.
+    pub fn get_quorum(&self, key: &[u8]) -> QuorumRead {
+        let point = self.point_of(key);
+        let mut value = None;
+        let mut hits = 0u32;
+        for v in replicas_for(&self.engine, self.r, point) {
+            if let Some(bucket) = self.data.get(v.index()).and_then(|m| m.get(&point)) {
+                if let Ok(i) = bucket_search(bucket, key) {
+                    hits += 1;
+                    if value.is_none() {
+                        value = Some(bucket[i].1.clone());
+                    }
+                }
+            }
+        }
+        QuorumRead { value, hits, needed: self.quorum() }
+    }
+
+    /// Removes a key from every replica, returning its value.
+    pub fn remove(&mut self, key: &[u8]) -> Option<Bytes> {
+        let point = self.point_of(key);
+        let replicas = replicas_for(&self.engine, self.r, point);
+        let mut removed = None;
+        for &v in &replicas {
+            let Some(map) = self.data.get_mut(v.index()) else { continue };
+            let Some(bucket) = map.get_mut(&point) else { continue };
+            if let Ok(i) = bucket_search(bucket, key) {
+                let (_, value) = bucket.remove(i);
+                if bucket.is_empty() {
+                    map.remove(&point);
+                }
+                removed.get_or_insert(value);
+            }
+        }
+        if removed.is_some() {
+            self.keys -= 1;
+        }
+        removed
+    }
+
+    /// Creates a vnode on `snode`, then re-replicates exactly the ranges
+    /// the streamed transfers touched (plus their backward horizons).
+    pub fn join(&mut self, snode: SnodeId) -> Result<(VnodeId, RepairReport), DhtError> {
+        let (out, rep) = self.join_with(snode, &mut NullSink)?;
+        Ok((out.vnode, rep))
+    }
+
+    /// [`ReplicatedStore::join`], forwarding every rebalance event to
+    /// `sink` while the touched ranges are collected for repair.
+    pub fn join_with(
+        &mut self,
+        snode: SnodeId,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<(CreateOutcome, RepairReport), DhtError> {
+        let space = self.space();
+        let mut tap = RangeTap::new(space, sink);
+        let outcome = self.engine.create_vnode_with(snode, &mut tap)?;
+        let ranges = self.extend_and_merge(tap.touched);
+        let copies_placed = self.rebuild_ranges(&ranges, true);
+        Ok((outcome, RepairReport { ranges: ranges.len(), copies_placed }))
+    }
+
+    /// Gracefully removes a vnode: its data (primary *and* follower
+    /// copies) is re-placed on the surviving replica chains in the same
+    /// pass that repairs the touched ranges — nothing is lost.
+    pub fn leave(&mut self, v: VnodeId) -> Result<RepairReport, DhtError> {
+        self.leave_with(v, &mut NullSink).map(|(_, rep)| rep)
+    }
+
+    /// [`ReplicatedStore::leave`], forwarding every rebalance event to
+    /// `sink`.
+    pub fn leave_with(
+        &mut self,
+        v: VnodeId,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<(RemoveOutcome, RepairReport), DhtError> {
+        let space = self.space();
+        let mut tap = RangeTap::new(space, sink);
+        let outcome = self.engine.remove_vnode_with(v, &mut tap)?;
+        let ranges = self.extend_and_merge(tap.touched);
+        let copies_placed = self.rebuild_ranges(&ranges, true);
+        debug_assert!(
+            self.data.get(v.index()).map(BTreeMap::is_empty).unwrap_or(true),
+            "a graceful leave must drain every copy off the departing vnode"
+        );
+        Ok((outcome, RepairReport { ranges: ranges.len(), copies_placed }))
+    }
+
+    /// Crashes a snode: its slots are destroyed (not migrated), the
+    /// engine absorbs the membership change, and surviving copies are
+    /// relocated onto the new replica chains *without re-replicating* —
+    /// the touched ranges stay pending until [`ReplicatedStore::repair`].
+    pub fn fail_snode(&mut self, s: SnodeId) -> Result<CrashReport, DhtError> {
+        self.fail_snode_with(s, &mut NullSink)
+    }
+
+    /// [`ReplicatedStore::fail_snode`], forwarding every rebalance event
+    /// to `sink`.
+    pub fn fail_snode_with(
+        &mut self,
+        s: SnodeId,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<CrashReport, DhtError> {
+        let victims = self.engine.vnodes_of_snode(s);
+        // Mirror the engine's own preconditions *before* destroying data.
+        if victims.is_empty() {
+            return Err(DhtError::EmptySnode(s));
+        }
+        if victims.len() == self.engine.vnode_count() {
+            return Err(DhtError::LastVnode);
+        }
+
+        // Absorb the membership change first: the engine call is the only
+        // remaining fallible step, and the store holds no in-line
+        // migration (the tap just collects ranges), so an engine error
+        // here leaves the data untouched.
+        let space = self.space();
+        let mut tap = RangeTap::new(space, sink);
+        let outcome = self.engine.fail_snode(s, &mut tap)?;
+
+        // The crash proper: every copy the snode held is gone.
+        let mut doomed: Vec<(u64, Bytes)> = Vec::new();
+        for &v in &victims {
+            if let Some(map) = self.data.get_mut(v.index()) {
+                for (point, bucket) in std::mem::take(map) {
+                    doomed.extend(bucket.into_iter().map(|(k, _)| (point, k)));
+                }
+            }
+        }
+
+        let mut touched = tap.touched;
+        // Every doomed copy marks a range that lost redundancy — including
+        // ranges where the snode was only a follower, which no transfer
+        // touches (their primaries survived). One range per *partition*
+        // holding doomed copies (points cluster, so memoize the lookup),
+        // not one per copy — the backward horizon walk runs per range.
+        let mut doomed_points: Vec<u64> = doomed.iter().map(|&(point, _)| point).collect();
+        doomed_points.sort_unstable();
+        doomed_points.dedup();
+        let mut memo: Option<Partition> = None;
+        for point in doomed_points {
+            if !matches!(&memo, Some(p) if p.contains(point, space)) {
+                let (p, _) = self.engine.lookup(point).expect("routing is total");
+                memo = Some(p);
+                touched.push((p.start(space), p.end(space)));
+            }
+        }
+
+        let ranges = self.extend_and_merge(touched);
+        let copies_relocated = self.rebuild_ranges(&ranges, false);
+
+        // Exact loss accounting: a doomed key is lost iff no copy survived
+        // anywhere. Relocation already re-placed every survivor on a
+        // placement-order prefix of its chain, so the primary alone
+        // decides — one memoized lookup per partition, no successor walks.
+        let mut keys_lost = 0u64;
+        let mut primary: Option<(Partition, usize)> = None;
+        for (point, key) in &doomed {
+            if !matches!(&primary, Some((p, _)) if p.contains(*point, space)) {
+                let (p, v) = self.engine.lookup(*point).expect("routing is total");
+                primary = Some((p, v.index()));
+            }
+            let slot = primary.as_ref().expect("memoized above").1;
+            let alive = self
+                .data
+                .get(slot)
+                .and_then(|m| m.get(point))
+                .is_some_and(|b| bucket_search(b, key).is_ok());
+            if !alive {
+                keys_lost += 1;
+            }
+        }
+        self.keys -= keys_lost;
+        self.pending.extend(ranges.iter().copied());
+
+        Ok(CrashReport {
+            vnodes_failed: outcome.vnodes.len(),
+            renames: outcome.renames,
+            copies_destroyed: doomed.len() as u64,
+            keys_lost,
+            copies_relocated,
+        })
+    }
+
+    /// Re-replicates every pending (crash-touched) range back to full
+    /// strength. Idempotent; a no-op when nothing is pending.
+    pub fn repair(&mut self) -> RepairReport {
+        let pending = std::mem::take(&mut self.pending);
+        if pending.is_empty() {
+            return RepairReport::default();
+        }
+        let ranges = merge_ranges(pending);
+        let copies_placed = self.rebuild_ranges(&ranges, true);
+        RepairReport { ranges: ranges.len(), copies_placed }
+    }
+
+    /// Extends every touched range backwards across up to `R` distinct
+    /// predecessor snodes and merges the result into disjoint ranges.
+    ///
+    /// Why backwards: the follower set of a range `X` is determined by the
+    /// successor walk starting at `X`; a placement change at partition `Q`
+    /// can only affect `X` if the walk from `X` reaches `Q` before
+    /// collecting `R` distinct snodes. Walking back from `Q` until `R`
+    /// distinct snodes have been seen therefore over-approximates every
+    /// affected range — conservative and cheap (`O(R log P)` per range).
+    fn extend_and_merge(&self, touched: Vec<Range>) -> Vec<Range> {
+        let space = self.space();
+        // Coalesce first: transfers overlap heavily (cascades re-touch the
+        // same partitions), and every surviving range costs one backward
+        // walk of engine lookups.
+        let touched = merge_ranges(touched);
+        let mut out: Vec<Range> = Vec::with_capacity(touched.len() + 2);
+        for (start, end) in touched {
+            let mut snodes: Vec<SnodeId> = Vec::with_capacity(self.r);
+            let mut cur = start;
+            let mut wrapped = false;
+            let mut walked = end - start as u128;
+            while snodes.len() < self.r && walked < space.size() {
+                let prev_point = if cur == 0 {
+                    wrapped = true;
+                    space.max_point()
+                } else {
+                    cur - 1
+                };
+                let Some((p, v)) = self.engine.lookup(prev_point) else { break };
+                let s = self.engine.snode_of(v).expect("routed vnode is live");
+                if !snodes.contains(&s) {
+                    snodes.push(s);
+                }
+                walked += p.size(space);
+                cur = p.start(space);
+                if wrapped && cur == 0 {
+                    break; // walked the whole top segment
+                }
+            }
+            if walked >= space.size() {
+                out.push((0, space.size()));
+            } else if wrapped {
+                out.push((0, end));
+                out.push((cur, space.size()));
+            } else {
+                out.push((cur, end));
+            }
+        }
+        merge_ranges(out)
+    }
+
+    /// Rebuilds replica placement for `ranges` (disjoint, ascending):
+    /// gathers every copy stored anywhere in each range, dedups per key,
+    /// and re-places each key on a placement-order prefix of its current
+    /// replica chain — the full chain when `full`, else as many replicas
+    /// as copies survived (relocation without re-replication). Returns the
+    /// copies placed.
+    fn rebuild_ranges(&mut self, ranges: &[Range], full: bool) -> u64 {
+        let space = self.space();
+        let mut placed = 0u64;
+        for &(start, end) in ranges {
+            // Gather: detach [start, end) from every slot, merging copies
+            // per (point, key) with a survivor count.
+            let mut union: BTreeMap<u64, Vec<(Bytes, Bytes, usize)>> = BTreeMap::new();
+            for map in &mut self.data {
+                if map.is_empty() {
+                    continue;
+                }
+                let mut mid = map.split_off(&start);
+                if end <= u64::MAX as u128 {
+                    let mut keep = mid.split_off(&(end as u64));
+                    map.append(&mut keep);
+                }
+                for (point, bucket) in mid {
+                    let merged = union.entry(point).or_default();
+                    for (k, v) in bucket {
+                        match merged.binary_search_by(|(mk, _, _)| mk.as_ref().cmp(k.as_ref())) {
+                            Ok(i) => {
+                                debug_assert_eq!(merged[i].1, v, "replica copies diverged");
+                                merged[i].2 += 1;
+                            }
+                            Err(i) => merged.insert(i, (k, v, 1)),
+                        }
+                    }
+                }
+            }
+            // Re-place, memoizing the replica chain per partition (every
+            // point of one partition shares it).
+            let (engine, data, r) = (&self.engine, &mut self.data, self.r);
+            let mut memo: Option<(Partition, Vec<VnodeId>)> = None;
+            for (point, bucket) in union {
+                let stale = !matches!(&memo, Some((p, _)) if p.contains(point, space));
+                if stale {
+                    let (p, _) = engine.lookup(point).expect("routing is total");
+                    memo = Some((p, replicas_for(engine, r, point)));
+                }
+                let replicas = &memo.as_ref().expect("memoized above").1;
+                for (k, v, survivors) in bucket {
+                    let n = if full { replicas.len() } else { survivors.min(replicas.len()) };
+                    placed += n as u64;
+                    for &rv in &replicas[..n] {
+                        let slot = slot_of(data, rv).entry(point).or_default();
+                        match bucket_search(slot, &k) {
+                            Ok(at) => slot[at].1 = v.clone(),
+                            Err(at) => slot.insert(at, (k.clone(), v.clone())),
+                        }
+                    }
+                }
+            }
+        }
+        placed
+    }
+
+    /// Every live key, in deterministic (hash point, key) order, read off
+    /// the primary copies.
+    pub fn snapshot_keys(&self) -> Vec<Bytes> {
+        let mut out = Vec::with_capacity(self.keys as usize);
+        let mut points: Vec<(u64, &Bucket)> = Vec::new();
+        for (slot, map) in self.data.iter().enumerate() {
+            for (&point, bucket) in map {
+                let primary = self.engine.lookup(point).map(|(_, v)| v.index());
+                if primary == Some(slot) {
+                    points.push((point, bucket));
+                }
+            }
+        }
+        points.sort_unstable_by_key(|&(point, _)| point);
+        for (_, bucket) in points {
+            out.extend(bucket.iter().map(|(k, _)| k.clone()));
+        }
+        out
+    }
+
+    /// Verifies the replication invariants — the test/debug oracle,
+    /// `O(copies · R)`:
+    ///
+    /// 1. every copy sits on a replica of its point's current chain;
+    /// 2. copies form a placement-order **prefix** of the chain (so the
+    ///    primary always holds every live key and fallback reads hit on
+    ///    the first probe), with byte-identical values;
+    /// 3. the key counter matches the number of primary copies;
+    /// 4. with no repair pending, every key is fully replicated
+    ///    (`min(R, distinct snodes)` copies).
+    pub fn verify_replication(&self) -> Result<(), String> {
+        let mut primaries = 0u64;
+        for (slot, map) in self.data.iter().enumerate() {
+            for (&point, bucket) in map {
+                for (key, value) in bucket {
+                    if self.point_of(key) != point {
+                        return Err(format!("key stored under wrong point {point}"));
+                    }
+                    let replicas = replicas_for(&self.engine, self.r, point);
+                    let pos = replicas.iter().position(|v| v.index() == slot).ok_or_else(|| {
+                        format!("copy at point {point} on slot {slot}, not a replica")
+                    })?;
+                    let mut copies = 0usize;
+                    for (i, &rv) in replicas.iter().enumerate() {
+                        let held = self
+                            .data
+                            .get(rv.index())
+                            .and_then(|m| m.get(&point))
+                            .and_then(|b| bucket_search(b, key).ok().map(|at| &b[at].1));
+                        match held {
+                            Some(v) if v == value => copies += 1,
+                            Some(_) => return Err(format!("replica divergence at point {point}")),
+                            None if i < pos => {
+                                return Err(format!(
+                                    "copies at point {point} are not a placement prefix"
+                                ));
+                            }
+                            None => {}
+                        }
+                    }
+                    if self.pending.is_empty() && copies != replicas.len() {
+                        return Err(format!(
+                            "point {point}: {copies} copies, expected {}",
+                            replicas.len()
+                        ));
+                    }
+                    if pos == 0 {
+                        primaries += 1;
+                    }
+                }
+            }
+        }
+        if primaries != self.keys {
+            return Err(format!("key counter {} but {primaries} primary copies", self.keys));
+        }
+        Ok(())
+    }
+}
+
+/// Sorts and coalesces overlapping/adjacent ranges.
+fn merge_ranges(mut ranges: Vec<Range>) -> Vec<Range> {
+    ranges.sort_unstable();
+    let mut out: Vec<Range> = Vec::with_capacity(ranges.len());
+    for (start, end) in ranges {
+        match out.last_mut() {
+            Some((_, prev_end)) if (start as u128) <= *prev_end => {
+                *prev_end = (*prev_end).max(end);
+            }
+            _ => out.push((start, end)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domus_core::{DhtConfig, LocalDht};
+    use domus_hashspace::HashSpace;
+
+    fn store(r: usize, snodes: u32) -> ReplicatedStore<LocalDht> {
+        let cfg = DhtConfig::new(HashSpace::new(32), 4, 2).unwrap();
+        let mut kv = ReplicatedStore::new(LocalDht::with_seed(cfg, 7), r);
+        for s in 0..snodes {
+            kv.join(SnodeId(s)).unwrap();
+        }
+        kv
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip_with_full_replication() {
+        let mut kv = store(3, 5);
+        assert_eq!(kv.put("k1", "v1"), None);
+        assert_eq!(kv.put("k1", "v1b").unwrap().as_ref(), b"v1");
+        assert_eq!(kv.get(b"k1").unwrap().as_ref(), b"v1b");
+        let q = kv.get_quorum(b"k1");
+        assert_eq!(q.hits, 3);
+        assert_eq!(q.needed, 2);
+        assert!(q.available());
+        assert_eq!(kv.len(), 1);
+        assert_eq!(kv.copies(), 3);
+        kv.verify_replication().unwrap();
+        assert_eq!(kv.remove(b"k1").unwrap().as_ref(), b"v1b");
+        assert_eq!(kv.get(b"k1"), None);
+        assert!(kv.is_empty());
+        assert_eq!(kv.copies(), 0);
+    }
+
+    #[test]
+    fn replicas_live_on_distinct_snodes() {
+        let kv = store(3, 6);
+        for i in 0..200u32 {
+            let key = format!("key:{i}");
+            let replicas = kv.replicas_of(key.as_bytes());
+            assert_eq!(replicas.len(), 3);
+            let mut snodes: Vec<SnodeId> =
+                replicas.iter().map(|&v| kv.engine().snode_of(v).unwrap()).collect();
+            snodes.sort_unstable();
+            snodes.dedup();
+            assert_eq!(snodes.len(), 3, "{key}: replicas co-located");
+            assert_eq!(replicas[0], kv.route(key.as_bytes()).unwrap(), "primary is the owner");
+        }
+    }
+
+    #[test]
+    fn effective_factor_is_capped_by_the_cluster_size() {
+        let mut kv = store(3, 2); // only two distinct snodes
+        kv.put("a", "1");
+        assert_eq!(kv.replicas_of(b"a").len(), 2);
+        assert_eq!(kv.get_quorum(b"a").hits, 2);
+        kv.verify_replication().unwrap();
+        // A third snode arrives: the in-line repair mints the third copy
+        // for ranges it touched; a full repair isn't needed for puts.
+        kv.join(SnodeId(9)).unwrap();
+        kv.put("b", "2");
+        assert_eq!(kv.replicas_of(b"b").len(), 3);
+    }
+
+    #[test]
+    fn graceful_membership_keeps_everything_fully_replicated() {
+        let mut kv = store(2, 4);
+        for i in 0..300u32 {
+            kv.put(format!("key:{i}"), format!("value-{i}"));
+        }
+        for s in 4..9u32 {
+            kv.join(SnodeId(s)).unwrap();
+            kv.verify_replication().unwrap_or_else(|e| panic!("after join {s}: {e}"));
+        }
+        let vnodes = kv.engine().vnodes();
+        for v in vnodes.into_iter().take(4) {
+            kv.leave(v).unwrap();
+            kv.verify_replication().unwrap_or_else(|e| panic!("after leave {v}: {e}"));
+        }
+        assert_eq!(kv.len(), 300);
+        for i in 0..300u32 {
+            let q = kv.get_quorum(format!("key:{i}").as_bytes());
+            assert!(q.available(), "key:{i} lost quorum after graceful churn");
+        }
+    }
+
+    #[test]
+    fn crash_loses_nothing_at_r2_and_repair_restores_quorum() {
+        let mut kv = store(2, 5);
+        for i in 0..400u32 {
+            kv.put(format!("key:{i}"), format!("value-{i}"));
+        }
+        let report = kv.fail_snode(SnodeId(2)).unwrap();
+        assert!(report.vnodes_failed > 0);
+        assert!(report.copies_destroyed > 0, "the snode held copies");
+        assert_eq!(report.keys_lost, 0, "R=2 survives one crash");
+        assert!(kv.has_pending_repair());
+        // Every key still readable via fallback; quorum may be degraded.
+        let mut degraded = 0;
+        for i in 0..400u32 {
+            let key = format!("key:{i}");
+            assert!(kv.get(key.as_bytes()).is_some(), "{key} unreadable after crash");
+            if !kv.get_quorum(key.as_bytes()).available() {
+                degraded += 1;
+            }
+        }
+        assert!(degraded > 0, "a crash must dent quorum availability before repair");
+        let rep = kv.repair();
+        assert!(rep.copies_placed > 0);
+        assert!(!kv.has_pending_repair());
+        kv.verify_replication().unwrap();
+        for i in 0..400u32 {
+            assert!(kv.get_quorum(format!("key:{i}").as_bytes()).available(), "key:{i}");
+        }
+    }
+
+    #[test]
+    fn crash_at_r1_loses_exactly_the_failed_snodes_keys() {
+        let mut kv = store(1, 5);
+        for i in 0..500u32 {
+            kv.put(format!("key:{i}"), "x");
+        }
+        // Predict the loss: keys whose primary snode is the victim.
+        let victim = SnodeId(3);
+        let expected: u64 = (0..500u32)
+            .filter(|i| {
+                let key = format!("key:{i}");
+                let owner = kv.route(key.as_bytes()).unwrap();
+                kv.engine().snode_of(owner).unwrap() == victim
+            })
+            .count() as u64;
+        assert!(expected > 0, "the victim must own something");
+        let report = kv.fail_snode(victim).unwrap();
+        assert_eq!(report.keys_lost, expected, "exact loss accounting");
+        assert_eq!(kv.len(), 500 - expected);
+        let alive = (0..500u32).filter(|i| kv.get(format!("key:{i}").as_bytes()).is_some()).count();
+        assert_eq!(alive as u64, 500 - expected);
+        kv.repair();
+        kv.verify_replication().unwrap();
+    }
+
+    #[test]
+    fn crash_preconditions_destroy_nothing() {
+        let mut kv = store(2, 3);
+        kv.put("a", "1");
+        assert_eq!(kv.fail_snode(SnodeId(99)), Err(DhtError::EmptySnode(SnodeId(99))));
+        // Crashing every snode one by one (with repair in between, so the
+        // lone copy always re-replicates before the next hit) stops at the
+        // last snode, which is refused before anything is destroyed.
+        kv.fail_snode(SnodeId(0)).unwrap();
+        kv.repair();
+        kv.fail_snode(SnodeId(1)).unwrap();
+        kv.repair();
+        assert_eq!(kv.fail_snode(SnodeId(2)), Err(DhtError::LastVnode));
+        assert_eq!(kv.get(b"a").unwrap().as_ref(), b"1", "refused crash must not touch data");
+    }
+
+    #[test]
+    fn repeated_crash_repair_cycles_preserve_all_keys_at_r2() {
+        let mut kv = store(2, 8);
+        for i in 0..300u32 {
+            kv.put(format!("key:{i}"), format!("value-{i}"));
+        }
+        for victim in 0..5u32 {
+            let report = kv.fail_snode(SnodeId(victim)).unwrap();
+            assert_eq!(report.keys_lost, 0, "crash of s{victim} lost keys");
+            kv.repair();
+            kv.verify_replication().unwrap_or_else(|e| panic!("after s{victim}: {e}"));
+        }
+        assert_eq!(kv.len(), 300);
+        for i in 0..300u32 {
+            assert_eq!(
+                kv.get(format!("key:{i}").as_bytes()).unwrap().as_ref(),
+                format!("value-{i}").as_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_ranges_coalesces() {
+        assert_eq!(merge_ranges(vec![(10, 20), (15, 30), (40, 50), (30, 40)]), vec![(10, 50)]);
+        assert_eq!(merge_ranges(vec![(5, 6)]), vec![(5, 6)]);
+        assert!(merge_ranges(Vec::new()).is_empty());
+    }
+}

@@ -58,10 +58,16 @@ impl<E: DhtEngine> KvService<E> {
     }
 
     /// A consistent snapshot of every stored key, in deterministic (owner,
-    /// hash point) order. The whole walk happens under **one** read-lock
-    /// acquisition, so no concurrent maintenance event can tear the view.
+    /// hash point) order.
+    ///
+    /// Routed through [`KvService::with_read`], so the whole walk holds
+    /// **one** read-lock acquisition for its entire duration: an in-flight
+    /// migration (`join_full`/`leave_full` hold the write lock across the
+    /// engine operation *and* the data moves) can never tear the view —
+    /// the snapshot sees the store strictly before or strictly after any
+    /// maintenance event, with every key present exactly once.
     pub fn snapshot_keys(&self) -> Vec<Bytes> {
-        self.inner.read().snapshot_keys()
+        self.with_read(KvStore::snapshot_keys)
     }
 
     /// Maintenance: a new vnode joins (exclusive).
@@ -179,6 +185,52 @@ mod tests {
         let mut after: Vec<_> = svc.snapshot_keys().iter().map(|k| k.to_vec()).collect();
         after.sort();
         assert_eq!(after, sorted);
+    }
+
+    #[test]
+    fn snapshots_mid_join_are_complete() {
+        // The read-consistency guard: snapshots racing a stream of
+        // `join_full` migrations must always see the complete key set —
+        // never a torn view with a key absent (mid-move) or doubled
+        // (copied but not yet removed from the donor).
+        let svc = service();
+        const KEYS: usize = 300;
+        for i in 0..KEYS as u32 {
+            svc.put(format!("k{i}"), format!("v{i}"));
+        }
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let snappers: Vec<_> = (0..3)
+            .map(|_| {
+                let svc = svc.clone();
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut snaps = 0u32;
+                    loop {
+                        let snap = svc.snapshot_keys();
+                        assert_eq!(snap.len(), KEYS, "torn snapshot mid-join");
+                        let mut set: Vec<_> = snap.iter().map(|k| k.to_vec()).collect();
+                        set.sort();
+                        set.dedup();
+                        assert_eq!(set.len(), KEYS, "snapshot double-counted a key");
+                        snaps += 1;
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    snaps
+                })
+            })
+            .collect();
+        // Maintenance storm: every join migrates data while snapshots run.
+        for s in 10..26u32 {
+            let (_, report, mig) = svc.join_full(SnodeId(s)).unwrap();
+            assert_eq!(report.transfers.len() as u64, mig.transfers);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for s in snappers {
+            assert!(s.join().unwrap() > 0, "snapshots must actually race the joins");
+        }
+        assert_eq!(svc.len(), KEYS as u64);
     }
 
     #[test]

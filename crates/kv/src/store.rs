@@ -21,11 +21,11 @@ use std::collections::BTreeMap;
 /// Per-point bucket: distinct keys hashing to the same point (rare but
 /// legal) are chained, **sorted by key** so probes are binary searches
 /// instead of linear scans.
-type Bucket = Vec<(Bytes, Bytes)>;
+pub(crate) type Bucket = Vec<(Bytes, Bytes)>;
 
 /// Position of `key` in a sorted bucket (`Ok` = present).
 #[inline]
-fn bucket_search(bucket: &Bucket, key: &[u8]) -> Result<usize, usize> {
+pub(crate) fn bucket_search(bucket: &Bucket, key: &[u8]) -> Result<usize, usize> {
     bucket.binary_search_by(|(k, _)| k.as_ref().cmp(key))
 }
 
@@ -100,7 +100,10 @@ impl RebalanceSink for MigrationSink<'_> {
 }
 
 /// The entry map of a vnode slot, growing the arena on demand.
-fn slot_of(data: &mut Vec<BTreeMap<u64, Bucket>>, v: VnodeId) -> &mut BTreeMap<u64, Bucket> {
+pub(crate) fn slot_of(
+    data: &mut Vec<BTreeMap<u64, Bucket>>,
+    v: VnodeId,
+) -> &mut BTreeMap<u64, Bucket> {
     if data.len() <= v.index() {
         data.resize_with(v.index() + 1, BTreeMap::new);
     }

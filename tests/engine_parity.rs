@@ -241,6 +241,128 @@ fn dyn_engine_objects_drive_all_backends() {
     }
 }
 
+/// The crash path: `fail_snode` tears down every vnode of one snode at
+/// once on any backend, leaving the engine passing `invariants::check`
+/// (via `check_invariants`) with the snode gone and routing still total.
+fn run_fail_snode<E: DhtEngine>(label: &str, mut dht: E) {
+    // Eighteen vnodes round-robin over six snodes: every snode hosts 3.
+    for i in 0..18u32 {
+        dht.create_vnode(SnodeId(i % 6)).unwrap();
+    }
+    let mut live = 18usize;
+    for victim in [2u32, 4, 0] {
+        let s = SnodeId(victim);
+        let hosted = dht.vnodes_of_snode(s);
+        assert!(!hosted.is_empty(), "{label}: s{victim} must host vnodes");
+        let mut counts = domus_core::CountOnly::default();
+        let outcome = dht.fail_snode(s, &mut counts).unwrap();
+        assert_eq!(outcome.vnodes.len(), hosted.len(), "{label}: crash must take every vnode");
+        assert!(counts.transfers > 0, "{label}: the crash must redistribute partitions");
+        live -= hosted.len();
+        assert!(dht.vnodes_of_snode(s).is_empty(), "{label}: s{victim} still hosts vnodes");
+        // Dead handles answer nothing; renamed survivors answer under the
+        // new handle.
+        for v in &outcome.vnodes {
+            assert!(dht.quota_of(*v).is_err(), "{label}: failed vnode {v} still live");
+        }
+        for (old, new) in &outcome.renames {
+            assert!(dht.quota_of(*old).is_err(), "{label}: retired handle {old} still live");
+            // The rename target lives on the same snode as the retired
+            // handle: when that snode is the one crashing, the replacement
+            // was itself torn down later in the sequence.
+            assert!(
+                dht.quota_of(*new).is_ok() || outcome.vnodes.contains(new),
+                "{label}: renamed handle {new} neither live nor torn down"
+            );
+        }
+        assert_contract(label, &dht, live);
+    }
+    // Error surface: an unknown snode is refused, and so is crashing the
+    // entire remaining fleet.
+    assert!(matches!(
+        dht.fail_snode(SnodeId(77), &mut NullSink),
+        Err(DhtError::EmptySnode(SnodeId(77)))
+    ));
+    for s in [1u32, 3] {
+        dht.fail_snode(SnodeId(s), &mut NullSink).unwrap();
+    }
+    assert_eq!(dht.fail_snode(SnodeId(5), &mut NullSink), Err(DhtError::LastVnode));
+    dht.check_invariants().unwrap_or_else(|e| panic!("{label}: {e}"));
+}
+
+#[test]
+fn fail_snode_parity_across_backends() {
+    run_fail_snode("global", global());
+    run_fail_snode("local", local());
+    run_fail_snode("ch", ch());
+}
+
+/// Crashes are as deterministic as everything else: for each seed, two
+/// engines fed the identical grow + `fail_snode` script end in
+/// byte-identical balance snapshots, per backend.
+#[test]
+fn fail_snode_is_deterministic_per_seed() {
+    fn crash_script<E: DhtEngine>(mut dht: E) -> String {
+        for i in 0..20u32 {
+            dht.create_vnode(SnodeId(i % 7)).unwrap();
+        }
+        for s in [3u32, 0, 5] {
+            dht.fail_snode(SnodeId(s), &mut NullSink).unwrap();
+        }
+        dht.check_invariants().unwrap();
+        // Debug formatting covers every field bit-for-bit.
+        format!("{:?}|{:?}", dht.balance_snapshot(), dht.quotas())
+    }
+    for seed in [1u64, 7, 2004] {
+        let cfg = || DhtConfig::new(space(), 4, 2).unwrap();
+        assert_eq!(
+            crash_script(LocalDht::with_seed(cfg(), seed)),
+            crash_script(LocalDht::with_seed(cfg(), seed)),
+            "local, seed {seed}"
+        );
+        let gcfg = || DhtConfig::new(space(), 4, 1).unwrap();
+        assert_eq!(
+            crash_script(GlobalDht::with_seed(gcfg(), seed)),
+            crash_script(GlobalDht::with_seed(gcfg(), seed)),
+            "global, seed {seed}"
+        );
+        assert_eq!(
+            crash_script(ChEngine::with_seed(gcfg(), 8, seed)),
+            crash_script(ChEngine::with_seed(gcfg(), 8, seed)),
+            "ch, seed {seed}"
+        );
+    }
+}
+
+/// The replica-successor walk agrees with `lookup` on its first visit and
+/// yields enough distinct snodes for placement on every backend.
+#[test]
+fn successor_walk_parity_across_backends() {
+    fn walk<E: DhtEngine>(label: &str, mut dht: E) {
+        for i in 0..12u32 {
+            dht.create_vnode(SnodeId(i % 5)).unwrap();
+        }
+        for point in probes() {
+            let (_, primary) = dht.lookup(point).unwrap();
+            let mut first = None;
+            let mut snodes = Vec::new();
+            dht.for_each_successor(point, &mut |v| {
+                first.get_or_insert(v);
+                let s = dht.snode_of(v).unwrap();
+                if !snodes.contains(&s) {
+                    snodes.push(s);
+                }
+                snodes.len() < 3
+            });
+            assert_eq!(first, Some(primary), "{label}: walk must start at the owner");
+            assert_eq!(snodes.len(), 3, "{label}: five snodes must yield three distinct");
+        }
+    }
+    walk("global", global());
+    walk("local", local());
+    walk("ch", ch());
+}
+
 /// The KV store is generic over the engine: the identical workload loses
 /// no data on any backend, with migration driven purely by the streamed
 /// transfer events.

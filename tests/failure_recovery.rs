@@ -1,0 +1,151 @@
+//! Fault-injection regression test for the replicated KV overlay: load a
+//! 10k-key population, crash snodes one at a time with anti-entropy
+//! repair between crashes, and account for every key.
+//!
+//! * At **R = 2**, a single crash between repairs can destroy at most one
+//!   of two distinct-snode copies, so the scripted crash sequence must
+//!   lose **zero** keys on every backend.
+//! * At **R = 1** there is no redundancy: each crash must lose *exactly*
+//!   the keys whose primary lived on the failed snode — predicted
+//!   independently through routing before the crash and checked against
+//!   the crash report's accounting, the key counter, and a full readback.
+
+use domus::prelude::*;
+use domus_kv::ReplicatedStore;
+
+const KEYS: u32 = 10_000;
+const SNODES: u32 = 8;
+
+fn global() -> GlobalDht {
+    GlobalDht::with_seed(DhtConfig::new(HashSpace::full(), 8, 1).unwrap(), 0xF1)
+}
+
+fn local() -> LocalDht {
+    LocalDht::with_seed(DhtConfig::new(HashSpace::full(), 8, 2).unwrap(), 0xF2)
+}
+
+fn ch() -> ChEngine {
+    ChEngine::with_seed(DhtConfig::new(HashSpace::full(), 8, 1).unwrap(), 16, 0xF3)
+}
+
+/// Builds a loaded store: `SNODES` snodes × 2 vnodes, 10k keys.
+fn load<E: DhtEngine>(engine: E, r: usize) -> ReplicatedStore<E> {
+    let mut kv = ReplicatedStore::new(engine, r);
+    for round in 0..2 {
+        for s in 0..SNODES {
+            kv.join(SnodeId(s)).unwrap();
+        }
+        let _ = round;
+    }
+    for i in 0..KEYS {
+        kv.put(format!("key:{i}"), format!("value-{i}"));
+    }
+    assert_eq!(kv.len(), KEYS as u64);
+    kv
+}
+
+/// R = 2: crash → repair → crash → … must never lose a key.
+fn crash_sequence_r2<E: DhtEngine>(label: &str, engine: E) {
+    let mut kv = load(engine, 2);
+    for victim in 0..5u32 {
+        let report = kv.fail_snode(SnodeId(victim)).unwrap();
+        assert!(report.vnodes_failed > 0, "{label}: s{victim} hosted vnodes");
+        assert!(report.copies_destroyed > 0, "{label}: s{victim} held replicas");
+        assert_eq!(report.keys_lost, 0, "{label}: crash of s{victim} lost keys at R=2");
+        // Everything stays readable through the degraded window...
+        assert_eq!(kv.len(), KEYS as u64, "{label}");
+        // ...and repair returns the population to full strength.
+        let repaired = kv.repair();
+        assert!(repaired.copies_placed > 0, "{label}: repair after s{victim} had no work");
+        kv.verify_replication().unwrap_or_else(|e| panic!("{label}: after s{victim}: {e}"));
+    }
+    for i in 0..KEYS {
+        let key = format!("key:{i}");
+        let q = kv.get_quorum(key.as_bytes());
+        assert!(q.available(), "{label}: {key} lost quorum");
+        assert_eq!(q.value.unwrap().as_ref(), format!("value-{i}").as_bytes(), "{label}: {key}");
+    }
+    kv.engine().check_invariants().unwrap_or_else(|e| panic!("{label}: {e}"));
+}
+
+#[test]
+fn r2_crash_repair_sequence_loses_nothing_on_global() {
+    crash_sequence_r2("global", global());
+}
+
+#[test]
+fn r2_crash_repair_sequence_loses_nothing_on_local() {
+    crash_sequence_r2("local", local());
+}
+
+#[test]
+fn r2_crash_repair_sequence_loses_nothing_on_ch() {
+    crash_sequence_r2("ch", ch());
+}
+
+/// R = 1: each crash loses exactly the keys the failed snode owned.
+fn crash_sequence_r1<E: DhtEngine>(label: &str, engine: E) {
+    let mut kv = load(engine, 1);
+    let mut alive: Vec<u32> = (0..KEYS).collect();
+    let mut population = KEYS as u64;
+    for victim in 0..4u32 {
+        // Predict the loss through routing, before the crash.
+        let predicted: Vec<u32> = alive
+            .iter()
+            .copied()
+            .filter(|i| {
+                let key = format!("key:{i}");
+                let owner = kv.route(key.as_bytes()).expect("routing is total");
+                kv.engine().snode_of(owner).unwrap() == SnodeId(victim)
+            })
+            .collect();
+        assert!(!predicted.is_empty(), "{label}: s{victim} must own keys");
+
+        let report = kv.fail_snode(SnodeId(victim)).unwrap();
+        assert_eq!(
+            report.keys_lost,
+            predicted.len() as u64,
+            "{label}: s{victim} loss must match the routing prediction exactly"
+        );
+        assert_eq!(
+            report.copies_destroyed, report.keys_lost,
+            "{label}: at R=1 every destroyed copy is a lost key"
+        );
+        population -= report.keys_lost;
+        assert_eq!(kv.len(), population, "{label}: key counter after s{victim}");
+
+        // Exactly the predicted keys are gone; everything else survives.
+        for &i in &predicted {
+            assert!(
+                kv.get(format!("key:{i}").as_bytes()).is_none(),
+                "{label}: key:{i} should have died with s{victim}"
+            );
+        }
+        alive.retain(|i| !predicted.contains(i));
+        for &i in alive.iter().step_by(97) {
+            assert!(
+                kv.get(format!("key:{i}").as_bytes()).is_some(),
+                "{label}: key:{i} lost without accounting"
+            );
+        }
+        kv.repair();
+        kv.verify_replication().unwrap_or_else(|e| panic!("{label}: after s{victim}: {e}"));
+    }
+    let readable = alive.iter().filter(|i| kv.get(format!("key:{i}").as_bytes()).is_some()).count();
+    assert_eq!(readable as u64, population, "{label}: survivors must all read back");
+}
+
+#[test]
+fn r1_crashes_lose_exactly_the_owned_keys_on_global() {
+    crash_sequence_r1("global", global());
+}
+
+#[test]
+fn r1_crashes_lose_exactly_the_owned_keys_on_local() {
+    crash_sequence_r1("local", local());
+}
+
+#[test]
+fn r1_crashes_lose_exactly_the_owned_keys_on_ch() {
+    crash_sequence_r1("ch", ch());
+}

@@ -1,0 +1,146 @@
+//! Model-based differential test for the replicated KV overlay: random
+//! interleavings of put/get/remove/join/leave/**fail** run against a
+//! single-`BTreeMap` oracle on all three backends.
+//!
+//! The durability property under test: with `R ≥ 2` and at most one
+//! un-repaired failure at any time (each crash is followed by an
+//! anti-entropy repair before the next one), **every oracle key remains
+//! readable** — crashes are invisible to the data plane, and the store
+//! answers exactly like the oracle through any operation interleaving.
+
+use domus::prelude::*;
+use domus_kv::ReplicatedStore;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u8),
+    Get(u16),
+    Remove(u16),
+    Join(u8),
+    Leave(u16),
+    Fail(u8),
+}
+
+fn ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            5 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
+            3 => any::<u16>().prop_map(Op::Get),
+            2 => any::<u16>().prop_map(Op::Remove),
+            1 => any::<u8>().prop_map(Op::Join),
+            1 => any::<u16>().prop_map(Op::Leave),
+            2 => any::<u8>().prop_map(Op::Fail),
+        ],
+        1..max,
+    )
+}
+
+/// Distinct live snodes, in ascending id order (rank-selection base).
+fn live_snodes<E: DhtEngine>(engine: &E) -> Vec<SnodeId> {
+    let mut out: Vec<SnodeId> = Vec::new();
+    engine.for_each_vnode(&mut |v| {
+        let s = engine.snode_of(v).expect("listed vnode is live");
+        if !out.contains(&s) {
+            out.push(s);
+        }
+    });
+    out.sort_unstable();
+    out
+}
+
+fn run_script<E: DhtEngine>(label: &str, engine: E, script: &[Op]) -> Result<(), TestCaseError> {
+    let mut kv = ReplicatedStore::new(engine, 2);
+    // Two seed snodes so R = 2 placement exists from the first put.
+    kv.join(SnodeId(0)).unwrap();
+    kv.join(SnodeId(1)).unwrap();
+    let mut next_snode = 2u32;
+    let mut oracle: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+
+    for op in script {
+        match *op {
+            Op::Put(k, v) => {
+                let key = format!("key:{k}");
+                let value = vec![v; 4];
+                let prev = kv.put(key.clone(), value.clone()).map(|b| b.to_vec());
+                let model_prev = oracle.insert(key, value);
+                prop_assert_eq!(prev, model_prev, "{}: put must report the oracle's prior", label);
+            }
+            Op::Get(k) => {
+                let key = format!("key:{k}");
+                let got = kv.get(key.as_bytes()).map(|b| b.to_vec());
+                prop_assert_eq!(got, oracle.get(&key).cloned(), "{}: get({})", label, key);
+            }
+            Op::Remove(k) => {
+                let key = format!("key:{k}");
+                let got = kv.remove(key.as_bytes()).map(|b| b.to_vec());
+                prop_assert_eq!(got, oracle.remove(&key), "{}: remove({})", label, key);
+            }
+            Op::Join(s) => {
+                kv.join(SnodeId(next_snode + (s as u32 % 3))).unwrap();
+                next_snode += 3;
+            }
+            Op::Leave(pos) => {
+                let vnodes = kv.engine().vnodes();
+                if vnodes.len() > 1 {
+                    let v = vnodes[pos as usize % vnodes.len()];
+                    kv.leave(v).unwrap();
+                }
+            }
+            Op::Fail(pick) => {
+                let snodes = live_snodes(kv.engine());
+                if snodes.len() < 2 {
+                    continue; // crashing the only snode would empty the DHT
+                }
+                let victim = snodes[pick as usize % snodes.len()];
+                let report = kv.fail_snode(victim).unwrap();
+                // ≤ 1 concurrent failure (repair follows immediately), so
+                // R = 2 must shield every key.
+                prop_assert_eq!(
+                    report.keys_lost,
+                    0,
+                    "{}: crash of {} lost keys at R=2",
+                    label,
+                    victim
+                );
+                kv.repair();
+            }
+        }
+    }
+
+    // Final audit against the oracle: same population, every key readable
+    // with the oracle's value, replication invariants intact.
+    prop_assert_eq!(kv.len(), oracle.len() as u64, "{}: population diverged", label);
+    for (key, value) in &oracle {
+        let got = kv.get(key.as_bytes());
+        prop_assert_eq!(
+            got.as_deref(),
+            Some(value.as_slice()),
+            "{}: oracle key {} must stay readable",
+            label,
+            key
+        );
+    }
+    kv.verify_replication().map_err(TestCaseError::fail)?;
+    kv.engine().check_invariants().map_err(|e| TestCaseError::fail(e.to_string()))?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// ≥ 3 seeds × 3 backends (each proptest case draws a fresh seed and
+    /// runs the identical script on all three engines).
+    #[test]
+    fn replicated_store_matches_oracle_through_crashes(
+        seed in any::<u64>(),
+        script in ops(60),
+    ) {
+        let cfg = DhtConfig::new(HashSpace::new(32), 4, 2).unwrap();
+        run_script("local", LocalDht::with_seed(cfg, seed), &script)?;
+        let gcfg = DhtConfig::new(HashSpace::new(32), 4, 1).unwrap();
+        run_script("global", GlobalDht::with_seed(gcfg, seed), &script)?;
+        run_script("ch", ChEngine::with_seed(gcfg, 8, seed), &script)?;
+    }
+}
