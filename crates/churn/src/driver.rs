@@ -18,14 +18,47 @@
 //! stream drives the global approach, the local approach and Consistent
 //! Hashing through the same decisions — cross-backend outputs differ only
 //! by what the engines themselves do.
+//!
+//! ## The concurrent serving plane
+//!
+//! With [`ChurnDriver::with_readers`] the replay becomes a two-plane
+//! system: the driver thread applies membership events (the mutation
+//! plane) while `n` reader threads resolve lookups/gets against pinned
+//! [`EngineSnapshot`]s (the serving plane). Every membership operation
+//! tees its rebalance events into a [`SnapshotBuilder`] and publishes the
+//! next epoch into a shared [`SnapshotCell`] *before* the operation's
+//! store lock is released, so a reader that settles at the current epoch
+//! can trust a miss. Readers are paced closed-loop clients (a burst of
+//! reads per pinned snapshot, then a fixed pause), so aggregate offered
+//! load scales with the reader count and per-window reads/sec, latency
+//! quantiles and the stale-route rate land in the CHURN CSVs. Without
+//! readers the replay is byte-for-byte the single-threaded hot path —
+//! the new CSV columns emit deterministic zeros.
 
 use crate::event::{ChurnEvent, EventKind, EventStream, NodeTag};
-use domus_core::{BalanceSnapshot, DhtEngine, SnodeId, VnodeId};
+use domus_core::{
+    BalanceSnapshot, DhtEngine, EngineSnapshot, SnapshotBuilder, SnapshotCell, SnodeId, Tee,
+    VnodeId,
+};
 use domus_kv::workload::value_of;
 use domus_kv::{KvService, KvStore, ReplicatedStore, UniformKeys};
 use domus_metrics::Series;
 use domus_sim::{ClusterNet, CostModel, EventCost, EventPricer, SimTime};
+use parking_lot::RwLock;
 use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Reads issued per pinned snapshot in one reader-thread burst.
+const READ_BURST: usize = 64;
+/// Pause between bursts: readers are paced clients, so the serving plane
+/// measures sustained offered load (which scales with the reader count),
+/// not how fast one core can spin on an uncontended path.
+const READ_PACE: Duration = Duration::from_millis(1);
+/// Latency histogram buckets: bucket `i` holds nanosecond readings in
+/// `[2^(i-1), 2^i)` (bucket 0 is the zero reading).
+const LAT_BUCKETS: usize = 65;
 
 /// Replay configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +108,129 @@ impl WindowAcc {
         self.bytes += cost.bytes;
         self.service_ns += cost.duration.nanos();
     }
+}
+
+/// Shared read-plane counters every reader thread increments (relaxed —
+/// they are statistics, not synchronisation).
+struct ReadStats {
+    reads: AtomicU64,
+    stale_retries: AtomicU64,
+    errors: AtomicU64,
+    hist: [AtomicU64; LAT_BUCKETS],
+}
+
+impl ReadStats {
+    fn new() -> Self {
+        Self {
+            reads: AtomicU64::new(0),
+            stale_retries: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, nanos: u64, retries: u32, error: bool) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        if retries > 0 {
+            self.stale_retries.fetch_add(retries as u64, Ordering::Relaxed);
+        }
+        if error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let bucket = 64 - nanos.leading_zeros() as usize;
+        self.hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn counters(&self) -> ReadCounters {
+        ReadCounters {
+            reads: self.reads.load(Ordering::Relaxed),
+            stale_retries: self.stale_retries.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            hist: std::array::from_fn(|i| self.hist[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A plain copy of [`ReadStats`], used for window deltas and quantiles.
+#[derive(Clone, Copy)]
+struct ReadCounters {
+    reads: u64,
+    stale_retries: u64,
+    errors: u64,
+    hist: [u64; LAT_BUCKETS],
+}
+
+impl ReadCounters {
+    fn zero() -> Self {
+        Self { reads: 0, stale_retries: 0, errors: 0, hist: [0; LAT_BUCKETS] }
+    }
+
+    fn since(&self, prev: &Self) -> Self {
+        Self {
+            reads: self.reads - prev.reads,
+            stale_retries: self.stale_retries - prev.stale_retries,
+            errors: self.errors - prev.errors,
+            hist: std::array::from_fn(|i| self.hist[i] - prev.hist[i]),
+        }
+    }
+
+    /// The latency quantile `q` in nanoseconds — the midpoint of the
+    /// log-scale bucket where the cumulative count crosses `q`.
+    fn quantile_ns(&self, q: f64) -> u64 {
+        let total: u64 = self.hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64 * q).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.hist.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                if i == 0 {
+                    return 0;
+                }
+                let lo = 1u128 << (i - 1);
+                let hi = 1u128 << i;
+                return ((lo + hi) / 2) as u64;
+            }
+        }
+        0
+    }
+
+    fn window(&self, wall: Duration) -> ReadWindow {
+        let secs = wall.as_secs_f64();
+        ReadWindow {
+            reads: self.reads,
+            reads_per_sec: if secs > 0.0 { self.reads as f64 / secs } else { 0.0 },
+            p50_ns: self.quantile_ns(0.50),
+            p99_ns: self.quantile_ns(0.99),
+            stale_rate: if self.reads > 0 {
+                self.stale_retries as f64 / self.reads as f64
+            } else {
+                0.0
+            },
+            errors: self.errors,
+        }
+    }
+}
+
+/// Read-plane counters at the last window boundary (wall clock — the
+/// serving plane runs in real time, unlike the simulated event clock).
+struct ReadMark {
+    at: Instant,
+    counters: ReadCounters,
+}
+
+/// The read-plane figures of one window (all zero when readers are off —
+/// the CSV stays byte-deterministic).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct ReadWindow {
+    reads: u64,
+    reads_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    stale_rate: f64,
+    errors: u64,
 }
 
 /// One observation window of a churn run.
@@ -131,6 +287,22 @@ pub struct WindowSample {
     /// Replica copies placed by the anti-entropy repair that runs at this
     /// window's close (0 without the replicated overlay).
     pub repaired: u64,
+    /// Serving-plane reads completed in the window (0 without readers).
+    pub reads: u64,
+    /// Serving-plane read throughput over the window's wall time (0.0
+    /// without readers).
+    pub reads_per_sec: f64,
+    /// Median read latency in nanoseconds (0 without readers).
+    pub read_p50_ns: u64,
+    /// 99th-percentile read latency in nanoseconds (0 without readers).
+    pub read_p99_ns: u64,
+    /// Stale-route retries per read: the fraction of reads that had to
+    /// re-pin the snapshot because an epoch was published mid-flight
+    /// (0.0 without readers).
+    pub stale_rate: f64,
+    /// Reads that settled at the current epoch and still missed — must
+    /// stay 0 whenever the overlay is loss-free (0 without readers).
+    pub read_errors: u64,
 }
 
 /// Whole-run aggregate.
@@ -168,6 +340,21 @@ pub struct RunTotals {
     pub mean_quorum_availability: f64,
     /// Total replica copies placed by end-of-window repairs.
     pub repaired: u64,
+    /// Serving-plane reads completed over the whole run (0 without
+    /// readers).
+    pub reads: u64,
+    /// Whole-run read throughput (reads over replay wall time; 0.0
+    /// without readers).
+    pub reads_per_sec: f64,
+    /// Whole-run median read latency in nanoseconds.
+    pub read_p50_ns: u64,
+    /// Whole-run 99th-percentile read latency in nanoseconds.
+    pub read_p99_ns: u64,
+    /// Whole-run stale-route retries per read.
+    pub stale_rate: f64,
+    /// Total settled-epoch read misses (must be 0 on a loss-free
+    /// overlay).
+    pub read_errors: u64,
 }
 
 /// The finished result of one churn run.
@@ -183,7 +370,7 @@ pub struct ChurnOutcome {
 
 impl ChurnOutcome {
     /// The CSV header of [`ChurnOutcome::write_csv`].
-    pub const CSV_HEADER: [&'static str; 24] = [
+    pub const CSV_HEADER: [&'static str; 30] = [
         "window",
         "t_ms",
         "events",
@@ -208,6 +395,12 @@ impl ChurnOutcome {
         "keys_lost",
         "quorum_availability",
         "repaired",
+        "reads",
+        "reads_per_sec",
+        "read_p50_ns",
+        "read_p99_ns",
+        "stale_rate",
+        "read_errors",
     ];
 
     /// Writes the per-window rows as CSV. The formatting is fixed-point,
@@ -240,6 +433,12 @@ impl ChurnOutcome {
                 s.keys_lost.to_string(),
                 format!("{:.4}", s.quorum_availability),
                 s.repaired.to_string(),
+                s.reads.to_string(),
+                format!("{:.1}", s.reads_per_sec),
+                s.read_p50_ns.to_string(),
+                s.read_p99_ns.to_string(),
+                format!("{:.4}", s.stale_rate),
+                s.read_errors.to_string(),
             ]
         });
         domus_metrics::csv::write_rows(w, &Self::CSV_HEADER, rows)
@@ -268,7 +467,25 @@ impl ChurnOutcome {
 enum Plant<E: DhtEngine> {
     Bare(E),
     Kv(KvService<E>),
-    Repl(ReplicatedStore<E>),
+    Repl(Arc<RwLock<ReplicatedStore<E>>>),
+}
+
+/// What a serving-plane reader thread resolves reads against.
+enum ReadTarget<E: DhtEngine> {
+    /// Routing-plane only: resolve random points on the pinned snapshot.
+    Routing,
+    Kv(KvService<E>),
+    Repl(Arc<RwLock<ReplicatedStore<E>>>),
+}
+
+impl<E: DhtEngine> Clone for ReadTarget<E> {
+    fn clone(&self) -> Self {
+        match self {
+            Self::Routing => Self::Routing,
+            Self::Kv(svc) => Self::Kv(svc.clone()),
+            Self::Repl(store) => Self::Repl(Arc::clone(store)),
+        }
+    }
 }
 
 /// Replays an [`EventStream`] into one engine, pricing and sampling.
@@ -289,6 +506,28 @@ pub struct ChurnDriver<E: DhtEngine> {
     /// Probe keys and their owner at the last window boundary.
     probe_keys: Vec<String>,
     probe_owner: Vec<Option<VnodeId>>,
+    /// The published routing view readers (and the window probe) pin.
+    /// The KV plant's [`KvService`] maintains its own cell; this one
+    /// serves the bare/replicated plants.
+    serve: Arc<SnapshotCell>,
+    /// Incremental view maintenance for the bare/replicated plants,
+    /// tee'd into every operation when readers are on.
+    builder: SnapshotBuilder,
+    /// Serving-plane reader threads ([`ChurnDriver::with_readers`]).
+    readers: usize,
+    /// Reads per pinned snapshot in one reader burst.
+    read_burst: usize,
+    /// Pause between reader bursts (the closed-loop pacing).
+    read_pace: Duration,
+    /// Optional pause after each replayed event in reader mode —
+    /// stretches replay wall time so read metrics cover a steady window.
+    writer_pace: Duration,
+    read_stats: Arc<ReadStats>,
+    /// Raised once the KV population is loaded; readers issue
+    /// routing-only probes until then.
+    loaded: Arc<AtomicBool>,
+    read_mark: ReadMark,
+    run_started: Option<Instant>,
 }
 
 impl<E: DhtEngine> ChurnDriver<E> {
@@ -325,7 +564,7 @@ impl<E: DhtEngine> ChurnDriver<E> {
     ) -> Self {
         assert!(entries > 0, "replicated overlay needs a key population");
         Self::build(
-            Plant::Repl(ReplicatedStore::new(engine, replication)),
+            Plant::Repl(Arc::new(RwLock::new(ReplicatedStore::new(engine, replication)))),
             cfg,
             Some((entries, value_len)),
         )
@@ -333,6 +572,12 @@ impl<E: DhtEngine> ChurnDriver<E> {
 
     fn build(plant: Plant<E>, cfg: DriverConfig, pending_load: Option<(u64, usize)>) -> Self {
         assert!(cfg.window > SimTime::ZERO, "sampling window must be positive");
+        let builder = match &plant {
+            Plant::Bare(e) => SnapshotBuilder::from_engine(e),
+            Plant::Kv(svc) => svc.with_read(|s| SnapshotBuilder::from_engine(s.engine())),
+            Plant::Repl(store) => SnapshotBuilder::from_engine(store.read().engine()),
+        };
+        let serve = Arc::new(SnapshotCell::new(builder.snapshot()));
         Self {
             plant,
             cfg,
@@ -345,7 +590,47 @@ impl<E: DhtEngine> ChurnDriver<E> {
             pending_load,
             probe_keys: Vec::new(),
             probe_owner: Vec::new(),
+            serve,
+            builder,
+            readers: 0,
+            read_burst: READ_BURST,
+            read_pace: READ_PACE,
+            writer_pace: Duration::ZERO,
+            read_stats: Arc::new(ReadStats::new()),
+            loaded: Arc::new(AtomicBool::new(false)),
+            read_mark: ReadMark { at: Instant::now(), counters: ReadCounters::zero() },
+            run_started: None,
         }
+    }
+
+    /// Turns on the serving plane: `n` reader threads hammer
+    /// lookups/gets against pinned snapshots while the replay mutates.
+    /// Readers are paced closed-loop clients (a 64-read burst per
+    /// pinned snapshot, then a 1 ms pause, by default), so per-window
+    /// reads/sec measures sustained offered load scaling with `n`.
+    /// Read metrics are wall-clock figures — a run with readers trades
+    /// the byte-identical-CSV determinism contract for them.
+    pub fn with_readers(mut self, n: usize) -> Self {
+        self.readers = n;
+        self
+    }
+
+    /// Overrides the reader pacing profile: `burst` reads per pinned
+    /// snapshot, then a `pace` pause. Lower offered load per reader keeps
+    /// aggregate throughput linear in the reader count on small machines.
+    pub fn with_reader_pacing(mut self, burst: usize, pace: Duration) -> Self {
+        assert!(burst > 0, "a reader burst must issue at least one read");
+        self.read_burst = burst;
+        self.read_pace = pace;
+        self
+    }
+
+    /// Pauses the replay thread for `pace` after every event in reader
+    /// mode — a load-bench knob that stretches replay wall time so read
+    /// windows sample a steady state (ignored without readers).
+    pub fn with_writer_pace(mut self, pace: Duration) -> Self {
+        self.writer_pace = pace;
+        self
     }
 
     /// Read access to the engine regardless of the overlay.
@@ -353,7 +638,7 @@ impl<E: DhtEngine> ChurnDriver<E> {
         match &self.plant {
             Plant::Bare(e) => f(e),
             Plant::Kv(svc) => svc.with_read(|s| f(s.engine())),
-            Plant::Repl(store) => f(store.engine()),
+            Plant::Repl(store) => f(store.read().engine()),
         }
     }
 
@@ -365,11 +650,27 @@ impl<E: DhtEngine> ChurnDriver<E> {
         }
     }
 
-    /// The replicated store, when the replicated overlay is active.
-    pub fn replicated(&self) -> Option<&ReplicatedStore<E>> {
+    /// Read access to the replicated store, when that overlay is active.
+    pub fn with_replicated<T>(&self, f: impl FnOnce(&ReplicatedStore<E>) -> T) -> Option<T> {
         match &self.plant {
-            Plant::Repl(store) => Some(store),
+            Plant::Repl(store) => Some(f(&store.read())),
             _ => None,
+        }
+    }
+
+    /// The serving-plane cell readers pin snapshots from.
+    pub fn serve_cell(&self) -> &Arc<SnapshotCell> {
+        match &self.plant {
+            Plant::Kv(svc) => svc.serve(),
+            _ => &self.serve,
+        }
+    }
+
+    fn read_target(&self) -> ReadTarget<E> {
+        match &self.plant {
+            Plant::Bare(_) => ReadTarget::Routing,
+            Plant::Kv(svc) => ReadTarget::Kv(svc.clone()),
+            Plant::Repl(store) => ReadTarget::Repl(Arc::clone(store)),
         }
     }
 
@@ -420,14 +721,6 @@ impl<E: DhtEngine> ChurnDriver<E> {
         self.acc.events += 1;
     }
 
-    /// Replays a whole stream and finishes the run.
-    pub fn run(mut self, stream: &EventStream) -> ChurnOutcome {
-        for e in stream.events() {
-            self.step(e);
-        }
-        self.finish(stream.horizon())
-    }
-
     /// Closes the remaining windows through `horizon` and aggregates.
     pub fn finish(mut self, horizon: SimTime) -> ChurnOutcome {
         let horizon = horizon.max(self.clock);
@@ -461,7 +754,24 @@ impl<E: DhtEngine> ChurnDriver<E> {
             keys_lost: 0,
             mean_quorum_availability: 1.0,
             repaired: 0,
+            reads: 0,
+            reads_per_sec: 0.0,
+            read_p50_ns: 0,
+            read_p99_ns: 0,
+            stale_rate: 0.0,
+            read_errors: 0,
         };
+        if self.readers > 0 {
+            let c = self.read_stats.counters();
+            let wall = self.run_started.map(|t| t.elapsed()).unwrap_or(Duration::ZERO);
+            let w = c.window(wall);
+            totals.reads = w.reads;
+            totals.reads_per_sec = w.reads_per_sec;
+            totals.read_p50_ns = w.p50_ns;
+            totals.read_p99_ns = w.p99_ns;
+            totals.stale_rate = w.stale_rate;
+            totals.read_errors = w.errors;
+        }
         for s in &self.samples {
             totals.events += s.events;
             totals.joins += s.joins;
@@ -504,10 +814,16 @@ impl<E: DhtEngine> ChurnDriver<E> {
     fn close_window(&mut self, end: SimTime) {
         let balance = self.with_engine(|e| e.balance_snapshot());
         let (availability, lost_lookups, quorum_availability) = self.probe_window();
+        let read = self.read_window();
         // Anti-entropy runs at window cadence: sample the damage first
         // (the quorum figure above sees the pre-repair state), then heal.
         let (keys_total, repaired) = match &mut self.plant {
-            Plant::Repl(store) => (store.len(), store.repair().copies_placed),
+            Plant::Repl(store) => {
+                // Repair fills missing copies on the chains the current
+                // epoch already routes to — no republish needed.
+                let mut g = store.write();
+                (g.len(), g.repair().copies_placed)
+            }
             Plant::Kv(svc) => (svc.len(), 0),
             Plant::Bare(_) => (0, 0),
         };
@@ -532,17 +848,27 @@ impl<E: DhtEngine> ChurnDriver<E> {
             keys_total,
             quorum_availability,
             repaired,
+            reads: read.reads,
+            reads_per_sec: read.reads_per_sec,
+            read_p50_ns: read.p50_ns,
+            read_p99_ns: read.p99_ns,
+            stale_rate: read.stale_rate,
+            read_errors: read.errors,
         });
     }
 
-    /// Re-routes the probe set: availability = unchanged-owner fraction;
-    /// every probe must still read back (lookup correctness); with the
-    /// replicated overlay the quorum figure counts probes readable at
-    /// majority quorum.
+    /// Re-routes the probe set **through a pinned snapshot** — the same
+    /// consistent epoch a concurrent client would serve from, not the
+    /// live engine: availability = unchanged-owner fraction; every probe
+    /// must still read back (lookup correctness); with the replicated
+    /// overlay the quorum figure counts probes readable at majority
+    /// quorum.
     fn probe_window(&mut self) -> (f64, u64, f64) {
         if self.probe_keys.is_empty() {
             return (1.0, 0, 1.0);
         }
+        self.refresh_serve();
+        let snap = self.serve_cell().load();
         let mut changed = 0u64;
         let mut lost = 0u64;
         let mut at_quorum = 0u64;
@@ -552,8 +878,8 @@ impl<E: DhtEngine> ChurnDriver<E> {
             Plant::Bare(_) => return (1.0, 0, 1.0),
             Plant::Kv(svc) => svc.with_read(|store| {
                 for (key, prev) in keys.iter().zip(owners.iter_mut()) {
-                    let now = store.route(key.as_bytes());
-                    if store.get(key.as_bytes()).is_none() {
+                    let now = store.route_at(&snap, key.as_bytes());
+                    if store.get_at(&snap, key.as_bytes()).is_none() {
                         lost += 1;
                     }
                     at_quorum += 1;
@@ -564,9 +890,10 @@ impl<E: DhtEngine> ChurnDriver<E> {
                 }
             }),
             Plant::Repl(store) => {
+                let store = store.read();
                 for (key, prev) in keys.iter().zip(owners.iter_mut()) {
-                    let now = store.route(key.as_bytes());
-                    let read = store.get_quorum(key.as_bytes());
+                    let now = store.route_at(&snap, key.as_bytes());
+                    let read = store.get_quorum_at(&snap, key.as_bytes());
                     if read.value.is_none() {
                         lost += 1;
                     }
@@ -584,14 +911,51 @@ impl<E: DhtEngine> ChurnDriver<E> {
         (1.0 - changed as f64 / n, lost, at_quorum as f64 / n)
     }
 
+    /// Brings the bare/replicated serving cell up to date in
+    /// single-threaded replay (in reader mode every operation already
+    /// published its epoch; the KV service always maintains its own).
+    fn refresh_serve(&mut self) {
+        if self.readers > 0 || matches!(self.plant, Plant::Kv(_)) {
+            return;
+        }
+        let epoch = self.samples.len() as u64 + 1;
+        let snap = self.with_engine(|e| EngineSnapshot::from_engine(e, epoch));
+        self.serve.publish(snap);
+    }
+
+    /// Drains the read-plane counters accumulated since the last window
+    /// boundary (all-zero when readers are off).
+    fn read_window(&mut self) -> ReadWindow {
+        if self.readers == 0 {
+            return ReadWindow::default();
+        }
+        let now = Instant::now();
+        let cur = self.read_stats.counters();
+        let delta = cur.since(&self.read_mark.counters);
+        let wall = now.duration_since(self.read_mark.at);
+        self.read_mark = ReadMark { at: now, counters: cur };
+        delta.window(wall)
+    }
+
     fn create_one(&mut self, node: NodeTag) {
         let snode = SnodeId(node.0);
         self.pricer.begin();
+        // With readers on, the bare/replicated plants tee every event into
+        // the snapshot builder and publish the next epoch before the
+        // operation's lock is released (the KV service does its own).
+        let serve_live = self.readers > 0;
         let (v, entries_moved) = match &mut self.plant {
             Plant::Bare(e) => {
-                let out = e
-                    .create_vnode_with(snode, &mut self.pricer)
-                    .expect("churn replay: create failed");
+                let out = if serve_live {
+                    e.create_vnode_with(snode, &mut Tee(&mut self.builder, &mut self.pricer))
+                } else {
+                    e.create_vnode_with(snode, &mut self.pricer)
+                }
+                .expect("churn replay: create failed");
+                if serve_live {
+                    self.builder.note_create(out.vnode, snode);
+                    self.builder.publish(&self.serve);
+                }
                 (out.vnode, 0)
             }
             Plant::Kv(svc) => {
@@ -600,8 +964,17 @@ impl<E: DhtEngine> ChurnDriver<E> {
                 (out.vnode, m.entries)
             }
             Plant::Repl(store) => {
-                let (out, rep) =
-                    store.join_with(snode, &mut self.pricer).expect("churn replay: create failed");
+                let mut g = store.write();
+                let (out, rep) = if serve_live {
+                    let r = g
+                        .join_with(snode, &mut Tee(&mut self.builder, &mut self.pricer))
+                        .expect("churn replay: create failed");
+                    self.builder.note_create(r.0.vnode, snode);
+                    self.builder.publish(&self.serve);
+                    r
+                } else {
+                    g.join_with(snode, &mut self.pricer).expect("churn replay: create failed")
+                };
                 (out.vnode, rep.copies_placed)
             }
         };
@@ -641,20 +1014,35 @@ impl<E: DhtEngine> ChurnDriver<E> {
             return None;
         }
         self.pricer.begin();
+        let serve_live = self.readers > 0;
         let entries_moved = match &mut self.plant {
             Plant::Bare(e) => {
-                e.remove_vnode_with(v, &mut self.pricer).expect("churn replay: remove failed");
+                if serve_live {
+                    e.remove_vnode_with(v, &mut Tee(&mut self.builder, &mut self.pricer))
+                        .expect("churn replay: remove failed");
+                    self.builder.note_remove(v);
+                    self.builder.publish(&self.serve);
+                } else {
+                    e.remove_vnode_with(v, &mut self.pricer).expect("churn replay: remove failed");
+                }
                 0
             }
             Plant::Kv(svc) => {
                 svc.leave_with(v, &mut self.pricer).expect("churn replay: remove failed").1.entries
             }
             Plant::Repl(store) => {
-                store
-                    .leave_with(v, &mut self.pricer)
-                    .expect("churn replay: remove failed")
-                    .1
-                    .copies_placed
+                let mut g = store.write();
+                let rep = if serve_live {
+                    let r = g
+                        .leave_with(v, &mut Tee(&mut self.builder, &mut self.pricer))
+                        .expect("churn replay: remove failed");
+                    self.builder.note_remove(v);
+                    self.builder.publish(&self.serve);
+                    r
+                } else {
+                    g.leave_with(v, &mut self.pricer).expect("churn replay: remove failed")
+                };
+                rep.1.copies_placed
             }
         };
         // The governing record after the event is visible through any
@@ -709,16 +1097,33 @@ impl<E: DhtEngine> ChurnDriver<E> {
         }
         let snode = SnodeId(tag.0);
         self.pricer.begin();
+        let serve_live = self.readers > 0;
         let (renames, vnodes_failed, keys_lost, relocated) = match &mut self.plant {
             Plant::Bare(e) => {
-                let out =
-                    e.fail_snode(snode, &mut self.pricer).expect("churn replay: crash failed");
+                let out = if serve_live {
+                    let o = e
+                        .fail_snode(snode, &mut Tee(&mut self.builder, &mut self.pricer))
+                        .expect("churn replay: crash failed");
+                    self.builder.note_fail(snode);
+                    self.builder.publish(&self.serve);
+                    o
+                } else {
+                    e.fail_snode(snode, &mut self.pricer).expect("churn replay: crash failed")
+                };
                 (out.renames, out.vnodes.len(), 0, 0)
             }
             Plant::Repl(store) => {
-                let rep = store
-                    .fail_snode_with(snode, &mut self.pricer)
-                    .expect("churn replay: crash failed");
+                let mut g = store.write();
+                let rep = if serve_live {
+                    let r = g
+                        .fail_snode_with(snode, &mut Tee(&mut self.builder, &mut self.pricer))
+                        .expect("churn replay: crash failed");
+                    self.builder.note_fail(snode);
+                    self.builder.publish(&self.serve);
+                    r
+                } else {
+                    g.fail_snode_with(snode, &mut self.pricer).expect("churn replay: crash failed")
+                };
                 (rep.renames, rep.vnodes_failed, rep.keys_lost, rep.copies_relocated)
             }
             Plant::Kv(_) => unreachable!("degraded to graceful removal above"),
@@ -759,6 +1164,7 @@ impl<E: DhtEngine> ChurnDriver<E> {
     /// loss a second time as `lost_lookups`.
     fn prune_lost_probes(&mut self) {
         let Plant::Repl(store) = &self.plant else { return };
+        let store = store.read();
         let keys = std::mem::take(&mut self.probe_keys);
         let owners = std::mem::take(&mut self.probe_owner);
         for (key, owner) in keys.into_iter().zip(owners) {
@@ -789,8 +1195,9 @@ impl<E: DhtEngine> ChurnDriver<E> {
                 }
             }
             Plant::Repl(store) => {
+                let mut g = store.write();
                 for i in 0..entries {
-                    store.put(keys.key_at(i), value_of(value_len, i));
+                    g.put(keys.key_at(i), value_of(value_len, i));
                 }
             }
         }
@@ -805,8 +1212,145 @@ impl<E: DhtEngine> ChurnDriver<E> {
                 *owners = probe_keys.iter().map(|k| store.route(k.as_bytes())).collect();
             }),
             Plant::Repl(store) => {
+                let store = store.read();
                 *owners = probe_keys.iter().map(|k| store.route(k.as_bytes())).collect();
             }
+        }
+        // Readers switch from routing-only probes to real gets from here.
+        self.loaded.store(true, Ordering::Release);
+    }
+}
+
+impl<E: DhtEngine + Send + Sync> ChurnDriver<E> {
+    /// Replays a whole stream and finishes the run. With
+    /// [`ChurnDriver::with_readers`] the serving plane runs concurrently
+    /// for the duration of the replay.
+    pub fn run(mut self, stream: &EventStream) -> ChurnOutcome {
+        self.run_started = Some(Instant::now());
+        if self.readers == 0 {
+            for e in stream.events() {
+                self.step(e);
+            }
+            return self.finish(stream.horizon());
+        }
+        self.run_threaded(stream)
+    }
+
+    fn run_threaded(mut self, stream: &EventStream) -> ChurnOutcome {
+        let cell = Arc::clone(self.serve_cell());
+        let stats = Arc::clone(&self.read_stats);
+        let loaded = Arc::clone(&self.loaded);
+        let entries = self.pending_load.map(|(n, _)| n).unwrap_or(0);
+        let target = self.read_target();
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer_pace = self.writer_pace;
+        let (burst, pace) = (self.read_burst, self.read_pace);
+        std::thread::scope(|s| {
+            for t in 0..self.readers {
+                let cell = Arc::clone(&cell);
+                let stats = Arc::clone(&stats);
+                let loaded = Arc::clone(&loaded);
+                let stop = Arc::clone(&stop);
+                let target = target.clone();
+                s.spawn(move || {
+                    reader_loop(
+                        t as u64, &cell, &target, entries, &loaded, &stop, &stats, burst, pace,
+                    )
+                });
+            }
+            self.read_mark = ReadMark { at: Instant::now(), counters: ReadCounters::zero() };
+            for e in stream.events() {
+                self.step(e);
+                if !writer_pace.is_zero() {
+                    std::thread::sleep(writer_pace);
+                }
+            }
+            let outcome = self.finish(stream.horizon());
+            // Scope exit joins the readers; release them first.
+            stop.store(true, Ordering::Relaxed);
+            outcome
+        })
+    }
+}
+
+/// One serving-plane reader: pin the latest snapshot, issue a burst of
+/// reads against it, pause, repeat. Stale pins are re-pinned (counted as
+/// stale retries); a read that settles at the current epoch and still
+/// misses counts as a read error.
+#[allow(clippy::too_many_arguments)]
+fn reader_loop<E: DhtEngine>(
+    id: u64,
+    cell: &SnapshotCell,
+    target: &ReadTarget<E>,
+    entries: u64,
+    loaded: &AtomicBool,
+    stop: &AtomicBool,
+    stats: &ReadStats,
+    burst: usize,
+    pace: Duration,
+) {
+    let keys = UniformKeys::new(entries.max(1));
+    // A cheap xorshift per thread: read metrics are wall-clock figures,
+    // so the key choice carries no determinism contract.
+    let mut x = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id + 1) | 1;
+    let mut snap = cell.load();
+    while !stop.load(Ordering::Relaxed) {
+        if cell.is_stale(&snap) {
+            snap = cell.load();
+        }
+        for _ in 0..burst {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t0 = Instant::now();
+            let (retries, error) = one_read(cell, target, &mut snap, &keys, entries, loaded, x);
+            stats.record(t0.elapsed().as_nanos() as u64, retries, error);
+        }
+        if !pace.is_zero() {
+            std::thread::sleep(pace);
+        }
+    }
+}
+
+fn one_read<E: DhtEngine>(
+    cell: &SnapshotCell,
+    target: &ReadTarget<E>,
+    snap: &mut Arc<EngineSnapshot>,
+    keys: &UniformKeys,
+    entries: u64,
+    loaded: &AtomicBool,
+    draw: u64,
+) -> (u32, bool) {
+    let have_data = entries > 0 && loaded.load(Ordering::Acquire);
+    match target {
+        ReadTarget::Kv(svc) if have_data => {
+            let key = keys.key_at(draw % entries);
+            let got = svc.get_routed(snap, key.as_bytes());
+            (got.retries, got.value.is_none())
+        }
+        ReadTarget::Repl(store) if have_data => {
+            let key = keys.key_at(draw % entries);
+            let mut retries = 0u32;
+            loop {
+                let read = store.read().get_quorum_at(snap, key.as_bytes());
+                if read.value.is_some() {
+                    return (retries, false);
+                }
+                if !cell.is_stale(snap) {
+                    // Settled: the miss is genuine (only reachable when
+                    // crashes destroyed every copy, i.e. R was too low
+                    // for the failure burst).
+                    return (retries, true);
+                }
+                *snap = cell.load();
+                retries += 1;
+            }
+        }
+        // Routing-plane read: resolve a random point at the pinned epoch.
+        _ => {
+            let point = snap.space().fold(draw);
+            let miss = !snap.is_empty() && snap.lookup(point).is_none();
+            (0, miss)
         }
     }
 }
@@ -1021,6 +1565,79 @@ mod tests {
         .run(&scenario.build(9));
         assert_eq!(a.totals.joins, g.totals.joins, "identical membership trajectory");
         assert_eq!(a.totals.crashes, g.totals.crashes);
+    }
+
+    #[test]
+    fn readers_hammer_the_kv_serving_plane_without_errors() {
+        let stream = small_scenario().build(7);
+        let driver = ChurnDriver::with_kv(local(), DriverConfig::default(), 1_000, 8)
+            .with_readers(2)
+            .with_writer_pace(Duration::from_micros(300));
+        let outcome = driver.run(&stream);
+        assert!(outcome.totals.reads > 0, "readers must complete reads during replay");
+        assert_eq!(outcome.totals.read_errors, 0, "graceful churn must never fail a read");
+        assert_eq!(outcome.totals.lost_lookups, 0);
+        assert!(outcome.totals.reads_per_sec > 0.0);
+        assert!(outcome.totals.read_p99_ns >= outcome.totals.read_p50_ns);
+        assert!(
+            outcome.samples.iter().map(|s| s.reads).sum::<u64>() <= outcome.totals.reads,
+            "window reads are a subset of the run total"
+        );
+        let csv = outcome.csv_string();
+        assert!(csv.contains("reads_per_sec") && csv.contains("read_p99_ns"));
+    }
+
+    #[test]
+    fn readers_survive_crashes_on_the_replicated_plane_at_r2() {
+        let stream = Scenario::new(SimTime::millis(120_000))
+            .with(Process::InitialFleet { nodes: 10, capacity: Capacity::Fixed(1) })
+            // One crash per window: repair runs between failures, so R=2
+            // provably loses nothing and every read must succeed.
+            .with(Process::CrashStorm {
+                at: SimTime::millis(40_000),
+                crashes: 1,
+                spread: SimTime::ZERO,
+            })
+            .with(Process::CrashStorm {
+                at: SimTime::millis(80_000),
+                crashes: 1,
+                spread: SimTime::ZERO,
+            })
+            .build(13);
+        let driver = ChurnDriver::with_replication(local(), DriverConfig::default(), 800, 8, 2)
+            .with_readers(2)
+            .with_writer_pace(Duration::from_micros(300));
+        let outcome = driver.run(&stream);
+        assert!(outcome.totals.crashes > 0);
+        assert_eq!(outcome.totals.keys_lost, 0);
+        assert!(outcome.totals.reads > 0);
+        assert_eq!(
+            outcome.totals.read_errors, 0,
+            "R=2 must serve every quorum read through crashes"
+        );
+    }
+
+    #[test]
+    fn readers_route_on_the_bare_plane() {
+        let stream = small_scenario().build(21);
+        let driver = ChurnDriver::new(local(), DriverConfig::default())
+            .with_readers(2)
+            .with_writer_pace(Duration::from_micros(300));
+        let outcome = driver.run(&stream);
+        assert!(outcome.totals.reads > 0);
+        assert_eq!(outcome.totals.read_errors, 0, "a published epoch always routes every point");
+    }
+
+    #[test]
+    fn reader_columns_are_deterministic_zeros_without_readers() {
+        let stream = small_scenario().build(5);
+        let outcome = ChurnDriver::with_kv(local(), DriverConfig::default(), 500, 8).run(&stream);
+        assert_eq!(outcome.totals.reads, 0);
+        assert_eq!(outcome.totals.read_errors, 0);
+        assert!(outcome.samples.iter().all(|s| s.reads == 0 && s.stale_rate == 0.0));
+        for line in outcome.csv_string().lines().skip(1) {
+            assert!(line.ends_with(",0,0.0,0,0,0.0000,0"), "read columns stay zero: {line}");
+        }
     }
 
     #[test]

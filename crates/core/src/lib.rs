@@ -38,6 +38,7 @@
 //! | [`cluster`] | §1, §2.1.2 | heterogeneous enrollment on any engine |
 //! | [`invariants`] | §2.2, §3.3 | exhaustive invariant checker |
 //! | [`engine`] | — | the [`DhtEngine`] trait + operation reports |
+//! | [`serve`] | — | the concurrent serving plane: epoch snapshots |
 //! | [`stats`] | §4.3 | per-snode quota metrics |
 //!
 //! ## Quick start
@@ -83,6 +84,7 @@ pub mod invariants;
 pub mod ledger;
 pub mod local;
 pub mod record;
+pub mod serve;
 pub mod sink;
 pub mod state;
 pub mod stats;
@@ -101,6 +103,7 @@ pub use invariants::InvariantViolation;
 pub use ledger::{SnodeLedger, SnodeShare};
 pub use local::{ideal_group_count, LocalDht};
 pub use record::{Pdr, PdrEntry};
+pub use serve::{EngineSnapshot, OwnerSpan, SnapshotBuilder, SnapshotCell, SnodeLoad};
 pub use sink::{
     CollectReport, CountOnly, LedgeredSink, NullSink, RebalanceEvent, RebalanceSink, Tee,
 };

@@ -14,6 +14,16 @@
 //! scale — comparisons are only meaningful on the same machine, which is
 //! exactly how the before/after numbers in the committed file were
 //! produced.
+//!
+//! Besides the mutation-plane events/sec, each backend is measured on
+//! the **serving plane**: a crash-storm scenario replays into the
+//! replicated overlay (R = 2) while 1 and then 8 paced reader threads
+//! resolve quorum gets against pinned epoch snapshots. Readers are
+//! closed-loop clients (fixed burst + pause), so reads/sec is sustained
+//! offered load — it must scale linearly with the reader count (the
+//! `read_scaling` field), with flat p99 latency and **zero** read
+//! errors through the crashes. The gate covers reads/sec, p99 and the
+//! zero-error invariant alongside the events/sec floor.
 
 use crate::runner::derive_seed;
 use crate::{Ctx, ExpReport};
@@ -25,7 +35,7 @@ use domus_metrics::table::{num, Table};
 use domus_sim::SimTime;
 use std::fs;
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One backend's measurement.
 pub struct BackendBench {
@@ -37,6 +47,21 @@ pub struct BackendBench {
     pub elapsed_ms: f64,
     /// Live vnodes at the horizon.
     pub final_vnodes: usize,
+    /// Serving-plane reads/sec with one reader thread.
+    pub reads_per_sec_1: f64,
+    /// Serving-plane reads/sec with eight reader threads.
+    pub reads_per_sec_8: f64,
+    /// `reads_per_sec_8 / reads_per_sec_1` — the scaling factor.
+    pub read_scaling: f64,
+    /// Median read latency (8-reader run), nanoseconds.
+    pub read_p50_ns: u64,
+    /// p99 read latency (8-reader run), nanoseconds.
+    pub read_p99_ns: u64,
+    /// Stale-route retries per read (8-reader run).
+    pub stale_rate: f64,
+    /// Reads the snapshot plane failed to serve, summed over both runs.
+    /// Must be zero: R = 2 with per-window repair loses nothing.
+    pub read_errors: u64,
 }
 
 /// The whole measurement: scale, seed, and per-backend numbers.
@@ -69,42 +94,140 @@ fn scenario(fleet: usize) -> Scenario {
         .with(Process::GroupFailure { at: SimTime::millis(420_000), fraction: 0.1 })
 }
 
-fn replay<E: DhtEngine>(engine: E, stream: &EventStream) -> (f64, f64, usize) {
+fn replay<E: DhtEngine + Send + Sync>(engine: E, stream: &EventStream) -> (f64, f64, usize) {
     let started = Instant::now();
     let outcome = ChurnDriver::new(engine, DriverConfig::default()).run(stream);
     let elapsed = started.elapsed().as_secs_f64();
     (stream.len() as f64 / elapsed, elapsed * 1e3, outcome.final_balance.vnodes)
 }
 
+/// The serving-plane scenario: a small fleet under mild sustained churn
+/// with one crash per observation window, so the end-of-window repair
+/// always runs between failures and R = 2 provably loses no copies —
+/// every read must succeed even while routes move under the readers.
+fn read_scenario() -> Scenario {
+    Scenario::new(SimTime::millis(120_000))
+        .with(Process::InitialFleet { nodes: 12, capacity: Capacity::Fixed(1) })
+        .with(Process::Poisson {
+            rate_per_s: 1.0,
+            lifetime: Lifetime::Forever,
+            capacity: Capacity::Fixed(1),
+        })
+        .with(Process::CrashStorm {
+            at: SimTime::millis(40_000),
+            crashes: 1,
+            spread: SimTime::ZERO,
+        })
+        .with(Process::CrashStorm {
+            at: SimTime::millis(80_000),
+            crashes: 1,
+            spread: SimTime::ZERO,
+        })
+}
+
+/// One serving-plane measurement: replay the crash-storm stream into the
+/// replicated overlay (R = 2) while `readers` paced threads resolve
+/// quorum gets against pinned snapshots. The pacing (32-read burst, 2 ms
+/// pause) keeps each reader a closed-loop client well below CPU
+/// saturation, so aggregate reads/sec is offered load and must scale
+/// linearly with the thread count; the writer pace stretches the replay
+/// so read windows sample steady state.
+fn read_replay<E: DhtEngine + Send + Sync>(
+    engine: E,
+    stream: &EventStream,
+    readers: usize,
+) -> (f64, u64, u64, f64, u64) {
+    let outcome = ChurnDriver::with_replication(engine, DriverConfig::default(), 2_000, 16, 2)
+        .with_readers(readers)
+        .with_reader_pacing(32, Duration::from_millis(2))
+        .with_writer_pace(Duration::from_millis(8))
+        .run(stream);
+    assert_eq!(outcome.totals.keys_lost, 0, "R=2 with per-window repair must lose nothing");
+    (
+        outcome.totals.reads_per_sec,
+        outcome.totals.read_p50_ns,
+        outcome.totals.read_p99_ns,
+        outcome.totals.stale_rate,
+        outcome.totals.read_errors,
+    )
+}
+
+/// The serving-plane half of one backend's measurement: crash-storm
+/// runs at 1 and 8 reader threads (fresh engine per run — each
+/// measurement starts from the same empty state).
+fn read_bench<E: DhtEngine + Send + Sync>(
+    make: impl Fn() -> E,
+    read_stream: &EventStream,
+) -> (f64, f64, f64, u64, u64, f64, u64) {
+    let (reads_per_sec_1, _, _, _, errors_1) = read_replay(make(), read_stream, 1);
+    let (reads_per_sec_8, read_p50_ns, read_p99_ns, stale_rate, errors_8) =
+        read_replay(make(), read_stream, 8);
+    let scaling = if reads_per_sec_1 > 0.0 { reads_per_sec_8 / reads_per_sec_1 } else { 0.0 };
+    (
+        reads_per_sec_1,
+        reads_per_sec_8,
+        scaling,
+        read_p50_ns,
+        read_p99_ns,
+        stale_rate,
+        errors_1 + errors_8,
+    )
+}
+
 /// Runs the measurement at `ctx.n` fleet snodes (2 vnodes each).
 /// `events` truncates the stream (smoke/tests).
+///
+/// All three mutation-plane replays run first, back to back — they are
+/// single-threaded and cache-sensitive, and the multi-threaded read
+/// benches would perturb them; the serving-plane passes follow.
 pub fn compute(ctx: &Ctx, events: Option<usize>) -> BenchSummary {
     let fleet = ctx.n;
     let seed = derive_seed(&ctx.seeds, "bench-churn", 0);
     let mut stream = scenario(fleet).build(seed);
+    let mut read_stream = read_scenario().build(seed ^ 0x5EAD);
     if let Some(n) = events {
         stream.truncate(n);
+        read_stream.truncate(n);
     }
     let space = HashSpace::full();
     let (pmin, vmin) = (32, 32);
+    let local = || LocalDht::with_seed(DhtConfig::new(space, pmin, vmin).expect("config"), seed);
+    let global = || GlobalDht::with_seed(DhtConfig::new(space, pmin, 1).expect("config"), seed);
+    let ch = || ChEngine::with_seed(DhtConfig::new(space, pmin, 1).expect("config"), 32, seed);
+
+    let mutation: Vec<(f64, f64, usize)> =
+        vec![replay(local(), &stream), replay(global(), &stream), replay(ch(), &stream)];
+    let reads = vec![
+        read_bench(local, &read_stream),
+        read_bench(global, &read_stream),
+        read_bench(ch, &read_stream),
+    ];
 
     let mut backends = Vec::new();
-    for name in ["local", "global", "ch"] {
-        let (events_per_sec, elapsed_ms, final_vnodes) = match name {
-            "local" => replay(
-                LocalDht::with_seed(DhtConfig::new(space, pmin, vmin).expect("config"), seed),
-                &stream,
-            ),
-            "global" => replay(
-                GlobalDht::with_seed(DhtConfig::new(space, pmin, 1).expect("config"), seed),
-                &stream,
-            ),
-            _ => replay(
-                ChEngine::with_seed(DhtConfig::new(space, pmin, 1).expect("config"), 32, seed),
-                &stream,
-            ),
-        };
-        backends.push(BackendBench { name, events_per_sec, elapsed_ms, final_vnodes });
+    for ((name, m), r) in ["local", "global", "ch"].into_iter().zip(mutation).zip(reads) {
+        let (events_per_sec, elapsed_ms, final_vnodes) = m;
+        let (
+            reads_per_sec_1,
+            reads_per_sec_8,
+            read_scaling,
+            read_p50_ns,
+            read_p99_ns,
+            stale_rate,
+            read_errors,
+        ) = r;
+        backends.push(BackendBench {
+            name,
+            events_per_sec,
+            elapsed_ms,
+            final_vnodes,
+            reads_per_sec_1,
+            reads_per_sec_8,
+            read_scaling,
+            read_p50_ns,
+            read_p99_ns,
+            stale_rate,
+            read_errors,
+        });
     }
     BenchSummary {
         seed,
@@ -120,7 +243,7 @@ pub fn compute(ctx: &Ctx, events: Option<usize>) -> BenchSummary {
 /// before/after live in one file.
 pub fn to_json(s: &BenchSummary, baseline: Option<&str>) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 1,\n  \"bench\": \"churn_driver\",\n");
+    out.push_str("  \"schema\": 2,\n  \"bench\": \"churn_driver\",\n");
     out.push_str(&format!("  \"seed\": {},\n", s.seed));
     out.push_str(&format!("  \"fleet_nodes\": {},\n", s.fleet_nodes));
     out.push_str(&format!("  \"initial_vnodes\": {},\n", s.initial_vnodes));
@@ -128,11 +251,20 @@ pub fn to_json(s: &BenchSummary, baseline: Option<&str>) -> String {
     out.push_str("  \"backends\": {\n");
     for (i, b) in s.backends.iter().enumerate() {
         out.push_str(&format!(
-            "    \"{}\": {{\"events_per_sec\": {:.1}, \"elapsed_ms\": {:.1}, \"final_vnodes\": {}}}{}\n",
+            "    \"{}\": {{\"events_per_sec\": {:.1}, \"elapsed_ms\": {:.1}, \"final_vnodes\": {}, \
+             \"reads_per_sec_1\": {:.1}, \"reads_per_sec_8\": {:.1}, \"read_scaling\": {:.2}, \
+             \"read_p50_ns\": {}, \"read_p99_ns\": {}, \"stale_rate\": {:.4}, \"read_errors\": {}}}{}\n",
             b.name,
             b.events_per_sec,
             b.elapsed_ms,
             b.final_vnodes,
+            b.reads_per_sec_1,
+            b.reads_per_sec_8,
+            b.read_scaling,
+            b.read_p50_ns,
+            b.read_p99_ns,
+            b.stale_rate,
+            b.read_errors,
             if i + 1 < s.backends.len() { "," } else { "" }
         ));
     }
@@ -166,16 +298,26 @@ pub fn extract_backends(json: &str) -> Option<String> {
     None
 }
 
-/// Pulls `events_per_sec` for one backend out of a backends JSON object.
-pub fn events_per_sec_of(backends_json: &str, backend: &str) -> Option<f64> {
+/// Pulls one numeric `field` for one backend out of a backends JSON
+/// object. The search is scoped to the backend's own `{...}` span so a
+/// field name never matches inside a neighbouring backend's object.
+pub fn field_of(backends_json: &str, backend: &str, field: &str) -> Option<f64> {
     let key = format!("\"{backend}\"");
     let at = backends_json.find(&key)?;
-    let tail = &backends_json[at..];
-    let field = tail.find("\"events_per_sec\"")?;
-    let colon = field + tail[field..].find(':')?;
-    let rest = tail[colon + 1..].trim_start();
+    let open = at + backends_json[at..].find('{')?;
+    let close = open + backends_json[open..].find('}')?;
+    let obj = &backends_json[open..=close];
+    let needle = format!("\"{field}\"");
+    let f = obj.find(&needle)?;
+    let colon = f + obj[f..].find(':')?;
+    let rest = obj[colon + 1..].trim_start();
     let end = rest.find(|c: char| c != '.' && !c.is_ascii_digit()).unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Pulls `events_per_sec` for one backend out of a backends JSON object.
+pub fn events_per_sec_of(backends_json: &str, backend: &str) -> Option<f64> {
+    field_of(backends_json, backend, "events_per_sec")
 }
 
 /// Runs the measurement, writes `BENCH_churn.json` into `ctx.out_dir`
@@ -221,6 +363,30 @@ pub fn run(
     }
     println!("{}", t.render());
 
+    let mut rt = Table::new(&[
+        "backend",
+        "reads/s ×1",
+        "reads/s ×8",
+        "scaling",
+        "p50 ns",
+        "p99 ns",
+        "stale rate",
+        "read errors",
+    ]);
+    for b in &s.backends {
+        rt.row(&[
+            b.name.into(),
+            num(b.reads_per_sec_1, 1),
+            num(b.reads_per_sec_8, 1),
+            format!("{:.2}x", b.read_scaling),
+            b.read_p50_ns.to_string(),
+            b.read_p99_ns.to_string(),
+            num(b.stale_rate, 4),
+            b.read_errors.to_string(),
+        ]);
+    }
+    println!("{}", rt.render());
+
     fs::create_dir_all(&ctx.out_dir).expect("results dir");
     let path = ctx.out_dir.join("BENCH_churn.json");
     fs::write(&path, to_json(&s, baseline.as_deref())).expect("write BENCH_churn.json");
@@ -232,14 +398,27 @@ pub fn run(
             "{}: {:.0} events/sec at {} vnodes{vs}",
             b.name, b.events_per_sec, s.initial_vnodes
         ));
+        rep.note(format!(
+            "{}: serving plane {:.0} reads/s ×1 → {:.0} reads/s ×8 ({:.2}x), p99 {} ns, stale {:.4}, {} read errors",
+            b.name,
+            b.reads_per_sec_1,
+            b.reads_per_sec_8,
+            b.read_scaling,
+            b.read_p99_ns,
+            b.stale_rate,
+            b.read_errors
+        ));
     }
 
     if let Some(pct) = gate_pct {
         let floor = 1.0 - pct / 100.0;
-        // A missing baseline (bad path, corrupt file, renamed backend) is
-        // a gate failure, not a pass — a silent None must never let a
-        // regression ship.
-        let problems: Vec<String> = s
+        // The p99 ceiling is looser than the throughput floor: tail
+        // latency on a shared CI box is far noisier than sustained rates.
+        let p99_ceiling = 1.0 + 3.0 * pct / 100.0;
+        // A missing baseline (bad path, corrupt file, renamed backend or
+        // a pre-read-plane schema) is a gate failure, not a pass — a
+        // silent None must never let a regression ship.
+        let mut problems: Vec<String> = s
             .backends
             .iter()
             .zip(&speedups)
@@ -249,8 +428,40 @@ pub fn run(
                 Some(_) => None,
             })
             .collect();
+        for b in &s.backends {
+            if b.read_errors > 0 {
+                problems.push(format!(
+                    "{}: {} read errors — the serving plane must never fail a read",
+                    b.name, b.read_errors
+                ));
+            }
+            match baseline.as_deref().and_then(|base| field_of(base, b.name, "reads_per_sec_8")) {
+                None => problems
+                    .push(format!("{}: no baseline reads_per_sec_8 to compare against", b.name)),
+                Some(prev) if b.reads_per_sec_8 < prev * floor => problems.push(format!(
+                    "{} read throughput regressed to {:.2}x baseline",
+                    b.name,
+                    b.reads_per_sec_8 / prev
+                )),
+                Some(_) => {}
+            }
+            match baseline.as_deref().and_then(|base| field_of(base, b.name, "read_p99_ns")) {
+                None => {
+                    problems.push(format!("{}: no baseline read_p99_ns to compare against", b.name))
+                }
+                Some(prev) if (b.read_p99_ns as f64) > prev * p99_ceiling => {
+                    problems.push(format!(
+                        "{} read p99 blew past the ceiling: {} ns vs {prev:.0} ns baseline",
+                        b.name, b.read_p99_ns
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
         if problems.is_empty() {
-            rep.note(format!("gate: no backend regressed more than {pct}% vs baseline"));
+            rep.note(format!(
+                "gate: no backend regressed more than {pct}% vs baseline (both planes)"
+            ));
         } else {
             eprintln!("BENCH-SUMMARY gate ({pct}% floor) FAILED: {}", problems.join("; "));
             rep.note(format!("gate FAILED: {}", problems.join("; ")));
@@ -264,6 +475,22 @@ pub fn run(
 mod tests {
     use super::*;
 
+    fn bench(name: &'static str, events_per_sec: f64, reads_8: f64) -> BackendBench {
+        BackendBench {
+            name,
+            events_per_sec,
+            elapsed_ms: 81.0,
+            final_vnodes: 30,
+            reads_per_sec_1: reads_8 / 7.5,
+            reads_per_sec_8: reads_8,
+            read_scaling: 7.5,
+            read_p50_ns: 750,
+            read_p99_ns: 4_100,
+            stale_rate: 0.0021,
+            read_errors: 0,
+        }
+    }
+
     #[test]
     fn json_roundtrips_backends_and_rates() {
         let s = BenchSummary {
@@ -271,25 +498,19 @@ mod tests {
             fleet_nodes: 16,
             initial_vnodes: 32,
             events: 100,
-            backends: vec![
-                BackendBench {
-                    name: "local",
-                    events_per_sec: 1234.5,
-                    elapsed_ms: 81.0,
-                    final_vnodes: 30,
-                },
-                BackendBench {
-                    name: "ch",
-                    events_per_sec: 999.0,
-                    elapsed_ms: 100.1,
-                    final_vnodes: 30,
-                },
-            ],
+            backends: vec![bench("local", 1234.5, 90_000.0), bench("ch", 999.0, 80_000.0)],
         };
         let json = to_json(&s, None);
         let backends = extract_backends(&json).expect("backends object");
         assert_eq!(events_per_sec_of(&backends, "local"), Some(1234.5));
         assert_eq!(events_per_sec_of(&backends, "ch"), Some(999.0));
+        // The read-plane fields roundtrip per backend — scoped to each
+        // backend's own object, not whichever match comes first.
+        assert_eq!(field_of(&backends, "local", "reads_per_sec_8"), Some(90_000.0));
+        assert_eq!(field_of(&backends, "ch", "reads_per_sec_8"), Some(80_000.0));
+        assert_eq!(field_of(&backends, "ch", "read_p99_ns"), Some(4_100.0));
+        assert_eq!(field_of(&backends, "ch", "read_errors"), Some(0.0));
+        assert_eq!(field_of(&backends, "ch", "no_such_field"), None);
         // Embedding as baseline nests cleanly and stays extractable.
         let nested = to_json(&s, Some(&backends));
         let outer = extract_backends(&nested).expect("outer backends first");
@@ -308,23 +529,46 @@ mod tests {
         assert!(rep.failed, "a missing baseline must fail the gate");
 
         // A floor-low baseline: every backend is a massive speedup → pass.
+        // (p99 ceilings compare the other way, so the pass case needs a
+        // sky-high latency baseline.)
         let base = ctx.out_dir.join("base.json");
-        let backends = |rate: &str| {
-            format!(
-                "{{\"backends\": {{\"local\": {{\"events_per_sec\": {rate}}}, \
-                 \"global\": {{\"events_per_sec\": {rate}}}, \
-                 \"ch\": {{\"events_per_sec\": {rate}}}}}}}"
-            )
+        let backends = |rate: &str, p99: &str| {
+            let one = |n: &str| {
+                format!(
+                    "\"{n}\": {{\"events_per_sec\": {rate}, \
+                     \"reads_per_sec_8\": {rate}, \"read_p99_ns\": {p99}}}"
+                )
+            };
+            format!("{{\"backends\": {{{}, {}, {}}}}}", one("local"), one("global"), one("ch"))
         };
-        fs::write(&base, backends("0.1")).unwrap();
+        fs::write(&base, backends("0.1", "999999999999")).unwrap();
         let rep = run(&ctx, Some(40), Some(base.as_path()), Some(15.0));
         assert!(!rep.failed, "huge speedups must pass the gate");
 
         // An unreachable baseline rate → every backend regresses → fail.
-        fs::write(&base, backends("999999999999.0")).unwrap();
+        fs::write(&base, backends("999999999999.0", "999999999999")).unwrap();
         let rep = run(&ctx, Some(40), Some(base.as_path()), Some(15.0));
         assert!(rep.failed, "a >15% regression must fail the gate");
         assert!(rep.summary.iter().any(|l| l.contains("gate FAILED")));
+
+        // A 1 ns p99 baseline: throughput sails, the latency ceiling
+        // trips → fail on the read plane alone.
+        fs::write(&base, backends("0.1", "1")).unwrap();
+        let rep = run(&ctx, Some(40), Some(base.as_path()), Some(15.0));
+        assert!(rep.failed, "a blown p99 ceiling must fail the gate");
+        assert!(rep.summary.iter().any(|l| l.contains("p99")));
+
+        // A schema-1 baseline (no read fields): the gate must demand the
+        // read-plane fields, never skip them.
+        fs::write(
+            &base,
+            "{\"backends\": {\"local\": {\"events_per_sec\": 0.1}, \
+             \"global\": {\"events_per_sec\": 0.1}, \"ch\": {\"events_per_sec\": 0.1}}}",
+        )
+        .unwrap();
+        let rep = run(&ctx, Some(40), Some(base.as_path()), Some(15.0));
+        assert!(rep.failed, "a baseline without read-plane fields must fail the gate");
+        assert!(rep.summary.iter().any(|l| l.contains("reads_per_sec_8")));
     }
 
     #[test]
@@ -333,11 +577,18 @@ mod tests {
         ctx.n = 8; // tiny fleet: this is an API smoke test, not a benchmark
         let rep = run(&ctx, Some(60), None, None);
         assert_eq!(rep.id, "BENCH-SUMMARY");
-        assert_eq!(rep.summary.len(), 3);
+        assert_eq!(rep.summary.len(), 6, "one mutation + one serving note per backend");
         let json = std::fs::read_to_string(ctx.out_dir.join("BENCH_churn.json")).unwrap();
         for name in ["local", "global", "ch"] {
             let backends = extract_backends(&json).unwrap();
             assert!(events_per_sec_of(&backends, name).unwrap() > 0.0, "{name} measured");
+            assert!(field_of(&backends, name, "reads_per_sec_1").unwrap() > 0.0);
+            assert!(field_of(&backends, name, "reads_per_sec_8").unwrap() > 0.0);
+            assert_eq!(
+                field_of(&backends, name, "read_errors"),
+                Some(0.0),
+                "{name}: the serving plane must never fail a read"
+            );
         }
     }
 }

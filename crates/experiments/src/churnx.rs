@@ -47,6 +47,14 @@ fn scenario(intensity: f64) -> Scenario {
 /// fingerprints are asserted equal — "same seed ⇒ byte-identical stream
 /// across engines" is enforced at run time, not assumed.
 pub fn compute(ctx: &Ctx, events: Option<usize>) -> ChurnComparison {
+    compute_with_readers(ctx, events, 0)
+}
+
+/// [`compute`] with `readers` serving-plane threads hammering snapshot
+/// reads during each replay (0 = the deterministic single-threaded path;
+/// read metrics are wall-clock figures, so reader runs trade the
+/// byte-identical-CSV contract for them).
+pub fn compute_with_readers(ctx: &Ctx, events: Option<usize>, readers: usize) -> ChurnComparison {
     let paper_scale = ctx.n >= 512;
     let intensity = if paper_scale { 1.0 } else { 0.5 };
     let entries: u64 = if paper_scale { 20_000 } else { 4_000 };
@@ -67,13 +75,19 @@ pub fn compute(ctx: &Ctx, events: Option<usize>) -> ChurnComparison {
         ..DriverConfig::default()
     };
 
-    fn replay<E: DhtEngine>(
+    fn replay<E: DhtEngine + Send + Sync>(
         engine: E,
         cfg: DriverConfig,
         entries: u64,
         stream: &EventStream,
+        readers: usize,
     ) -> ChurnOutcome {
-        ChurnDriver::with_kv(engine, cfg, entries, 16).run(stream)
+        let mut driver = ChurnDriver::with_kv(engine, cfg, entries, 16).with_readers(readers);
+        if readers > 0 {
+            // Stretch replay wall time so read windows sample steady load.
+            driver = driver.with_writer_pace(std::time::Duration::from_micros(500));
+        }
+        driver.run(stream)
     }
 
     let mut outcomes = Vec::new();
@@ -93,12 +107,14 @@ pub fn compute(ctx: &Ctx, events: Option<usize>) -> ChurnComparison {
                 cfg,
                 entries,
                 &stream,
+                readers,
             ),
             "global" => replay(
                 GlobalDht::with_seed(DhtConfig::new(space, pmin, 1).expect("powers of two"), seed),
                 cfg,
                 entries,
                 &stream,
+                readers,
             ),
             _ => replay(
                 ChEngine::with_seed(
@@ -109,6 +125,7 @@ pub fn compute(ctx: &Ctx, events: Option<usize>) -> ChurnComparison {
                 cfg,
                 entries,
                 &stream,
+                readers,
             ),
         };
         outcomes.push((name, outcome));
@@ -116,10 +133,12 @@ pub fn compute(ctx: &Ctx, events: Option<usize>) -> ChurnComparison {
     ChurnComparison { events: reference.len(), fingerprint: reference.fingerprint(), outcomes }
 }
 
-/// Runs the CHURN experiment: replay, CSVs, table, summary.
-pub fn run(ctx: &Ctx, events: Option<usize>) -> ExpReport {
+/// Runs the CHURN experiment: replay, CSVs, table, summary. With
+/// `readers > 0` the serving plane runs concurrently and the read-plane
+/// columns (reads/sec, latency quantiles, stale-route rate) are live.
+pub fn run(ctx: &Ctx, events: Option<usize>, readers: usize) -> ExpReport {
     let mut rep = ExpReport::new("CHURN");
-    let cmp = compute(ctx, events);
+    let cmp = compute_with_readers(ctx, events, readers);
 
     fs::create_dir_all(&ctx.out_dir).expect("create results dir");
     for (name, outcome) in &cmp.outcomes {
@@ -161,6 +180,9 @@ pub fn run(ctx: &Ctx, events: Option<usize>) -> ExpReport {
 
     for (name, o) in &cmp.outcomes {
         assert_eq!(o.totals.lost_lookups, 0, "{name}: churn lost data");
+        if readers > 0 {
+            assert_eq!(o.totals.read_errors, 0, "{name}: serving plane failed a read");
+        }
     }
     let get = |n: &str| &cmp.outcomes.iter().find(|(b, _)| *b == n).expect("backend ran").1;
     let (local, global, ch) = (get("local"), get("global"), get("ch"));
@@ -189,6 +211,20 @@ pub fn run(ctx: &Ctx, events: Option<usize>) -> ExpReport {
         ch.totals.messages,
         ch.totals.bytes as f64 / 1e6
     ));
+    if readers > 0 {
+        rep.note(format!(
+            "serving plane ({readers} readers): local {:.0}/s p99 {}ns stale {:.4} / global {:.0}/s p99 {}ns stale {:.4} / CH {:.0}/s p99 {}ns stale {:.4}; zero read errors",
+            local.totals.reads_per_sec,
+            local.totals.read_p99_ns,
+            local.totals.stale_rate,
+            global.totals.reads_per_sec,
+            global.totals.read_p99_ns,
+            global.totals.stale_rate,
+            ch.totals.reads_per_sec,
+            ch.totals.read_p99_ns,
+            ch.totals.stale_rate
+        ));
+    }
     rep
 }
 
@@ -225,7 +261,7 @@ mod tests {
     #[test]
     fn churn_runs_all_backends_on_one_stream() {
         let ctx = smoke_ctx("domus-churnx-smoke");
-        let rep = run(&ctx, Some(200));
+        let rep = run(&ctx, Some(200), 0);
         assert_eq!(rep.id, "CHURN");
         assert!(rep.summary.iter().any(|l| l.contains("identical stream")));
         for name in ["local", "global", "ch"] {

@@ -10,7 +10,9 @@
 //!   abl-victim abl-container abl-splitsel   policy ablations
 //!   het                                heterogeneous enrollment
 //!   churn                              churn storm over all three backends
-//!                                      (--events N truncates the stream)
+//!                                      (--events N truncates the stream;
+//!                                      --readers N hammers snapshot reads
+//!                                      from N threads during the replay)
 //!   churn-repl                         crash failures + R=1/2/3 replication
 //!                                      sweep: durability & quorum availability
 //!                                      (--events N truncates the stream)
@@ -28,7 +30,7 @@ use std::io::Write as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--runs N] [--vnodes N] [--seed S] [--events N] [--baseline FILE] [--gate PCT] [--out DIR] <command>\n\
+        "usage: repro [--quick] [--runs N] [--vnodes N] [--seed S] [--events N] [--readers N] [--baseline FILE] [--gate PCT] [--out DIR] <command>\n\
          commands: fig4 fig5 fig6 fig7 fig8 fig9 | claim-pv claim-30 claim-8k claim-zone1 claim-g512 |\n          \
          abl-victim abl-container abl-splitsel | het | sim-makespan sim-msgs sim-mem | kv-migrate |\n          \
          churn | churn-repl | bench-summary | all"
@@ -47,6 +49,7 @@ fn main() {
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut cmd: Option<String> = None;
     let mut events: Option<usize> = None;
+    let mut readers: usize = 0;
     let mut baseline: Option<std::path::PathBuf> = None;
     let mut gate: Option<f64> = None;
     let mut i = 0;
@@ -56,6 +59,10 @@ fn main() {
             "--events" => {
                 i += 1;
                 events = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--readers" => {
+                i += 1;
+                readers = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
             "--runs" => {
                 i += 1;
@@ -121,7 +128,7 @@ fn main() {
         "sim-msgs" => reports.push(simx::sim_msgs(&ctx)),
         "sim-mem" => reports.push(simx::sim_mem(&ctx)),
         "kv-migrate" => reports.push(kvx::run(&ctx)),
-        "churn" => reports.push(churnx::run(&ctx, events)),
+        "churn" => reports.push(churnx::run(&ctx, events, readers)),
         "churn-repl" => reports.push(replx::run(&ctx, events)),
         "bench-summary" => reports.push(benchsum::run(&ctx, events, baseline.as_deref(), gate)),
         "all" => {
@@ -146,7 +153,7 @@ fn main() {
             reports.push(simx::sim_msgs(&ctx));
             reports.push(simx::sim_mem(&ctx));
             reports.push(kvx::run(&ctx));
-            reports.push(churnx::run(&ctx, events));
+            reports.push(churnx::run(&ctx, events, readers));
             reports.push(replx::run(&ctx, events));
         }
         _ => usage(),

@@ -75,7 +75,7 @@ pub fn compute(ctx: &Ctx, events: Option<usize>) -> ReplComparison {
         ..DriverConfig::default()
     };
 
-    fn replay<E: DhtEngine>(
+    fn replay<E: DhtEngine + Send + Sync>(
         engine: E,
         cfg: DriverConfig,
         entries: u64,

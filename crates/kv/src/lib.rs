@@ -23,6 +23,6 @@ pub mod store;
 pub mod workload;
 
 pub use replicated::{CrashReport, QuorumRead, RepairReport, ReplicatedStore};
-pub use service::KvService;
+pub use service::{KvService, RoutedGet};
 pub use store::{KvStore, MigrationReport};
 pub use workload::{UniformKeys, ZipfKeys};

@@ -39,8 +39,8 @@
 use crate::store::{bucket_search, slot_of, Bucket};
 use bytes::Bytes;
 use domus_core::{
-    CreateOutcome, DhtEngine, DhtError, NullSink, RebalanceEvent, RebalanceSink, RemoveOutcome,
-    SnodeId, VnodeId,
+    CreateOutcome, DhtEngine, DhtError, EngineSnapshot, NullSink, RebalanceEvent, RebalanceSink,
+    RemoveOutcome, SnodeId, VnodeId,
 };
 use domus_hashspace::hasher::Fnv1aHasher;
 use domus_hashspace::{HashSpace, KeyHasher, Partition};
@@ -298,9 +298,43 @@ impl<E: DhtEngine> ReplicatedStore<E> {
     /// a copy, judged against the majority quorum.
     pub fn get_quorum(&self, key: &[u8]) -> QuorumRead {
         let point = self.point_of(key);
+        self.quorum_over(key, point, replicas_for(&self.engine, self.r, point))
+    }
+
+    /// The primary vnode of a key per a pinned routing snapshot
+    /// (serving-plane route — never consults the live engine).
+    pub fn route_at(&self, snap: &EngineSnapshot, key: &[u8]) -> Option<VnodeId> {
+        snap.owner_of(self.hasher.point(key, snap.space()))
+    }
+
+    /// The replica chain of a key resolved against a pinned snapshot —
+    /// the same distinct-snode successor walk as
+    /// [`ReplicatedStore::replicas_of`], at the pinned epoch.
+    pub fn replicas_at(&self, snap: &EngineSnapshot, key: &[u8]) -> Vec<VnodeId> {
+        snap.replicas(self.hasher.point(key, snap.space()), self.r)
+    }
+
+    /// Fallback read through a pinned snapshot: probes the pinned epoch's
+    /// replica chain in placement order. A miss can mean "absent" or
+    /// "stale route" — callers holding a [`domus_core::SnapshotCell`]
+    /// disambiguate by re-pinning when the cell's epoch moved.
+    pub fn get_at(&self, snap: &EngineSnapshot, key: &[u8]) -> Option<Bytes> {
+        self.get_quorum_at(snap, key).value
+    }
+
+    /// Quorum read against a pinned epoch: the replica chain comes from
+    /// the snapshot, the copy probes read the live buckets. Readers pin
+    /// once and issue any number of these without touching the engine.
+    pub fn get_quorum_at(&self, snap: &EngineSnapshot, key: &[u8]) -> QuorumRead {
+        let point = self.hasher.point(key, snap.space());
+        self.quorum_over(key, point, snap.replicas(point, self.r))
+    }
+
+    /// Counts live copies of `key` over a replica chain.
+    fn quorum_over(&self, key: &[u8], point: u64, replicas: Vec<VnodeId>) -> QuorumRead {
         let mut value = None;
         let mut hits = 0u32;
-        for v in replicas_for(&self.engine, self.r, point) {
+        for v in replicas {
             if let Some(bucket) = self.data.get(v.index()).and_then(|m| m.get(&point)) {
                 if let Ok(i) = bucket_search(bucket, key) {
                     hits += 1;

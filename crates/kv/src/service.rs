@@ -1,60 +1,137 @@
-//! A thread-safe service façade over the store.
+//! A thread-safe service façade over the store, with a concurrent
+//! serving plane.
 //!
 //! The data plane of a cluster DHT is read-dominated: lookups proceed
 //! concurrently while maintenance (join/leave and the implied migration)
 //! is an exclusive event — precisely a reader/writer discipline.
 //! [`KvService`] wraps [`KvStore`] in a `parking_lot::RwLock`, giving the
 //! downstream user a `Clone + Send + Sync` handle.
+//!
+//! On top of that lock the service maintains the **serving plane**: a
+//! [`SnapshotBuilder`] taps every maintenance operation's rebalance
+//! events and publishes an epoch-numbered [`EngineSnapshot`] into a
+//! [`SnapshotCell`] *before the write lock is released* — so from any
+//! reader's point of view, "store contents" and "published routing
+//! epoch" advance together. Readers pin an epoch once and route any
+//! number of [`KvService::get_at`] reads lock-free against it; a miss is
+//! disambiguated by [`KvService::get_routed`], which re-pins and retries
+//! exactly when the cell's epoch moved past the pinned one (stale-route
+//! detection). Because publishes are lock-coupled to mutations, a miss
+//! at the *current* epoch is a genuine absence — never a torn route.
 
 use crate::store::{KvStore, MigrationReport};
 use bytes::Bytes;
 use domus_core::{
-    CreateOutcome, CreateReport, DhtEngine, DhtError, RebalanceSink, RemoveOutcome, RemoveReport,
-    SnodeId, VnodeId,
+    CollectReport, CreateOutcome, CreateReport, DhtEngine, DhtError, EngineSnapshot, NullSink,
+    RebalanceSink, RemoveOutcome, RemoveReport, SnapshotBuilder, SnapshotCell, SnodeId, Tee,
+    VnodeId,
 };
 use parking_lot::RwLock;
 use std::sync::Arc;
 
+/// The store plus its incrementally-maintained routing view — mutated
+/// together under the service's write lock.
+struct Served<E: DhtEngine> {
+    store: KvStore<E>,
+    builder: SnapshotBuilder,
+}
+
+/// A snapshot-routed read: the value (if the key exists at the epoch the
+/// read settled on) plus how many stale-route retries it took to settle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutedGet {
+    /// The value, `None` when the key is absent at the settled epoch.
+    pub value: Option<Bytes>,
+    /// Stale-route retries performed (0 = the pinned epoch was current
+    /// or the first probe hit).
+    pub retries: u32,
+}
+
 /// A shareable, thread-safe KV service.
 pub struct KvService<E: DhtEngine> {
-    inner: Arc<RwLock<KvStore<E>>>,
+    inner: Arc<RwLock<Served<E>>>,
+    serve: Arc<SnapshotCell>,
 }
 
 impl<E: DhtEngine> Clone for KvService<E> {
     fn clone(&self) -> Self {
-        Self { inner: Arc::clone(&self.inner) }
+        Self { inner: Arc::clone(&self.inner), serve: Arc::clone(&self.serve) }
     }
 }
 
 impl<E: DhtEngine> KvService<E> {
-    /// Wraps a store.
+    /// Wraps a store (which may already contain vnodes — the serving
+    /// plane is seeded from the engine's current state at epoch 0).
     pub fn new(store: KvStore<E>) -> Self {
-        Self { inner: Arc::new(RwLock::new(store)) }
+        let builder = SnapshotBuilder::from_engine(store.engine());
+        let serve = Arc::new(SnapshotCell::new(builder.snapshot()));
+        Self { inner: Arc::new(RwLock::new(Served { store, builder })), serve }
     }
 
-    /// Concurrent read.
+    /// Concurrent read through the live engine (takes the read lock for
+    /// the whole route+probe; see [`KvService::get_routed`] for the
+    /// serving-plane path).
     pub fn get(&self, key: &[u8]) -> Option<Bytes> {
-        self.inner.read().get(key)
+        self.inner.read().store.get(key)
+    }
+
+    /// The serving-plane cell: pin epochs from it with
+    /// [`SnapshotCell::load`], check staleness with one atomic load.
+    pub fn serve(&self) -> &Arc<SnapshotCell> {
+        &self.serve
+    }
+
+    /// Pins the current routing snapshot (brief read lock, then every
+    /// lookup against the returned value is lock-free).
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.serve.load()
+    }
+
+    /// One snapshot-routed read attempt against a pinned epoch. The
+    /// bucket probe holds the store read lock; the routing itself never
+    /// touches the engine. A `None` may mean "absent" *or* "stale
+    /// route" — [`KvService::get_routed`] disambiguates.
+    pub fn get_at(&self, snap: &EngineSnapshot, key: &[u8]) -> Option<Bytes> {
+        self.inner.read().store.get_at(snap, key)
+    }
+
+    /// Snapshot-routed read with stale-route detection: probes at the
+    /// pinned epoch and, on a miss, re-pins and retries once per epoch
+    /// the cell advanced past the pin (under steady churn that is a
+    /// single retry on the next epoch — the property the
+    /// `snapshot_consistency` suite asserts). `snap` is left pinned to
+    /// the epoch the read settled on, so a read loop amortises one pin
+    /// across many keys.
+    pub fn get_routed(&self, snap: &mut Arc<EngineSnapshot>, key: &[u8]) -> RoutedGet {
+        let mut retries = 0u32;
+        loop {
+            let value = self.inner.read().store.get_at(snap, key);
+            if value.is_some() || !self.serve.is_stale(snap) {
+                return RoutedGet { value, retries };
+            }
+            *snap = self.serve.load();
+            retries += 1;
+        }
     }
 
     /// Exclusive write.
     pub fn put(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> Option<Bytes> {
-        self.inner.write().put(key, value)
+        self.inner.write().store.put(key, value)
     }
 
     /// Exclusive removal.
     pub fn remove(&self, key: &[u8]) -> Option<Bytes> {
-        self.inner.write().remove(key)
+        self.inner.write().store.remove(key)
     }
 
     /// Entry count.
     pub fn len(&self) -> u64 {
-        self.inner.read().len()
+        self.inner.read().store.len()
     }
 
     /// `true` when empty (one read-lock acquisition, no key walk).
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.read().store.is_empty()
     }
 
     /// A consistent snapshot of every stored key, in deterministic (owner,
@@ -72,17 +149,25 @@ impl<E: DhtEngine> KvService<E> {
 
     /// Maintenance: a new vnode joins (exclusive).
     pub fn join(&self, snode: SnodeId) -> Result<(VnodeId, MigrationReport), DhtError> {
-        self.inner.write().join(snode)
+        self.join_with(snode, &mut NullSink).map(|(out, mig)| (out.vnode, mig))
     }
 
     /// [`KvService::join`], streaming every rebalance event into `sink`
-    /// while the store migrates data in-line (exclusive).
+    /// while the store migrates data in-line (exclusive). The next
+    /// routing epoch is published before the write lock is released.
     pub fn join_with(
         &self,
         snode: SnodeId,
         sink: &mut dyn RebalanceSink,
     ) -> Result<(CreateOutcome, MigrationReport), DhtError> {
-        self.inner.write().join_with(snode, sink)
+        let mut g = self.inner.write();
+        let Served { store, builder } = &mut *g;
+        let res = store.join_with(snode, &mut Tee(&mut *builder, sink));
+        if let Ok((out, _)) = &res {
+            builder.note_create(out.vnode, snode);
+            builder.publish(&self.serve);
+        }
+        res
     }
 
     /// [`KvService::join`], also surfacing the engine's [`CreateReport`].
@@ -90,32 +175,44 @@ impl<E: DhtEngine> KvService<E> {
         &self,
         snode: SnodeId,
     ) -> Result<(VnodeId, CreateReport, MigrationReport), DhtError> {
-        self.inner.write().join_full(snode)
+        let mut collect = CollectReport::new();
+        let (out, mig) = self.join_with(snode, &mut collect)?;
+        Ok((out.vnode, collect.into_create_report(&out), mig))
     }
 
     /// Maintenance: a vnode leaves (exclusive).
     pub fn leave(&self, v: VnodeId) -> Result<MigrationReport, DhtError> {
-        self.inner.write().leave(v)
+        self.leave_with(v, &mut NullSink).map(|(_, mig)| mig)
     }
 
     /// [`KvService::leave`], streaming every rebalance event into `sink`
-    /// while the store migrates data in-line (exclusive).
+    /// while the store migrates data in-line (exclusive). The next
+    /// routing epoch is published before the write lock is released.
     pub fn leave_with(
         &self,
         v: VnodeId,
         sink: &mut dyn RebalanceSink,
     ) -> Result<(RemoveOutcome, MigrationReport), DhtError> {
-        self.inner.write().leave_with(v, sink)
+        let mut g = self.inner.write();
+        let Served { store, builder } = &mut *g;
+        let res = store.leave_with(v, &mut Tee(&mut *builder, sink));
+        if res.is_ok() {
+            builder.note_remove(v);
+            builder.publish(&self.serve);
+        }
+        res
     }
 
     /// [`KvService::leave`], also surfacing the engine's [`RemoveReport`].
     pub fn leave_full(&self, v: VnodeId) -> Result<(RemoveReport, MigrationReport), DhtError> {
-        self.inner.write().leave_full(v)
+        let mut collect = CollectReport::new();
+        let (out, mig) = self.leave_with(v, &mut collect)?;
+        Ok((collect.into_remove_report(&out), mig))
     }
 
     /// Runs `f` under the read lock (bulk inspection).
     pub fn with_read<T>(&self, f: impl FnOnce(&KvStore<E>) -> T) -> T {
-        f(&self.inner.read())
+        f(&self.inner.read().store)
     }
 }
 
@@ -256,5 +353,62 @@ mod tests {
         assert!(!b.is_empty());
         b.remove(b"shared");
         assert_eq!(a.get(b"shared"), None);
+        // The serving plane is shared too: a join through either handle
+        // publishes an epoch both observe.
+        let before = a.serve().epoch();
+        b.join(SnodeId(3)).unwrap();
+        assert_eq!(a.serve().epoch(), before + 1);
+    }
+
+    #[test]
+    fn epochs_advance_once_per_maintenance_op() {
+        let svc = service();
+        assert_eq!(svc.serve().epoch(), 0, "seeded state is epoch 0");
+        let (v, _) = svc.join(SnodeId(1)).unwrap();
+        assert_eq!(svc.serve().epoch(), 1);
+        svc.put("a", "1"); // data writes do not move routing epochs
+        assert_eq!(svc.serve().epoch(), 1);
+        svc.leave(v).unwrap();
+        assert_eq!(svc.serve().epoch(), 2);
+    }
+
+    #[test]
+    fn snapshot_routed_reads_match_live_reads() {
+        let svc = service();
+        for i in 0..300u32 {
+            svc.put(format!("k{i}"), format!("v{i}"));
+        }
+        for s in 1..5u32 {
+            svc.join(SnodeId(s)).unwrap();
+        }
+        let snap = svc.snapshot();
+        for i in 0..300u32 {
+            let key = format!("k{i}");
+            assert_eq!(svc.get_at(&snap, key.as_bytes()), svc.get(key.as_bytes()));
+        }
+        assert_eq!(svc.get_at(&snap, b"missing"), None);
+    }
+
+    #[test]
+    fn stale_pin_retries_to_the_next_epoch() {
+        let svc = service();
+        for i in 0..300u32 {
+            svc.put(format!("k{i}"), format!("v{i}"));
+        }
+        // Pin, then rebalance: the pin is now one epoch stale.
+        let mut pin = svc.snapshot();
+        let pinned_epoch = pin.epoch();
+        svc.join(SnodeId(8)).unwrap();
+        let mut retried = 0u32;
+        for i in 0..300u32 {
+            let got = svc.get_routed(&mut pin, format!("k{i}").as_bytes());
+            assert!(got.value.is_some(), "stale-route retry must converge on k{i}");
+            assert!(got.retries <= 1, "one epoch of churn needs at most one retry");
+            retried += got.retries;
+        }
+        assert!(retried > 0, "the join must have moved at least one probe key");
+        assert_eq!(pin.epoch(), pinned_epoch + 1, "the pin settles on the next epoch");
+        // Absent keys settle without looping.
+        assert_eq!(svc.get_routed(&mut pin, b"missing").value, None);
     }
 }

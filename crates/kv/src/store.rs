@@ -11,8 +11,8 @@
 
 use bytes::Bytes;
 use domus_core::{
-    CollectReport, CreateOutcome, CreateReport, DhtEngine, DhtError, NullSink, RebalanceEvent,
-    RebalanceSink, RemoveOutcome, RemoveReport, SnodeId, Transfer, VnodeId,
+    CollectReport, CreateOutcome, CreateReport, DhtEngine, DhtError, EngineSnapshot, NullSink,
+    RebalanceEvent, RebalanceSink, RemoveOutcome, RemoveReport, SnodeId, Transfer, VnodeId,
 };
 use domus_hashspace::hasher::Fnv1aHasher;
 use domus_hashspace::{HashSpace, KeyHasher};
@@ -190,6 +190,25 @@ impl<E: DhtEngine> KvStore<E> {
     pub fn get(&self, key: &[u8]) -> Option<Bytes> {
         let point = self.hasher.point(key, self.engine.config().hash_space());
         let (_, v) = self.engine.lookup(point)?;
+        let bucket = self.data.get(v.index())?.get(&point)?;
+        let i = bucket_search(bucket, key).ok()?;
+        Some(bucket[i].1.clone())
+    }
+
+    /// The vnode responsible for a key per a pinned routing snapshot
+    /// (serving-plane route — never consults the live engine).
+    pub fn route_at(&self, snap: &EngineSnapshot, key: &[u8]) -> Option<VnodeId> {
+        snap.owner_of(self.hasher.point(key, snap.space()))
+    }
+
+    /// Looks a key up through a pinned routing snapshot: the bucket the
+    /// *snapshot* routes to. A miss can mean the key is absent **or**
+    /// that the pinned epoch is stale (the key migrated since); callers
+    /// holding a [`domus_core::SnapshotCell`] disambiguate by re-pinning
+    /// when the cell's epoch moved (see `KvService::get_routed`).
+    pub fn get_at(&self, snap: &EngineSnapshot, key: &[u8]) -> Option<Bytes> {
+        let point = self.hasher.point(key, snap.space());
+        let v = snap.owner_of(point)?;
         let bucket = self.data.get(v.index())?.get(&point)?;
         let i = bucket_search(bucket, key).ok()?;
         Some(bucket[i].1.clone())

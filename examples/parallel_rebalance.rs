@@ -1,67 +1,105 @@
-//! The paper's core argument, §3: the global approach serialises every
-//! creation on one GPDR; the local approach lets disjoint groups balance
-//! simultaneously. This example prices the same growth workload under
-//! both engines on the one-hop cluster model and prints the schedule.
+//! The concurrent serving plane: lock-free epoch-snapshot reads under a
+//! live rebalance.
+//!
+//! The paper's maintenance plane (§3) serialises vnode creations; the
+//! data plane must not. This example runs both at once on one
+//! [`KvService`]: a churn thread joins and retires vnodes (each
+//! maintenance op migrates real data and publishes the next routing
+//! epoch while it still holds the write lock), while N reader threads
+//! pin epoch snapshots and resolve every key through
+//! [`KvService::get_routed`] — re-pinning exactly when the epoch moved
+//! under them. The invariant on display: **no read ever fails**, no
+//! matter how the routes move, and a stale pin converges in at most one
+//! retry per published epoch.
 //!
 //! ```text
 //! cargo run --release --example parallel_rebalance
 //! ```
 
 use domus::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const KEYS: u32 = 2_000;
+const READERS: usize = 4;
+const JOINS: u32 = 12;
 
 fn main() {
-    let n = 256;
-    let snodes = 32;
-    println!("pricing {n} vnode creations over a {snodes}-node cluster (one-hop, GigE-class)\n");
-
-    // Global approach: one GPDR, every snode in every event.
-    let gcfg = DhtConfig::new(HashSpace::full(), 32, 1).expect("valid config");
-    let mut gsim = SimDriver::new(GlobalDht::with_seed(gcfg, 1));
-    gsim.grow(n, snodes).expect("growth");
-    let gt = gsim.trace();
-
-    println!("global approach:");
-    println!("  makespan      = {}", gt.makespan());
-    println!("  Σ service     = {}", gt.total_service());
-    println!("  parallelism   = {:.2} (1.0 = fully serial)", gt.parallelism());
-    println!("  messages      = {}", gt.messages());
-    println!("  participants  = {:.1} snodes per creation (mean)", gt.mean_participants());
-
-    for vmin in [8u64, 32, 128] {
-        let cfg = DhtConfig::new(HashSpace::full(), 32, vmin).expect("valid config");
-        let mut sim = SimDriver::new(LocalDht::with_seed(cfg, 1));
-        sim.grow(n, snodes).expect("growth");
-        let t = sim.trace();
-        println!("\nlocal approach, Vmin = {vmin}:");
-        println!(
-            "  makespan      = {} ({:.1}× faster)",
-            t.makespan(),
-            gt.makespan().nanos() as f64 / t.makespan().nanos() as f64
-        );
-        println!("  parallelism   = {:.2}", t.parallelism());
-        println!("  messages      = {}", t.messages());
-        println!("  participants  = {:.1} snodes per creation (mean)", t.mean_participants());
-        println!(
-            "  balancement   = σ̄(Qv) {:.2}% (the price of parallelism — compare global 0–2%)",
-            sim.engine().vnode_quota_relstd_pct()
-        );
-    }
-
-    // A glimpse of the overlap: the first ten events of a small-Vmin run.
+    // A small cluster with one seed vnode, loaded with the key population.
     let cfg = DhtConfig::new(HashSpace::full(), 8, 4).expect("valid config");
-    let mut sim = SimDriver::new(LocalDht::with_seed(cfg, 5));
-    sim.grow(40, 8).expect("growth");
-    println!(
-        "\nevent schedule excerpt (local, Vmin = 4) — overlapping starts on different groups:"
-    );
-    println!("  {:<6} {:<12} {:>12} {:>12}", "vnode", "group", "start", "done");
-    for e in sim.trace().events.iter().skip(28).take(8) {
-        println!(
-            "  {:<6} {:<12} {:>12} {:>12}",
-            e.vnode.to_string(),
-            e.resource.to_string(),
-            e.start.to_string(),
-            e.done.to_string()
-        );
+    let mut store = KvStore::new(LocalDht::with_seed(cfg, 42));
+    store.join(SnodeId(0)).expect("seed join");
+    let svc = KvService::new(store);
+    for i in 0..KEYS {
+        svc.put(format!("key-{i}"), format!("value-{i}"));
     }
+    println!(
+        "{KEYS} keys loaded; {READERS} reader threads vs one churn thread ({JOINS} joins + leaves)\n"
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let retries = Arc::new(AtomicU64::new(0));
+    let misses = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        for t in 0..READERS {
+            let svc = svc.clone();
+            let (stop, reads, retries, misses) =
+                (Arc::clone(&stop), Arc::clone(&reads), Arc::clone(&retries), Arc::clone(&misses));
+            s.spawn(move || {
+                // Pin once, then route lock-free against the pinned epoch;
+                // get_routed re-pins only when the epoch moved past us.
+                let mut pin = svc.snapshot();
+                let mut i = (t as u32 * 7919) % KEYS;
+                while !stop.load(Ordering::Relaxed) {
+                    let got = svc.get_routed(&mut pin, format!("key-{i}").as_bytes());
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    retries.fetch_add(got.retries as u64, Ordering::Relaxed);
+                    if got.value.is_none() {
+                        misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    i = (i + 1) % KEYS;
+                }
+            });
+        }
+
+        // The churn thread: grow the cluster, then retire what it added.
+        // Every op migrates data and publishes a new epoch mid-flight.
+        let mut added = Vec::new();
+        for n in 1..=JOINS {
+            let (v, mig) = svc.join(SnodeId(n)).expect("join");
+            added.push(v);
+            println!(
+                "epoch {:>2}: snode {n} joined as {v} — {} entries migrated",
+                svc.serve().epoch(),
+                mig.entries
+            );
+        }
+        for v in added.drain(..).rev().take(JOINS as usize / 2) {
+            let mig = svc.leave(v).expect("leave");
+            println!(
+                "epoch {:>2}: {v} retired — {} entries migrated back",
+                svc.serve().epoch(),
+                mig.entries
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let (reads, retries, misses) = (
+        reads.load(Ordering::Relaxed),
+        retries.load(Ordering::Relaxed),
+        misses.load(Ordering::Relaxed),
+    );
+    println!("\nserving plane: {reads} reads, {retries} stale-route retries, {misses} misses");
+    println!(
+        "final epoch {} at {} vnodes; every read served through {} epochs of live rebalance",
+        svc.serve().epoch(),
+        svc.with_read(|s| s.engine().balance_snapshot().vnodes),
+        svc.serve().epoch()
+    );
+    assert!(reads > 0, "readers must observe the rebalance");
+    assert_eq!(misses, 0, "no read may fail while routes move");
+    println!("OK: zero failed reads under live rebalance");
 }

@@ -75,14 +75,15 @@ pub mod prelude {
     };
     pub use domus_core::{
         BalanceSnapshot, BatchOutcome, Cluster, CollectReport, ContainerChoice, CountOnly,
-        CreateOutcome, DhtConfig, DhtEngine, DhtError, DhtOp, EnrollmentPolicy, FailOutcome,
-        GlobalDht, GroupId, LocalDht, NullSink, Pdr, RebalanceEvent, RebalanceSink, RemoveOutcome,
-        SnodeId, SplitSelection, Tee, VictimPartitionPolicy, VnodeId,
+        CreateOutcome, DhtConfig, DhtEngine, DhtError, DhtOp, EngineSnapshot, EnrollmentPolicy,
+        FailOutcome, GlobalDht, GroupId, LocalDht, NullSink, OwnerSpan, Pdr, RebalanceEvent,
+        RebalanceSink, RemoveOutcome, SnapshotBuilder, SnapshotCell, SnodeId, SnodeLoad,
+        SplitSelection, Tee, VictimPartitionPolicy, VnodeId,
     };
     pub use domus_hashspace::{HashSpace, OwnerMap, Partition, Quota};
     pub use domus_kv::{
-        CrashReport, KvService, KvStore, QuorumRead, RepairReport, ReplicatedStore, UniformKeys,
-        ZipfKeys,
+        CrashReport, KvService, KvStore, QuorumRead, RepairReport, ReplicatedStore, RoutedGet,
+        UniformKeys, ZipfKeys,
     };
     pub use domus_metrics::{rel_std_dev_pct, Series, Table, Welford};
     pub use domus_sim::{ClusterNet, CostModel, EventPricer, SimDriver, SimTime};
