@@ -1,0 +1,73 @@
+//! Route-convergence benchmarks: wall-clock cost of the routed replay —
+//! event dispatch + engine mutation + replica relocation + lease
+//! bookkeeping + hot-spot detection + the per-window cache probe — on
+//! the hot-spot/stall scenario, per backend. The replay also reports
+//! (once, outside the timed loop) how many control-plane windows the
+//! rebalance took to converge, which is the number the `bench-summary`
+//! gate holds per backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use domus_ch::ChEngine;
+use domus_churn::{ChurnDriver, ChurnOutcome, DriverConfig, EventStream, Scenario};
+use domus_core::{DhtConfig, DhtEngine, GlobalDht, LocalDht};
+use domus_hashspace::HashSpace;
+use domus_route::RouterConfig;
+use std::hint::black_box;
+
+const ENTRIES: u64 = 2_000;
+const VALUE_LEN: usize = 16;
+
+fn routed_replay<E: DhtEngine + Send + Sync>(engine: E, stream: &EventStream) -> ChurnOutcome {
+    ChurnDriver::with_replication(engine, DriverConfig::default(), ENTRIES, VALUE_LEN, 2)
+        .with_router(RouterConfig::default())
+        .run(stream)
+}
+
+fn bench(c: &mut Criterion) {
+    let stream = Scenario::hotspot_failover().build(2004);
+    let space = HashSpace::full();
+    let local_cfg = DhtConfig::new(space, 32, 32).expect("config");
+    let flat_cfg = DhtConfig::new(space, 32, 1).expect("config");
+
+    // Print the deterministic convergence numbers once — the benchmark
+    // times the replay, but these are what the regression gate watches.
+    for (name, outcome) in [
+        ("local", routed_replay(LocalDht::with_seed(local_cfg, 7), &stream)),
+        ("global", routed_replay(GlobalDht::with_seed(flat_cfg, 7), &stream)),
+        ("ch", routed_replay(ChEngine::with_seed(flat_cfg, 32, 7), &stream)),
+    ] {
+        let t = &outcome.totals;
+        assert_eq!(t.lease_violations, 0, "{name}: lease safety must hold");
+        assert_eq!(t.keys_lost, 0, "{name}: R=2 failover must lose nothing");
+        println!(
+            "route_convergence/{name}: converged in {} window(s), {} failover(s), {} move(s)",
+            t.route_convergence, t.failovers, t.route_moves
+        );
+    }
+
+    let mut g = c.benchmark_group("route_convergence");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(stream.len() as u64));
+
+    g.bench_with_input(BenchmarkId::new("local", "r2"), &stream, |b, stream| {
+        b.iter(|| {
+            black_box(routed_replay(LocalDht::with_seed(local_cfg, 7), stream).totals.route_moves)
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("global", "r2"), &stream, |b, stream| {
+        b.iter(|| {
+            black_box(routed_replay(GlobalDht::with_seed(flat_cfg, 7), stream).totals.route_moves)
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("ch", "r2"), &stream, |b, stream| {
+        b.iter(|| {
+            black_box(
+                routed_replay(ChEngine::with_seed(flat_cfg, 32, 7), stream).totals.route_moves,
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -19,6 +19,23 @@
 //! Hashing through the same decisions — cross-backend outputs differ only
 //! by what the engines themselves do.
 //!
+//! ## The routing control plane
+//!
+//! With [`ChurnDriver::with_router`] a [`domus_route::Router`] rides the
+//! replay: every join grants a lease, every window close runs one
+//! deterministic [`domus_route::Router::tick`] on the sim clock, and the
+//! tick's decisions execute through the ordinary membership machinery —
+//! a lapsed lease (a silently stalled snode,
+//! [`crate::event::EventKind::StallRank`]) fails over exactly like a
+//! crash, and a capacity-weighted hot spot
+//! ([`crate::event::EventKind::DegradeRank`]) sheds vnodes toward the
+//! coldest peer until the imbalance is bounded again. A deterministic
+//! 64-point probe routes through a client [`domus_route::RouteCache`] at
+//! every window close, so the per-window CSV carries the route version,
+//! the cache hit/stale ratio, live/expired lease counts, executed
+//! failovers and hot-spot moves — all byte-deterministic (the control
+//! plane runs on simulated time, not wall time).
+//!
 //! ## The concurrent serving plane
 //!
 //! With [`ChurnDriver::with_readers`] the replay becomes a two-plane
@@ -43,6 +60,7 @@ use domus_core::{
 use domus_kv::workload::value_of;
 use domus_kv::{KvService, KvStore, ReplicatedStore, UniformKeys};
 use domus_metrics::Series;
+use domus_route::{RouteAction, RouteCache, Router, RouterConfig};
 use domus_sim::{ClusterNet, CostModel, EventCost, EventPricer, SimTime};
 use parking_lot::RwLock;
 use std::io::{self, Write};
@@ -100,6 +118,8 @@ struct WindowAcc {
     service_ns: u64,
     entries_migrated: u64,
     keys_lost: u64,
+    failovers: u64,
+    route_moves: u64,
 }
 
 impl WindowAcc {
@@ -233,6 +253,19 @@ struct ReadWindow {
     errors: u64,
 }
 
+/// The control-plane figures of one window (all zero without a router —
+/// the CSV stays byte-deterministic either way, since the router runs on
+/// simulated time).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct RouteWindow {
+    version: u64,
+    cache_hit_rate: f64,
+    cache_stale: u64,
+    leases_live: u64,
+    leases_expired: u64,
+    hot_snodes: u64,
+}
+
 /// One observation window of a churn run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WindowSample {
@@ -303,6 +336,28 @@ pub struct WindowSample {
     /// Reads that settled at the current epoch and still missed — must
     /// stay 0 whenever the overlay is loss-free (0 without readers).
     pub read_errors: u64,
+    /// The shard-map version at the window end — the serving-plane epoch
+    /// the window's route probe pinned (0 without a router).
+    pub route_version: u64,
+    /// Hit rate of the window's deterministic 64-point cache probe:
+    /// `1 − stale_reads/reads` (0.0 without a router).
+    pub cache_hit_rate: f64,
+    /// Cache refreshes the probe needed — at most one per published
+    /// epoch, the ≤1-round repair contract (0 without a router).
+    pub cache_stale: u64,
+    /// Live leases at the window end (0 without a router).
+    pub leases_live: u64,
+    /// Leases that lapsed at this window's tick (0 without a router).
+    pub leases_expired: u64,
+    /// Lease-expiry failovers *executed* in this window (0 without a
+    /// router).
+    pub failovers: u64,
+    /// Snodes over the hot threshold at this window's tick (0 without a
+    /// router).
+    pub hot_snodes: u64,
+    /// Hot-spot vnode moves executed in this window (0 without a
+    /// router).
+    pub route_moves: u64,
 }
 
 /// Whole-run aggregate.
@@ -355,6 +410,28 @@ pub struct RunTotals {
     /// Total settled-epoch read misses (must be 0 on a loss-free
     /// overlay).
     pub read_errors: u64,
+    /// Total leases that lapsed (0 without a router).
+    pub leases_expired: u64,
+    /// Total lease-expiry failovers executed (0 without a router).
+    pub failovers: u64,
+    /// Total hot-spot vnode moves executed (0 without a router).
+    pub route_moves: u64,
+    /// Windows with at least one hot snode (0 without a router).
+    pub hot_windows: u64,
+    /// Whole-run hit rate of the per-window cache probes (1.0 without a
+    /// router — nothing was ever stale).
+    pub cache_hit_rate: f64,
+    /// The longest hot episode in windows, from onset to rebalanced
+    /// under the threshold; an episode still open at the horizon counts
+    /// as ongoing. The convergence figure the CI gate bounds (0 without
+    /// a router).
+    pub route_convergence: u64,
+    /// `false` iff a hot episode was still open at the horizon (always
+    /// `true` without a router).
+    pub route_converged: bool,
+    /// Windows where the lease table disagreed with the authoritative
+    /// roster — lease safety demands 0 (and 0 without a router).
+    pub lease_violations: u64,
 }
 
 /// The finished result of one churn run.
@@ -370,7 +447,7 @@ pub struct ChurnOutcome {
 
 impl ChurnOutcome {
     /// The CSV header of [`ChurnOutcome::write_csv`].
-    pub const CSV_HEADER: [&'static str; 30] = [
+    pub const CSV_HEADER: [&'static str; 38] = [
         "window",
         "t_ms",
         "events",
@@ -401,6 +478,14 @@ impl ChurnOutcome {
         "read_p99_ns",
         "stale_rate",
         "read_errors",
+        "route_version",
+        "cache_hit_rate",
+        "cache_stale",
+        "leases_live",
+        "leases_expired",
+        "failovers",
+        "hot_snodes",
+        "route_moves",
     ];
 
     /// Writes the per-window rows as CSV. The formatting is fixed-point,
@@ -439,6 +524,14 @@ impl ChurnOutcome {
                 s.read_p99_ns.to_string(),
                 format!("{:.4}", s.stale_rate),
                 s.read_errors.to_string(),
+                s.route_version.to_string(),
+                format!("{:.4}", s.cache_hit_rate),
+                s.cache_stale.to_string(),
+                s.leases_live.to_string(),
+                s.leases_expired.to_string(),
+                s.failovers.to_string(),
+                s.hot_snodes.to_string(),
+                s.route_moves.to_string(),
             ]
         });
         domus_metrics::csv::write_rows(w, &Self::CSV_HEADER, rows)
@@ -513,6 +606,14 @@ pub struct ChurnDriver<E: DhtEngine> {
     /// Incremental view maintenance for the bare/replicated plants,
     /// tee'd into every operation when readers are on.
     builder: SnapshotBuilder,
+    /// The control plane ([`ChurnDriver::with_router`]): leases, silent-
+    /// failure failover and hot-spot scheduling, ticked per window.
+    router: Option<Router>,
+    /// The deterministic client cache the per-window route probe routes
+    /// through (present iff the router is).
+    route_cache: Option<RouteCache>,
+    /// Windows whose lease table disagreed with the roster (must stay 0).
+    lease_violations: u64,
     /// Serving-plane reader threads ([`ChurnDriver::with_readers`]).
     readers: usize,
     /// Reads per pinned snapshot in one reader burst.
@@ -592,6 +693,9 @@ impl<E: DhtEngine> ChurnDriver<E> {
             probe_owner: Vec::new(),
             serve,
             builder,
+            router: None,
+            route_cache: None,
+            lease_violations: 0,
             readers: 0,
             read_burst: READ_BURST,
             read_pace: READ_PACE,
@@ -612,6 +716,22 @@ impl<E: DhtEngine> ChurnDriver<E> {
     /// the byte-identical-CSV determinism contract for them.
     pub fn with_readers(mut self, n: usize) -> Self {
         self.readers = n;
+        self
+    }
+
+    /// Attaches the routing & failover control plane: every join grants
+    /// a lease, every window close runs one deterministic
+    /// [`Router::tick`], and the tick's decisions — lease-expiry
+    /// failovers and hot-spot moves — execute through the same
+    /// membership machinery the event stream drives. Unlocks
+    /// [`crate::event::EventKind::StallRank`] and
+    /// [`crate::event::EventKind::DegradeRank`] (skipped without a
+    /// router) and fills the `route_*`/`lease*`/`failover` CSV columns.
+    /// Fully deterministic: the control plane runs on simulated time.
+    pub fn with_router(mut self, cfg: RouterConfig) -> Self {
+        let cell = Arc::clone(self.serve_cell());
+        self.router = Some(Router::new(cfg));
+        self.route_cache = Some(RouteCache::new(cell));
         self
     }
 
@@ -679,11 +799,29 @@ impl<E: DhtEngine> ChurnDriver<E> {
         self.roster.len()
     }
 
+    /// The control plane's lifetime view, when a router is attached.
+    pub fn router(&self) -> Option<&Router> {
+        self.router.as_ref()
+    }
+
+    /// `true` when the serving cell must be published per operation:
+    /// readers pin it concurrently, and the router's window tick judges
+    /// loads (and the route probe routes) on it.
+    fn serves_live(&self) -> bool {
+        self.readers > 0 || self.router.is_some()
+    }
+
     /// Replays one event (time must be nondecreasing across calls).
     pub fn step(&mut self, event: &ChurnEvent) {
         self.advance_to(event.at);
         match event.kind {
             EventKind::Join { node, vnodes } => {
+                // The arrival's enrollment is its *declared capacity* —
+                // the fixed basis hot-spot decisions weigh against
+                // (later moves shrink its quota, not its capacity).
+                if let Some(r) = &mut self.router {
+                    r.note_capacity(SnodeId(node.0), vnodes.max(1));
+                }
                 for _ in 0..vnodes.max(1) {
                     self.create_one(node);
                 }
@@ -708,15 +846,34 @@ impl<E: DhtEngine> ChurnDriver<E> {
                     self.remove_all(victims);
                 }
             }
-            EventKind::Crash { node } => self.crash_tag(node),
+            EventKind::Crash { node } => self.crash_tag(node, false),
             EventKind::CrashRank { draw } => {
                 if self.roster.is_empty() {
                     self.acc.skipped += 1;
                 } else {
                     let tag = self.roster[(draw % self.roster.len() as u64) as usize].0;
-                    self.crash_tag(tag);
+                    self.crash_tag(tag, false);
                 }
             }
+            EventKind::StallRank { draw } => {
+                // A silent stall performs no engine operation — the only
+                // signal is that the victim stops renewing its leases,
+                // so without a control plane the event is unobservable.
+                match &mut self.router {
+                    Some(router) if !self.roster.is_empty() => {
+                        let tag = self.roster[(draw % self.roster.len() as u64) as usize].0;
+                        router.inject_stall(SnodeId(tag.0));
+                    }
+                    _ => self.acc.skipped += 1,
+                }
+            }
+            EventKind::DegradeRank { draw, factor_ppm } => match &mut self.router {
+                Some(router) if !self.roster.is_empty() => {
+                    let tag = self.roster[(draw % self.roster.len() as u64) as usize].0;
+                    router.degrade(SnodeId(tag.0), f64::from(factor_ppm) / 1e6);
+                }
+                _ => self.acc.skipped += 1,
+            },
         }
         self.acc.events += 1;
     }
@@ -760,6 +917,14 @@ impl<E: DhtEngine> ChurnDriver<E> {
             read_p99_ns: 0,
             stale_rate: 0.0,
             read_errors: 0,
+            leases_expired: 0,
+            failovers: 0,
+            route_moves: 0,
+            hot_windows: 0,
+            cache_hit_rate: 1.0,
+            route_convergence: 0,
+            route_converged: true,
+            lease_violations: 0,
         };
         if self.readers > 0 {
             let c = self.read_stats.counters();
@@ -771,6 +936,19 @@ impl<E: DhtEngine> ChurnDriver<E> {
             totals.read_p99_ns = w.p99_ns;
             totals.stale_rate = w.stale_rate;
             totals.read_errors = w.errors;
+        }
+        if let Some(router) = &self.router {
+            totals.hot_windows = router.totals().hot_windows;
+            totals.route_convergence = router.worst_convergence();
+            totals.route_converged = !router.unconverged();
+            totals.lease_violations = self.lease_violations;
+            totals.cache_hit_rate = self
+                .route_cache
+                .as_ref()
+                .expect("with_router sets the cache")
+                .stats()
+                .counters()
+                .hit_rate();
         }
         for s in &self.samples {
             totals.events += s.events;
@@ -786,6 +964,9 @@ impl<E: DhtEngine> ChurnDriver<E> {
             totals.lost_lookups += s.lost_lookups;
             totals.keys_lost += s.keys_lost;
             totals.repaired += s.repaired;
+            totals.leases_expired += s.leases_expired;
+            totals.failovers += s.failovers;
+            totals.route_moves += s.route_moves;
         }
         if !self.samples.is_empty() {
             let n = self.samples.len() as f64;
@@ -812,6 +993,10 @@ impl<E: DhtEngine> ChurnDriver<E> {
     }
 
     fn close_window(&mut self, end: SimTime) {
+        // The control plane ticks first: its failovers and moves execute
+        // inside the closing window, so the balance/probe samples below
+        // see the post-action state the next window starts from.
+        let route = self.route_window(end);
         let balance = self.with_engine(|e| e.balance_snapshot());
         let (availability, lost_lookups, quorum_availability) = self.probe_window();
         let read = self.read_window();
@@ -854,7 +1039,91 @@ impl<E: DhtEngine> ChurnDriver<E> {
             read_p99_ns: read.p99_ns,
             stale_rate: read.stale_rate,
             read_errors: read.errors,
+            route_version: route.version,
+            cache_hit_rate: route.cache_hit_rate,
+            cache_stale: route.cache_stale,
+            leases_live: route.leases_live,
+            leases_expired: route.leases_expired,
+            failovers: acc.failovers,
+            hot_snodes: route.hot_snodes,
+            route_moves: acc.route_moves,
         });
+    }
+
+    /// One control-plane window: tick the router on the published loads,
+    /// execute its decisions through the ordinary membership machinery,
+    /// verify lease safety against the roster, and sample the client
+    /// cache with a deterministic 64-point probe.
+    fn route_window(&mut self, end: SimTime) -> RouteWindow {
+        if self.router.is_none() {
+            return RouteWindow::default();
+        }
+        let report = {
+            let loads = self.serve_cell().load().loads().to_vec();
+            self.router.as_mut().expect("checked above").tick(end, &loads)
+        };
+        for action in &report.actions {
+            match action {
+                RouteAction::Failover { snode, .. } => {
+                    let tag = NodeTag(snode.0);
+                    let count = self.roster.iter().filter(|(t, _)| *t == tag).count();
+                    if count == 0 {
+                        // The leases outlived the roster (verify below
+                        // would flag it) — confirm to clean the table.
+                        self.router.as_mut().expect("router mode").note_fail(*snode);
+                    } else if count == self.roster.len() {
+                        // Failing over the whole fleet would empty the
+                        // DHT: push the expiry out one TTL and retry.
+                        self.router.as_mut().expect("router mode").defer(*snode, end);
+                    } else {
+                        self.crash_tag(tag, true);
+                    }
+                }
+                RouteAction::MoveVnode { from, to } => {
+                    // Shed the hot snode's first-enrolled vnode; grow the
+                    // coldest peer by one in the same stroke so the
+                    // population stays level and the load lands colder.
+                    let victim = self.roster.iter().find(|(t, _)| t.0 == from.0).map(|&(_, v)| v);
+                    if let Some(v) = victim {
+                        let live_before = self.roster.len();
+                        self.remove_one(v);
+                        if self.roster.len() < live_before {
+                            if let Some(t) = to {
+                                self.create_one(NodeTag(t.0));
+                            }
+                            self.acc.route_moves += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Lease safety, checked against the authoritative roster every
+        // single window: every live vnode exactly one lease, held by its
+        // hosting snode.
+        let roster: Vec<(VnodeId, SnodeId)> =
+            self.roster.iter().map(|&(t, v)| (v, SnodeId(t.0))).collect();
+        if self.router.as_ref().expect("router mode").verify(roster).is_err() {
+            self.lease_violations += 1;
+        }
+        // The deterministic client-cache probe: 64 grid points through
+        // the cache. At most one refresh per published epoch lands as a
+        // stale read — the ≤1-round repair contract, in the CSV.
+        let cache = self.route_cache.as_mut().expect("with_router sets the cache");
+        let space = cache.table().space();
+        let before = cache.stats().counters();
+        for i in 0..64u64 {
+            cache.lookup(space.fold(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        }
+        let delta = cache.stats().counters().since(before);
+        let router = self.router.as_ref().expect("router mode");
+        RouteWindow {
+            version: cache.version().0,
+            cache_hit_rate: delta.hit_rate(),
+            cache_stale: delta.stale_reads,
+            leases_live: router.leases().len() as u64,
+            leases_expired: report.expired,
+            hot_snodes: report.hot.len() as u64,
+        }
     }
 
     /// Re-routes the probe set **through a pinned snapshot** — the same
@@ -915,7 +1184,7 @@ impl<E: DhtEngine> ChurnDriver<E> {
     /// single-threaded replay (in reader mode every operation already
     /// published its epoch; the KV service always maintains its own).
     fn refresh_serve(&mut self) {
-        if self.readers > 0 || matches!(self.plant, Plant::Kv(_)) {
+        if self.serves_live() || matches!(self.plant, Plant::Kv(_)) {
             return;
         }
         let epoch = self.samples.len() as u64 + 1;
@@ -940,10 +1209,11 @@ impl<E: DhtEngine> ChurnDriver<E> {
     fn create_one(&mut self, node: NodeTag) {
         let snode = SnodeId(node.0);
         self.pricer.begin();
-        // With readers on, the bare/replicated plants tee every event into
-        // the snapshot builder and publish the next epoch before the
-        // operation's lock is released (the KV service does its own).
-        let serve_live = self.readers > 0;
+        // With readers or a router on, the bare/replicated plants tee
+        // every event into the snapshot builder and publish the next
+        // epoch before the operation's lock is released (the KV service
+        // does its own).
+        let serve_live = self.serves_live();
         let (v, entries_moved) = match &mut self.plant {
             Plant::Bare(e) => {
                 let out = if serve_live {
@@ -986,6 +1256,9 @@ impl<E: DhtEngine> ChurnDriver<E> {
         self.acc.entries_migrated += entries_moved;
         self.acc.joins += 1;
         self.roster.push((node, v));
+        if let Some(r) = &mut self.router {
+            r.note_join(v, snode, self.clock);
+        }
     }
 
     /// Removes `victims` in order, patching not-yet-removed handles when a
@@ -1014,7 +1287,7 @@ impl<E: DhtEngine> ChurnDriver<E> {
             return None;
         }
         self.pricer.begin();
-        let serve_live = self.readers > 0;
+        let serve_live = self.serves_live();
         let entries_moved = match &mut self.plant {
             Plant::Bare(e) => {
                 if serve_live {
@@ -1067,6 +1340,12 @@ impl<E: DhtEngine> ChurnDriver<E> {
                 }
             }
         }
+        if let Some(r) = &mut self.router {
+            r.note_remove(v);
+            if let Some((old, new)) = migrated {
+                r.note_rename(old, new);
+            }
+        }
         migrated
     }
 
@@ -1080,7 +1359,11 @@ impl<E: DhtEngine> ChurnDriver<E> {
     /// synchronisation round over the post-crash record plus all streamed
     /// transfers — a deliberate approximation (a crash is detected and
     /// absorbed as a unit, not as per-vnode goodbyes).
-    fn crash_tag(&mut self, tag: NodeTag) {
+    ///
+    /// With `failover` set the teardown was ordered by the control plane
+    /// (a lapsed lease, not a crash notification): the mechanics are
+    /// identical, only the accounting differs.
+    fn crash_tag(&mut self, tag: NodeTag, failover: bool) {
         let count = self.roster.iter().filter(|(t, _)| *t == tag).count();
         if count == 0 || count == self.roster.len() {
             // Already gone, or crashing the whole fleet would empty the
@@ -1092,12 +1375,21 @@ impl<E: DhtEngine> ChurnDriver<E> {
             let victims: Vec<VnodeId> =
                 self.roster.iter().filter(|(t, _)| *t == tag).map(|&(_, v)| v).collect();
             self.remove_all(victims);
-            self.acc.crashes += 1;
+            // The per-vnode removals already released the leases; this
+            // clears the holder's capacity/stall records too.
+            if let Some(r) = &mut self.router {
+                r.note_fail(SnodeId(tag.0));
+            }
+            if failover {
+                self.acc.failovers += 1;
+            } else {
+                self.acc.crashes += 1;
+            }
             return;
         }
         let snode = SnodeId(tag.0);
         self.pricer.begin();
-        let serve_live = self.readers > 0;
+        let serve_live = self.serves_live();
         let (renames, vnodes_failed, keys_lost, relocated) = match &mut self.plant {
             Plant::Bare(e) => {
                 let out = if serve_live {
@@ -1129,6 +1421,15 @@ impl<E: DhtEngine> ChurnDriver<E> {
             Plant::Kv(_) => unreachable!("degraded to graceful removal above"),
         };
         self.roster.retain(|&(t, _)| t != tag);
+        if let Some(r) = &mut self.router {
+            // Survivor renames re-key their leases; then the dead
+            // holder's leases are released (the executor's confirmation
+            // the tick's failover asked for).
+            for &(old, new) in &renames {
+                r.note_rename(old, new);
+            }
+            r.note_fail(snode);
+        }
         for (old, new) in renames {
             for entry in &mut self.roster {
                 if entry.1 == old {
@@ -1152,7 +1453,11 @@ impl<E: DhtEngine> ChurnDriver<E> {
         self.acc.transfers += self.pricer.transfers();
         self.acc.entries_migrated += relocated;
         self.acc.leaves += vnodes_failed as u64;
-        self.acc.crashes += 1;
+        if failover {
+            self.acc.failovers += 1;
+        } else {
+            self.acc.crashes += 1;
+        }
         self.acc.keys_lost += keys_lost;
         if keys_lost > 0 {
             self.prune_lost_probes();
@@ -1329,22 +1634,11 @@ fn one_read<E: DhtEngine>(
             (got.retries, got.value.is_none())
         }
         ReadTarget::Repl(store) if have_data => {
+            // A settled miss is genuine — only reachable when crashes
+            // destroyed every copy, i.e. R was too low for the burst.
             let key = keys.key_at(draw % entries);
-            let mut retries = 0u32;
-            loop {
-                let read = store.read().get_quorum_at(snap, key.as_bytes());
-                if read.value.is_some() {
-                    return (retries, false);
-                }
-                if !cell.is_stale(snap) {
-                    // Settled: the miss is genuine (only reachable when
-                    // crashes destroyed every copy, i.e. R was too low
-                    // for the failure burst).
-                    return (retries, true);
-                }
-                *snap = cell.load();
-                retries += 1;
-            }
+            let got = store.read().get_quorum_routed(cell, snap, key.as_bytes());
+            (got.retries, got.read.value.is_none())
         }
         // Routing-plane read: resolve a random point at the pinned epoch.
         _ => {
@@ -1635,9 +1929,82 @@ mod tests {
         assert_eq!(outcome.totals.reads, 0);
         assert_eq!(outcome.totals.read_errors, 0);
         assert!(outcome.samples.iter().all(|s| s.reads == 0 && s.stale_rate == 0.0));
+        // Without readers *and* without a router, both column groups
+        // stay all-zero and the CSV is byte-deterministic.
+        assert_eq!(outcome.totals.failovers, 0);
+        assert_eq!(outcome.totals.route_moves, 0);
+        assert!(outcome.samples.iter().all(|s| s.leases_live == 0 && s.route_version == 0));
         for line in outcome.csv_string().lines().skip(1) {
-            assert!(line.ends_with(",0,0.0,0,0,0.0000,0"), "read columns stay zero: {line}");
+            assert!(
+                line.ends_with(",0,0.0,0,0,0.0000,0,0,0.0000,0,0,0,0,0,0"),
+                "read and route columns stay zero: {line}"
+            );
         }
+    }
+
+    #[test]
+    fn a_silent_stall_fails_over_via_lease_expiry_with_zero_loss_at_r2() {
+        let stream = Scenario::hotspot_failover().build(17);
+        let driver = ChurnDriver::with_replication(local(), DriverConfig::default(), 1_200, 16, 2)
+            .with_router(RouterConfig::default());
+        let outcome = driver.run(&stream);
+        assert!(outcome.totals.leases_expired >= 1, "the stall must lapse leases");
+        assert!(outcome.totals.failovers >= 1, "a lapsed lease must fail over");
+        assert_eq!(outcome.totals.crashes, 0, "no crash notification was ever delivered");
+        assert_eq!(outcome.totals.keys_lost, 0, "R=2: failover + repair lose nothing");
+        assert_eq!(outcome.totals.lost_lookups, 0);
+        assert_eq!(outcome.totals.lease_violations, 0, "lease safety holds every window");
+        assert!(outcome.samples.iter().any(|s| s.failovers > 0));
+        // The route probe sees live epochs: versions advance, and the
+        // cache repairs staleness in at most one round per window.
+        assert!(outcome.samples.last().unwrap().route_version > 0);
+        assert!(outcome.samples.iter().any(|s| s.cache_stale > 0));
+        assert!(outcome.samples.iter().all(|s| s.cache_stale <= 1));
+    }
+
+    #[test]
+    fn a_degraded_snode_is_detected_and_rebalanced_within_bounded_windows() {
+        let stream = Scenario::hotspot_failover().build(17);
+        let driver = ChurnDriver::with_kv(local(), DriverConfig::default(), 1_000, 8)
+            .with_router(RouterConfig::default());
+        let outcome = driver.run(&stream);
+        assert!(outcome.totals.hot_windows >= 1, "the degrade must trip the detector");
+        assert!(outcome.totals.route_moves >= 1, "a hot snode must shed");
+        assert!(outcome.totals.route_converged, "the imbalance must be rebalanced away");
+        assert!(
+            outcome.totals.route_convergence <= 3,
+            "convergence must be bounded: {} windows",
+            outcome.totals.route_convergence
+        );
+        assert_eq!(outcome.totals.lost_lookups, 0, "moves migrate data, never lose it");
+        assert_eq!(outcome.totals.lease_violations, 0);
+    }
+
+    #[test]
+    fn routed_replay_is_deterministic() {
+        let scenario = Scenario::hotspot_failover();
+        let run = || {
+            ChurnDriver::with_replication(local(), DriverConfig::default(), 800, 8, 2)
+                .with_router(RouterConfig::default())
+                .run(&scenario.build(3))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "the control plane runs on simulated time — byte-deterministic");
+        assert_eq!(a.csv_string(), b.csv_string());
+        assert!(a.csv_string().starts_with("window,t_ms,"));
+        assert!(a.csv_string().contains("route_version"));
+    }
+
+    #[test]
+    fn stall_and_degrade_events_are_skipped_without_a_router() {
+        let stream = Scenario::hotspot_failover().build(5);
+        let outcome = ChurnDriver::new(local(), DriverConfig::default()).run(&stream);
+        assert_eq!(outcome.totals.failovers, 0);
+        assert_eq!(outcome.totals.route_moves, 0);
+        assert_eq!(
+            outcome.totals.skipped, 2,
+            "one stall + one degrade are unobservable without a control plane"
+        );
     }
 
     #[test]

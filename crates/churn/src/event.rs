@@ -81,6 +81,28 @@ pub enum EventKind {
         /// Pre-drawn randomness locating the victim.
         draw: u64,
     },
+    /// A **silent** stall of a rank-selected node: its data plane stops
+    /// answering but no crash notification ever reaches the cluster —
+    /// the only observable signal is that the node stops renewing its
+    /// leases. The event itself performs **no engine operation**;
+    /// recovery happens later, via lease expiry, when a router is
+    /// attached (`ChurnDriver::with_router`) — without one the event is
+    /// skipped, like a `Leave` for a node never seen.
+    StallRank {
+        /// Pre-drawn randomness locating the victim.
+        draw: u64,
+    },
+    /// A rank-selected node degrades: its *effective* capacity drops to
+    /// `factor_ppm` parts-per-million of what it declared (disks dying,
+    /// a noisy neighbour), while its quota share stays put — the
+    /// deterministic hot-spot injection. Observable only to an attached
+    /// router's capacity-weighted detector; skipped without one.
+    DegradeRank {
+        /// Pre-drawn randomness locating the victim.
+        draw: u64,
+        /// Remaining effective capacity, in parts per million.
+        factor_ppm: u32,
+    },
 }
 
 /// One timestamped event.
@@ -153,6 +175,8 @@ impl EventStream {
                 EventKind::FailSlice { fraction_ppm, draw } => (3, fraction_ppm as u64, draw),
                 EventKind::Crash { node } => (4, node.0 as u64, 0),
                 EventKind::CrashRank { draw } => (5, draw, 0),
+                EventKind::StallRank { draw } => (6, draw, 0),
+                EventKind::DegradeRank { draw, factor_ppm } => (7, draw, factor_ppm as u64),
             };
             h = SplitMix64::mix(h ^ disc);
             h = SplitMix64::mix(h ^ a);

@@ -32,7 +32,13 @@
 //!   through the run to measure keys migrated, lookup correctness,
 //!   per-window availability, and (replicated) per-window durability
 //!   (`keys_lost`/`keys_total`) plus quorum-read availability with an
-//!   anti-entropy repair pass at every window close.
+//!   anti-entropy repair pass at every window close. With
+//!   [`ChurnDriver::with_router`] the `domus-route` control plane rides
+//!   the replay: leases grant/renew/lapse on the sim clock, silent
+//!   stalls ([`EventKind::StallRank`]) fail over via lease expiry,
+//!   capacity degradations ([`EventKind::DegradeRank`]) trip the
+//!   hot-spot detector and shed vnodes until rebalanced — all
+//!   byte-deterministic, sampled into per-window route columns.
 //!
 //! ```
 //! use domus_churn::{Capacity, ChurnDriver, DriverConfig, Lifetime, Process, Scenario};

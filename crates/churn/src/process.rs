@@ -178,6 +178,28 @@ pub enum Process {
         /// Wave width (0 = all at one instant).
         spread: SimTime,
     },
+    /// `stalls` rank-selected nodes go **silently** unresponsive, spread
+    /// uniformly over `[at, at + spread)` ([`EventKind::StallRank`]): no
+    /// crash notification, no graceful drain — the cluster only notices
+    /// through missed lease renewals, so recovery needs a control plane
+    /// (`ChurnDriver::with_router`) and takes one lease TTL.
+    SilentStalls {
+        /// Wave start.
+        at: SimTime,
+        /// Nodes stalled by the wave.
+        stalls: u32,
+        /// Wave width (0 = all at one instant).
+        spread: SimTime,
+    },
+    /// One rank-selected node degrades at `at` to `factor` of its
+    /// declared capacity ([`EventKind::DegradeRank`]) — the deterministic
+    /// hot-spot injection the capacity-weighted detector must catch.
+    Degrade {
+        /// Degradation instant.
+        at: SimTime,
+        /// Remaining effective capacity, in `(0, 1]`.
+        factor: f64,
+    },
 }
 
 impl Process {
@@ -191,6 +213,8 @@ impl Process {
             Process::GroupFailure { .. } => "group-failure",
             Process::RandomCrashes { .. } => "random-crashes",
             Process::CrashStorm { .. } => "crash-storm",
+            Process::SilentStalls { .. } => "silent-stalls",
+            Process::Degrade { .. } => "degrade",
         }
     }
 
@@ -318,6 +342,33 @@ impl Process {
                             kind: EventKind::CrashRank { draw: rng.next_u64() },
                         });
                     }
+                }
+            }
+            Process::SilentStalls { at, stalls, spread } => {
+                let mut offsets: Vec<u64> = (0..*stalls)
+                    .map(|_| if spread.nanos() == 0 { 0 } else { rng.next_below(spread.nanos()) })
+                    .collect();
+                offsets.sort_unstable();
+                for off in offsets {
+                    let t = *at + SimTime(off);
+                    if t < horizon {
+                        out.push(ChurnEvent {
+                            at: t,
+                            kind: EventKind::StallRank { draw: rng.next_u64() },
+                        });
+                    }
+                }
+            }
+            Process::Degrade { at, factor } => {
+                assert!(*factor > 0.0 && *factor <= 1.0, "degrade factor must be in (0, 1]");
+                if *at < horizon {
+                    out.push(ChurnEvent {
+                        at: *at,
+                        kind: EventKind::DegradeRank {
+                            draw: rng.next_u64(),
+                            factor_ppm: (factor * 1e6).round() as u32,
+                        },
+                    });
                 }
             }
         }

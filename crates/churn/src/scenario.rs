@@ -131,6 +131,34 @@ impl Scenario {
                 spread: SimTime::millis(10_000),
             })
     }
+
+    /// A ready-made control-plane scenario for
+    /// `ChurnDriver::with_router` studies: a fixed-capacity fleet under
+    /// mild Poisson arrivals, one node degrading to a quarter of its
+    /// declared capacity at a third of the horizon (the hot spot the
+    /// capacity-weighted detector must catch and shed), and one
+    /// **silent** stall at two thirds (the failure only lease expiry
+    /// can notice — no crash notification is ever delivered). The
+    /// 180 s horizon is six default 30 s windows, so the default 75 s
+    /// lease TTL spans 2.5 ticks: the stall's leases lapse two windows
+    /// after its last renewal and the failover lands before the
+    /// horizon.
+    pub fn hotspot_failover() -> Self {
+        let horizon = SimTime::millis(180_000);
+        Scenario::new(horizon)
+            .with(Process::InitialFleet { nodes: 12, capacity: Capacity::Fixed(2) })
+            .with(Process::Poisson {
+                rate_per_s: 0.1,
+                lifetime: Lifetime::Forever,
+                capacity: Capacity::Fixed(1),
+            })
+            .with(Process::Degrade { at: SimTime::millis(60_000), factor: 0.25 })
+            .with(Process::SilentStalls {
+                at: SimTime::millis(120_000),
+                stalls: 1,
+                spread: SimTime::ZERO,
+            })
+    }
 }
 
 #[cfg(test)]
@@ -164,9 +192,7 @@ mod tests {
                 }
                 EventKind::Leave { .. } => leaves += 1,
                 EventKind::FailSlice { .. } => fails += 1,
-                EventKind::Crash { .. } | EventKind::CrashRank { .. } => {
-                    panic!("mixed scenario has no ungraceful crashes")
-                }
+                other => panic!("mixed scenario emits no {other:?}"),
             }
         }
         assert!(joins > 500, "mixed scenario is join-heavy ({joins})");
@@ -186,7 +212,7 @@ mod tests {
                 EventKind::Join { .. } => joins += 1,
                 EventKind::Leave { .. } => leaves += 1,
                 EventKind::Crash { .. } | EventKind::CrashRank { .. } => crashes += 1,
-                EventKind::FailSlice { .. } => panic!("crashy uses ungraceful failures only"),
+                other => panic!("crashy scenario emits no {other:?}"),
             }
         }
         assert!(joins > 200, "{joins} joins");
@@ -194,6 +220,22 @@ mod tests {
         // ~0.05/s over 600 s plus the storm: ≈ 33 crashes expected.
         assert!((10..=80).contains(&crashes), "{crashes} crashes");
         assert_eq!(stream.fingerprint(), Scenario::crashy(1.0).build(2004).fingerprint());
+    }
+
+    #[test]
+    fn hotspot_failover_scenario_carries_one_stall_and_one_degrade() {
+        let stream = Scenario::hotspot_failover().build(2004);
+        let stalls =
+            stream.events().iter().filter(|e| matches!(e.kind, EventKind::StallRank { .. }));
+        let degrades =
+            stream.events().iter().filter(|e| matches!(e.kind, EventKind::DegradeRank { .. }));
+        assert_eq!(stalls.count(), 1);
+        assert_eq!(degrades.count(), 1);
+        assert_eq!(
+            stream.fingerprint(),
+            Scenario::hotspot_failover().build(2004).fingerprint(),
+            "stall/degrade events are part of the fingerprint contract"
+        );
     }
 
     #[test]

@@ -103,7 +103,9 @@ pub use invariants::InvariantViolation;
 pub use ledger::{SnodeLedger, SnodeShare};
 pub use local::{ideal_group_count, LocalDht};
 pub use record::{Pdr, PdrEntry};
-pub use serve::{EngineSnapshot, OwnerSpan, SnapshotBuilder, SnapshotCell, SnodeLoad};
+pub use serve::{
+    EngineSnapshot, OwnerSpan, RouteCounters, RouteStats, SnapshotBuilder, SnapshotCell, SnodeLoad,
+};
 pub use sink::{
     CollectReport, CountOnly, LedgeredSink, NullSink, RebalanceEvent, RebalanceSink, Tee,
 };

@@ -307,6 +307,89 @@ impl SnapshotCell {
     }
 }
 
+/// Shared routing-read statistics: reads, stale refreshes, misses.
+///
+/// One struct serves every consumer of the serving plane — a
+/// `KvService` counts its `get_routed` retries here, a `ReplicatedStore`
+/// its quorum-read retries, and a route cache its stale re-pins — so a
+/// client that layers a cache over a service can hand the *same*
+/// `Arc<RouteStats>` to both and read one coherent tally. All counters
+/// are relaxed atomics; snapshot them with [`RouteStats::counters`] and
+/// diff windows with [`RouteCounters::since`].
+#[derive(Debug, Default)]
+pub struct RouteStats {
+    reads: AtomicU64,
+    stale_reads: AtomicU64,
+    stale_retries: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RouteStats {
+    /// A zeroed stat block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one routed read that needed `retries` stale-route
+    /// refreshes and did (`miss == true`) or did not find its key.
+    pub fn record(&self, retries: u32, miss: bool) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        if retries > 0 {
+            self.stale_reads.fetch_add(1, Ordering::Relaxed);
+            self.stale_retries.fetch_add(u64::from(retries), Ordering::Relaxed);
+        }
+        if miss {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn counters(&self) -> RouteCounters {
+        RouteCounters {
+            reads: self.reads.load(Ordering::Relaxed),
+            stale_reads: self.stale_reads.load(Ordering::Relaxed),
+            stale_retries: self.stale_retries.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain copy of [`RouteStats`] counters, diffable across windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCounters {
+    /// Routed reads issued.
+    pub reads: u64,
+    /// Reads that needed at least one stale-route refresh.
+    pub stale_reads: u64,
+    /// Total stale-route refreshes (≥ `stale_reads`).
+    pub stale_retries: u64,
+    /// Reads that found no value.
+    pub misses: u64,
+}
+
+impl RouteCounters {
+    /// The delta accumulated since `prev` (a strictly earlier snapshot of
+    /// the same stat block).
+    pub fn since(&self, prev: RouteCounters) -> RouteCounters {
+        RouteCounters {
+            reads: self.reads - prev.reads,
+            stale_reads: self.stale_reads - prev.stale_reads,
+            stale_retries: self.stale_retries - prev.stale_retries,
+            misses: self.misses - prev.misses,
+        }
+    }
+
+    /// Fraction of reads answered without a stale refresh (1.0 when no
+    /// reads happened — an idle cache is not a cold cache).
+    pub fn hit_rate(&self) -> f64 {
+        if self.reads == 0 {
+            1.0
+        } else {
+            1.0 - self.stale_reads as f64 / self.reads as f64
+        }
+    }
+}
+
 /// Incrementally maintains the routing view from the event stream.
 ///
 /// Feed it as (or tee'd into) the [`RebalanceSink`] of every membership

@@ -24,6 +24,16 @@
 //! `read_scaling` field), with flat p99 latency and **zero** read
 //! errors through the crashes. The gate covers reads/sec, p99 and the
 //! zero-error invariant alongside the events/sec floor.
+//!
+//! Schema 3 adds the **routing control plane**: the hot-spot/stall
+//! scenario replays with the `domus-route` router riding an R = 2
+//! overlay, and the JSON records per backend how many windows the
+//! hot-spot rebalance took to converge, the deterministic cache probe's
+//! hit rate, the lease-expiry failover count, and the lease-safety
+//! violation count. Unlike the wall-clock rates these are sim-clock
+//! deterministic, so the gate holds them tight: convergence may not
+//! regress past the percentage floor, and a single lease-safety
+//! violation or routed key loss fails the gate outright.
 
 use crate::runner::derive_seed;
 use crate::{Ctx, ExpReport};
@@ -32,6 +42,7 @@ use domus_churn::{Capacity, ChurnDriver, DriverConfig, EventStream, Lifetime, Pr
 use domus_core::{DhtConfig, DhtEngine, GlobalDht, LocalDht};
 use domus_hashspace::HashSpace;
 use domus_metrics::table::{num, Table};
+use domus_route::RouterConfig;
 use domus_sim::SimTime;
 use std::fs;
 use std::path::Path;
@@ -62,6 +73,16 @@ pub struct BackendBench {
     /// Reads the snapshot plane failed to serve, summed over both runs.
     /// Must be zero: R = 2 with per-window repair loses nothing.
     pub read_errors: u64,
+    /// Windows the hot-spot rebalance took to converge (routed run).
+    pub route_convergence_windows: u64,
+    /// Deterministic cache-probe hit rate over the routed run.
+    pub route_cache_hit_rate: f64,
+    /// Lease-expiry failovers executed in the routed run.
+    pub route_failovers: u64,
+    /// Lease-safety violations in the routed run. Must be zero.
+    pub lease_violations: u64,
+    /// Keys lost through the routed failover at R = 2. Must be zero.
+    pub route_keys_lost: u64,
 }
 
 /// The whole measurement: scale, seed, and per-backend numbers.
@@ -152,6 +173,27 @@ fn read_replay<E: DhtEngine + Send + Sync>(
     )
 }
 
+/// The control-plane measurement: the hot-spot/stall scenario replays
+/// with the router riding an R = 2 overlay. Every number here is
+/// sim-clock deterministic (same seed ⇒ same convergence, same hit
+/// rate), so unlike the wall-clock rates these compare exactly across
+/// machines.
+fn route_replay<E: DhtEngine + Send + Sync>(
+    engine: E,
+    stream: &EventStream,
+) -> (u64, f64, u64, u64, u64) {
+    let outcome = ChurnDriver::with_replication(engine, DriverConfig::default(), 2_000, 16, 2)
+        .with_router(RouterConfig::default())
+        .run(stream);
+    (
+        outcome.totals.route_convergence,
+        outcome.totals.cache_hit_rate,
+        outcome.totals.failovers,
+        outcome.totals.lease_violations,
+        outcome.totals.keys_lost,
+    )
+}
+
 /// The serving-plane half of one backend's measurement: crash-storm
 /// runs at 1 and 8 reader threads (fresh engine per run — each
 /// measurement starts from the same empty state).
@@ -185,9 +227,11 @@ pub fn compute(ctx: &Ctx, events: Option<usize>) -> BenchSummary {
     let seed = derive_seed(&ctx.seeds, "bench-churn", 0);
     let mut stream = scenario(fleet).build(seed);
     let mut read_stream = read_scenario().build(seed ^ 0x5EAD);
+    let mut route_stream = Scenario::hotspot_failover().build(seed ^ 0x707E);
     if let Some(n) = events {
         stream.truncate(n);
         read_stream.truncate(n);
+        route_stream.truncate(n);
     }
     let space = HashSpace::full();
     let (pmin, vmin) = (32, 32);
@@ -202,9 +246,16 @@ pub fn compute(ctx: &Ctx, events: Option<usize>) -> BenchSummary {
         read_bench(global, &read_stream),
         read_bench(ch, &read_stream),
     ];
+    let routes = vec![
+        route_replay(local(), &route_stream),
+        route_replay(global(), &route_stream),
+        route_replay(ch(), &route_stream),
+    ];
 
     let mut backends = Vec::new();
-    for ((name, m), r) in ["local", "global", "ch"].into_iter().zip(mutation).zip(reads) {
+    for (((name, m), r), rt) in
+        ["local", "global", "ch"].into_iter().zip(mutation).zip(reads).zip(routes)
+    {
         let (events_per_sec, elapsed_ms, final_vnodes) = m;
         let (
             reads_per_sec_1,
@@ -215,6 +266,13 @@ pub fn compute(ctx: &Ctx, events: Option<usize>) -> BenchSummary {
             stale_rate,
             read_errors,
         ) = r;
+        let (
+            route_convergence_windows,
+            route_cache_hit_rate,
+            route_failovers,
+            lease_violations,
+            route_keys_lost,
+        ) = rt;
         backends.push(BackendBench {
             name,
             events_per_sec,
@@ -227,6 +285,11 @@ pub fn compute(ctx: &Ctx, events: Option<usize>) -> BenchSummary {
             read_p99_ns,
             stale_rate,
             read_errors,
+            route_convergence_windows,
+            route_cache_hit_rate,
+            route_failovers,
+            lease_violations,
+            route_keys_lost,
         });
     }
     BenchSummary {
@@ -243,7 +306,7 @@ pub fn compute(ctx: &Ctx, events: Option<usize>) -> BenchSummary {
 /// before/after live in one file.
 pub fn to_json(s: &BenchSummary, baseline: Option<&str>) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 2,\n  \"bench\": \"churn_driver\",\n");
+    out.push_str("  \"schema\": 3,\n  \"bench\": \"churn_driver\",\n");
     out.push_str(&format!("  \"seed\": {},\n", s.seed));
     out.push_str(&format!("  \"fleet_nodes\": {},\n", s.fleet_nodes));
     out.push_str(&format!("  \"initial_vnodes\": {},\n", s.initial_vnodes));
@@ -253,7 +316,9 @@ pub fn to_json(s: &BenchSummary, baseline: Option<&str>) -> String {
         out.push_str(&format!(
             "    \"{}\": {{\"events_per_sec\": {:.1}, \"elapsed_ms\": {:.1}, \"final_vnodes\": {}, \
              \"reads_per_sec_1\": {:.1}, \"reads_per_sec_8\": {:.1}, \"read_scaling\": {:.2}, \
-             \"read_p50_ns\": {}, \"read_p99_ns\": {}, \"stale_rate\": {:.4}, \"read_errors\": {}}}{}\n",
+             \"read_p50_ns\": {}, \"read_p99_ns\": {}, \"stale_rate\": {:.4}, \"read_errors\": {}, \
+             \"route_convergence_windows\": {}, \"route_cache_hit_rate\": {:.4}, \
+             \"route_failovers\": {}, \"lease_violations\": {}, \"route_keys_lost\": {}}}{}\n",
             b.name,
             b.events_per_sec,
             b.elapsed_ms,
@@ -265,6 +330,11 @@ pub fn to_json(s: &BenchSummary, baseline: Option<&str>) -> String {
             b.read_p99_ns,
             b.stale_rate,
             b.read_errors,
+            b.route_convergence_windows,
+            b.route_cache_hit_rate,
+            b.route_failovers,
+            b.lease_violations,
+            b.route_keys_lost,
             if i + 1 < s.backends.len() { "," } else { "" }
         ));
     }
@@ -387,6 +457,26 @@ pub fn run(
     }
     println!("{}", rt.render());
 
+    let mut ct = Table::new(&[
+        "backend",
+        "convergence (windows)",
+        "cache hit rate",
+        "failovers",
+        "lease violations",
+        "keys lost",
+    ]);
+    for b in &s.backends {
+        ct.row(&[
+            b.name.into(),
+            b.route_convergence_windows.to_string(),
+            num(b.route_cache_hit_rate, 4),
+            b.route_failovers.to_string(),
+            b.lease_violations.to_string(),
+            b.route_keys_lost.to_string(),
+        ]);
+    }
+    println!("{}", ct.render());
+
     fs::create_dir_all(&ctx.out_dir).expect("results dir");
     let path = ctx.out_dir.join("BENCH_churn.json");
     fs::write(&path, to_json(&s, baseline.as_deref())).expect("write BENCH_churn.json");
@@ -407,6 +497,15 @@ pub fn run(
             b.read_p99_ns,
             b.stale_rate,
             b.read_errors
+        ));
+        rep.note(format!(
+            "{}: control plane converged in {} window(s), cache hit rate {:.4}, {} failover(s), {} lease violations, {} routed keys lost",
+            b.name,
+            b.route_convergence_windows,
+            b.route_cache_hit_rate,
+            b.route_failovers,
+            b.lease_violations,
+            b.route_keys_lost
         ));
     }
 
@@ -457,6 +556,38 @@ pub fn run(
                 }
                 Some(_) => {}
             }
+            // The control plane gates absolutely, not statistically: its
+            // numbers are sim-clock deterministic, so a single
+            // lease-safety violation or routed key loss is a hard fail,
+            // and convergence may not slow past the percentage floor.
+            if b.lease_violations > 0 {
+                problems.push(format!(
+                    "{}: {} lease-safety violation(s) — no vnode may ever carry two live leases",
+                    b.name, b.lease_violations
+                ));
+            }
+            if b.route_keys_lost > 0 {
+                problems.push(format!(
+                    "{}: {} key(s) lost through the routed failover at R=2",
+                    b.name, b.route_keys_lost
+                ));
+            }
+            match baseline
+                .as_deref()
+                .and_then(|base| field_of(base, b.name, "route_convergence_windows"))
+            {
+                None => problems.push(format!(
+                    "{}: no baseline route_convergence_windows to compare against",
+                    b.name
+                )),
+                Some(prev) if (b.route_convergence_windows as f64) > prev * (1.0 + pct / 100.0) => {
+                    problems.push(format!(
+                        "{} hot-spot convergence regressed: {} windows vs {prev:.0} baseline",
+                        b.name, b.route_convergence_windows
+                    ))
+                }
+                Some(_) => {}
+            }
         }
         if problems.is_empty() {
             rep.note(format!(
@@ -488,6 +619,11 @@ mod tests {
             read_p99_ns: 4_100,
             stale_rate: 0.0021,
             read_errors: 0,
+            route_convergence_windows: 2,
+            route_cache_hit_rate: 0.9912,
+            route_failovers: 1,
+            lease_violations: 0,
+            route_keys_lost: 0,
         }
     }
 
@@ -510,6 +646,9 @@ mod tests {
         assert_eq!(field_of(&backends, "ch", "reads_per_sec_8"), Some(80_000.0));
         assert_eq!(field_of(&backends, "ch", "read_p99_ns"), Some(4_100.0));
         assert_eq!(field_of(&backends, "ch", "read_errors"), Some(0.0));
+        assert_eq!(field_of(&backends, "ch", "route_convergence_windows"), Some(2.0));
+        assert_eq!(field_of(&backends, "local", "route_cache_hit_rate"), Some(0.9912));
+        assert_eq!(field_of(&backends, "local", "lease_violations"), Some(0.0));
         assert_eq!(field_of(&backends, "ch", "no_such_field"), None);
         // Embedding as baseline nests cleanly and stays extractable.
         let nested = to_json(&s, Some(&backends));
@@ -532,31 +671,39 @@ mod tests {
         // (p99 ceilings compare the other way, so the pass case needs a
         // sky-high latency baseline.)
         let base = ctx.out_dir.join("base.json");
-        let backends = |rate: &str, p99: &str| {
+        let backends = |rate: &str, p99: &str, conv: &str| {
             let one = |n: &str| {
                 format!(
                     "\"{n}\": {{\"events_per_sec\": {rate}, \
-                     \"reads_per_sec_8\": {rate}, \"read_p99_ns\": {p99}}}"
+                     \"reads_per_sec_8\": {rate}, \"read_p99_ns\": {p99}, \
+                     \"route_convergence_windows\": {conv}}}"
                 )
             };
             format!("{{\"backends\": {{{}, {}, {}}}}}", one("local"), one("global"), one("ch"))
         };
-        fs::write(&base, backends("0.1", "999999999999")).unwrap();
+        fs::write(&base, backends("0.1", "999999999999", "999999")).unwrap();
         let rep = run(&ctx, Some(40), Some(base.as_path()), Some(15.0));
         assert!(!rep.failed, "huge speedups must pass the gate");
 
         // An unreachable baseline rate → every backend regresses → fail.
-        fs::write(&base, backends("999999999999.0", "999999999999")).unwrap();
+        fs::write(&base, backends("999999999999.0", "999999999999", "999999")).unwrap();
         let rep = run(&ctx, Some(40), Some(base.as_path()), Some(15.0));
         assert!(rep.failed, "a >15% regression must fail the gate");
         assert!(rep.summary.iter().any(|l| l.contains("gate FAILED")));
 
         // A 1 ns p99 baseline: throughput sails, the latency ceiling
         // trips → fail on the read plane alone.
-        fs::write(&base, backends("0.1", "1")).unwrap();
+        fs::write(&base, backends("0.1", "1", "999999")).unwrap();
         let rep = run(&ctx, Some(40), Some(base.as_path()), Some(15.0));
         assert!(rep.failed, "a blown p99 ceiling must fail the gate");
         assert!(rep.summary.iter().any(|l| l.contains("p99")));
+
+        // A zero-window convergence baseline: any measured convergence
+        // regresses past the floor → fail on the control plane alone.
+        fs::write(&base, backends("0.1", "999999999999", "0")).unwrap();
+        let rep = run(&ctx, Some(40), Some(base.as_path()), Some(15.0));
+        assert!(rep.failed, "a convergence regression must fail the gate");
+        assert!(rep.summary.iter().any(|l| l.contains("convergence")));
 
         // A schema-1 baseline (no read fields): the gate must demand the
         // read-plane fields, never skip them.
@@ -577,7 +724,11 @@ mod tests {
         ctx.n = 8; // tiny fleet: this is an API smoke test, not a benchmark
         let rep = run(&ctx, Some(60), None, None);
         assert_eq!(rep.id, "BENCH-SUMMARY");
-        assert_eq!(rep.summary.len(), 6, "one mutation + one serving note per backend");
+        assert_eq!(
+            rep.summary.len(),
+            9,
+            "one mutation + one serving + one control note per backend"
+        );
         let json = std::fs::read_to_string(ctx.out_dir.join("BENCH_churn.json")).unwrap();
         for name in ["local", "global", "ch"] {
             let backends = extract_backends(&json).unwrap();
@@ -588,6 +739,17 @@ mod tests {
                 field_of(&backends, name, "read_errors"),
                 Some(0.0),
                 "{name}: the serving plane must never fail a read"
+            );
+            assert!(field_of(&backends, name, "route_convergence_windows").is_some());
+            assert_eq!(
+                field_of(&backends, name, "lease_violations"),
+                Some(0.0),
+                "{name}: lease safety must hold in the routed replay"
+            );
+            assert_eq!(
+                field_of(&backends, name, "route_keys_lost"),
+                Some(0.0),
+                "{name}: the routed failover must lose nothing at R=2"
             );
         }
     }

@@ -24,6 +24,7 @@ pub mod het;
 pub mod kvx;
 pub mod output;
 pub mod replx;
+pub mod routex;
 pub mod runner;
 pub mod simx;
 

@@ -16,6 +16,10 @@
 //!   churn-repl                         crash failures + R=1/2/3 replication
 //!                                      sweep: durability & quorum availability
 //!                                      (--events N truncates the stream)
+//!   churn-route                        routing control plane: hot-spot shed +
+//!                                      silent-stall failover via lease expiry,
+//!                                      R=2, all backends
+//!                                      (--events N truncates the stream)
 //!   bench-summary                      events/sec of the churn hot path per
 //!                                      backend → BENCH_churn.json
 //!                                      (--baseline FILE embeds a previous
@@ -33,7 +37,7 @@ fn usage() -> ! {
         "usage: repro [--quick] [--runs N] [--vnodes N] [--seed S] [--events N] [--readers N] [--baseline FILE] [--gate PCT] [--out DIR] <command>\n\
          commands: fig4 fig5 fig6 fig7 fig8 fig9 | claim-pv claim-30 claim-8k claim-zone1 claim-g512 |\n          \
          abl-victim abl-container abl-splitsel | het | sim-makespan sim-msgs sim-mem | kv-migrate |\n          \
-         churn | churn-repl | bench-summary | all"
+         churn | churn-repl | churn-route | bench-summary | all"
     );
     std::process::exit(2);
 }
@@ -130,6 +134,7 @@ fn main() {
         "kv-migrate" => reports.push(kvx::run(&ctx)),
         "churn" => reports.push(churnx::run(&ctx, events, readers)),
         "churn-repl" => reports.push(replx::run(&ctx, events)),
+        "churn-route" => reports.push(routex::run(&ctx, events)),
         "bench-summary" => reports.push(benchsum::run(&ctx, events, baseline.as_deref(), gate)),
         "all" => {
             // FIG4 feeds FIG5 and CLAIM-30, so compute it once.
@@ -155,6 +160,7 @@ fn main() {
             reports.push(kvx::run(&ctx));
             reports.push(churnx::run(&ctx, events, readers));
             reports.push(replx::run(&ctx, events));
+            reports.push(routex::run(&ctx, events));
         }
         _ => usage(),
     }

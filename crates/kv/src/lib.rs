@@ -22,7 +22,7 @@ pub mod service;
 pub mod store;
 pub mod workload;
 
-pub use replicated::{CrashReport, QuorumRead, RepairReport, ReplicatedStore};
+pub use replicated::{CrashReport, QuorumRead, RepairReport, ReplicatedStore, RoutedQuorum};
 pub use service::{KvService, RoutedGet};
 pub use store::{KvStore, MigrationReport};
 pub use workload::{UniformKeys, ZipfKeys};

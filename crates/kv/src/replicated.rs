@@ -40,11 +40,12 @@ use crate::store::{bucket_search, slot_of, Bucket};
 use bytes::Bytes;
 use domus_core::{
     CreateOutcome, DhtEngine, DhtError, EngineSnapshot, NullSink, RebalanceEvent, RebalanceSink,
-    RemoveOutcome, SnodeId, VnodeId,
+    RemoveOutcome, RouteStats, SnapshotCell, SnodeId, VnodeId,
 };
 use domus_hashspace::hasher::Fnv1aHasher;
 use domus_hashspace::{HashSpace, KeyHasher, Partition};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A half-open hash-space range `[start, end)` (`end` is `u128` because
 /// the full space's top is `2^Bh`).
@@ -120,6 +121,18 @@ impl QuorumRead {
     }
 }
 
+/// A snapshot-routed quorum read
+/// ([`ReplicatedStore::get_quorum_routed`]): the quorum verdict plus how
+/// many stale-route retries it took to settle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutedQuorum {
+    /// The settled quorum read.
+    pub read: QuorumRead,
+    /// Stale-route retries performed (0 = the pinned epoch was current
+    /// or the first chain probe hit).
+    pub retries: u32,
+}
+
 /// The replica chain of `point`: the owner, then the first vnode of each
 /// subsequent distinct snode along the successor walk, up to `r` entries.
 fn replicas_for<E: DhtEngine>(engine: &E, r: usize, point: u64) -> Vec<VnodeId> {
@@ -166,6 +179,8 @@ pub struct ReplicatedStore<E: DhtEngine> {
     /// Replication factor `R ≥ 1` (effective factor is capped by the
     /// number of distinct live snodes).
     r: usize,
+    /// Routed-read statistics ([`ReplicatedStore::get_quorum_routed`]).
+    stats: Arc<RouteStats>,
     /// Copy maps indexed by vnode arena slot; a point may appear in up to
     /// `R` slots (one copy per replica).
     data: Vec<BTreeMap<u64, Bucket>>,
@@ -190,10 +205,19 @@ impl<E: DhtEngine> ReplicatedStore<E> {
             engine,
             hasher: Fnv1aHasher,
             r,
+            stats: Arc::new(RouteStats::new()),
             data: vec![BTreeMap::new(); slots],
             keys: 0,
             pending: Vec::new(),
         }
+    }
+
+    /// The store's routed-read statistics: every
+    /// [`ReplicatedStore::get_quorum_routed`] records its retry count
+    /// here. Clones share the block; a `domus-route` cache can share the
+    /// same `Arc` to tally cache and store reads in one place.
+    pub fn read_stats(&self) -> &Arc<RouteStats> {
+        &self.stats
     }
 
     /// The underlying engine.
@@ -328,6 +352,30 @@ impl<E: DhtEngine> ReplicatedStore<E> {
     pub fn get_quorum_at(&self, snap: &EngineSnapshot, key: &[u8]) -> QuorumRead {
         let point = self.hasher.point(key, snap.space());
         self.quorum_over(key, point, snap.replicas(point, self.r))
+    }
+
+    /// Quorum read with stale-route repair: probes the replica chain at
+    /// the pinned epoch and, on a total miss, re-pins from `cell` and
+    /// retries once per epoch the cell advanced past the pin — the
+    /// replicated twin of `KvService::get_routed`. `snap` is left pinned
+    /// to the epoch the read settled on, and the retry count lands in
+    /// [`ReplicatedStore::read_stats`].
+    pub fn get_quorum_routed(
+        &self,
+        cell: &SnapshotCell,
+        snap: &mut Arc<EngineSnapshot>,
+        key: &[u8],
+    ) -> RoutedQuorum {
+        let mut retries = 0u32;
+        loop {
+            let read = self.get_quorum_at(snap, key);
+            if read.value.is_some() || !cell.is_stale(snap) {
+                self.stats.record(retries, read.value.is_none());
+                return RoutedQuorum { read, retries };
+            }
+            *snap = cell.load();
+            retries += 1;
+        }
     }
 
     /// Counts live copies of `key` over a replica chain.
@@ -915,5 +963,41 @@ mod tests {
         assert_eq!(merge_ranges(vec![(10, 20), (15, 30), (40, 50), (30, 40)]), vec![(10, 50)]);
         assert_eq!(merge_ranges(vec![(5, 6)]), vec![(5, 6)]);
         assert!(merge_ranges(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn routed_quorum_reads_settle_and_tally() {
+        use domus_core::{SnapshotBuilder, SnapshotCell};
+        // R = 1 so a moved key genuinely misses on the stale chain (at
+        // R ≥ 2 a surviving replica answers even through a stale route —
+        // the whole point of replication).
+        let mut kv = store(1, 6);
+        for i in 0..200u32 {
+            kv.put(format!("k{i}"), format!("v{i}"));
+        }
+        let mut builder = SnapshotBuilder::from_engine(kv.engine());
+        let cell = SnapshotCell::new(builder.snapshot());
+        let mut pin = cell.load();
+        // Rebalance past the pin: a join tee'd into the builder, published.
+        let (out, _) = kv.join_with(SnodeId(9), &mut builder).unwrap();
+        builder.note_create(out.vnode, SnodeId(9));
+        builder.publish(&cell);
+        let mut retried = 0u32;
+        for i in 0..200u32 {
+            let got = kv.get_quorum_routed(&cell, &mut pin, format!("k{i}").as_bytes());
+            assert!(got.read.value.is_some(), "routed quorum read must converge on k{i}");
+            assert!(got.retries <= 1, "one epoch of churn needs at most one retry");
+            retried += got.retries;
+        }
+        assert!(retried > 0, "the join must have re-routed at least one probe key");
+        assert_eq!(pin.epoch(), cell.epoch(), "the pin settles on the published epoch");
+        // At the settled (current) epoch every read meets its quorum.
+        for i in 0..200u32 {
+            assert!(kv.get_quorum_at(&pin, format!("k{i}").as_bytes()).available());
+        }
+        let c = kv.read_stats().counters();
+        assert_eq!(c.reads, 200);
+        assert_eq!(c.stale_retries, u64::from(retried));
+        assert_eq!(c.misses, 0);
     }
 }

@@ -23,8 +23,8 @@ use crate::store::{KvStore, MigrationReport};
 use bytes::Bytes;
 use domus_core::{
     CollectReport, CreateOutcome, CreateReport, DhtEngine, DhtError, EngineSnapshot, NullSink,
-    RebalanceSink, RemoveOutcome, RemoveReport, SnapshotBuilder, SnapshotCell, SnodeId, Tee,
-    VnodeId,
+    RebalanceSink, RemoveOutcome, RemoveReport, RouteStats, SnapshotBuilder, SnapshotCell, SnodeId,
+    Tee, VnodeId,
 };
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -51,11 +51,16 @@ pub struct RoutedGet {
 pub struct KvService<E: DhtEngine> {
     inner: Arc<RwLock<Served<E>>>,
     serve: Arc<SnapshotCell>,
+    stats: Arc<RouteStats>,
 }
 
 impl<E: DhtEngine> Clone for KvService<E> {
     fn clone(&self) -> Self {
-        Self { inner: Arc::clone(&self.inner), serve: Arc::clone(&self.serve) }
+        Self {
+            inner: Arc::clone(&self.inner),
+            serve: Arc::clone(&self.serve),
+            stats: Arc::clone(&self.stats),
+        }
     }
 }
 
@@ -65,7 +70,21 @@ impl<E: DhtEngine> KvService<E> {
     pub fn new(store: KvStore<E>) -> Self {
         let builder = SnapshotBuilder::from_engine(store.engine());
         let serve = Arc::new(SnapshotCell::new(builder.snapshot()));
-        Self { inner: Arc::new(RwLock::new(Served { store, builder })), serve }
+        Self {
+            inner: Arc::new(RwLock::new(Served { store, builder })),
+            serve,
+            stats: Arc::new(RouteStats::new()),
+        }
+    }
+
+    /// The service's routed-read statistics: every
+    /// [`KvService::get_routed`] records its retry count here, so
+    /// stale-route rates are observable without threading a counter
+    /// through every call site. Share the same `Arc` with a
+    /// `domus-route` cache to tally cache and service reads in one
+    /// place.
+    pub fn read_stats(&self) -> &Arc<RouteStats> {
+        &self.stats
     }
 
     /// Concurrent read through the live engine (takes the read lock for
@@ -107,6 +126,7 @@ impl<E: DhtEngine> KvService<E> {
         loop {
             let value = self.inner.read().store.get_at(snap, key);
             if value.is_some() || !self.serve.is_stale(snap) {
+                self.stats.record(retries, value.is_none());
                 return RoutedGet { value, retries };
             }
             *snap = self.serve.load();
@@ -410,5 +430,28 @@ mod tests {
         assert_eq!(pin.epoch(), pinned_epoch + 1, "the pin settles on the next epoch");
         // Absent keys settle without looping.
         assert_eq!(svc.get_routed(&mut pin, b"missing").value, None);
+    }
+
+    #[test]
+    fn routed_reads_tally_into_the_shared_stat_block() {
+        let svc = service();
+        for i in 0..200u32 {
+            svc.put(format!("k{i}"), format!("v{i}"));
+        }
+        let mut pin = svc.snapshot();
+        svc.join(SnodeId(8)).unwrap(); // the pin is now one epoch stale
+        let mut expect_stale = 0u64;
+        for i in 0..200u32 {
+            expect_stale += u64::from(svc.get_routed(&mut pin, format!("k{i}").as_bytes()).retries);
+        }
+        let c = svc.read_stats().counters();
+        assert_eq!(c.reads, 200);
+        assert_eq!(c.stale_retries, expect_stale);
+        assert_eq!(c.stale_reads, expect_stale, "one epoch of churn ⇒ ≤1 retry per read");
+        assert_eq!(c.misses, 0);
+        assert!(expect_stale > 0, "the join must have re-routed at least one probe");
+        assert!(c.hit_rate() < 1.0);
+        // Window diffing: a second tally since the first is all zeros.
+        assert_eq!(svc.read_stats().counters().since(c), Default::default());
     }
 }

@@ -6,11 +6,13 @@
 //! [`KvService`]: a churn thread joins and retires vnodes (each
 //! maintenance op migrates real data and publishes the next routing
 //! epoch while it still holds the write lock), while N reader threads
-//! pin epoch snapshots and resolve every key through
-//! [`KvService::get_routed`] — re-pinning exactly when the epoch moved
-//! under them. The invariant on display: **no read ever fails**, no
-//! matter how the routes move, and a stale pin converges in at most one
-//! retry per published epoch.
+//! each hold a [`RouteCache`] — the control plane's client-side pin of a
+//! versioned [`RouteTable`] — and resolve every key through it,
+//! re-pinning exactly when the published version moved under them. All
+//! caches tally into the service's shared [`RouteStats`] block. The
+//! invariant on display: **no read ever fails**, no matter how the
+//! routes move, and a stale pin converges in at most one retry per
+//! published version.
 //!
 //! ```text
 //! cargo run --release --example parallel_rebalance
@@ -38,25 +40,21 @@ fn main() {
     );
 
     let stop = Arc::new(AtomicBool::new(false));
-    let reads = Arc::new(AtomicU64::new(0));
-    let retries = Arc::new(AtomicU64::new(0));
     let misses = Arc::new(AtomicU64::new(0));
 
     std::thread::scope(|s| {
         for t in 0..READERS {
             let svc = svc.clone();
-            let (stop, reads, retries, misses) =
-                (Arc::clone(&stop), Arc::clone(&reads), Arc::clone(&retries), Arc::clone(&misses));
+            let (stop, misses) = (Arc::clone(&stop), Arc::clone(&misses));
             s.spawn(move || {
-                // Pin once, then route lock-free against the pinned epoch;
-                // get_routed re-pins only when the epoch moved past us.
-                let mut pin = svc.snapshot();
+                // Each reader holds a route cache pinned to the serving
+                // cell, tallying into the service's shared stat block;
+                // the cache re-pins only when the version moved past it.
+                let mut cache =
+                    RouteCache::with_stats(Arc::clone(svc.serve()), Arc::clone(svc.read_stats()));
                 let mut i = (t as u32 * 7919) % KEYS;
                 while !stop.load(Ordering::Relaxed) {
-                    let got = svc.get_routed(&mut pin, format!("key-{i}").as_bytes());
-                    reads.fetch_add(1, Ordering::Relaxed);
-                    retries.fetch_add(got.retries as u64, Ordering::Relaxed);
-                    if got.value.is_none() {
+                    if cache.get(&svc, format!("key-{i}").as_bytes()).is_none() {
                         misses.fetch_add(1, Ordering::Relaxed);
                     }
                     i = (i + 1) % KEYS;
@@ -71,35 +69,37 @@ fn main() {
             let (v, mig) = svc.join(SnodeId(n)).expect("join");
             added.push(v);
             println!(
-                "epoch {:>2}: snode {n} joined as {v} — {} entries migrated",
-                svc.serve().epoch(),
+                "route {}: snode {n} joined as {v} — {} entries migrated",
+                RouteTable::pin(svc.serve()).version(),
                 mig.entries
             );
         }
         for v in added.drain(..).rev().take(JOINS as usize / 2) {
             let mig = svc.leave(v).expect("leave");
             println!(
-                "epoch {:>2}: {v} retired — {} entries migrated back",
-                svc.serve().epoch(),
+                "route {}: {v} retired — {} entries migrated back",
+                RouteTable::pin(svc.serve()).version(),
                 mig.entries
             );
         }
         stop.store(true, Ordering::Relaxed);
     });
 
-    let (reads, retries, misses) = (
-        reads.load(Ordering::Relaxed),
-        retries.load(Ordering::Relaxed),
-        misses.load(Ordering::Relaxed),
-    );
-    println!("\nserving plane: {reads} reads, {retries} stale-route retries, {misses} misses");
+    let c = svc.read_stats().counters();
+    let misses = misses.load(Ordering::Relaxed);
     println!(
-        "final epoch {} at {} vnodes; every read served through {} epochs of live rebalance",
-        svc.serve().epoch(),
-        svc.with_read(|s| s.engine().balance_snapshot().vnodes),
-        svc.serve().epoch()
+        "\nserving plane: {} reads, {} stale-route retries (hit rate {:.4}), {misses} misses",
+        c.reads,
+        c.stale_reads,
+        c.hit_rate()
     );
-    assert!(reads > 0, "readers must observe the rebalance");
+    println!(
+        "final route {} at {} vnodes; every read served through live rebalance",
+        RouteTable::pin(svc.serve()).version(),
+        svc.with_read(|s| s.engine().balance_snapshot().vnodes)
+    );
+    assert!(c.reads > 0, "readers must observe the rebalance");
+    assert_eq!(c.misses, 0, "no read may fail while routes move");
     assert_eq!(misses, 0, "no read may fail while routes move");
     println!("OK: zero failed reads under live rebalance");
 }

@@ -25,6 +25,7 @@
 //! | [`ch`] | `domus-ch` | Consistent Hashing baseline (Karger '97 / CFS) |
 //! | [`sim`] | `domus-sim` | cluster network/cost simulator, protocol pricing, memory accounting |
 //! | [`kv`] | `domus-kv` | key-value store with live data migration |
+//! | [`route`] | `domus-route` | routing & failover control plane: versioned shard maps, leases, hot-spot scheduling |
 //! | [`churn`] | `domus-churn` | deterministic churn & failure scenario engine |
 //! | [`metrics`] | `domus-metrics` | σ̄ metrics, run averaging, CSV/ASCII reporting |
 //! | [`util`] | `domus-util` | deterministic RNG streams, power-of-two helpers |
@@ -64,6 +65,7 @@ pub use domus_core as core;
 pub use domus_hashspace as hashspace;
 pub use domus_kv as kv;
 pub use domus_metrics as metrics;
+pub use domus_route as route;
 pub use domus_sim as sim;
 pub use domus_util as util;
 
@@ -77,15 +79,19 @@ pub mod prelude {
         BalanceSnapshot, BatchOutcome, Cluster, CollectReport, ContainerChoice, CountOnly,
         CreateOutcome, DhtConfig, DhtEngine, DhtError, DhtOp, EngineSnapshot, EnrollmentPolicy,
         FailOutcome, GlobalDht, GroupId, LocalDht, NullSink, OwnerSpan, Pdr, RebalanceEvent,
-        RebalanceSink, RemoveOutcome, SnapshotBuilder, SnapshotCell, SnodeId, SnodeLoad,
-        SplitSelection, Tee, VictimPartitionPolicy, VnodeId,
+        RebalanceSink, RemoveOutcome, RouteCounters, RouteStats, SnapshotBuilder, SnapshotCell,
+        SnodeId, SnodeLoad, SplitSelection, Tee, VictimPartitionPolicy, VnodeId,
     };
     pub use domus_hashspace::{HashSpace, OwnerMap, Partition, Quota};
     pub use domus_kv::{
         CrashReport, KvService, KvStore, QuorumRead, RepairReport, ReplicatedStore, RoutedGet,
-        UniformKeys, ZipfKeys,
+        RoutedQuorum, UniformKeys, ZipfKeys,
     };
     pub use domus_metrics::{rel_std_dev_pct, Series, Table, Welford};
+    pub use domus_route::{
+        Lease, LeaseTable, RouteAction, RouteCache, RouteTable, RouteVersion, Router, RouterConfig,
+        RouterTotals, TickReport,
+    };
     pub use domus_sim::{ClusterNet, CostModel, EventPricer, SimDriver, SimTime};
     pub use domus_util::{DomusRng, SeedSequence, SplitMix64, Xoshiro256pp};
 }

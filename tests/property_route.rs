@@ -1,0 +1,314 @@
+//! Property-based tests over the routing control plane: lease safety
+//! under arbitrary membership interleavings, bounded failover after a
+//! silent stall, and cache-routed lookups that equal the live engine
+//! after at most one repair round — on all three backends.
+
+use domus::prelude::*;
+use domus_core::SnapshotBuilder;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// 1. Lease uniqueness + roster safety under random control-plane ops.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum LeaseOp {
+    /// Join a vnode on a (bounded) snode.
+    Join(u8),
+    /// Remove the i-th live vnode, if any.
+    Remove(u8),
+    /// Rename the i-th live vnode to a fresh handle.
+    Rename(u8),
+    /// Crash the holder of the i-th live vnode.
+    Fail(u8),
+    /// Silently stall the holder of the i-th live vnode.
+    Stall(u8),
+    /// Advance the clock one window and tick.
+    Tick,
+}
+
+fn lease_ops(max: usize) -> impl Strategy<Value = Vec<LeaseOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => any::<u8>().prop_map(LeaseOp::Join),
+            2 => any::<u8>().prop_map(LeaseOp::Remove),
+            1 => any::<u8>().prop_map(LeaseOp::Rename),
+            1 => any::<u8>().prop_map(LeaseOp::Fail),
+            1 => any::<u8>().prop_map(LeaseOp::Stall),
+            3 => Just(LeaseOp::Tick),
+        ],
+        1..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// After *any* interleaving of joins, removals, renames, crashes,
+    /// stalls and clock ticks — with every emitted failover executed —
+    /// the lease table covers exactly the live roster: one lease per
+    /// live vnode, held by its hosting snode, and no lease on a dead
+    /// vnode. Uniqueness per vnode is structural (the table is keyed by
+    /// vnode); this drives the *roster* half of the invariant.
+    #[test]
+    fn leases_always_cover_exactly_the_live_roster(script in lease_ops(80)) {
+        let window = SimTime::millis(30_000);
+        let mut router = Router::new(RouterConfig::default());
+        // The model roster the router must stay in lock-step with.
+        let mut roster: Vec<(VnodeId, SnodeId)> = Vec::new();
+        let mut next_vnode = 0u32;
+        let mut now = SimTime::ZERO;
+
+        for op in &script {
+            match *op {
+                LeaseOp::Join(s) => {
+                    let v = VnodeId(next_vnode);
+                    next_vnode += 1;
+                    let snode = SnodeId(u32::from(s) % 8);
+                    roster.push((v, snode));
+                    router.note_join(v, snode, now);
+                }
+                LeaseOp::Remove(i) => {
+                    if !roster.is_empty() {
+                        let (v, _) = roster.remove(usize::from(i) % roster.len());
+                        router.note_remove(v);
+                    }
+                }
+                LeaseOp::Rename(i) => {
+                    if !roster.is_empty() {
+                        let at = usize::from(i) % roster.len();
+                        let fresh = VnodeId(next_vnode);
+                        next_vnode += 1;
+                        let old = roster[at].0;
+                        roster[at].0 = fresh;
+                        router.note_rename(old, fresh);
+                    }
+                }
+                LeaseOp::Fail(i) => {
+                    if !roster.is_empty() {
+                        let victim = roster[usize::from(i) % roster.len()].1;
+                        roster.retain(|&(_, s)| s != victim);
+                        router.note_fail(victim);
+                    }
+                }
+                LeaseOp::Stall(i) => {
+                    if !roster.is_empty() {
+                        let victim = roster[usize::from(i) % roster.len()].1;
+                        router.inject_stall(victim);
+                    }
+                }
+                LeaseOp::Tick => {
+                    now += window;
+                    let report = router.tick(now, &[]);
+                    // Execute every failover the tick ordered: the
+                    // stalled holder's vnodes die and the router hears
+                    // the confirmation, exactly like the driver.
+                    for action in report.actions {
+                        if let RouteAction::Failover { snode, .. } = action {
+                            roster.retain(|&(_, s)| s != snode);
+                            router.note_fail(snode);
+                        }
+                    }
+                }
+            }
+            router
+                .verify(roster.iter().copied())
+                .map_err(TestCaseError::fail)?;
+            prop_assert_eq!(
+                router.leases().len(),
+                roster.len(),
+                "lease count must equal the live vnode count"
+            );
+        }
+    }
+
+    /// A silently stalled holder is failed over within a bounded number
+    /// of windows: its leases lapse once the TTL passes without renewal,
+    /// the tick emits the failover, and after execution the table is
+    /// clean again — never more than ⌈ttl/window⌉ + 1 ticks after the
+    /// stall, for any TTL/window ratio and fleet size.
+    #[test]
+    fn a_stalled_holder_fails_over_within_ttl_over_window_plus_one_ticks(
+        fleet in 2u32..12,
+        ttl_windows in 1u64..6,
+        victim in any::<u8>(),
+        warmup in 0u64..4,
+    ) {
+        let window = SimTime::millis(10_000);
+        let ttl = SimTime(window.nanos() * ttl_windows);
+        let mut router = Router::new(RouterConfig { lease_ttl: ttl, ..RouterConfig::default() });
+        let mut roster: Vec<(VnodeId, SnodeId)> = Vec::new();
+        for s in 0..fleet {
+            roster.push((VnodeId(s), SnodeId(s)));
+            router.note_join(VnodeId(s), SnodeId(s), SimTime::ZERO);
+        }
+        let mut now = SimTime::ZERO;
+        // Healthy warm-up ticks: everyone renews, nothing fails over.
+        for _ in 0..warmup {
+            now += window;
+            let report = router.tick(now, &[]);
+            prop_assert!(report.actions.is_empty(), "healthy fleet must not fail over");
+        }
+
+        let stalled = SnodeId(u32::from(victim) % fleet);
+        router.inject_stall(stalled);
+        // The lease was last renewed no earlier than `now`; it expires
+        // at renewal + ttl, so the tick at most ⌈ttl/window⌉ + 1 windows
+        // later must surface it.
+        let bound = ttl_windows + 1;
+        let mut failed_at: Option<u64> = None;
+        for k in 1..=bound {
+            now += window;
+            let report = router.tick(now, &[]);
+            let mut hit = false;
+            for action in report.actions {
+                if let RouteAction::Failover { snode, .. } = action {
+                    prop_assert_eq!(snode, stalled, "only the stalled holder may lapse");
+                    roster.retain(|&(_, s)| s != snode);
+                    router.note_fail(snode);
+                    hit = true;
+                }
+            }
+            if hit {
+                failed_at = Some(k);
+                break;
+            }
+        }
+        prop_assert!(
+            failed_at.is_some(),
+            "stall must fail over within {} windows (ttl {} windows)",
+            bound,
+            ttl_windows
+        );
+        router.verify(roster.iter().copied()).map_err(TestCaseError::fail)?;
+        prop_assert!(
+            router.leases().iter().all(|(_, l)| l.holder != stalled),
+            "no lease may survive the failover"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Cache-routed lookups ≡ live-engine lookups after ≤1 retry.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    Create(u8),
+    Remove(u8),
+}
+
+fn churn_ops(max: usize) -> impl Strategy<Value = Vec<ChurnOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => any::<u8>().prop_map(ChurnOp::Create),
+            1 => any::<u8>().prop_map(ChurnOp::Remove),
+        ],
+        1..max,
+    )
+}
+
+fn run_cache_parity<E: DhtEngine>(
+    label: &str,
+    mut dht: E,
+    script: &[ChurnOp],
+) -> Result<(), TestCaseError> {
+    // Seed two snodes so the table is never empty mid-script.
+    let mut builder = SnapshotBuilder::from_engine(&dht);
+    for s in 0..2u32 {
+        let out = dht
+            .create_vnode_with(SnodeId(s), &mut builder)
+            .map_err(|e| TestCaseError::fail(format!("{label}: seed join: {e}")))?;
+        builder.note_create(out.vnode, SnodeId(s));
+    }
+    let cell = Arc::new(SnapshotCell::new(builder.snapshot()));
+    let mut cache = RouteCache::new(Arc::clone(&cell));
+    let grid: Vec<u64> = {
+        let space = cache.table().space();
+        (0..48u64).map(|i| space.fold(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))).collect()
+    };
+
+    let mut next_snode = 2u32;
+    for op in script {
+        match *op {
+            ChurnOp::Create(s) => {
+                let snode = SnodeId(next_snode + u32::from(s) % 3);
+                next_snode += 3;
+                let out = dht
+                    .create_vnode_with(snode, &mut builder)
+                    .map_err(|e| TestCaseError::fail(format!("{label}: create: {e}")))?;
+                builder.note_create(out.vnode, snode);
+            }
+            ChurnOp::Remove(pos) => {
+                let vnodes = dht.vnodes();
+                if vnodes.len() <= 3 {
+                    continue; // keep at least two snodes' worth live
+                }
+                let v = vnodes[usize::from(pos) % vnodes.len()];
+                // The builder is the sink, so it hears any internal
+                // migration events itself; only the removal is noted.
+                dht.remove_vnode_with(v, &mut builder)
+                    .map_err(|e| TestCaseError::fail(format!("{label}: remove: {e}")))?;
+                builder.note_remove(v);
+            }
+        }
+        builder.publish(&cell);
+
+        // One sweep over the probe grid: the cache may refresh at most
+        // once (one publish happened since the last sweep), and every
+        // repaired route must agree with the live engine.
+        let before = cache.stats().counters();
+        for &p in &grid {
+            let cached = cache.lookup(p);
+            let live = dht.lookup(p).map(|(_, owner)| owner);
+            prop_assert_eq!(
+                cached.map(|(v, _)| v),
+                live,
+                "{}: cached route must equal the live engine after repair",
+                label
+            );
+            if let Some((v, s)) = cached {
+                let hosted = dht
+                    .snode_of(v)
+                    .map_err(|e| TestCaseError::fail(format!("{label}: snode_of: {e}")))?;
+                prop_assert_eq!(s, hosted, "{}: cached snode must host the vnode", label);
+            }
+        }
+        let delta = cache.stats().counters().since(before);
+        prop_assert_eq!(delta.reads, grid.len() as u64);
+        prop_assert!(
+            delta.stale_reads <= 1,
+            "{}: one publish may cost at most one refresh, saw {}",
+            label,
+            delta.stale_reads
+        );
+        prop_assert_eq!(delta.misses, 0, "{}: a non-empty table never misses", label);
+        prop_assert_eq!(
+            cache.version(),
+            RouteVersion(cell.epoch()),
+            "{}: after a sweep the pin is current",
+            label
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Under arbitrary create/remove churn with a publish per op, a
+    /// cache-routed lookup equals the live engine's lookup after at most
+    /// one refresh round per publish — on all three backends.
+    #[test]
+    fn cached_routes_equal_live_routes_after_one_repair(
+        seed in any::<u64>(),
+        script in churn_ops(24),
+    ) {
+        let cfg = DhtConfig::new(HashSpace::new(32), 4, 2).unwrap();
+        run_cache_parity("local", LocalDht::with_seed(cfg, seed), &script)?;
+        let flat = DhtConfig::new(HashSpace::new(32), 4, 1).unwrap();
+        run_cache_parity("global", GlobalDht::with_seed(flat, seed), &script)?;
+        run_cache_parity("ch", ChEngine::with_seed(flat, 8, seed), &script)?;
+    }
+}

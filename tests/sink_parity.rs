@@ -146,9 +146,13 @@ fn replay_digest<E: DhtEngine>(mut dht: E, stream: &EventStream) -> u64 {
                     (0..n.min(live)).map(|i| roster[(start + i) % live].1).collect();
                 h = remove_all(&mut dht, space, &mut roster, victims, h);
             }
-            // The golden digests were captured on a crash-free scenario;
-            // an ungraceful event here would mean the scenario drifted.
-            EventKind::Crash { .. } | EventKind::CrashRank { .. } => {
+            // The golden digests were captured on a crash-free,
+            // router-free scenario; an ungraceful or control-plane
+            // event here would mean the scenario drifted.
+            EventKind::Crash { .. }
+            | EventKind::CrashRank { .. }
+            | EventKind::StallRank { .. }
+            | EventKind::DegradeRank { .. } => {
                 panic!("golden sink-parity scenario must stay crash-free")
             }
         }
