@@ -1,0 +1,106 @@
+//! Durability-tier benchmarks: the WAL hot paths a crashed snode walks
+//! on rejoin — frame-by-frame append, checkpoint-aware replay, and the
+//! Merkle digest diff that decides which buckets repair actually ships.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use domus_wal::digest::{entry_hash, DigestTree};
+use domus_wal::log::SegmentedWal;
+use domus_wal::record::WalRecord;
+use std::hint::black_box;
+
+const SEGMENT_CAP: usize = 64 * 1024;
+const VALUE_LEN: usize = 16;
+
+fn record(i: u64) -> WalRecord {
+    WalRecord::Put {
+        key: Bytes::from(format!("bench-key-{i:08}")),
+        value: Bytes::from(vec![0xAB; VALUE_LEN]),
+    }
+}
+
+fn filled(records: u64) -> SegmentedWal {
+    let mut wal = SegmentedWal::new(SEGMENT_CAP);
+    for i in 0..records {
+        wal.append(&record(i));
+    }
+    wal
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal_append");
+    for records in [1_000u64, 10_000] {
+        g.throughput(Throughput::Elements(records));
+        g.bench_with_input(BenchmarkId::from_parameter(records), &records, |b, &records| {
+            b.iter(|| {
+                let mut wal = SegmentedWal::new(SEGMENT_CAP);
+                for i in 0..records {
+                    wal.append(&record(i));
+                }
+                black_box(wal.next_seq())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal_replay");
+    for records in [1_000u64, 10_000] {
+        let full = filled(records);
+        // A half-checkpointed log: the realistic rejoin shape, where
+        // earlier segments were already truncated away.
+        let mut half = filled(records);
+        half.checkpoint(records / 2);
+
+        g.throughput(Throughput::Elements(records));
+        g.bench_with_input(BenchmarkId::new("full", records), &full, |b, wal| {
+            b.iter(|| {
+                let recovered = wal.replay().filter(|r| r.is_ok()).count();
+                black_box(recovered)
+            });
+        });
+        g.throughput(Throughput::Elements(records / 2));
+        g.bench_with_input(BenchmarkId::new("half_checkpointed", records), &half, |b, wal| {
+            b.iter(|| {
+                let recovered = wal.replay().filter(|r| r.is_ok()).count();
+                black_box(recovered)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_digest_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal_digest_diff");
+    for entries in [10_000u64, 100_000] {
+        // Two replicas that diverge on a handful of keys — the shape
+        // anti-entropy sees after a crash window.
+        let mut ours = DigestTree::new(8);
+        let mut theirs = DigestTree::new(8);
+        for i in 0..entries {
+            let key = format!("bench-key-{i:08}");
+            let h = entry_hash(key.as_bytes(), b"v");
+            let pos = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ours.toggle(pos, h);
+            theirs.toggle(pos, h);
+        }
+        for i in 0..16u64 {
+            let key = format!("divergent-{i}");
+            theirs.toggle(i << 58, entry_hash(key.as_bytes(), b"w"));
+        }
+
+        g.throughput(Throughput::Elements(entries));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &(ours, theirs),
+            |b, (ours, theirs)| {
+                b.iter(|| black_box(ours.diff(theirs).len()));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_append, bench_replay, bench_digest_diff);
+criterion_main!(benches);

@@ -120,6 +120,9 @@ struct WindowAcc {
     keys_lost: u64,
     failovers: u64,
     route_moves: u64,
+    rejoins: u64,
+    wal_replay_ns: u64,
+    repair_bytes: u64,
 }
 
 impl WindowAcc {
@@ -358,6 +361,22 @@ pub struct WindowSample {
     /// Hot-spot vnode moves executed in this window (0 without a
     /// router).
     pub route_moves: u64,
+    /// Crashed snodes that rejoined by replaying their write-ahead log
+    /// in this window (0 without the replicated overlay).
+    pub rejoins: u64,
+    /// Wall time spent replaying write-ahead logs during this window's
+    /// rejoins, in nanoseconds (0 without rejoins — the column stays
+    /// deterministic on rejoin-free streams).
+    pub wal_replay_ns: u64,
+    /// Bytes shipped by digest-driven anti-entropy this window (rejoin
+    /// rebuilds plus the window-close repair pass; 0 without the
+    /// replicated overlay).
+    pub repair_bytes: u64,
+    /// Consecutive windows (including this one) the cluster has been
+    /// below full quorum availability — 0 whenever every probe key is
+    /// quorum-readable, so the value at the last degraded window of an
+    /// episode is that episode's time-to-full-quorum.
+    pub quorum_gap_windows: u64,
 }
 
 /// Whole-run aggregate.
@@ -432,6 +451,25 @@ pub struct RunTotals {
     /// Windows where the lease table disagreed with the authoritative
     /// roster — lease safety demands 0 (and 0 without a router).
     pub lease_violations: u64,
+    /// Crashed snodes that came back by replaying their write-ahead log
+    /// (0 without [`crate::event::EventKind::RejoinRank`] events).
+    pub rejoins: u64,
+    /// Total wall time spent replaying write-ahead logs on rejoin, in
+    /// milliseconds (0.0 without rejoins).
+    pub wal_replay_ms: f64,
+    /// Total bytes shipped by digest-driven anti-entropy — the figure
+    /// the full-rebuild baseline is compared against (0 without the
+    /// replicated overlay).
+    pub repair_bytes: u64,
+    /// Entry bytes a digest-less full rebuild of the same ranges would
+    /// have shipped — the baseline [`RunTotals::repair_bytes`] is
+    /// measured against (0 without the replicated overlay).
+    pub repair_bytes_full: u64,
+    /// The longest stretch of consecutive windows below full quorum
+    /// availability, from first degradation back to full quorum — the
+    /// time-to-full-quorum headline (an episode still open at the
+    /// horizon counts at its current length).
+    pub time_to_full_quorum_windows: u64,
 }
 
 /// The finished result of one churn run.
@@ -447,7 +485,7 @@ pub struct ChurnOutcome {
 
 impl ChurnOutcome {
     /// The CSV header of [`ChurnOutcome::write_csv`].
-    pub const CSV_HEADER: [&'static str; 38] = [
+    pub const CSV_HEADER: [&'static str; 41] = [
         "window",
         "t_ms",
         "events",
@@ -486,6 +524,9 @@ impl ChurnOutcome {
         "failovers",
         "hot_snodes",
         "route_moves",
+        "wal_replay_ms",
+        "repair_bytes",
+        "quorum_gap_windows",
     ];
 
     /// Writes the per-window rows as CSV. The formatting is fixed-point,
@@ -532,6 +573,9 @@ impl ChurnOutcome {
                 s.failovers.to_string(),
                 s.hot_snodes.to_string(),
                 s.route_moves.to_string(),
+                format!("{:.3}", s.wal_replay_ns as f64 / 1e6),
+                s.repair_bytes.to_string(),
+                s.quorum_gap_windows.to_string(),
             ]
         });
         domus_metrics::csv::write_rows(w, &Self::CSV_HEADER, rows)
@@ -614,6 +658,18 @@ pub struct ChurnDriver<E: DhtEngine> {
     route_cache: Option<RouteCache>,
     /// Windows whose lease table disagreed with the roster (must stay 0).
     lease_violations: u64,
+    /// Crashed snodes eligible to rejoin, with the vnode count each held
+    /// at crash time — the deterministic roster
+    /// [`EventKind::RejoinRank`] rank-selects from (shared across
+    /// engines, like the live roster).
+    crashed: Vec<(NodeTag, u32)>,
+    /// Entry bytes a digest-less full rebuild would have shipped, run
+    /// total (the denominator of the anti-entropy savings figure).
+    repair_bytes_full: u64,
+    /// Consecutive windows below full quorum availability, so far.
+    quorum_gap: u64,
+    /// The longest *closed* below-quorum episode, in windows.
+    worst_quorum_gap: u64,
     /// Serving-plane reader threads ([`ChurnDriver::with_readers`]).
     readers: usize,
     /// Reads per pinned snapshot in one reader burst.
@@ -696,6 +752,10 @@ impl<E: DhtEngine> ChurnDriver<E> {
             router: None,
             route_cache: None,
             lease_violations: 0,
+            crashed: Vec::new(),
+            repair_bytes_full: 0,
+            quorum_gap: 0,
+            worst_quorum_gap: 0,
             readers: 0,
             read_burst: READ_BURST,
             read_pace: READ_PACE,
@@ -874,6 +934,15 @@ impl<E: DhtEngine> ChurnDriver<E> {
                 }
                 _ => self.acc.skipped += 1,
             },
+            EventKind::RejoinRank { draw } => {
+                if self.crashed.is_empty() {
+                    self.acc.skipped += 1;
+                } else {
+                    let idx = (draw % self.crashed.len() as u64) as usize;
+                    let (tag, vnodes) = self.crashed.remove(idx);
+                    self.rejoin_tag(tag, vnodes);
+                }
+            }
         }
         self.acc.events += 1;
     }
@@ -925,6 +994,11 @@ impl<E: DhtEngine> ChurnDriver<E> {
             route_convergence: 0,
             route_converged: true,
             lease_violations: 0,
+            rejoins: 0,
+            wal_replay_ms: 0.0,
+            repair_bytes: 0,
+            repair_bytes_full: self.repair_bytes_full,
+            time_to_full_quorum_windows: self.worst_quorum_gap.max(self.quorum_gap),
         };
         if self.readers > 0 {
             let c = self.read_stats.counters();
@@ -967,6 +1041,9 @@ impl<E: DhtEngine> ChurnDriver<E> {
             totals.leases_expired += s.leases_expired;
             totals.failovers += s.failovers;
             totals.route_moves += s.route_moves;
+            totals.rejoins += s.rejoins;
+            totals.wal_replay_ms += s.wal_replay_ns as f64 / 1e6;
+            totals.repair_bytes += s.repair_bytes;
         }
         if !self.samples.is_empty() {
             let n = self.samples.len() as f64;
@@ -1007,11 +1084,23 @@ impl<E: DhtEngine> ChurnDriver<E> {
                 // Repair fills missing copies on the chains the current
                 // epoch already routes to — no republish needed.
                 let mut g = store.write();
-                (g.len(), g.repair().copies_placed)
+                let rep = g.repair();
+                self.acc.repair_bytes += rep.bytes_shipped;
+                self.repair_bytes_full += rep.bytes_full;
+                (g.len(), rep.copies_placed)
             }
             Plant::Kv(svc) => (svc.len(), 0),
             Plant::Bare(_) => (0, 0),
         };
+        // Time-to-full-quorum bookkeeping: a window below full quorum
+        // availability extends the current gap; a fully-quorate window
+        // closes the episode.
+        if quorum_availability < 1.0 {
+            self.quorum_gap += 1;
+        } else {
+            self.worst_quorum_gap = self.worst_quorum_gap.max(self.quorum_gap);
+            self.quorum_gap = 0;
+        }
         let acc = std::mem::take(&mut self.acc);
         self.samples.push(WindowSample {
             index: self.samples.len(),
@@ -1047,6 +1136,10 @@ impl<E: DhtEngine> ChurnDriver<E> {
             failovers: acc.failovers,
             hot_snodes: route.hot_snodes,
             route_moves: acc.route_moves,
+            rejoins: acc.rejoins,
+            wal_replay_ns: acc.wal_replay_ns,
+            repair_bytes: acc.repair_bytes,
+            quorum_gap_windows: self.quorum_gap,
         });
     }
 
@@ -1385,6 +1478,7 @@ impl<E: DhtEngine> ChurnDriver<E> {
             } else {
                 self.acc.crashes += 1;
             }
+            self.crashed.push((tag, count as u32));
             return;
         }
         let snode = SnodeId(tag.0);
@@ -1458,9 +1552,95 @@ impl<E: DhtEngine> ChurnDriver<E> {
         } else {
             self.acc.crashes += 1;
         }
+        self.crashed.push((tag, count as u32));
         self.acc.keys_lost += keys_lost;
         if keys_lost > 0 {
             self.prune_lost_probes();
+        }
+    }
+
+    /// Brings a crashed snode back with the capacity it held at crash
+    /// time. The replicated overlay replays the snode's write-ahead log
+    /// (the durability tier's fast path — timed into `wal_replay_ms`);
+    /// the bare and plain-KV plants have no log to replay, so the return
+    /// is an ordinary re-enrollment of the same tag.
+    fn rejoin_tag(&mut self, tag: NodeTag, vnodes: u32) {
+        if self.roster.iter().any(|(t, _)| *t == tag) {
+            // The tag re-enrolled through the event stream while down —
+            // there is nothing to bring back.
+            self.acc.skipped += 1;
+            return;
+        }
+        if matches!(self.plant, Plant::Repl(_)) {
+            self.rejoin_repl(tag);
+            return;
+        }
+        if let Some(r) = &mut self.router {
+            r.note_capacity(SnodeId(tag.0), vnodes.max(1));
+        }
+        for _ in 0..vnodes.max(1) {
+            self.create_one(tag);
+        }
+        self.acc.rejoins += 1;
+    }
+
+    /// The replicated overlay's rejoin: re-enrol the crashed snode's
+    /// vnodes, rebuild their ranges in-line, replay the surviving WAL and
+    /// checkpoint it — one composite creation event, priced like a join
+    /// of the whole returning node.
+    fn rejoin_repl(&mut self, tag: NodeTag) {
+        let snode = SnodeId(tag.0);
+        self.pricer.begin();
+        let serve_live = self.serves_live();
+        let started = Instant::now();
+        let result = {
+            let Plant::Repl(store) = &mut self.plant else {
+                unreachable!("caller checked the plant")
+            };
+            let mut g = store.write();
+            if serve_live {
+                let r = g.rejoin_snode_with(snode, &mut Tee(&mut self.builder, &mut self.pricer));
+                if let Ok(report) = &r {
+                    for &v in &report.handles {
+                        self.builder.note_create(v, snode);
+                    }
+                    self.builder.publish(&self.serve);
+                }
+                r
+            } else {
+                g.rejoin_snode_with(snode, &mut self.pricer)
+            }
+        };
+        let report = match result {
+            Ok(report) => report,
+            Err(_) => {
+                // The store no longer remembers the crash (e.g. the event
+                // stream shrank the fleet past it) — state-parallel skip.
+                self.acc.skipped += 1;
+                return;
+            }
+        };
+        self.acc.wal_replay_ns += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let (record_len, participants) = match report.handles.first() {
+            Some(&v) => self.record_shape_of(v),
+            None => (1, 1),
+        };
+        let cost = self.pricer.finish_create(record_len, participants);
+        self.acc.absorb(cost);
+        self.acc.transfers += self.pricer.transfers();
+        self.acc.entries_migrated += report.repair.copies_placed + report.recovered;
+        self.acc.repair_bytes += report.repair.bytes_shipped;
+        self.repair_bytes_full += report.repair.bytes_full;
+        self.acc.joins += report.handles.len() as u64;
+        self.acc.rejoins += 1;
+        for &v in &report.handles {
+            self.roster.push((tag, v));
+        }
+        if let Some(r) = &mut self.router {
+            r.note_capacity(snode, report.handles.len().max(1) as u32);
+            for &v in &report.handles {
+                r.note_join(v, snode, self.clock);
+            }
         }
     }
 
@@ -1936,8 +2116,8 @@ mod tests {
         assert!(outcome.samples.iter().all(|s| s.leases_live == 0 && s.route_version == 0));
         for line in outcome.csv_string().lines().skip(1) {
             assert!(
-                line.ends_with(",0,0.0,0,0,0.0000,0,0,0.0000,0,0,0,0,0,0"),
-                "read and route columns stay zero: {line}"
+                line.ends_with(",0,0.0,0,0,0.0000,0,0,0.0000,0,0,0,0,0,0,0.000,0,0"),
+                "read, route and durability columns stay zero: {line}"
             );
         }
     }
@@ -1960,6 +2140,80 @@ mod tests {
         assert!(outcome.samples.last().unwrap().route_version > 0);
         assert!(outcome.samples.iter().any(|s| s.cache_stale > 0));
         assert!(outcome.samples.iter().all(|s| s.cache_stale <= 1));
+    }
+
+    #[test]
+    fn crashed_snodes_rejoin_by_replaying_their_wal() {
+        let stream = Scenario::durability(1.0).build(9);
+        let driver = ChurnDriver::with_replication(local(), DriverConfig::default(), 1_500, 16, 2);
+        let outcome = driver.run(&stream);
+        assert!(outcome.totals.crashes >= 1, "{} crashes", outcome.totals.crashes);
+        assert!(
+            outcome.totals.rejoins >= 1,
+            "crashed snodes must come back: {} rejoins",
+            outcome.totals.rejoins
+        );
+        assert!(outcome.samples.iter().any(|s| s.rejoins > 0));
+        // Anti-entropy ships digest-selected bytes while the fleet is
+        // degraded, and the quorum gap closes again after each rejoin.
+        assert!(outcome.totals.repair_bytes > 0, "digest repair must ship bytes");
+        assert!(
+            outcome.totals.repair_bytes < outcome.totals.repair_bytes_full,
+            "digest-driven repair must ship less than a full rebuild: {} vs {}",
+            outcome.totals.repair_bytes,
+            outcome.totals.repair_bytes_full
+        );
+        assert!(
+            outcome.totals.time_to_full_quorum_windows >= 1,
+            "a 1.5-window downtime must register a quorum gap"
+        );
+        assert_eq!(outcome.totals.lost_lookups, 0, "surviving probes always read back");
+    }
+
+    #[test]
+    fn bare_plant_rejoins_are_plain_reenrollments() {
+        // The bare plant has no WAL: a rejoin re-enrolls the crashed tag
+        // at its crash-time capacity, and the durability columns stay
+        // deterministic zeros.
+        let stream = Scenario::new(SimTime::millis(120_000))
+            .with(Process::InitialFleet { nodes: 6, capacity: Capacity::Fixed(1) })
+            .with(Process::CrashRejoin {
+                at: SimTime::millis(30_000),
+                cycles: 2,
+                spread: SimTime::millis(10_000),
+                downtime: SimTime::millis(10_000),
+            })
+            .build(13);
+        let rejoins = stream
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RejoinRank { .. }))
+            .count() as u64;
+        assert!(rejoins >= 1);
+        let outcome = ChurnDriver::new(local(), DriverConfig::default()).run(&stream);
+        assert_eq!(outcome.totals.rejoins, rejoins, "every paired rejoin executes");
+        assert_eq!(outcome.totals.repair_bytes, 0, "no overlay, no repair traffic");
+        assert_eq!(outcome.totals.wal_replay_ms, 0.0, "no WAL on the bare plant");
+    }
+
+    #[test]
+    fn rejoin_events_are_skipped_while_nothing_is_crashed() {
+        let events = vec![ChurnEvent {
+            at: SimTime::millis(10_000),
+            kind: EventKind::RejoinRank { draw: 7 },
+        }];
+        let stream = EventStream::new(events, SimTime::millis(20_000));
+        let mut driver = ChurnDriver::new(local(), DriverConfig::default());
+        driver.step(&ChurnEvent {
+            at: SimTime::millis(1),
+            kind: EventKind::Join { node: NodeTag(0), vnodes: 2 },
+        });
+        for e in stream.events() {
+            driver.step(e);
+        }
+        let outcome = driver.finish(stream.horizon());
+        assert_eq!(outcome.totals.rejoins, 0);
+        assert_eq!(outcome.totals.skipped, 1, "a rejoin with no crashed roster skips");
     }
 
     #[test]

@@ -92,6 +92,17 @@ pub enum EventKind {
         /// Pre-drawn randomness locating the victim.
         draw: u64,
     },
+    /// A previously **crashed** node comes back with the vnode count it
+    /// held at crash time, replaying its write-ahead log instead of
+    /// being rebuilt from replicas. The victim is the crashed-roster
+    /// entry at rank `draw mod crashed` — rank-based over the (shared,
+    /// deterministic) crashed set, so the pick is identical on every
+    /// engine. A no-op while nothing is crashed, and on overlays
+    /// without a durability tier.
+    RejoinRank {
+        /// Pre-drawn randomness locating the returning node.
+        draw: u64,
+    },
     /// A rank-selected node degrades: its *effective* capacity drops to
     /// `factor_ppm` parts-per-million of what it declared (disks dying,
     /// a noisy neighbour), while its quota share stays put — the
@@ -177,6 +188,7 @@ impl EventStream {
                 EventKind::CrashRank { draw } => (5, draw, 0),
                 EventKind::StallRank { draw } => (6, draw, 0),
                 EventKind::DegradeRank { draw, factor_ppm } => (7, draw, factor_ppm as u64),
+                EventKind::RejoinRank { draw } => (8, draw, 0),
             };
             h = SplitMix64::mix(h ^ disc);
             h = SplitMix64::mix(h ^ a);

@@ -178,6 +178,23 @@ pub enum Process {
         /// Wave width (0 = all at one instant).
         spread: SimTime,
     },
+    /// Crash-then-rejoin cycles: `cycles` rank-selected nodes crash
+    /// ungracefully, spread uniformly over `[at, at + spread)`, and each
+    /// crash is answered `downtime` later by the **rejoin** of a
+    /// rank-selected crashed node ([`EventKind::RejoinRank`]) — the node
+    /// comes back at its crash-time size and replays its write-ahead log
+    /// instead of being rebuilt from replicas. The durability drill of a
+    /// WAL study.
+    CrashRejoin {
+        /// Wave start.
+        at: SimTime,
+        /// Crash/rejoin pairs in the wave.
+        cycles: u32,
+        /// Wave width (0 = all crashes at one instant).
+        spread: SimTime,
+        /// How long each victim stays down before rejoining.
+        downtime: SimTime,
+    },
     /// `stalls` rank-selected nodes go **silently** unresponsive, spread
     /// uniformly over `[at, at + spread)` ([`EventKind::StallRank`]): no
     /// crash notification, no graceful drain — the cluster only notices
@@ -213,6 +230,7 @@ impl Process {
             Process::GroupFailure { .. } => "group-failure",
             Process::RandomCrashes { .. } => "random-crashes",
             Process::CrashStorm { .. } => "crash-storm",
+            Process::CrashRejoin { .. } => "crash-rejoin",
             Process::SilentStalls { .. } => "silent-stalls",
             Process::Degrade { .. } => "degrade",
         }
@@ -343,6 +361,31 @@ impl Process {
                         });
                     }
                 }
+            }
+            Process::CrashRejoin { at, cycles, spread, downtime } => {
+                let mut offsets: Vec<u64> = (0..*cycles)
+                    .map(|_| if spread.nanos() == 0 { 0 } else { rng.next_below(spread.nanos()) })
+                    .collect();
+                offsets.sort_unstable();
+                for off in offsets {
+                    let t = *at + SimTime(off);
+                    if t < horizon {
+                        out.push(ChurnEvent {
+                            at: t,
+                            kind: EventKind::CrashRank { draw: rng.next_u64() },
+                        });
+                        let back = t + *downtime;
+                        if back < horizon {
+                            out.push(ChurnEvent {
+                                at: back,
+                                kind: EventKind::RejoinRank { draw: rng.next_u64() },
+                            });
+                        }
+                    }
+                }
+                // Crash/rejoin pairs interleave when the downtime exceeds
+                // the gap between crashes; restore time order.
+                out.sort_by_key(|e| e.at);
             }
             Process::SilentStalls { at, stalls, spread } => {
                 let mut offsets: Vec<u64> = (0..*stalls)

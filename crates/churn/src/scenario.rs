@@ -132,6 +132,31 @@ impl Scenario {
             })
     }
 
+    /// A ready-made WAL-durability scenario for rejoin studies: a
+    /// fixed-capacity fleet under mild graceful churn, with repeated
+    /// crash-then-rejoin cycles layered on — each rank-selected victim
+    /// crashes ungracefully and comes back 45 simulated seconds later
+    /// (1.5 default windows, so the quorum gap is observable) by
+    /// replaying its write-ahead log. `intensity` scales the cycle
+    /// count.
+    pub fn durability(intensity: f64) -> Self {
+        assert!(intensity > 0.0, "intensity must be positive");
+        let horizon = SimTime::millis(600_000); // 10 simulated minutes
+        Scenario::new(horizon)
+            .with(Process::InitialFleet { nodes: 16, capacity: Capacity::Fixed(2) })
+            .with(Process::Poisson {
+                rate_per_s: 0.5 * intensity,
+                lifetime: Lifetime::Exponential { mean: SimTime::millis(120_000) },
+                capacity: Capacity::Fixed(1),
+            })
+            .with(Process::CrashRejoin {
+                at: SimTime::millis(120_000),
+                cycles: (6.0 * intensity).ceil() as u32,
+                spread: SimTime::millis(300_000),
+                downtime: SimTime::millis(45_000),
+            })
+    }
+
     /// A ready-made control-plane scenario for
     /// `ChurnDriver::with_router` studies: a fixed-capacity fleet under
     /// mild Poisson arrivals, one node degrading to a quarter of its
@@ -235,6 +260,29 @@ mod tests {
             stream.fingerprint(),
             Scenario::hotspot_failover().build(2004).fingerprint(),
             "stall/degrade events are part of the fingerprint contract"
+        );
+    }
+
+    #[test]
+    fn durability_scenario_pairs_every_crash_with_a_rejoin() {
+        let stream = Scenario::durability(1.0).build(2004);
+        let crashes = stream
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::CrashRank { .. }))
+            .count();
+        let rejoins = stream
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RejoinRank { .. }))
+            .count();
+        assert!(crashes >= 1, "{crashes} crashes");
+        // Every crash before `horizon − downtime` is answered by a rejoin.
+        assert!(rejoins >= 1 && rejoins <= crashes, "{rejoins} rejoins for {crashes} crashes");
+        assert_eq!(
+            stream.fingerprint(),
+            Scenario::durability(1.0).build(2004).fingerprint(),
+            "rejoin events are part of the fingerprint contract"
         );
     }
 

@@ -76,6 +76,19 @@ pub struct FailOutcome {
     pub renames: Vec<(VnodeId, VnodeId)>,
 }
 
+/// The scalar outcome of one snode rejoin ([`DhtEngine::rejoin_snode`]) —
+/// the control-plane counterpart of [`FailOutcome`]: the handles the
+/// returning snode was re-enrolled under. What the rejoining snode does
+/// with its recovered durable state (WAL replay, digest repair) is the
+/// data plane's business, layered above (see `domus-kv`'s
+/// `ReplicatedStore::rejoin_snode`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RejoinOutcome {
+    /// The re-enrolled vnodes' handles, in creation order. Fresh handles:
+    /// a rejoin never resurrects the crashed incarnation's ids.
+    pub vnodes: Vec<VnodeId>,
+}
+
 /// Observes [`RebalanceEvent::VnodeMigrated`] renames passing through a
 /// removal, forwarding everything — shared by [`DhtEngine::apply`] and
 /// [`DhtEngine::fail_snode`], whose pending-op patching must follow the
@@ -387,6 +400,40 @@ pub trait DhtEngine {
                 }
             }
             i += 1;
+        }
+        Ok(outcome)
+    }
+
+    /// Re-enrols a previously crashed snode with `vnodes` fresh vnodes,
+    /// streaming the rebalancement of each enrolment into `sink` — the
+    /// inverse of [`DhtEngine::fail_snode`], sized by the vnode count
+    /// recorded at crash time.
+    ///
+    /// Control-plane-wise this is a sequence of creations under fresh
+    /// handles (crashed incarnations are never resurrected — their
+    /// partitions were redistributed at crash time and routing moved
+    /// on). The *data* plane decides what the returning snode recovers:
+    /// a WAL-backed store replays its durable log into the re-enrolled
+    /// placement instead of being rebuilt wholesale from replicas.
+    ///
+    /// Fails with [`DhtError::EmptySnode`] when `vnodes` is zero —
+    /// mirroring [`DhtEngine::fail_snode`]'s refusal to crash a snode
+    /// that hosts nothing. A mid-sequence creation error propagates;
+    /// vnodes already enrolled stay live (the caller sees them in the
+    /// engine, exactly like a partially applied [`DhtEngine::apply`]).
+    fn rejoin_snode(
+        &mut self,
+        s: SnodeId,
+        vnodes: usize,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<RejoinOutcome, DhtError> {
+        if vnodes == 0 {
+            return Err(DhtError::EmptySnode(s));
+        }
+        let mut outcome = RejoinOutcome::default();
+        for _ in 0..vnodes {
+            let created = self.create_vnode_with(s, sink)?;
+            outcome.vnodes.push(created.vnode);
         }
         Ok(outcome)
     }

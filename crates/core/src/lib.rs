@@ -93,7 +93,7 @@ pub use cluster::{Cluster, EnrollmentPolicy};
 pub use config::{ContainerChoice, DhtConfig, SplitSelection, VictimPartitionPolicy};
 pub use engine::{
     BatchOutcome, CreateOutcome, CreateReport, DhtEngine, DhtOp, FailOutcome, GroupSplit,
-    RemoveOutcome, RemoveReport, Transfer,
+    RejoinOutcome, RemoveOutcome, RemoveReport, Transfer,
 };
 pub use errors::DhtError;
 pub use global::GlobalDht;

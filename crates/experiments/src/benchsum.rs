@@ -34,6 +34,17 @@
 //! deterministic, so the gate holds them tight: convergence may not
 //! regress past the percentage floor, and a single lease-safety
 //! violation or routed key loss fails the gate outright.
+//!
+//! Schema 4 adds the **durability tier**: the crash-then-rejoin drill
+//! replays at R = 2 with every crashed snode coming back by replaying
+//! its segmented write-ahead log, and the JSON records per backend the
+//! total WAL replay wall time, the bytes digest-driven anti-entropy
+//! shipped, and the longest below-quorum streak in windows. The gate
+//! hardens two invariants absolutely: a WAL-durable key still missing
+//! after the last rejoin fails outright (`wal_keys_unrecovered`), and
+//! the serving plane's stale-retry rate must stay under a fixed ceiling
+//! (retries are only counted when the route actually moved, so the
+//! figure is a real route-movement rate, not publish noise).
 
 use crate::runner::derive_seed;
 use crate::{Ctx, ExpReport};
@@ -83,6 +94,17 @@ pub struct BackendBench {
     pub lease_violations: u64,
     /// Keys lost through the routed failover at R = 2. Must be zero.
     pub route_keys_lost: u64,
+    /// Crashed snodes that rejoined by replaying their WAL (drill run).
+    pub wal_rejoins: u64,
+    /// Total WAL replay wall time across the drill's rejoins, ms.
+    pub wal_replay_ms: f64,
+    /// Bytes shipped by digest-driven anti-entropy over the drill.
+    pub repair_bytes: u64,
+    /// Longest below-quorum streak in the drill, windows.
+    pub time_to_full_quorum_windows: u64,
+    /// WAL-durable keys still missing after the drill's last rejoin.
+    /// Must be zero — the WAL-loss hard gate.
+    pub wal_keys_unrecovered: u64,
 }
 
 /// The whole measurement: scale, seed, and per-backend numbers.
@@ -194,6 +216,32 @@ fn route_replay<E: DhtEngine + Send + Sync>(
     )
 }
 
+/// The durability-tier measurement: the crash-then-rejoin drill at
+/// R = 2. The trajectory (rejoins, repair bytes, quorum-gap windows,
+/// missing keys) is sim-clock deterministic; only the replay wall time
+/// is machine-dependent. `paired` says whether every crash in the
+/// (possibly truncated) stream is answered by a rejoin — only then is a
+/// missing key a durability failure rather than a node that simply
+/// never came back.
+fn wal_replay<E: DhtEngine + Send + Sync>(
+    engine: E,
+    stream: &EventStream,
+    paired: bool,
+) -> (u64, f64, u64, u64, u64) {
+    const ENTRIES: u64 = 2_000;
+    let outcome =
+        ChurnDriver::with_replication(engine, DriverConfig::default(), ENTRIES, 16, 2).run(stream);
+    let final_keys = outcome.samples.last().map(|s| s.keys_total).unwrap_or(0);
+    let unrecovered = if paired { ENTRIES.saturating_sub(final_keys) } else { 0 };
+    (
+        outcome.totals.rejoins,
+        outcome.totals.wal_replay_ms,
+        outcome.totals.repair_bytes,
+        outcome.totals.time_to_full_quorum_windows,
+        unrecovered,
+    )
+}
+
 /// The serving-plane half of one backend's measurement: crash-storm
 /// runs at 1 and 8 reader threads (fresh engine per run — each
 /// measurement starts from the same empty state).
@@ -228,11 +276,21 @@ pub fn compute(ctx: &Ctx, events: Option<usize>) -> BenchSummary {
     let mut stream = scenario(fleet).build(seed);
     let mut read_stream = read_scenario().build(seed ^ 0x5EAD);
     let mut route_stream = Scenario::hotspot_failover().build(seed ^ 0x707E);
+    let mut wal_stream = Scenario::durability(1.0).build(seed ^ 0x3A1);
     if let Some(n) = events {
         stream.truncate(n);
         read_stream.truncate(n);
         route_stream.truncate(n);
+        wal_stream.truncate(n);
     }
+    let wal_paired = {
+        use domus_churn::EventKind;
+        let count = |pred: fn(&EventKind) -> bool| {
+            wal_stream.events().iter().filter(|e| pred(&e.kind)).count()
+        };
+        count(|k| matches!(k, EventKind::CrashRank { .. }))
+            == count(|k| matches!(k, EventKind::RejoinRank { .. }))
+    };
     let space = HashSpace::full();
     let (pmin, vmin) = (32, 32);
     let local = || LocalDht::with_seed(DhtConfig::new(space, pmin, vmin).expect("config"), seed);
@@ -251,10 +309,15 @@ pub fn compute(ctx: &Ctx, events: Option<usize>) -> BenchSummary {
         route_replay(global(), &route_stream),
         route_replay(ch(), &route_stream),
     ];
+    let wals = vec![
+        wal_replay(local(), &wal_stream, wal_paired),
+        wal_replay(global(), &wal_stream, wal_paired),
+        wal_replay(ch(), &wal_stream, wal_paired),
+    ];
 
     let mut backends = Vec::new();
-    for (((name, m), r), rt) in
-        ["local", "global", "ch"].into_iter().zip(mutation).zip(reads).zip(routes)
+    for ((((name, m), r), rt), wal) in
+        ["local", "global", "ch"].into_iter().zip(mutation).zip(reads).zip(routes).zip(wals)
     {
         let (events_per_sec, elapsed_ms, final_vnodes) = m;
         let (
@@ -273,6 +336,13 @@ pub fn compute(ctx: &Ctx, events: Option<usize>) -> BenchSummary {
             lease_violations,
             route_keys_lost,
         ) = rt;
+        let (
+            wal_rejoins,
+            wal_replay_ms,
+            repair_bytes,
+            time_to_full_quorum_windows,
+            wal_keys_unrecovered,
+        ) = wal;
         backends.push(BackendBench {
             name,
             events_per_sec,
@@ -290,6 +360,11 @@ pub fn compute(ctx: &Ctx, events: Option<usize>) -> BenchSummary {
             route_failovers,
             lease_violations,
             route_keys_lost,
+            wal_rejoins,
+            wal_replay_ms,
+            repair_bytes,
+            time_to_full_quorum_windows,
+            wal_keys_unrecovered,
         });
     }
     BenchSummary {
@@ -306,7 +381,7 @@ pub fn compute(ctx: &Ctx, events: Option<usize>) -> BenchSummary {
 /// before/after live in one file.
 pub fn to_json(s: &BenchSummary, baseline: Option<&str>) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 3,\n  \"bench\": \"churn_driver\",\n");
+    out.push_str("  \"schema\": 4,\n  \"bench\": \"churn_driver\",\n");
     out.push_str(&format!("  \"seed\": {},\n", s.seed));
     out.push_str(&format!("  \"fleet_nodes\": {},\n", s.fleet_nodes));
     out.push_str(&format!("  \"initial_vnodes\": {},\n", s.initial_vnodes));
@@ -318,7 +393,9 @@ pub fn to_json(s: &BenchSummary, baseline: Option<&str>) -> String {
              \"reads_per_sec_1\": {:.1}, \"reads_per_sec_8\": {:.1}, \"read_scaling\": {:.2}, \
              \"read_p50_ns\": {}, \"read_p99_ns\": {}, \"stale_rate\": {:.4}, \"read_errors\": {}, \
              \"route_convergence_windows\": {}, \"route_cache_hit_rate\": {:.4}, \
-             \"route_failovers\": {}, \"lease_violations\": {}, \"route_keys_lost\": {}}}{}\n",
+             \"route_failovers\": {}, \"lease_violations\": {}, \"route_keys_lost\": {}, \
+             \"wal_rejoins\": {}, \"wal_replay_ms\": {:.3}, \"repair_bytes\": {}, \
+             \"time_to_full_quorum_windows\": {}, \"wal_keys_unrecovered\": {}}}{}\n",
             b.name,
             b.events_per_sec,
             b.elapsed_ms,
@@ -335,6 +412,11 @@ pub fn to_json(s: &BenchSummary, baseline: Option<&str>) -> String {
             b.route_failovers,
             b.lease_violations,
             b.route_keys_lost,
+            b.wal_rejoins,
+            b.wal_replay_ms,
+            b.repair_bytes,
+            b.time_to_full_quorum_windows,
+            b.wal_keys_unrecovered,
             if i + 1 < s.backends.len() { "," } else { "" }
         ));
     }
@@ -477,6 +559,26 @@ pub fn run(
     }
     println!("{}", ct.render());
 
+    let mut wt = Table::new(&[
+        "backend",
+        "wal rejoins",
+        "wal replay ms",
+        "repair bytes",
+        "quorum gap (windows)",
+        "keys unrecovered",
+    ]);
+    for b in &s.backends {
+        wt.row(&[
+            b.name.into(),
+            b.wal_rejoins.to_string(),
+            num(b.wal_replay_ms, 3),
+            b.repair_bytes.to_string(),
+            b.time_to_full_quorum_windows.to_string(),
+            b.wal_keys_unrecovered.to_string(),
+        ]);
+    }
+    println!("{}", wt.render());
+
     fs::create_dir_all(&ctx.out_dir).expect("results dir");
     let path = ctx.out_dir.join("BENCH_churn.json");
     fs::write(&path, to_json(&s, baseline.as_deref())).expect("write BENCH_churn.json");
@@ -506,6 +608,15 @@ pub fn run(
             b.route_failovers,
             b.lease_violations,
             b.route_keys_lost
+        ));
+        rep.note(format!(
+            "{}: durability tier replayed {} rejoin(s) in {:.3} ms, shipped {} repair bytes, quorum gap {} window(s), {} keys unrecovered",
+            b.name,
+            b.wal_rejoins,
+            b.wal_replay_ms,
+            b.repair_bytes,
+            b.time_to_full_quorum_windows,
+            b.wal_keys_unrecovered
         ));
     }
 
@@ -588,6 +699,43 @@ pub fn run(
                 }
                 Some(_) => {}
             }
+            // The durability tier's hard gate: a WAL-durable key still
+            // missing after the drill's last rejoin is an absolute
+            // failure — durability is a contract, not a statistic.
+            if b.wal_keys_unrecovered > 0 {
+                problems.push(format!(
+                    "{}: {} WAL-durable key(s) unrecovered after the rejoin drill",
+                    b.name, b.wal_keys_unrecovered
+                ));
+            }
+            // Stale retries are counted only when the route actually
+            // moved (the double-counting fix), so the rate is a real
+            // route-movement figure and can hold a fixed ceiling.
+            const STALE_CEILING: f64 = 0.25;
+            if b.stale_rate > STALE_CEILING {
+                problems.push(format!(
+                    "{}: stale-retry rate {:.4} blew the {STALE_CEILING} ceiling",
+                    b.name, b.stale_rate
+                ));
+            }
+            match baseline
+                .as_deref()
+                .and_then(|base| field_of(base, b.name, "time_to_full_quorum_windows"))
+            {
+                None => problems.push(format!(
+                    "{}: no baseline time_to_full_quorum_windows to compare against",
+                    b.name
+                )),
+                Some(prev)
+                    if (b.time_to_full_quorum_windows as f64) > prev * (1.0 + pct / 100.0) =>
+                {
+                    problems.push(format!(
+                        "{} time-to-full-quorum regressed: {} windows vs {prev:.0} baseline",
+                        b.name, b.time_to_full_quorum_windows
+                    ))
+                }
+                Some(_) => {}
+            }
         }
         if problems.is_empty() {
             rep.note(format!(
@@ -624,6 +772,11 @@ mod tests {
             route_failovers: 1,
             lease_violations: 0,
             route_keys_lost: 0,
+            wal_rejoins: 3,
+            wal_replay_ms: 1.25,
+            repair_bytes: 48_000,
+            time_to_full_quorum_windows: 2,
+            wal_keys_unrecovered: 0,
         }
     }
 
@@ -649,6 +802,11 @@ mod tests {
         assert_eq!(field_of(&backends, "ch", "route_convergence_windows"), Some(2.0));
         assert_eq!(field_of(&backends, "local", "route_cache_hit_rate"), Some(0.9912));
         assert_eq!(field_of(&backends, "local", "lease_violations"), Some(0.0));
+        assert_eq!(field_of(&backends, "ch", "wal_rejoins"), Some(3.0));
+        assert_eq!(field_of(&backends, "local", "wal_replay_ms"), Some(1.25));
+        assert_eq!(field_of(&backends, "local", "repair_bytes"), Some(48_000.0));
+        assert_eq!(field_of(&backends, "ch", "time_to_full_quorum_windows"), Some(2.0));
+        assert_eq!(field_of(&backends, "ch", "wal_keys_unrecovered"), Some(0.0));
         assert_eq!(field_of(&backends, "ch", "no_such_field"), None);
         // Embedding as baseline nests cleanly and stays extractable.
         let nested = to_json(&s, Some(&backends));
@@ -676,7 +834,8 @@ mod tests {
                 format!(
                     "\"{n}\": {{\"events_per_sec\": {rate}, \
                      \"reads_per_sec_8\": {rate}, \"read_p99_ns\": {p99}, \
-                     \"route_convergence_windows\": {conv}}}"
+                     \"route_convergence_windows\": {conv}, \
+                     \"time_to_full_quorum_windows\": {conv}}}"
                 )
             };
             format!("{{\"backends\": {{{}, {}, {}}}}}", one("local"), one("global"), one("ch"))
@@ -726,8 +885,8 @@ mod tests {
         assert_eq!(rep.id, "BENCH-SUMMARY");
         assert_eq!(
             rep.summary.len(),
-            9,
-            "one mutation + one serving + one control note per backend"
+            12,
+            "one mutation + one serving + one control + one durability note per backend"
         );
         let json = std::fs::read_to_string(ctx.out_dir.join("BENCH_churn.json")).unwrap();
         for name in ["local", "global", "ch"] {
@@ -750,6 +909,12 @@ mod tests {
                 field_of(&backends, name, "route_keys_lost"),
                 Some(0.0),
                 "{name}: the routed failover must lose nothing at R=2"
+            );
+            assert!(field_of(&backends, name, "wal_rejoins").is_some());
+            assert_eq!(
+                field_of(&backends, name, "wal_keys_unrecovered"),
+                Some(0.0),
+                "{name}: WAL durability must hold in the rejoin drill"
             );
         }
     }

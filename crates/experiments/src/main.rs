@@ -15,7 +15,9 @@
 //!                                      from N threads during the replay)
 //!   churn-repl                         crash failures + R=1/2/3 replication
 //!                                      sweep: durability & quorum availability
-//!                                      (--events N truncates the stream)
+//!                                      (--events N truncates the stream;
+//!                                      --rejoin runs the crash-then-rejoin
+//!                                      WAL durability drill instead)
 //!   churn-route                        routing control plane: hot-spot shed +
 //!                                      silent-stall failover via lease expiry,
 //!                                      R=2, all backends
@@ -34,7 +36,7 @@ use std::io::Write as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--runs N] [--vnodes N] [--seed S] [--events N] [--readers N] [--baseline FILE] [--gate PCT] [--out DIR] <command>\n\
+        "usage: repro [--quick] [--runs N] [--vnodes N] [--seed S] [--events N] [--readers N] [--rejoin] [--baseline FILE] [--gate PCT] [--out DIR] <command>\n\
          commands: fig4 fig5 fig6 fig7 fig8 fig9 | claim-pv claim-30 claim-8k claim-zone1 claim-g512 |\n          \
          abl-victim abl-container abl-splitsel | het | sim-makespan sim-msgs sim-mem | kv-migrate |\n          \
          churn | churn-repl | churn-route | bench-summary | all"
@@ -54,6 +56,7 @@ fn main() {
     let mut cmd: Option<String> = None;
     let mut events: Option<usize> = None;
     let mut readers: usize = 0;
+    let mut rejoin = false;
     let mut baseline: Option<std::path::PathBuf> = None;
     let mut gate: Option<f64> = None;
     let mut i = 0;
@@ -68,6 +71,7 @@ fn main() {
                 i += 1;
                 readers = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--rejoin" => rejoin = true,
             "--runs" => {
                 i += 1;
                 runs = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
@@ -133,7 +137,11 @@ fn main() {
         "sim-mem" => reports.push(simx::sim_mem(&ctx)),
         "kv-migrate" => reports.push(kvx::run(&ctx)),
         "churn" => reports.push(churnx::run(&ctx, events, readers)),
-        "churn-repl" => reports.push(replx::run(&ctx, events)),
+        "churn-repl" => reports.push(if rejoin {
+            replx::run_rejoin(&ctx, events)
+        } else {
+            replx::run(&ctx, events)
+        }),
         "churn-route" => reports.push(routex::run(&ctx, events)),
         "bench-summary" => reports.push(benchsum::run(&ctx, events, baseline.as_deref(), gate)),
         "all" => {
@@ -160,6 +168,7 @@ fn main() {
             reports.push(kvx::run(&ctx));
             reports.push(churnx::run(&ctx, events, readers));
             reports.push(replx::run(&ctx, events));
+            reports.push(replx::run_rejoin(&ctx, events));
             reports.push(routex::run(&ctx, events));
         }
         _ => usage(),

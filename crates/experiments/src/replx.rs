@@ -16,6 +16,14 @@
 //! Exact loss accounting is part of the contract: for every backend and
 //! every R, the surviving keys plus the accounted crash losses must cover
 //! the loaded population — a key may die, but never silently.
+//!
+//! With `--rejoin` the experiment runs the **durability drill** instead:
+//! the crash-then-rejoin scenario ([`Scenario::durability`]) replays at
+//! R = 2, every crashed snode comes back by replaying its segmented
+//! write-ahead log, and the contract hardens — zero WAL-durable keys
+//! may be missing once the last rejoin has replayed, and digest-driven
+//! anti-entropy must ship strictly fewer bytes than a digest-less full
+//! rebuild of the same ranges.
 
 use crate::runner::derive_seed;
 use crate::{Ctx, ExpReport};
@@ -131,6 +139,223 @@ pub fn compute(ctx: &Ctx, events: Option<usize>) -> ReplComparison {
         }
     }
     ReplComparison { events: reference.len(), fingerprint: reference.fingerprint(), cells }
+}
+
+/// One backend's crash-then-rejoin drill (always R = 2).
+pub struct RejoinCell {
+    /// Backend name (`local`/`global`/`ch`).
+    pub backend: &'static str,
+    /// Keys loaded at the first join.
+    pub entries: u64,
+    /// The replay outcome.
+    pub outcome: ChurnOutcome,
+}
+
+/// The rejoin drill on one stream.
+pub struct RejoinComparison {
+    /// Events replayed per run.
+    pub events: usize,
+    /// The stream fingerprint every run replayed.
+    pub fingerprint: u64,
+    /// Crash events in the stream.
+    pub crashes: usize,
+    /// Rejoin events in the stream (every crash the horizon still
+    /// covers is paired with one).
+    pub rejoins: usize,
+    /// One cell per backend.
+    pub cells: Vec<RejoinCell>,
+}
+
+/// Compiles the durability drill and replays it per backend at R = 2.
+pub fn compute_rejoin(ctx: &Ctx, events: Option<usize>) -> RejoinComparison {
+    use domus_churn::EventKind;
+
+    let paper_scale = ctx.n >= 512;
+    let intensity = if paper_scale { 1.0 } else { 0.5 };
+    let entries: u64 = if paper_scale { 10_000 } else { 2_000 };
+    let (pmin, vmin) = if paper_scale { (32, 32) } else { (8, 8) };
+    let seed = derive_seed(&ctx.seeds, "churn-repl-rejoin", 0);
+    let space = HashSpace::full();
+
+    let build_stream = || {
+        let mut s = Scenario::durability(intensity).build(seed);
+        if let Some(n) = events {
+            s.truncate(n);
+        }
+        s
+    };
+    let reference = build_stream();
+    let crashes =
+        reference.events().iter().filter(|e| matches!(e.kind, EventKind::CrashRank { .. })).count();
+    let rejoins = reference
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::RejoinRank { .. }))
+        .count();
+    let cfg = DriverConfig {
+        window: SimTime((reference.horizon().nanos() / 20).max(1)),
+        ..DriverConfig::default()
+    };
+
+    let mut cells = Vec::new();
+    for name in ["local", "global", "ch"] {
+        let stream = build_stream();
+        assert_eq!(
+            stream.fingerprint(),
+            reference.fingerprint(),
+            "seeded stream must be identical for every backend"
+        );
+        let outcome = match name {
+            "local" => ChurnDriver::with_replication(
+                LocalDht::with_seed(
+                    DhtConfig::new(space, pmin, vmin).expect("powers of two"),
+                    seed,
+                ),
+                cfg,
+                entries,
+                16,
+                2,
+            )
+            .run(&stream),
+            "global" => ChurnDriver::with_replication(
+                GlobalDht::with_seed(DhtConfig::new(space, pmin, 1).expect("powers of two"), seed),
+                cfg,
+                entries,
+                16,
+                2,
+            )
+            .run(&stream),
+            _ => ChurnDriver::with_replication(
+                ChEngine::with_seed(
+                    DhtConfig::new(space, pmin, 1).expect("powers of two"),
+                    32,
+                    seed ^ 0xCC,
+                ),
+                cfg,
+                entries,
+                16,
+                2,
+            )
+            .run(&stream),
+        };
+        cells.push(RejoinCell { backend: name, entries, outcome });
+    }
+    RejoinComparison {
+        events: reference.len(),
+        fingerprint: reference.fingerprint(),
+        crashes,
+        rejoins,
+        cells,
+    }
+}
+
+/// Runs the `--rejoin` durability drill: per-backend CSVs, table, and
+/// the WAL-durability contract.
+pub fn run_rejoin(ctx: &Ctx, events: Option<usize>) -> ExpReport {
+    let mut rep = ExpReport::new("CHURN-REPL-REJOIN");
+    let cmp = compute_rejoin(ctx, events);
+
+    fs::create_dir_all(&ctx.out_dir).expect("create results dir");
+    for cell in &cmp.cells {
+        let path = ctx.out_dir.join(format!("churn_repl_rejoin_{}.csv", cell.backend));
+        let file = fs::File::create(&path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
+        cell.outcome.write_csv(BufWriter::new(file)).expect("write rejoin csv");
+    }
+
+    println!(
+        "\n── CHURN-REPL --rejoin — {} events ({} crashes, {} rejoins), stream fingerprint {:016x} ──",
+        cmp.events, cmp.crashes, cmp.rejoins, cmp.fingerprint
+    );
+    let mut t = Table::new(&[
+        "system",
+        "crashes",
+        "rejoins",
+        "wal replay ms",
+        "repair bytes",
+        "full-rebuild bytes",
+        "savings",
+        "quorum gap (windows)",
+        "keys missing",
+    ]);
+    for cell in &cmp.cells {
+        let o = &cell.outcome;
+        let final_keys = o.samples.last().map(|s| s.keys_total).unwrap_or(0);
+        let missing = cell.entries.saturating_sub(final_keys);
+        let savings = if o.totals.repair_bytes_full > 0 {
+            1.0 - o.totals.repair_bytes as f64 / o.totals.repair_bytes_full as f64
+        } else {
+            0.0
+        };
+        t.row(&[
+            label(cell.backend).into(),
+            o.totals.crashes.to_string(),
+            o.totals.rejoins.to_string(),
+            num(o.totals.wal_replay_ms, 3),
+            o.totals.repair_bytes.to_string(),
+            o.totals.repair_bytes_full.to_string(),
+            format!("{:.1}%", savings * 100.0),
+            o.totals.time_to_full_quorum_windows.to_string(),
+            missing.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // The WAL-durability contract. Every crash the stream pairs with a
+    // rejoin replays its log; when all of them are paired the store must
+    // end complete — zero acknowledged keys missing, on every backend.
+    let fully_paired = cmp.crashes == cmp.rejoins;
+    for cell in &cmp.cells {
+        let o = &cell.outcome;
+        let final_keys = o.samples.last().map(|s| s.keys_total).unwrap_or(0);
+        if cmp.rejoins > 0 {
+            assert!(
+                o.totals.rejoins >= 1,
+                "{}: the stream carries rejoins but none executed",
+                cell.backend
+            );
+        }
+        if fully_paired {
+            assert_eq!(
+                final_keys, cell.entries,
+                "{}: WAL-durable keys missing after the last rejoin",
+                cell.backend
+            );
+        }
+        assert_eq!(o.totals.lost_lookups, 0, "{}: unaccounted probe loss", cell.backend);
+        if o.totals.repair_bytes_full > 0 {
+            assert!(
+                o.totals.repair_bytes < o.totals.repair_bytes_full,
+                "{}: digest repair must undercut the full-rebuild baseline ({} vs {})",
+                cell.backend,
+                o.totals.repair_bytes,
+                o.totals.repair_bytes_full
+            );
+        }
+    }
+
+    rep.note(format!(
+        "durability drill: {} events ({} crash/rejoin pairs, fingerprint {:016x}) × 3 backends at R=2; zero WAL-durable keys missing",
+        cmp.events, cmp.rejoins, cmp.fingerprint
+    ));
+    for cell in &cmp.cells {
+        let o = &cell.outcome;
+        let savings = if o.totals.repair_bytes_full > 0 {
+            1.0 - o.totals.repair_bytes as f64 / o.totals.repair_bytes_full as f64
+        } else {
+            0.0
+        };
+        rep.note(format!(
+            "{}: {} rejoins replayed in {:.3} ms total; digest repair shipped {} of {} full-rebuild bytes ({:.1}% saved); quorum gap {} window(s)",
+            cell.backend,
+            o.totals.rejoins,
+            o.totals.wal_replay_ms,
+            o.totals.repair_bytes,
+            o.totals.repair_bytes_full,
+            savings * 100.0,
+            o.totals.time_to_full_quorum_windows
+        ));
+    }
+    rep
 }
 
 /// Runs the CHURN-REPL experiment: sweep, CSVs, table, summary.
@@ -264,6 +489,24 @@ mod tests {
                 .expect("per-backend CSV written");
             assert!(csv.starts_with("window,t_ms,"));
             assert!(csv.lines().next().unwrap().contains("quorum_availability"));
+        }
+    }
+
+    #[test]
+    fn rejoin_drill_recovers_every_wal_durable_key() {
+        let ctx = smoke_ctx("domus-replx-rejoin");
+        let rep = run_rejoin(&ctx, None);
+        assert_eq!(rep.id, "CHURN-REPL-REJOIN");
+        assert!(rep.summary.iter().any(|l| l.contains("zero WAL-durable keys missing")));
+        for name in ["local", "global", "ch"] {
+            let csv =
+                std::fs::read_to_string(ctx.out_dir.join(format!("churn_repl_rejoin_{name}.csv")))
+                    .expect("per-backend rejoin CSV written");
+            assert!(csv.starts_with("window,t_ms,"));
+            let header = csv.lines().next().unwrap();
+            assert!(header.contains("wal_replay_ms"));
+            assert!(header.contains("repair_bytes"));
+            assert!(header.contains("quorum_gap_windows"));
         }
     }
 

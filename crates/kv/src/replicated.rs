@@ -35,6 +35,24 @@
 //!   [`ReplicatedStore::repair`] re-replicates the pending ranges back to
 //!   full strength — the window between the two is where quorum
 //!   availability measurably dips.
+//! * **Durability** — every put/remove is appended to the per-snode
+//!   [`SegmentedWal`] of each replica holder *as it is applied*, and
+//!   every placement decision of a rebuild is logged too. A crash leaves
+//!   the victim's log intact (it models the surviving disk), so
+//!   [`ReplicatedStore::rejoin_snode`] can re-enrol the snode and
+//!   **replay** its log — restoring keys whose last in-memory copy died
+//!   with the crash (the `R = 1` loss class) — instead of rebuilding the
+//!   snode wholesale from replicas. Replay re-homes every still-live key
+//!   onto its current primary's log and then checkpoints the rejoined
+//!   log, which is what lets segments truncate.
+//! * **Anti-entropy** — each vnode slot carries an incrementally
+//!   maintained bucket-digest map (XOR of [`entry_hash`] per bucket),
+//!   updated by the same code paths that move data. Repair builds a
+//!   per-partition [`DigestTree`] over the primary's and each follower's
+//!   span from those digests and walks the Merkle diff, so only the
+//!   buckets that actually diverge are shipped — the full-rebuild byte
+//!   cost is reported alongside for comparison
+//!   ([`RepairReport::bytes_shipped`] vs [`RepairReport::bytes_full`]).
 
 use crate::store::{bucket_search, slot_of, Bucket};
 use bytes::Bytes;
@@ -44,7 +62,9 @@ use domus_core::{
 };
 use domus_hashspace::hasher::Fnv1aHasher;
 use domus_hashspace::{HashSpace, KeyHasher, Partition};
+use domus_wal::{entry_hash, DigestTree, SegmentedWal, WalRecord};
 use std::collections::BTreeMap;
+use std::ops::Bound;
 use std::sync::Arc;
 
 /// A half-open hash-space range `[start, end)` (`end` is `u128` because
@@ -100,6 +120,37 @@ pub struct RepairReport {
     pub ranges: usize,
     /// Replica copies placed (moves + newly minted replicas).
     pub copies_placed: u64,
+    /// Entry bytes actually shipped between replicas (digest-driven
+    /// repair ships only divergent buckets; in-line rebuilds of graceful
+    /// changes count everything they re-place).
+    pub bytes_shipped: u64,
+    /// Entry bytes a digest-less full rebuild of the same ranges would
+    /// have shipped (every entry to every chain slot) — the baseline
+    /// [`RepairReport::bytes_shipped`] is measured against.
+    pub bytes_full: u64,
+}
+
+/// What one [`ReplicatedStore::rejoin_snode`] crash-recovery did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RejoinReport {
+    /// Fresh vnodes the snode was re-enrolled with (its count at crash
+    /// time).
+    pub vnodes: usize,
+    /// The re-enrolled vnodes' fresh handles, in creation order.
+    pub handles: Vec<VnodeId>,
+    /// WAL records scanned during replay (puts, removes, placements).
+    pub wal_records: u64,
+    /// Framed WAL bytes scanned during replay.
+    pub wal_bytes: u64,
+    /// Keys restored by replay: present in the log's final state but
+    /// absent from every live replica — the copies a digest-less rebuild
+    /// could never get back.
+    pub recovered: u64,
+    /// Records unreadable due to a framing error (torn frame stops the
+    /// replay; always 0 for the in-process log).
+    pub torn: u64,
+    /// The in-line rebuild of the ranges the re-enrolment touched.
+    pub repair: RepairReport,
 }
 
 /// One quorum read ([`ReplicatedStore::get_quorum`]).
@@ -139,10 +190,16 @@ fn replicas_for<E: DhtEngine>(engine: &E, r: usize, point: u64) -> Vec<VnodeId> 
     let mut out: Vec<VnodeId> = Vec::with_capacity(r);
     let mut snodes: Vec<SnodeId> = Vec::with_capacity(r);
     engine.for_each_successor(point, &mut |v| {
-        let s = engine.snode_of(v).expect("successor walk yields live vnodes");
-        if !snodes.contains(&s) {
-            snodes.push(s);
-            out.push(v);
+        // A vnode the walk visits mid-teardown may briefly have no
+        // hosting snode; skip it rather than panic — on a thin cluster
+        // (fewer than R distinct snodes) the walk simply ends with a
+        // shorter chain, which every caller treats as the effective
+        // replication factor.
+        if let Ok(s) = engine.snode_of(v) {
+            if !snodes.contains(&s) {
+                snodes.push(s);
+                out.push(v);
+            }
         }
         out.len() < r
     });
@@ -184,6 +241,19 @@ pub struct ReplicatedStore<E: DhtEngine> {
     /// Copy maps indexed by vnode arena slot; a point may appear in up to
     /// `R` slots (one copy per replica).
     data: Vec<BTreeMap<u64, Bucket>>,
+    /// Per-slot bucket digests, maintained in lock-step with `data`:
+    /// `digests[slot][point]` is the XOR of [`entry_hash`] over the
+    /// bucket's entries — the leaf inputs of the repair-time Merkle
+    /// comparison. A slot holds each entry at most once, so XOR is an
+    /// exact toggle.
+    digests: Vec<BTreeMap<u64, u64>>,
+    /// Per-snode write-ahead logs. A crash leaves the victim's log in
+    /// place (the disk survives); only the in-memory slots die.
+    wals: BTreeMap<SnodeId, SegmentedWal>,
+    /// Snodes crashed and not yet rejoined, with the vnode count each
+    /// hosted at crash time (the size [`ReplicatedStore::rejoin_snode`]
+    /// re-enrols).
+    crashed: BTreeMap<SnodeId, usize>,
     /// Distinct live keys (≥ one surviving copy).
     keys: u64,
     /// Under-replicated ranges awaiting [`ReplicatedStore::repair`]
@@ -207,9 +277,28 @@ impl<E: DhtEngine> ReplicatedStore<E> {
             r,
             stats: Arc::new(RouteStats::new()),
             data: vec![BTreeMap::new(); slots],
+            digests: vec![BTreeMap::new(); slots],
+            wals: BTreeMap::new(),
+            crashed: BTreeMap::new(),
             keys: 0,
             pending: Vec::new(),
         }
+    }
+
+    /// The write-ahead log of one snode, if it ever received a record.
+    pub fn wal_of(&self, s: SnodeId) -> Option<&SegmentedWal> {
+        self.wals.get(&s)
+    }
+
+    /// Live (non-truncated) WAL bytes across every snode's log.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wals.values().map(|w| w.bytes() as u64).sum()
+    }
+
+    /// Snodes crashed and awaiting [`ReplicatedStore::rejoin_snode`],
+    /// with the vnode count each hosted at crash time.
+    pub fn crashed_snodes(&self) -> Vec<(SnodeId, usize)> {
+        self.crashed.iter().map(|(&s, &n)| (s, n)).collect()
     }
 
     /// The store's routed-read statistics: every
@@ -275,7 +364,9 @@ impl<E: DhtEngine> ReplicatedStore<E> {
 
     /// Inserts or replaces an entry on every replica. Returns the previous
     /// value and restores full replication for this key even when its
-    /// range is pending repair.
+    /// range is pending repair. Each holder logs the write to its WAL
+    /// before the in-memory copy mutates — the write-ahead discipline
+    /// [`ReplicatedStore::rejoin_snode`] replays after a crash.
     ///
     /// # Panics
     /// Panics if the DHT has no vnodes yet.
@@ -285,18 +376,29 @@ impl<E: DhtEngine> ReplicatedStore<E> {
         let point = self.point_of(&key);
         let replicas = replicas_for(&self.engine, self.r, point);
         assert!(!replicas.is_empty(), "put on an empty DHT");
+        let record = WalRecord::Put { key: key.clone(), value: value.clone() };
+        let new_hash = entry_hash(&key, &value);
         let mut prev = None;
         for (i, &v) in replicas.iter().enumerate() {
+            if let Ok(s) = self.engine.snode_of(v) {
+                self.wals.entry(s).or_default().append(&record);
+            }
             let bucket = slot_of(&mut self.data, v).entry(point).or_default();
-            match bucket_search(bucket, &key) {
+            let toggle = match bucket_search(bucket, &key) {
                 Ok(at) => {
                     let old = std::mem::replace(&mut bucket[at].1, value.clone());
+                    let t = entry_hash(&key, &old) ^ new_hash;
                     if i == 0 {
                         prev = Some(old);
                     }
+                    t
                 }
-                Err(at) => bucket.insert(at, (key.clone(), value.clone())),
-            }
+                Err(at) => {
+                    bucket.insert(at, (key.clone(), value.clone()));
+                    new_hash
+                }
+            };
+            *digest_slot(&mut self.digests, v).entry(point).or_insert(0) ^= toggle;
         }
         if prev.is_none() {
             self.keys += 1;
@@ -373,8 +475,19 @@ impl<E: DhtEngine> ReplicatedStore<E> {
                 self.stats.record(retries, read.value.is_none());
                 return RoutedQuorum { read, retries };
             }
-            *snap = cell.load();
-            retries += 1;
+            // The pin is behind, but a retry is only a *stale-route*
+            // retry when the key's replica chain actually moved between
+            // the pinned and current epochs — a miss on a key whose
+            // route is identical at both epochs is an absent key caught
+            // mid-publish, not stale routing, and counting it would
+            // double-book every concurrent-epoch miss as stale.
+            let fresh = cell.load();
+            let point = self.hasher.point(key, snap.space());
+            let moved = fresh.replicas(point, self.r) != snap.replicas(point, self.r);
+            *snap = fresh;
+            if moved {
+                retries += 1;
+            }
         }
     }
 
@@ -395,21 +508,47 @@ impl<E: DhtEngine> ReplicatedStore<E> {
         QuorumRead { value, hits, needed: self.quorum() }
     }
 
-    /// Removes a key from every replica, returning its value.
+    /// Removes a key from every replica, returning its value. The
+    /// removal is tombstoned into every snode's WAL — any log may still
+    /// carry an old `Put` for the key — so replay after a
+    /// crash-then-rejoin never resurrects a deleted key.
     pub fn remove(&mut self, key: &[u8]) -> Option<Bytes> {
         let point = self.point_of(key);
         let replicas = replicas_for(&self.engine, self.r, point);
+        let record = WalRecord::Remove { key: Bytes::copy_from_slice(key) };
         let mut removed = None;
         for &v in &replicas {
             let Some(map) = self.data.get_mut(v.index()) else { continue };
             let Some(bucket) = map.get_mut(&point) else { continue };
             if let Ok(i) = bucket_search(bucket, key) {
                 let (_, value) = bucket.remove(i);
-                if bucket.is_empty() {
+                let emptied = bucket.is_empty();
+                if emptied {
                     map.remove(&point);
+                }
+                if let Some(dmap) = self.digests.get_mut(v.index()) {
+                    if emptied {
+                        dmap.remove(&point);
+                    } else if let Some(d) = dmap.get_mut(&point) {
+                        *d ^= entry_hash(key, &value);
+                    }
                 }
                 removed.get_or_insert(value);
             }
+        }
+        // Tombstone the removal into *every* log, not just the current
+        // holders': migration re-logs copies on their new homes, so any
+        // snode that ever held this key — live ex-holders and crashed
+        // snodes alike — may still carry an old `Put` for it, and replay
+        // on rejoin would resurrect it unless the same log records the
+        // later removal (the fold is in sequence order, so the tombstone
+        // wins). Crashed snodes always have a log entry in `wals`, so
+        // iterating the map covers them too. Unconditional on purpose: a
+        // key whose copies were all crash-destroyed reads back `None`
+        // here, yet a crashed holder's log still carries its `Put` — the
+        // removal must outrank that record when the holder rejoins.
+        for wal in self.wals.values_mut() {
+            wal.append(&record);
         }
         if removed.is_some() {
             self.keys -= 1;
@@ -435,8 +574,16 @@ impl<E: DhtEngine> ReplicatedStore<E> {
         let mut tap = RangeTap::new(space, sink);
         let outcome = self.engine.create_vnode_with(snode, &mut tap)?;
         let ranges = self.extend_and_merge(tap.touched);
-        let copies_placed = self.rebuild_ranges(&ranges, true);
-        Ok((outcome, RepairReport { ranges: ranges.len(), copies_placed }))
+        let (copies_placed, bytes) = self.rebuild_ranges(&ranges, true);
+        Ok((
+            outcome,
+            RepairReport {
+                ranges: ranges.len(),
+                copies_placed,
+                bytes_shipped: bytes,
+                bytes_full: bytes,
+            },
+        ))
     }
 
     /// Gracefully removes a vnode: its data (primary *and* follower
@@ -457,12 +604,20 @@ impl<E: DhtEngine> ReplicatedStore<E> {
         let mut tap = RangeTap::new(space, sink);
         let outcome = self.engine.remove_vnode_with(v, &mut tap)?;
         let ranges = self.extend_and_merge(tap.touched);
-        let copies_placed = self.rebuild_ranges(&ranges, true);
+        let (copies_placed, bytes) = self.rebuild_ranges(&ranges, true);
         debug_assert!(
             self.data.get(v.index()).map(BTreeMap::is_empty).unwrap_or(true),
             "a graceful leave must drain every copy off the departing vnode"
         );
-        Ok((outcome, RepairReport { ranges: ranges.len(), copies_placed }))
+        Ok((
+            outcome,
+            RepairReport {
+                ranges: ranges.len(),
+                copies_placed,
+                bytes_shipped: bytes,
+                bytes_full: bytes,
+            },
+        ))
     }
 
     /// Crashes a snode: its slots are destroyed (not migrated), the
@@ -497,13 +652,21 @@ impl<E: DhtEngine> ReplicatedStore<E> {
         let mut tap = RangeTap::new(space, sink);
         let outcome = self.engine.fail_snode(s, &mut tap)?;
 
-        // The crash proper: every copy the snode held is gone.
+        // The crash proper: every in-memory copy the snode held is gone
+        // (and so are its bucket digests) — but its WAL survives: the
+        // log models the disk, which is exactly what a later
+        // `rejoin_snode` replays. Remember the vnode count so the
+        // rejoin re-enrols at the same size.
+        self.crashed.insert(s, victims.len());
         let mut doomed: Vec<(u64, Bytes)> = Vec::new();
         for &v in &victims {
             if let Some(map) = self.data.get_mut(v.index()) {
                 for (point, bucket) in std::mem::take(map) {
                     doomed.extend(bucket.into_iter().map(|(k, _)| (point, k)));
                 }
+            }
+            if let Some(dmap) = self.digests.get_mut(v.index()) {
+                dmap.clear();
             }
         }
 
@@ -526,7 +689,7 @@ impl<E: DhtEngine> ReplicatedStore<E> {
         }
 
         let ranges = self.extend_and_merge(touched);
-        let copies_relocated = self.rebuild_ranges(&ranges, false);
+        let (copies_relocated, _) = self.rebuild_ranges(&ranges, false);
 
         // Exact loss accounting: a doomed key is lost iff no copy survived
         // anywhere. Relocation already re-placed every survivor on a
@@ -562,15 +725,278 @@ impl<E: DhtEngine> ReplicatedStore<E> {
     }
 
     /// Re-replicates every pending (crash-touched) range back to full
-    /// strength. Idempotent; a no-op when nothing is pending.
+    /// strength, **digest-driven**: per partition, a Merkle
+    /// [`DigestTree`] is built over the primary's and each follower's
+    /// incrementally maintained bucket digests, and only the buckets in
+    /// divergent leaves are shipped. A follower already in sync costs
+    /// hash comparisons, never data movement — the full-rebuild byte
+    /// cost the old eager walk would have paid is reported alongside in
+    /// [`RepairReport::bytes_full`]. Idempotent; a no-op when nothing is
+    /// pending.
     pub fn repair(&mut self) -> RepairReport {
         let pending = std::mem::take(&mut self.pending);
         if pending.is_empty() {
             return RepairReport::default();
         }
         let ranges = merge_ranges(pending);
-        let copies_placed = self.rebuild_ranges(&ranges, true);
-        RepairReport { ranges: ranges.len(), copies_placed }
+        let mut report = RepairReport { ranges: ranges.len(), ..RepairReport::default() };
+        let space = self.space();
+        for &(start, end) in &ranges {
+            let mut cursor = start as u128;
+            while cursor < end {
+                let Some((p, _)) = self.engine.lookup(cursor as u64) else { break };
+                let pe = p.end(space);
+                self.repair_partition(cursor as u64, pe.min(end), &mut report);
+                if pe <= cursor {
+                    break; // no forward progress: malformed routing
+                }
+                cursor = pe;
+            }
+        }
+        report
+    }
+
+    /// Anti-entropy over one partition-aligned span `[start, end)`:
+    /// Merkle-compare each follower of the span's replica chain against
+    /// the primary and ship only divergent buckets (plus drop follower
+    /// buckets the primary does not hold). Accounts shipped bytes and
+    /// the full-rebuild baseline into `report`.
+    fn repair_partition(&mut self, start: u64, end: u128, report: &mut RepairReport) {
+        let chain = replicas_for(&self.engine, self.r, start);
+        if chain.is_empty() {
+            return;
+        }
+        let primary = chain[0].index();
+        let bucket_bytes =
+            |b: &Bucket| -> u64 { b.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum() };
+        let span_bytes: u64 = self
+            .data
+            .get(primary)
+            .map(|m| span_range(m, start, end).map(|(_, b)| bucket_bytes(b)).sum())
+            .unwrap_or(0);
+        // The eager rebuild gathered every copy and re-placed every entry
+        // onto every chain slot — that is the baseline being beaten.
+        report.bytes_full += span_bytes * chain.len() as u64;
+        if chain.len() < 2 {
+            return; // a thin cluster has nobody to anti-entropy against
+        }
+
+        // Normalize span positions onto the digest tree's 64-bit domain
+        // (monotone, collision-free for partition-aligned spans).
+        let span = end - start as u128;
+        let bits = 128 - (span.saturating_sub(1)).leading_zeros();
+        let shift = 64u32.saturating_sub(bits.min(64));
+        let norm = |p: u64| -> u64 { (p - start) << shift };
+
+        let empty: BTreeMap<u64, u64> = BTreeMap::new();
+        let pdig = self.digests.get(primary).unwrap_or(&empty);
+        let pbuckets: Vec<(u64, u64)> =
+            span_range(pdig, start, end).map(|(&p, &d)| (p, d)).collect();
+        let mut ptree = DigestTree::new(4);
+        for &(p, d) in &pbuckets {
+            ptree.toggle(norm(p), d);
+        }
+
+        // Plan each follower's divergence while the digests are borrowed,
+        // then apply the shipments.
+        type ShipPlan = (usize, u8, Vec<(u64, u64)>, Vec<u64>);
+        let mut plans: Vec<ShipPlan> = Vec::new();
+        for (rank, &fv) in chain.iter().enumerate().skip(1) {
+            let fslot = fv.index();
+            let fdig = self.digests.get(fslot).unwrap_or(&empty);
+            let fbuckets: Vec<(u64, u64)> =
+                span_range(fdig, start, end).map(|(&p, &d)| (p, d)).collect();
+            let mut ftree = DigestTree::new(4);
+            for &(p, d) in &fbuckets {
+                ftree.toggle(norm(p), d);
+            }
+            let divergent = ptree.diff(&ftree);
+            if divergent.is_empty() {
+                continue; // in sync: the Merkle root match cost zero bytes
+            }
+            let in_leaf = |p: u64, leaf: usize, tree: &DigestTree| -> bool {
+                let (lo, hi) = tree.leaf_range(leaf);
+                let np = norm(p);
+                np >= lo && hi.map_or(true, |h| np < h)
+            };
+            let mut ship: Vec<(u64, u64)> = Vec::new();
+            let mut drop: Vec<u64> = Vec::new();
+            for leaf in divergent {
+                for &(p, d) in &pbuckets {
+                    if in_leaf(p, leaf, &ptree) && fbuckets.binary_search(&(p, d)).is_err() {
+                        ship.push((p, d));
+                    }
+                }
+                for &(p, _) in &fbuckets {
+                    if in_leaf(p, leaf, &ptree)
+                        && pbuckets.binary_search_by_key(&p, |&(bp, _)| bp).is_err()
+                    {
+                        drop.push(p);
+                    }
+                }
+            }
+            if !ship.is_empty() || !drop.is_empty() {
+                plans.push((fslot, rank.min(u8::MAX as usize) as u8, ship, drop));
+            }
+        }
+
+        for (fslot, rank, ship, drop) in plans {
+            let home = if ship.is_empty() {
+                None
+            } else {
+                // One placement record per repaired follower span: the
+                // chain decision is durable on the receiving snode.
+                let home = self.engine.snode_of(chain[usize::from(rank)]).ok();
+                if let Some(s) = home {
+                    self.wals.entry(s).or_default().append(&WalRecord::Placement {
+                        partition: start,
+                        snode: s,
+                        rank,
+                    });
+                }
+                home
+            };
+            for (point, digest) in ship {
+                let bucket =
+                    self.data.get(primary).and_then(|m| m.get(&point)).cloned().unwrap_or_default();
+                report.bytes_shipped += bucket_bytes(&bucket);
+                report.copies_placed += bucket.len() as u64;
+                // Re-log each shipped copy on the receiving snode: the
+                // repaired follower must be able to replay what it holds.
+                if let Some(s) = home {
+                    let wal = self.wals.entry(s).or_default();
+                    for (k, v) in &bucket {
+                        wal.append(&WalRecord::Put { key: k.clone(), value: v.clone() });
+                    }
+                }
+                if self.data.len() <= fslot {
+                    self.data.resize_with(fslot + 1, BTreeMap::new);
+                }
+                self.data[fslot].insert(point, bucket);
+                if self.digests.len() <= fslot {
+                    self.digests.resize_with(fslot + 1, BTreeMap::new);
+                }
+                self.digests[fslot].insert(point, digest);
+            }
+            for point in drop {
+                if let Some(m) = self.data.get_mut(fslot) {
+                    m.remove(&point);
+                }
+                if let Some(m) = self.digests.get_mut(fslot) {
+                    m.remove(&point);
+                }
+            }
+        }
+    }
+
+    /// Re-enrols a crashed snode and **replays its write-ahead log**:
+    /// the control plane gets `vnodes` fresh vnodes (the count at crash
+    /// time) via [`DhtEngine::rejoin_snode`], the ranges that touched
+    /// are rebuilt in-line, and the log's final state is folded back in
+    /// — a key absent from every live replica is restored (the `R = 1`
+    /// crash-loss class), a key still live is *re-homed* onto its
+    /// current primary's log so the rejoined log can checkpoint and
+    /// truncate without weakening durability.
+    ///
+    /// Fails with [`DhtError::EmptySnode`] when `s` was never crashed
+    /// (or already rejoined) — there is nothing to replay.
+    pub fn rejoin_snode(&mut self, s: SnodeId) -> Result<RejoinReport, DhtError> {
+        self.rejoin_snode_with(s, &mut NullSink)
+    }
+
+    /// [`ReplicatedStore::rejoin_snode`], forwarding every rebalance
+    /// event to `sink`.
+    pub fn rejoin_snode_with(
+        &mut self,
+        s: SnodeId,
+        sink: &mut dyn RebalanceSink,
+    ) -> Result<RejoinReport, DhtError> {
+        let Some(&vnodes) = self.crashed.get(&s) else {
+            return Err(DhtError::EmptySnode(s));
+        };
+        // Control plane first: re-enrol, and rebuild the touched ranges
+        // in-line exactly like a join (these are fresh vnodes pulling
+        // partitions — full re-replication of what they now own).
+        let space = self.space();
+        let mut tap = RangeTap::new(space, sink);
+        let outcome = self.engine.rejoin_snode(s, vnodes, &mut tap)?;
+        self.crashed.remove(&s);
+        let ranges = self.extend_and_merge(tap.touched);
+        let (copies_placed, bytes) = self.rebuild_ranges(&ranges, true);
+        let repair = RepairReport {
+            ranges: ranges.len(),
+            copies_placed,
+            bytes_shipped: bytes,
+            bytes_full: bytes,
+        };
+
+        // Replay: fold the log into its final per-key state.
+        let mut report = RejoinReport {
+            vnodes: outcome.vnodes.len(),
+            handles: outcome.vnodes,
+            repair,
+            ..RejoinReport::default()
+        };
+        let mut state: BTreeMap<Bytes, Option<Bytes>> = BTreeMap::new();
+        let pre_seq = {
+            let wal = self.wals.entry(s).or_default();
+            report.wal_bytes = wal.bytes() as u64;
+            for item in wal.replay() {
+                match item {
+                    Ok((_, record)) => {
+                        report.wal_records += 1;
+                        match record {
+                            WalRecord::Put { key, value } => {
+                                state.insert(key, Some(value));
+                            }
+                            WalRecord::Remove { key } => {
+                                state.insert(key, None);
+                            }
+                            WalRecord::Placement { .. } => {}
+                        }
+                    }
+                    Err(_) => {
+                        report.torn += 1;
+                        break;
+                    }
+                }
+            }
+            wal.next_seq()
+        };
+        for (key, value) in state {
+            let Some(value) = value else { continue };
+            match self.get(&key) {
+                // Absent everywhere: the crash destroyed the last
+                // in-memory copy — only the log still has it. Restore.
+                None => {
+                    self.put(key, value);
+                    report.recovered += 1;
+                }
+                // Still live: make the current primary's log the durable
+                // home (current value, not the possibly stale replayed
+                // one) so truncating the rejoined log loses nothing.
+                // When the primary is `s` itself the append lands at a
+                // sequence number past `pre_seq`, so it survives the
+                // checkpoint below.
+                Some(current) => {
+                    if let Some(v) = self.route(&key) {
+                        if let Ok(home) = self.engine.snode_of(v) {
+                            self.wals
+                                .entry(home)
+                                .or_default()
+                                .append(&WalRecord::Put { key, value: current });
+                        }
+                    }
+                }
+            }
+        }
+        // Everything below `pre_seq` is now either restored into live
+        // (and re-logged) state or re-homed: checkpoint, letting whole
+        // segments truncate.
+        if let Some(wal) = self.wals.get_mut(&s) {
+            wal.checkpoint(pre_seq);
+        }
+        Ok(report)
     }
 
     /// Extends every touched range backwards across up to `R` distinct
@@ -588,13 +1014,38 @@ impl<E: DhtEngine> ReplicatedStore<E> {
         // same partitions), and every surviving range costs one backward
         // walk of engine lookups.
         let touched = merge_ranges(touched);
+        if touched.is_empty() {
+            return touched;
+        }
+        // Thin cluster (< R distinct snodes): asking the backward walk for
+        // R distinct snodes would visit every partition of the space *per
+        // range* without ever finding them (the pathological walk), and a
+        // shorter walk can miss ranges holding follower copies placed
+        // under an earlier, wider membership. Cover the whole space in one
+        // range instead — the honest repair scope at this size, and O(1)
+        // to decide.
+        let live = {
+            let mut live: Vec<SnodeId> = Vec::new();
+            self.engine.for_each_vnode(&mut |v| {
+                if let Ok(s) = self.engine.snode_of(v) {
+                    if !live.contains(&s) {
+                        live.push(s);
+                    }
+                }
+            });
+            live.len()
+        };
+        if live < self.r {
+            return vec![(0, space.size())];
+        }
+        let want = self.r;
         let mut out: Vec<Range> = Vec::with_capacity(touched.len() + 2);
         for (start, end) in touched {
             let mut snodes: Vec<SnodeId> = Vec::with_capacity(self.r);
             let mut cur = start;
             let mut wrapped = false;
             let mut walked = end - start as u128;
-            while snodes.len() < self.r && walked < space.size() {
+            while snodes.len() < want && walked < space.size() {
                 let prev_point = if cur == 0 {
                     wrapped = true;
                     space.max_point()
@@ -628,11 +1079,14 @@ impl<E: DhtEngine> ReplicatedStore<E> {
     /// gathers every copy stored anywhere in each range, dedups per key,
     /// and re-places each key on a placement-order prefix of its current
     /// replica chain — the full chain when `full`, else as many replicas
-    /// as copies survived (relocation without re-replication). Returns the
-    /// copies placed.
-    fn rebuild_ranges(&mut self, ranges: &[Range], full: bool) -> u64 {
+    /// as copies survived (relocation without re-replication). Bucket
+    /// digests are maintained in the same pass, and each partition's
+    /// chain decision is logged to the holders' WALs as a placement
+    /// record. Returns `(copies placed, entry bytes shipped)`.
+    fn rebuild_ranges(&mut self, ranges: &[Range], full: bool) -> (u64, u64) {
         let space = self.space();
         let mut placed = 0u64;
+        let mut bytes = 0u64;
         for &(start, end) in ranges {
             // Gather: detach [start, end) from every slot, merging copies
             // per (point, key) with a survivor count.
@@ -659,31 +1113,76 @@ impl<E: DhtEngine> ReplicatedStore<E> {
                     }
                 }
             }
+            // The detached digests go with the data; placement rebuilds
+            // both sides in lock-step.
+            for dmap in &mut self.digests {
+                if dmap.is_empty() {
+                    continue;
+                }
+                let mut mid = dmap.split_off(&start);
+                if end <= u64::MAX as u128 {
+                    let mut keep = mid.split_off(&(end as u64));
+                    dmap.append(&mut keep);
+                }
+            }
             // Re-place, memoizing the replica chain per partition (every
             // point of one partition shares it).
-            let (engine, data, r) = (&self.engine, &mut self.data, self.r);
-            let mut memo: Option<(Partition, Vec<VnodeId>)> = None;
+            let (engine, data, digests, wals, r) =
+                (&self.engine, &mut self.data, &mut self.digests, &mut self.wals, self.r);
+            let mut memo: Option<(Partition, Vec<VnodeId>, Vec<Option<SnodeId>>)> = None;
             for (point, bucket) in union {
-                let stale = !matches!(&memo, Some((p, _)) if p.contains(point, space));
+                let stale = !matches!(&memo, Some((p, _, _)) if p.contains(point, space));
                 if stale {
                     let (p, _) = engine.lookup(point).expect("routing is total");
-                    memo = Some((p, replicas_for(engine, r, point)));
+                    let replicas = replicas_for(engine, r, point);
+                    // Durable placement note on every holder's log: this
+                    // partition's copies now live on this chain.
+                    let homes: Vec<Option<SnodeId>> =
+                        replicas.iter().map(|&rv| engine.snode_of(rv).ok()).collect();
+                    for (rank, s) in homes.iter().enumerate() {
+                        if let Some(s) = *s {
+                            wals.entry(s).or_default().append(&WalRecord::Placement {
+                                partition: p.start(space),
+                                snode: s,
+                                rank: rank.min(u8::MAX as usize) as u8,
+                            });
+                        }
+                    }
+                    memo = Some((p, replicas, homes));
                 }
-                let replicas = &memo.as_ref().expect("memoized above").1;
+                let (_, replicas, homes) = memo.as_ref().expect("memoized above");
                 for (k, v, survivors) in bucket {
                     let n = if full { replicas.len() } else { survivors.min(replicas.len()) };
                     placed += n as u64;
-                    for &rv in &replicas[..n] {
-                        let slot = slot_of(data, rv).entry(point).or_default();
-                        match bucket_search(slot, &k) {
-                            Ok(at) => slot[at].1 = v.clone(),
-                            Err(at) => slot.insert(at, (k.clone(), v.clone())),
+                    bytes += (k.len() + v.len()) as u64 * n as u64;
+                    let h = entry_hash(&k, &v);
+                    // Every migrated copy is re-logged on its new home as
+                    // it is applied: the write-ahead discipline must follow
+                    // the data, or a key whose copies all moved since their
+                    // original `put` would have no replayable record on any
+                    // of the snodes that actually hold it when they crash.
+                    let record = WalRecord::Put { key: k.clone(), value: v.clone() };
+                    for (&rv, home) in replicas.iter().zip(homes).take(n) {
+                        if let Some(s) = *home {
+                            wals.entry(s).or_default().append(&record);
                         }
+                        let slot = slot_of(data, rv).entry(point).or_default();
+                        let toggle = match bucket_search(slot, &k) {
+                            Ok(at) => {
+                                let old = std::mem::replace(&mut slot[at].1, v.clone());
+                                entry_hash(&k, &old) ^ h
+                            }
+                            Err(at) => {
+                                slot.insert(at, (k.clone(), v.clone()));
+                                h
+                            }
+                        };
+                        *digest_slot(digests, rv).entry(point).or_insert(0) ^= toggle;
                     }
                 }
             }
         }
-        placed
+        (placed, bytes)
     }
 
     /// Every live key, in deterministic (hash point, key) order, read off
@@ -761,8 +1260,51 @@ impl<E: DhtEngine> ReplicatedStore<E> {
         if primaries != self.keys {
             return Err(format!("key counter {} but {primaries} primary copies", self.keys));
         }
+        // 5. the incrementally maintained bucket digests equal a fresh
+        //    recomputation from the data — the anti-entropy comparison is
+        //    only as sound as its inputs.
+        for (slot, map) in self.data.iter().enumerate() {
+            for (&point, bucket) in map {
+                let want = bucket.iter().fold(0u64, |acc, (k, v)| acc ^ entry_hash(k, v));
+                let got = self.digests.get(slot).and_then(|m| m.get(&point)).copied();
+                if got != Some(want) {
+                    return Err(format!(
+                        "slot {slot} point {point}: digest {got:?} != recomputed {want:#x}"
+                    ));
+                }
+            }
+        }
+        for (slot, dmap) in self.digests.iter().enumerate() {
+            for &point in dmap.keys() {
+                let populated =
+                    self.data.get(slot).and_then(|m| m.get(&point)).is_some_and(|b| !b.is_empty());
+                if !populated {
+                    return Err(format!("slot {slot} point {point}: digest for an empty bucket"));
+                }
+            }
+        }
         Ok(())
     }
+}
+
+/// The digest map of a vnode's slot, growing the arena like
+/// [`slot_of`] does for the data maps.
+fn digest_slot(digests: &mut Vec<BTreeMap<u64, u64>>, v: VnodeId) -> &mut BTreeMap<u64, u64> {
+    if digests.len() <= v.index() {
+        digests.resize_with(v.index() + 1, BTreeMap::new);
+    }
+    &mut digests[v.index()]
+}
+
+/// Iterates a point-keyed map over the half-open span `[start, end)`
+/// (`end` may be the full space's top, which exceeds `u64`).
+fn span_range<V>(
+    map: &BTreeMap<u64, V>,
+    start: u64,
+    end: u128,
+) -> std::collections::btree_map::Range<'_, u64, V> {
+    let upper = if end > u64::MAX as u128 { Bound::Unbounded } else { Bound::Excluded(end as u64) };
+    map.range((Bound::Included(start), upper))
 }
 
 /// Sorts and coalesces overlapping/adjacent ranges.
@@ -963,6 +1505,236 @@ mod tests {
         assert_eq!(merge_ranges(vec![(10, 20), (15, 30), (40, 50), (30, 40)]), vec![(10, 50)]);
         assert_eq!(merge_ranges(vec![(5, 6)]), vec![(5, 6)]);
         assert!(merge_ranges(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn crash_then_rejoin_replays_the_wal_at_r1() {
+        let mut kv = store(1, 5);
+        for i in 0..400u32 {
+            kv.put(format!("key:{i}"), format!("value-{i}"));
+        }
+        let victim = SnodeId(2);
+        let report = kv.fail_snode(victim).unwrap();
+        assert!(report.keys_lost > 0, "R=1 must lose the victim's primaries");
+        let lost = report.keys_lost;
+        assert_eq!(kv.crashed_snodes(), vec![(victim, report.vnodes_failed)]);
+
+        let rejoin = kv.rejoin_snode(victim).unwrap();
+        assert_eq!(rejoin.vnodes, report.vnodes_failed, "re-enrolled at crash-time size");
+        assert!(rejoin.wal_records > 0, "the log held the victim's writes");
+        assert_eq!(rejoin.torn, 0);
+        assert_eq!(rejoin.recovered, lost, "replay restores exactly the lost keys");
+        assert!(kv.crashed_snodes().is_empty());
+        assert_eq!(kv.len(), 400, "nothing stays lost after replay");
+        for i in 0..400u32 {
+            assert_eq!(
+                kv.get(format!("key:{i}").as_bytes()).unwrap().as_ref(),
+                format!("value-{i}").as_bytes(),
+                "key:{i} after rejoin"
+            );
+        }
+        kv.repair();
+        kv.verify_replication().unwrap();
+    }
+
+    #[test]
+    fn rejoin_checkpoint_truncates_the_replayed_log() {
+        let mut kv = store(2, 5);
+        // Values big enough that the victim's share of the log spans
+        // several 64 KiB segments, so the checkpoint can retire whole ones.
+        let blob = "v".repeat(1024);
+        for i in 0..400u32 {
+            kv.put(format!("key:{i}"), blob.clone());
+        }
+        let victim = SnodeId(1);
+        let before = kv.wal_of(victim).expect("the victim logged writes").pending();
+        assert!(before > 0);
+        kv.fail_snode(victim).unwrap();
+        let rejoin = kv.rejoin_snode(victim).unwrap();
+        // The rebuild that precedes replay logs fresh `Placement` records,
+        // so the scan covers at least the pre-crash backlog.
+        assert!(rejoin.wal_records >= before, "replay scans the whole un-checkpointed log");
+        let wal = kv.wal_of(victim).unwrap();
+        assert!(
+            wal.pending() < before,
+            "the checkpoint must retire the replayed records ({} -> {})",
+            before,
+            wal.pending()
+        );
+        assert!(wal.stats().truncated_segments > 0, "whole segments must truncate");
+        kv.repair();
+        kv.verify_replication().unwrap();
+    }
+
+    #[test]
+    fn replay_never_resurrects_a_removed_key() {
+        let mut kv = store(1, 4);
+        for i in 0..200u32 {
+            kv.put(format!("key:{i}"), "x");
+        }
+        // Remove half, then crash + rejoin every snode's primary range
+        // would be overkill — one victim suffices: its log holds both the
+        // puts and the removes.
+        for i in 0..200u32 {
+            if i % 2 == 0 {
+                kv.remove(format!("key:{i}").as_bytes());
+            }
+        }
+        let victim = SnodeId(0);
+        kv.fail_snode(victim).unwrap();
+        kv.rejoin_snode(victim).unwrap();
+        for i in (0..200u32).step_by(2) {
+            assert_eq!(kv.get(format!("key:{i}").as_bytes()), None, "key:{i} resurrected");
+        }
+        kv.repair();
+        kv.verify_replication().unwrap();
+    }
+
+    #[test]
+    fn migrated_copies_stay_replayable_after_their_new_holders_crash() {
+        // Regression: copies shipped by rebalance used to land with only a
+        // `Placement` note in the recipient's log. A key whose copies all
+        // migrated away from their original put-time holders then had no
+        // replayable `Put` on any snode that actually held it — crash the
+        // new holder and the key was gone for good, because the snodes
+        // whose logs *did* hold it stayed alive and never replayed.
+        let mut kv = store(1, 3);
+        for i in 0..200u32 {
+            kv.put(format!("key:{i}"), format!("value-{i}"));
+        }
+        // Joins pull ranges onto snodes that never saw the original puts.
+        for s in 3..7u32 {
+            kv.join(SnodeId(s)).unwrap();
+        }
+        let victim = SnodeId(5);
+        let report = kv.fail_snode(victim).unwrap();
+        assert!(report.keys_lost > 0, "R=1 must lose the victim's migrated primaries");
+        let rejoin = kv.rejoin_snode(victim).unwrap();
+        assert_eq!(rejoin.recovered, report.keys_lost, "replay restores the migrated keys");
+        assert_eq!(kv.len(), 200, "no key stays lost after the holder rejoins");
+        for i in 0..200u32 {
+            assert_eq!(
+                kv.get(format!("key:{i}").as_bytes()).unwrap().as_ref(),
+                format!("value-{i}").as_bytes(),
+                "key:{i} after migrate-crash-rejoin"
+            );
+        }
+        kv.repair();
+        kv.verify_replication().unwrap();
+    }
+
+    #[test]
+    fn removing_a_crash_destroyed_key_outranks_its_crashed_log() {
+        // Regression: removing a key whose copies were all crash-destroyed
+        // returns `None`, and the tombstone used to be skipped — yet the
+        // crashed holder's log still carried the key's `Put`, so the
+        // rejoin replay resurrected a key the caller had deleted.
+        let mut kv = store(1, 4);
+        for i in 0..200u32 {
+            kv.put(format!("key:{i}"), "x");
+        }
+        let victim = SnodeId(1);
+        let report = kv.fail_snode(victim).unwrap();
+        assert!(report.keys_lost > 0);
+        let dead: Vec<String> = (0..200u32)
+            .map(|i| format!("key:{i}"))
+            .filter(|k| kv.get(k.as_bytes()).is_none())
+            .collect();
+        assert!(!dead.is_empty());
+        for k in &dead {
+            assert_eq!(kv.remove(k.as_bytes()), None, "{k} is crash-destroyed, nothing to remove");
+        }
+        kv.rejoin_snode(victim).unwrap();
+        for k in &dead {
+            assert_eq!(kv.get(k.as_bytes()), None, "{k} resurrected past its removal");
+        }
+        kv.repair();
+        kv.verify_replication().unwrap();
+    }
+
+    #[test]
+    fn removal_while_crashed_is_not_resurrected_by_replay() {
+        let mut kv = store(2, 4);
+        for i in 0..200u32 {
+            kv.put(format!("key:{i}"), "x");
+        }
+        let victim = SnodeId(2);
+        kv.fail_snode(victim).unwrap();
+        kv.repair();
+        // Remove every key *while the victim is down*: its WAL still
+        // carries the pre-crash puts, so replay must see the tombstones.
+        for i in 0..200u32 {
+            assert!(kv.remove(format!("key:{i}").as_bytes()).is_some(), "R=2 shields key:{i}");
+        }
+        kv.rejoin_snode(victim).unwrap();
+        assert_eq!(kv.len(), 0);
+        for i in 0..200u32 {
+            assert_eq!(kv.get(format!("key:{i}").as_bytes()), None, "key:{i} resurrected");
+        }
+        kv.repair();
+        kv.verify_replication().unwrap();
+    }
+
+    #[test]
+    fn rejoin_of_a_never_crashed_snode_is_refused() {
+        let mut kv = store(2, 3);
+        kv.put("a", "1");
+        assert_eq!(kv.rejoin_snode(SnodeId(0)), Err(DhtError::EmptySnode(SnodeId(0))));
+        assert_eq!(kv.rejoin_snode(SnodeId(99)), Err(DhtError::EmptySnode(SnodeId(99))));
+        assert_eq!(kv.get(b"a").unwrap().as_ref(), b"1");
+    }
+
+    #[test]
+    fn digest_repair_ships_strictly_less_than_a_full_rebuild() {
+        let mut kv = store(2, 6);
+        for i in 0..500u32 {
+            kv.put(format!("key:{i}"), format!("value-{i}"));
+        }
+        let report = kv.fail_snode(SnodeId(3)).unwrap();
+        assert_eq!(report.keys_lost, 0);
+        let rep = kv.repair();
+        assert!(rep.copies_placed > 0, "the crash left under-replicated buckets");
+        assert!(rep.bytes_shipped > 0);
+        assert!(
+            rep.bytes_shipped < rep.bytes_full,
+            "digest repair must beat the full rebuild: shipped {} vs full {}",
+            rep.bytes_shipped,
+            rep.bytes_full
+        );
+        kv.verify_replication().unwrap();
+        for i in 0..500u32 {
+            assert!(kv.get_quorum(format!("key:{i}").as_bytes()).available(), "key:{i}");
+        }
+    }
+
+    #[test]
+    fn thin_cluster_crash_and_repair_stay_clean() {
+        // R = 3 on two snodes: the effective factor is 2; one crash
+        // leaves a single-snode cluster, where the repair successor walk
+        // and the backward horizon walk must terminate without panicking
+        // and leave a clean partial-replication state.
+        let mut kv = store(3, 2);
+        for i in 0..150u32 {
+            kv.put(format!("key:{i}"), format!("value-{i}"));
+        }
+        let report = kv.fail_snode(SnodeId(0)).unwrap();
+        assert_eq!(report.keys_lost, 0, "the second copy survives");
+        let rep = kv.repair();
+        assert_eq!(rep.bytes_shipped, 0, "one snode left: nobody to ship to");
+        kv.verify_replication().unwrap();
+        assert_eq!(kv.len(), 150);
+        for i in 0..150u32 {
+            let key = format!("key:{i}");
+            assert!(kv.get(key.as_bytes()).is_some(), "{key} lost on the thin cluster");
+            assert_eq!(kv.replicas_of(key.as_bytes()).len(), 1, "single-snode chain");
+        }
+        // The cluster thickens again: in-line join repair re-replicates.
+        kv.join(SnodeId(7)).unwrap();
+        kv.join(SnodeId(8)).unwrap();
+        kv.verify_replication().unwrap();
+        for i in 0..150u32 {
+            assert_eq!(kv.replicas_of(format!("key:{i}").as_bytes()).len(), 3);
+        }
     }
 
     #[test]

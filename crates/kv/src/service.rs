@@ -129,8 +129,21 @@ impl<E: DhtEngine> KvService<E> {
                 self.stats.record(retries, value.is_none());
                 return RoutedGet { value, retries };
             }
-            *snap = self.serve.load();
-            retries += 1;
+            // The pin is behind, but the retry is only a *stale-route*
+            // retry when the key's owner actually moved between the pinned
+            // and current epochs. A miss whose route is identical at both
+            // epochs is an absent key caught mid-publish, not stale
+            // routing — counting it would double-book every
+            // concurrent-epoch miss as stale.
+            let fresh = self.serve.load();
+            let moved = {
+                let guard = self.inner.read();
+                guard.store.route_at(snap, key) != guard.store.route_at(&fresh, key)
+            };
+            *snap = fresh;
+            if moved {
+                retries += 1;
+            }
         }
     }
 

@@ -96,6 +96,8 @@ pub struct TickReport {
 pub struct RouterTotals {
     /// Ticks run.
     pub ticks: u64,
+    /// Leases renewed by healthy holders (over all ticks).
+    pub leases_renewed: u64,
     /// Leases that lapsed (over all ticks).
     pub leases_expired: u64,
     /// Failover actions emitted.
@@ -301,22 +303,35 @@ impl Router {
         self.totals.ticks += 1;
         let mut report = TickReport::default();
 
-        // 1. Renewal: every holder that is not stalled re-ups.
+        // 1. Renewal: every holder that is not stalled re-ups. Checked
+        //    conversions throughout: a silent `as u64` truncation here
+        //    would corrupt every per-window reconciliation downstream.
         let holders: BTreeSet<SnodeId> = self.leases.iter().map(|(_, l)| l.holder).collect();
         for &s in holders.iter().filter(|s| !self.stalled.contains(s)) {
-            report.renewed += self.leases.renew_holder(s, now) as u64;
+            let renewed = self.leases.renew_holder(s, now);
+            report.renewed = report
+                .renewed
+                .checked_add(u64::try_from(renewed).expect("lease count fits u64"))
+                .expect("renewal total overflow");
         }
+        self.totals.leases_renewed += report.renewed;
 
         // 2. Expiry → failover. Leases stay in the table until the
-        //    executor confirms with `note_fail` (or defers).
+        //    executor confirms with `note_fail` (or defers). Failovers
+        //    are counted where they are pushed — never as
+        //    `actions.len()`, which silently absorbs any action pushed
+        //    later in the tick (the hot-spot moves of step 4).
         for s in self.leases.expired_holders(now) {
             let vnodes: Vec<VnodeId> =
                 self.leases.iter().filter(|(_, l)| l.holder == s).map(|(v, _)| v).collect();
-            report.expired += vnodes.len() as u64;
+            report.expired = report
+                .expired
+                .checked_add(u64::try_from(vnodes.len()).expect("lease count fits u64"))
+                .expect("expiry total overflow");
             report.actions.push(RouteAction::Failover { snode: s, vnodes });
+            self.totals.failovers += 1;
         }
         self.totals.leases_expired += report.expired;
-        self.totals.failovers += report.actions.len() as u64;
 
         // 3. Hot-spot detection on capacity-weighted overload. Stalled
         //    and expiring snodes are the failover path's problem.

@@ -1,0 +1,226 @@
+//! Merkle anti-entropy digests over the 64-bit ring.
+//!
+//! A [`DigestTree`] splits the hashed key space into `2^leaf_bits`
+//! equal leaf ranges. Each leaf holds an *order-independent*
+//! accumulator — the XOR of per-entry hashes — so inserting and
+//! removing an entry are the same O(1) update and two stores that
+//! hold the same entries reach the same leaf values regardless of
+//! arrival order. Above the leaves sits a classic binary hash tree;
+//! [`DigestTree::diff`] descends it, pruning equal subtrees, and
+//! returns only the leaf ranges whose contents actually diverge —
+//! the buckets anti-entropy must ship, instead of a full key scan.
+
+use domus_util::SplitMix64;
+
+/// Default tree granularity: `2^8 = 256` leaf ranges.
+pub const DEFAULT_LEAF_BITS: u32 = 8;
+
+/// An incremental Merkle digest over ring positions in `[0, 2^64)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestTree {
+    /// log2 of the leaf count; leaf `i` covers positions with top
+    /// `leaf_bits` bits equal to `i`.
+    leaf_bits: u32,
+    /// Per-leaf XOR accumulators of entry hashes.
+    leaves: Vec<u64>,
+}
+
+/// Hash one stored entry into the accumulator domain. Both sides of a
+/// comparison must use the same function; mixing the key hash with a
+/// value fingerprint makes a changed *value* diverge, not just a
+/// changed key set.
+pub fn entry_hash(key: &[u8], value: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for &b in key {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // Domain-separate the value bytes so ("ab","c") != ("a","bc").
+    h = SplitMix64::mix(h ^ 0x9E37_79B9_7F4A_7C15);
+    for &b in value {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SplitMix64::mix(h)
+}
+
+impl Default for DigestTree {
+    fn default() -> Self {
+        Self::new(DEFAULT_LEAF_BITS)
+    }
+}
+
+impl DigestTree {
+    /// An empty tree with `2^leaf_bits` leaves (`leaf_bits` ≤ 16).
+    pub fn new(leaf_bits: u32) -> Self {
+        let bits = leaf_bits.min(16);
+        DigestTree { leaf_bits: bits, leaves: vec![0; 1 << bits] }
+    }
+
+    /// Number of leaf ranges.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The leaf index covering ring position `pos`.
+    pub fn leaf_of(&self, pos: u64) -> usize {
+        if self.leaf_bits == 0 {
+            0
+        } else {
+            (pos >> (64 - self.leaf_bits)) as usize
+        }
+    }
+
+    /// The inclusive-start/exclusive-end position range of leaf `i`
+    /// (end `None` means the range runs to the top of the space).
+    pub fn leaf_range(&self, i: usize) -> (u64, Option<u64>) {
+        if self.leaf_bits == 0 {
+            return (0, None);
+        }
+        let width = 64 - self.leaf_bits;
+        let start = (i as u64) << width;
+        if i + 1 == self.leaves.len() {
+            (start, None)
+        } else {
+            (start, Some(((i as u64) + 1) << width))
+        }
+    }
+
+    /// Toggle one entry in the digest: call once when an entry is
+    /// stored at ring position `pos` and once again (same arguments)
+    /// when it is removed or overwritten.
+    pub fn toggle(&mut self, pos: u64, entry_hash: u64) {
+        let i = self.leaf_of(pos);
+        self.leaves[i] ^= entry_hash;
+    }
+
+    /// Forget everything.
+    pub fn clear(&mut self) {
+        self.leaves.iter_mut().for_each(|l| *l = 0);
+    }
+
+    /// The Merkle root over all leaves.
+    pub fn root(&self) -> u64 {
+        self.fold(0, self.leaves.len())
+    }
+
+    /// Hash of the subtree spanning `leaves[lo..hi]`.
+    fn fold(&self, lo: usize, hi: usize) -> u64 {
+        if hi - lo == 1 {
+            // Leaf node: bind the accumulator to its position so a
+            // value swapped between two leaves still diverges.
+            return SplitMix64::mix(self.leaves[lo] ^ (lo as u64).rotate_left(32));
+        }
+        let mid = lo + (hi - lo) / 2;
+        let left = self.fold(lo, mid);
+        let right = self.fold(mid, hi);
+        SplitMix64::mix(left.wrapping_mul(3).wrapping_add(right.rotate_left(17)))
+    }
+
+    /// Merkle descent against `other`: the list of leaf indices whose
+    /// contents diverge, pruning equal subtrees without visiting them.
+    /// Trees of different granularity fall back to comparing every
+    /// leaf of the finer side's span.
+    pub fn diff(&self, other: &DigestTree) -> Vec<usize> {
+        let mut out = Vec::new();
+        if self.leaf_bits != other.leaf_bits {
+            // Granularity mismatch: no shared tree shape to prune on.
+            for i in 0..self.leaves.len().max(other.leaves.len()) {
+                let a = self.leaves.get(i).copied().unwrap_or(0);
+                let b = other.leaves.get(i).copied().unwrap_or(0);
+                if a != b {
+                    out.push(i);
+                }
+            }
+            return out;
+        }
+        self.descend(other, 0, self.leaves.len(), &mut out);
+        out
+    }
+
+    fn descend(&self, other: &DigestTree, lo: usize, hi: usize, out: &mut Vec<usize>) {
+        if self.fold(lo, hi) == other.fold(lo, hi) {
+            return; // identical subtree: prune
+        }
+        if hi - lo == 1 {
+            out.push(lo);
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        self.descend(other, lo, mid, out);
+        self.descend(other, mid, hi, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggling_twice_restores_the_empty_root() {
+        let empty = DigestTree::new(6);
+        let mut tree = DigestTree::new(6);
+        let h = entry_hash(b"key", b"value");
+        tree.toggle(0xDEAD_BEEF_0000_0000, h);
+        assert_ne!(tree.root(), empty.root());
+        tree.toggle(0xDEAD_BEEF_0000_0000, h);
+        assert_eq!(tree.root(), empty.root());
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let mut a = DigestTree::new(6);
+        let mut b = DigestTree::new(6);
+        let entries: Vec<(u64, u64)> = (0..100u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15), entry_hash(&i.to_le_bytes(), b"v")))
+            .collect();
+        for &(pos, h) in &entries {
+            a.toggle(pos, h);
+        }
+        for &(pos, h) in entries.iter().rev() {
+            b.toggle(pos, h);
+        }
+        assert_eq!(a.root(), b.root());
+        assert!(a.diff(&b).is_empty());
+    }
+
+    #[test]
+    fn diff_pinpoints_exactly_the_divergent_leaf() {
+        let mut a = DigestTree::new(8);
+        let mut b = DigestTree::new(8);
+        for i in 0..500u64 {
+            let pos = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let h = entry_hash(&i.to_le_bytes(), b"same");
+            a.toggle(pos, h);
+            b.toggle(pos, h);
+        }
+        // One extra entry on one side only.
+        let pos = 0xABCD_EF01_2345_6789u64;
+        a.toggle(pos, entry_hash(b"extra", b"entry"));
+        let diff = a.diff(&b);
+        assert_eq!(diff, vec![a.leaf_of(pos)]);
+        let (start, end) = a.leaf_range(diff[0]);
+        assert!(pos >= start);
+        if let Some(end) = end {
+            assert!(pos < end);
+        }
+    }
+
+    #[test]
+    fn a_changed_value_diverges_even_with_the_same_key() {
+        assert_ne!(entry_hash(b"key", b"v1"), entry_hash(b"key", b"v2"));
+        assert_ne!(entry_hash(b"ab", b"c"), entry_hash(b"a", b"bc"));
+    }
+
+    #[test]
+    fn leaf_ranges_tile_the_space() {
+        let tree = DigestTree::new(4);
+        let mut next = 0u64;
+        for i in 0..tree.leaf_count() {
+            let (start, end) = tree.leaf_range(i);
+            assert_eq!(start, next);
+            match end {
+                Some(e) => next = e,
+                None => assert_eq!(i, tree.leaf_count() - 1),
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # domus-wal
+//!
+//! The durability tier under the DHT's storage overlay: a per-snode,
+//! **segmented, in-process write-ahead log** plus **Merkle anti-entropy
+//! digests**, so a crashed snode can *rejoin and replay* its own log
+//! instead of being rebuilt wholesale from replicas, and repair ships
+//! only the buckets that actually diverge.
+//!
+//! * [`record`] — CRC-framed record types (puts, removes, placements).
+//! * [`log`] — append-only [`WalSegment`]s with dense sequence numbers,
+//!   byte-capped rotation, and whole-segment truncation at checkpoints.
+//! * [`digest`] — incremental per-range hash trees whose Merkle descent
+//!   ([`DigestTree::diff`]) pinpoints divergent leaf ranges.
+//! * [`crc`] — the CRC-32 (ISO-HDLC) each frame is sealed with.
+//!
+//! The log is deliberately storage-agnostic: frames are plain
+//! little-endian byte runs, so persisting a segment is a single write
+//! of [`WalSegment`]'s buffer and the format survives a move to disk
+//! unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod digest;
+pub mod log;
+pub mod record;
+
+pub use crc::crc32;
+pub use digest::{entry_hash, DigestTree, DEFAULT_LEAF_BITS};
+pub use log::{Replay, SegmentedWal, WalSegment, WalStats, DEFAULT_SEGMENT_CAP};
+pub use record::{WalError, WalRecord};

@@ -1,0 +1,233 @@
+//! WAL record types and their byte-level framing.
+//!
+//! Every appended record becomes one **frame** in a segment's buffer:
+//!
+//! ```text
+//! ┌────────────┬───────────┬───────────┬───────────────────┐
+//! │ seq  (u64) │ len (u32) │ crc (u32) │ payload (len B)   │
+//! └────────────┴───────────┴───────────┴───────────────────┘
+//!                              └─ CRC-32 over the payload only
+//! payload = [tag: u8][tag-specific fields, LE-encoded]
+//! ```
+//!
+//! All integers are little-endian. The sequence number lives *outside*
+//! the checksummed payload so replay can report *which* record is
+//! corrupt even when the payload bytes are torn.
+
+use crate::crc::crc32;
+use bytes::Bytes;
+use domus_core::SnodeId;
+
+/// Payload tag for a KV put.
+const TAG_PUT: u8 = 1;
+/// Payload tag for a KV remove.
+const TAG_REMOVE: u8 = 2;
+/// Payload tag for a replica-placement note.
+const TAG_PLACEMENT: u8 = 3;
+
+/// One durable record: the unit a snode appends before mutating its
+/// in-memory state, and the unit replayed after a crash-then-rejoin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A key/value write that reached this snode as a primary.
+    Put {
+        /// The application key, verbatim.
+        key: Bytes,
+        /// The value bytes stored under `key`.
+        value: Bytes,
+    },
+    /// A key removal that reached this snode as a primary.
+    Remove {
+        /// The application key, verbatim.
+        key: Bytes,
+    },
+    /// A replica-placement note: partition `partition`'s rank-`rank`
+    /// copy was placed on `snode`. Replay uses these to seed the
+    /// digest comparison, not to move data.
+    Placement {
+        /// The partition (bucket slot) whose copy moved.
+        partition: u64,
+        /// The snode now holding the copy.
+        snode: SnodeId,
+        /// The replica rank of the copy (0 = primary).
+        rank: u8,
+    },
+}
+
+/// Why a frame failed to decode during replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalError {
+    /// The payload checksum did not match: the record is torn.
+    Corrupt {
+        /// Sequence number of the torn record.
+        seq: u64,
+    },
+    /// The buffer ended mid-frame: a partial append.
+    Truncated {
+        /// Byte offset into the segment where the frame starts.
+        offset: usize,
+    },
+    /// The payload tag is not a known record type.
+    UnknownTag {
+        /// Sequence number of the offending record.
+        seq: u64,
+        /// The unrecognised tag byte.
+        tag: u8,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            WalError::Corrupt { seq } => write!(f, "wal record {seq} failed its checksum"),
+            WalError::Truncated { offset } => {
+                write!(f, "wal segment truncated mid-frame at byte {offset}")
+            }
+            WalError::UnknownTag { seq, tag } => {
+                write!(f, "wal record {seq} carries unknown tag {tag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+fn push_bytes(buf: &mut Vec<u8>, data: &[u8]) {
+    buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    buf.extend_from_slice(data);
+}
+
+impl WalRecord {
+    /// Serialise the payload (tag + fields, no frame header).
+    pub(crate) fn encode_payload(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16);
+        match self {
+            WalRecord::Put { key, value } => {
+                buf.push(TAG_PUT);
+                push_bytes(&mut buf, key);
+                push_bytes(&mut buf, value);
+            }
+            WalRecord::Remove { key } => {
+                buf.push(TAG_REMOVE);
+                push_bytes(&mut buf, key);
+            }
+            WalRecord::Placement { partition, snode, rank } => {
+                buf.push(TAG_PLACEMENT);
+                buf.extend_from_slice(&partition.to_le_bytes());
+                buf.extend_from_slice(&snode.0.to_le_bytes());
+                buf.push(*rank);
+            }
+        }
+        buf
+    }
+
+    /// Frame the record: header + payload, appended onto `buf`.
+    /// Returns the number of bytes written.
+    pub(crate) fn encode_frame(&self, seq: u64, buf: &mut Vec<u8>) -> usize {
+        let payload = self.encode_payload();
+        let before = buf.len();
+        buf.extend_from_slice(&seq.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        buf.len() - before
+    }
+
+    /// Decode one frame starting at `offset`. Returns the record, its
+    /// sequence number and the offset one past the frame's end.
+    pub(crate) fn decode_frame(
+        buf: &[u8],
+        offset: usize,
+    ) -> Result<(u64, WalRecord, usize), WalError> {
+        let header = buf.get(offset..offset + 16).ok_or(WalError::Truncated { offset })?;
+        let seq = u64::from_le_bytes(header[0..8].try_into().expect("8-byte slice"));
+        let len = u32::from_le_bytes(header[8..12].try_into().expect("4-byte slice")) as usize;
+        let want = u32::from_le_bytes(header[12..16].try_into().expect("4-byte slice"));
+        let start = offset + 16;
+        let payload = buf.get(start..start + len).ok_or(WalError::Truncated { offset })?;
+        if crc32(payload) != want {
+            return Err(WalError::Corrupt { seq });
+        }
+        let record = Self::decode_payload(seq, payload)?;
+        Ok((seq, record, start + len))
+    }
+
+    fn decode_payload(seq: u64, payload: &[u8]) -> Result<WalRecord, WalError> {
+        let corrupt = WalError::Corrupt { seq };
+        let (&tag, rest) = payload.split_first().ok_or(corrupt)?;
+        let take = |rest: &[u8]| -> Result<(Bytes, usize), WalError> {
+            let len =
+                u32::from_le_bytes(rest.get(0..4).ok_or(corrupt)?.try_into().expect("4 bytes"))
+                    as usize;
+            let data = rest.get(4..4 + len).ok_or(corrupt)?;
+            Ok((Bytes::copy_from_slice(data), 4 + len))
+        };
+        match tag {
+            TAG_PUT => {
+                let (key, used) = take(rest)?;
+                let (value, _) = take(&rest[used..])?;
+                Ok(WalRecord::Put { key, value })
+            }
+            TAG_REMOVE => {
+                let (key, _) = take(rest)?;
+                Ok(WalRecord::Remove { key })
+            }
+            TAG_PLACEMENT => {
+                let partition =
+                    u64::from_le_bytes(rest.get(0..8).ok_or(corrupt)?.try_into().expect("8"));
+                let snode =
+                    u32::from_le_bytes(rest.get(8..12).ok_or(corrupt)?.try_into().expect("4"));
+                let rank = *rest.get(12).ok_or(corrupt)?;
+                Ok(WalRecord::Placement { partition, snode: SnodeId(snode), rank })
+            }
+            other => Err(WalError::UnknownTag { seq, tag: other }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rec: WalRecord) {
+        let mut buf = Vec::new();
+        let n = rec.encode_frame(42, &mut buf);
+        assert_eq!(n, buf.len());
+        let (seq, got, end) = WalRecord::decode_frame(&buf, 0).expect("decode");
+        assert_eq!(seq, 42);
+        assert_eq!(got, rec);
+        assert_eq!(end, buf.len());
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        roundtrip(WalRecord::Put {
+            key: Bytes::copy_from_slice(b"k-001"),
+            value: Bytes::copy_from_slice(b"v"),
+        });
+        roundtrip(WalRecord::Remove { key: Bytes::copy_from_slice(b"") });
+        roundtrip(WalRecord::Placement { partition: 7, snode: SnodeId(3), rank: 2 });
+    }
+
+    #[test]
+    fn a_flipped_payload_byte_is_corrupt_not_garbage() {
+        let rec = WalRecord::Put {
+            key: Bytes::copy_from_slice(b"key"),
+            value: Bytes::copy_from_slice(b"value"),
+        };
+        let mut buf = Vec::new();
+        rec.encode_frame(9, &mut buf);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        assert_eq!(WalRecord::decode_frame(&buf, 0), Err(WalError::Corrupt { seq: 9 }));
+    }
+
+    #[test]
+    fn a_short_buffer_reports_truncation() {
+        let rec = WalRecord::Remove { key: Bytes::copy_from_slice(b"key") };
+        let mut buf = Vec::new();
+        rec.encode_frame(1, &mut buf);
+        buf.truncate(buf.len() - 2);
+        assert_eq!(WalRecord::decode_frame(&buf, 0), Err(WalError::Truncated { offset: 0 }));
+    }
+}

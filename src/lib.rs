@@ -26,6 +26,7 @@
 //! | [`sim`] | `domus-sim` | cluster network/cost simulator, protocol pricing, memory accounting |
 //! | [`kv`] | `domus-kv` | key-value store with live data migration |
 //! | [`route`] | `domus-route` | routing & failover control plane: versioned shard maps, leases, hot-spot scheduling |
+//! | [`wal`] | `domus-wal` | durability tier: segmented write-ahead log + Merkle anti-entropy digests |
 //! | [`churn`] | `domus-churn` | deterministic churn & failure scenario engine |
 //! | [`metrics`] | `domus-metrics` | σ̄ metrics, run averaging, CSV/ASCII reporting |
 //! | [`util`] | `domus-util` | deterministic RNG streams, power-of-two helpers |
@@ -68,6 +69,7 @@ pub use domus_metrics as metrics;
 pub use domus_route as route;
 pub use domus_sim as sim;
 pub use domus_util as util;
+pub use domus_wal as wal;
 
 /// The most common imports in one line: `use domus::prelude::*;`.
 pub mod prelude {
@@ -79,8 +81,8 @@ pub mod prelude {
         BalanceSnapshot, BatchOutcome, Cluster, CollectReport, ContainerChoice, CountOnly,
         CreateOutcome, DhtConfig, DhtEngine, DhtError, DhtOp, EngineSnapshot, EnrollmentPolicy,
         FailOutcome, GlobalDht, GroupId, LocalDht, NullSink, OwnerSpan, Pdr, RebalanceEvent,
-        RebalanceSink, RemoveOutcome, RouteCounters, RouteStats, SnapshotBuilder, SnapshotCell,
-        SnodeId, SnodeLoad, SplitSelection, Tee, VictimPartitionPolicy, VnodeId,
+        RebalanceSink, RejoinOutcome, RemoveOutcome, RouteCounters, RouteStats, SnapshotBuilder,
+        SnapshotCell, SnodeId, SnodeLoad, SplitSelection, Tee, VictimPartitionPolicy, VnodeId,
     };
     pub use domus_hashspace::{HashSpace, OwnerMap, Partition, Quota};
     pub use domus_kv::{
@@ -94,4 +96,5 @@ pub mod prelude {
     };
     pub use domus_sim::{ClusterNet, CostModel, EventPricer, SimDriver, SimTime};
     pub use domus_util::{DomusRng, SeedSequence, SplitMix64, Xoshiro256pp};
+    pub use domus_wal::{DigestTree, SegmentedWal, WalRecord};
 }

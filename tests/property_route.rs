@@ -100,7 +100,38 @@ proptest! {
                 }
                 LeaseOp::Tick => {
                     now += window;
+                    let before = router.totals();
                     let report = router.tick(now, &[]);
+                    // Per-window reconciliation: the tick's report and
+                    // the monotone totals must agree exactly — renewals,
+                    // expiries, and each action kind counted separately.
+                    let after = router.totals();
+                    prop_assert_eq!(after.ticks, before.ticks + 1);
+                    prop_assert_eq!(after.leases_renewed - before.leases_renewed, report.renewed);
+                    prop_assert_eq!(after.leases_expired - before.leases_expired, report.expired);
+                    let failovers = report
+                        .actions
+                        .iter()
+                        .filter(|a| matches!(a, RouteAction::Failover { .. }))
+                        .count() as u64;
+                    let moves = report
+                        .actions
+                        .iter()
+                        .filter(|a| matches!(a, RouteAction::MoveVnode { .. }))
+                        .count() as u64;
+                    prop_assert_eq!(after.failovers - before.failovers, failovers);
+                    prop_assert_eq!(after.moves - before.moves, moves);
+                    // Every expired lease is covered by exactly one
+                    // failover action's worklist.
+                    let failover_vnodes: u64 = report
+                        .actions
+                        .iter()
+                        .map(|a| match a {
+                            RouteAction::Failover { vnodes, .. } => vnodes.len() as u64,
+                            _ => 0,
+                        })
+                        .sum();
+                    prop_assert_eq!(failover_vnodes, report.expired);
                     // Execute every failover the tick ordered: the
                     // stalled holder's vnodes die and the router hears
                     // the confirmation, exactly like the driver.

@@ -152,7 +152,8 @@ fn replay_digest<E: DhtEngine>(mut dht: E, stream: &EventStream) -> u64 {
             EventKind::Crash { .. }
             | EventKind::CrashRank { .. }
             | EventKind::StallRank { .. }
-            | EventKind::DegradeRank { .. } => {
+            | EventKind::DegradeRank { .. }
+            | EventKind::RejoinRank { .. } => {
                 panic!("golden sink-parity scenario must stay crash-free")
             }
         }
